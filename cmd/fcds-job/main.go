@@ -1,0 +1,48 @@
+// Command fcds-job runs characterization jobs described by .conf files
+// — the Go counterpart of the paper artifact's
+// `java -cp "./*" ...characterization.Job <file>.conf` workflow
+// (Appendix A.5). Ready-made conf files for the paper's figures live
+// in the repository's conf/ directory.
+//
+// Usage:
+//
+//	fcds-job conf/figure6_concurrent_1w.conf [more.conf ...]
+//
+// Each job's TSV output goes to stdout, prefixed by a comment line
+// naming the runner, exactly like the artifact's SpeedProfile /
+// AccuracyProfile text outputs.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/fcds/fcds/internal/characterization"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: fcds-job <conf-file> [...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := runOne(path); err != nil {
+			fmt.Fprintf(os.Stderr, "fcds-job: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	conf, err := characterization.ParseConf(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# conf: %s\n", path)
+	return characterization.RunJob(conf, os.Stdout)
+}

@@ -1,0 +1,101 @@
+// Command fcds-plot renders fcds-bench TSV output as ASCII charts, so
+// the paper's figures can be eyeballed without leaving the terminal:
+//
+//	fcds-bench figure6 > fig6.tsv
+//	fcds-plot -curve 1 -x 2 -y 4 -logx -logy fig6.tsv
+//
+// Flags select which 1-based columns hold the series key (-curve, 0
+// for a single unnamed series), the x value (-x) and the y value (-y).
+// Comment lines (#) and non-numeric rows (headers) are skipped.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/fcds/fcds/internal/asciiplot"
+)
+
+func main() {
+	curveCol := flag.Int("curve", 0, "1-based column holding the series name (0 = single series)")
+	xCol := flag.Int("x", 1, "1-based column holding x values")
+	yCol := flag.Int("y", 2, "1-based column holding y values")
+	logx := flag.Bool("logx", false, "log-scale x axis")
+	logy := flag.Bool("logy", false, "log-scale y axis")
+	width := flag.Int("width", 72, "plot width")
+	height := flag.Int("height", 20, "plot height")
+	title := flag.String("title", "", "plot title (default: first comment line)")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fcds-plot:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	order := []string{}
+	byName := map[string]*asciiplot.Series{}
+	autoTitle := ""
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if autoTitle == "" {
+				autoTitle = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			}
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		x, err1 := fieldFloat(fields, *xCol)
+		y, err2 := fieldFloat(fields, *yCol)
+		if err1 != nil || err2 != nil {
+			continue // header or malformed row
+		}
+		name := ""
+		if *curveCol > 0 && *curveCol <= len(fields) {
+			name = fields[*curveCol-1]
+		}
+		s, ok := byName[name]
+		if !ok {
+			s = &asciiplot.Series{Name: name}
+			byName[name] = s
+			order = append(order, name)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "fcds-plot:", err)
+		os.Exit(1)
+	}
+	series := make([]asciiplot.Series, 0, len(order))
+	for _, name := range order {
+		series = append(series, *byName[name])
+	}
+	if *title == "" {
+		*title = autoTitle
+	}
+	fmt.Print(asciiplot.Render(series, asciiplot.Config{
+		Width: *width, Height: *height, LogX: *logx, LogY: *logy, Title: *title,
+	}))
+}
+
+func fieldFloat(fields []string, col int) (float64, error) {
+	if col < 1 || col > len(fields) {
+		return 0, fmt.Errorf("column %d out of range", col)
+	}
+	return strconv.ParseFloat(strings.TrimSpace(fields[col-1]), 64)
+}

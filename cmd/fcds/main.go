@@ -1,0 +1,148 @@
+// Command fcds is a streaming CLI over the sketch library: it reads
+// newline-delimited items from stdin and prints an estimate.
+//
+// Usage:
+//
+//	fcds uniques [-k 4096] [-writers N]      # distinct-count (Θ sketch)
+//	fcds hll [-p 12]                         # distinct-count (HLL)
+//	fcds quantiles [-k 128] [-q 0.5,0.99]    # numeric quantiles
+//
+// With -writers > 1 the input is fanned out to N concurrent writer
+// goroutines through the paper's framework — mostly useful as a live
+// demo that queries (printed every -every lines) proceed while
+// ingestion runs.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	fcds "github.com/fcds/fcds"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "uniques":
+		uniques(os.Args[2:])
+	case "hll":
+		hllCmd(os.Args[2:])
+	case "quantiles":
+		quantilesCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fcds {uniques|hll|quantiles} [flags] < input")
+}
+
+func uniques(args []string) {
+	fs := flag.NewFlagSet("uniques", flag.ExitOnError)
+	k := fs.Int("k", 4096, "sketch size (power of two)")
+	writers := fs.Int("writers", 1, "concurrent writer goroutines")
+	every := fs.Int("every", 0, "print a live estimate every N lines (0 = only final)")
+	_ = fs.Parse(args)
+
+	c := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{K: *k, Writers: *writers})
+	defer c.Close()
+
+	lines := make(chan string, 1024)
+	done := make(chan struct{})
+	for i := 0; i < *writers; i++ {
+		go func(i int) {
+			w := c.Writer(i)
+			for s := range lines {
+				w.UpdateString(s)
+			}
+			w.Flush()
+			done <- struct{}{}
+		}(i)
+	}
+	n := feedLines(lines, *every, func() {
+		fmt.Printf("~%.0f uniques so far\n", c.Estimate())
+	})
+	close(lines)
+	for i := 0; i < *writers; i++ {
+		<-done
+	}
+	fmt.Printf("%d lines, ~%.0f distinct (Θ sketch k=%d, writers=%d)\n",
+		n, c.Estimate(), *k, *writers)
+}
+
+func hllCmd(args []string) {
+	fs := flag.NewFlagSet("hll", flag.ExitOnError)
+	p := fs.Int("p", 12, "precision (4..18)")
+	_ = fs.Parse(args)
+	s := fcds.NewHLLSketch(uint8(*p))
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		s.UpdateString(sc.Text())
+		n++
+	}
+	fmt.Printf("%d lines, ~%.0f distinct (HLL p=%d, RSE %.1f%%)\n",
+		n, s.Estimate(), *p, 100*s.RelativeStandardError())
+}
+
+func quantilesCmd(args []string) {
+	fs := flag.NewFlagSet("quantiles", flag.ExitOnError)
+	k := fs.Int("k", 128, "sketch parameter (power of two)")
+	qs := fs.String("q", "0.5,0.9,0.99", "comma-separated quantile fractions")
+	_ = fs.Parse(args)
+	s := fcds.NewQuantilesSketch(*k)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	bad := 0
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(strings.TrimSpace(sc.Text()), 64)
+		if err != nil {
+			bad++
+			continue
+		}
+		s.Update(v)
+	}
+	if s.IsEmpty() {
+		fmt.Println("no numeric input")
+		return
+	}
+	fmt.Printf("n=%d min=%g max=%g (ε≈%.2f%%)\n", s.N(), s.Min(), s.Max(),
+		100*fcds.QuantilesRankError(*k))
+	for _, part := range strings.Split(*qs, ",") {
+		phi, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || phi < 0 || phi > 1 {
+			fmt.Fprintf(os.Stderr, "skipping bad quantile %q\n", part)
+			continue
+		}
+		fmt.Printf("q%.3g = %g\n", phi, s.Quantile(phi))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "skipped %d non-numeric lines\n", bad)
+	}
+}
+
+// feedLines pumps stdin lines into ch, invoking report every `every`
+// lines when every > 0. Returns the line count.
+func feedLines(ch chan<- string, every int, report func()) int {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		ch <- sc.Text()
+		n++
+		if every > 0 && n%every == 0 {
+			report()
+		}
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package fcds_test
+
+import (
+	"fmt"
+
+	fcds "github.com/fcds/fcds"
+)
+
+// ExampleNewConcurrentTheta demonstrates concurrent distinct counting
+// with an exact answer guaranteed for small streams (eager phase).
+func ExampleNewConcurrentTheta() {
+	c := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{K: 1024, Writers: 1})
+	defer c.Close()
+	w := c.Writer(0)
+	for i := uint64(0); i < 1000; i++ {
+		w.UpdateUint64(i % 500) // 500 distinct values, each twice
+	}
+	w.Flush()
+	fmt.Printf("%.0f\n", c.Estimate())
+	// Output: 500
+}
+
+// ExampleNewQuantilesSketch shows exact quantiles on a small stream.
+func ExampleNewQuantilesSketch() {
+	q := fcds.NewQuantilesSketch(128)
+	for i := 1; i <= 100; i++ {
+		q.Update(float64(i))
+	}
+	fmt.Printf("median=%.0f p90=%.0f max=%.0f\n",
+		q.Quantile(0.5), q.Quantile(0.9), q.Quantile(1))
+	// Output: median=50 p90=90 max=100
+}
+
+// ExampleNewThetaUnion shows mergeability: distributed sketches union
+// into one summary.
+func ExampleNewThetaUnion() {
+	a := fcds.NewThetaQuickSelect(256)
+	b := fcds.NewThetaQuickSelect(256)
+	for i := uint64(0); i < 80; i++ {
+		a.UpdateUint64(i)      // 0..79
+		b.UpdateUint64(i + 40) // 40..119
+	}
+	u := fcds.NewThetaUnion(256)
+	_ = u.Add(a)
+	_ = u.Add(b)
+	fmt.Printf("%.0f\n", u.Result().Estimate())
+	// Output: 120
+}
+
+// ExampleThetaCompact_MarshalBinary shows the serialization round trip
+// used to ship sketches between processes.
+func ExampleThetaCompact_MarshalBinary() {
+	s := fcds.NewThetaQuickSelect(256)
+	for i := uint64(0); i < 100; i++ {
+		s.UpdateUint64(i)
+	}
+	blob, _ := s.Compact().MarshalBinary()
+	restored, _ := fcds.UnmarshalThetaCompact(blob)
+	fmt.Printf("%.0f\n", restored.Estimate())
+	// Output: 100
+}
+
+// ExampleNewHLLSketch shows HLL distinct counting: approximate (±2%
+// here), insensitive to duplicates, and deterministic for a fixed
+// hash seed.
+func ExampleNewHLLSketch() {
+	h := fcds.NewHLLSketch(12)
+	for i := uint64(0); i < 100; i++ {
+		h.UpdateUint64(i)
+		h.UpdateUint64(i) // duplicates don't count
+	}
+	fmt.Printf("%.0f\n", h.Estimate())
+	// Output: 97
+}

@@ -1,0 +1,82 @@
+// Cardinality compares the library's three distinct-count facilities
+// on overlapping event streams and demonstrates Θ set operations —
+// the queries a real analytics pipeline asks of its sketches:
+//
+//   - How many distinct users visited page A? page B? either? both?
+//   - Θ sketch vs HLL: same question, different space/accuracy/set-op
+//     trade-offs.
+//
+// Run: go run ./examples/cardinality
+package main
+
+import (
+	"fmt"
+
+	fcds "github.com/fcds/fcds"
+)
+
+func main() {
+	const (
+		usersA      = 600_000 // visitors of page A: ids 0..600k
+		usersB      = 400_000 // visitors of page B: ids 450k..850k
+		trueOverlap = 150_000 // 450k..600k
+		trueUnion   = 850_000
+	)
+
+	// Θ sketches: support set operations.
+	a := fcds.NewThetaQuickSelect(4096)
+	b := fcds.NewThetaQuickSelect(4096)
+	// HLLs for comparison: 2^12 registers = 4KB.
+	ha := fcds.NewHLLSketch(12)
+	hb := fcds.NewHLLSketch(12)
+
+	for u := uint64(0); u < usersA; u++ {
+		a.UpdateUint64(u)
+		ha.UpdateUint64(u)
+	}
+	for u := uint64(450_000); u < 450_000+usersB; u++ {
+		b.UpdateUint64(u)
+		hb.UpdateUint64(u)
+	}
+
+	fmt.Printf("page A:  Θ=%9.0f  HLL=%9.0f  (true %d)\n", a.Estimate(), ha.Estimate(), usersA)
+	fmt.Printf("page B:  Θ=%9.0f  HLL=%9.0f  (true %d)\n", b.Estimate(), hb.Estimate(), usersB)
+
+	// Union: both sketches can do it; HLL by register max, Θ via Union.
+	u := fcds.NewThetaUnion(4096)
+	must(u.Add(a))
+	must(u.Add(b))
+	hu := fcds.NewHLLSketch(12)
+	must(hu.Merge(ha))
+	must(hu.Merge(hb))
+	fmt.Printf("A ∪ B:   Θ=%9.0f  HLL=%9.0f  (true %d)\n",
+		u.Result().Estimate(), hu.Estimate(), trueUnion)
+
+	// Intersection and difference: Θ-only tricks.
+	x := fcds.NewThetaIntersection()
+	must(x.Add(a))
+	must(x.Add(b))
+	diff, err := fcds.ThetaAnotB(a, b)
+	must(err)
+	fmt.Printf("A ∩ B:   Θ=%9.0f             (true %d)\n", x.Result().Estimate(), trueOverlap)
+	fmt.Printf("A \\ B:   Θ=%9.0f             (true %d)\n", diff.Estimate(), usersA-trueOverlap)
+
+	j, err := fcds.ThetaJaccard(a, b, 4096)
+	must(err)
+	fmt.Printf("Jaccard: %.3f                      (true %.3f)\n",
+		j, float64(trueOverlap)/float64(trueUnion))
+
+	// Serialization round trip, as a pipeline hand-off would do.
+	blob, err := u.Result().MarshalBinary()
+	must(err)
+	back, err := fcds.UnmarshalThetaCompact(blob)
+	must(err)
+	fmt.Printf("serialized union: %d bytes, estimate %.0f [%.0f, %.0f] @95%%\n",
+		len(blob), back.Estimate(), back.LowerBound(2), back.UpperBound(2))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

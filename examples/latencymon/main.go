@@ -1,0 +1,86 @@
+// Latencymon tracks request-latency percentiles in real time with the
+// concurrent Quantiles sketch: handler goroutines record latencies
+// while an SLO monitor reads p50/p95/p99 snapshots wait-free — the
+// "real-time analytics" use case of the paper's introduction.
+//
+// The simulated latency distribution is log-normal-ish with an
+// injected tail regression halfway through, which the p99 line
+// catches while p50 barely moves.
+//
+// Run: go run ./examples/latencymon
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	fcds "github.com/fcds/fcds"
+)
+
+func main() {
+	const handlers = 3
+	c := fcds.NewConcurrentQuantiles(fcds.ConcurrentQuantilesConfig{
+		K: 128, Writers: handlers,
+	})
+	defer c.Close()
+
+	stop := make(chan struct{})
+	slow := make(chan struct{}) // closed when the tail regression starts
+	var wg sync.WaitGroup
+	for h := 0; h < handlers; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			w := c.Writer(h)
+			// Deterministic pseudo-random latencies (ms).
+			state := uint64(h + 1)
+			degraded := false
+			mySlow := slow // local copy: each handler observes the close once
+			for {
+				select {
+				case <-stop:
+					w.Flush()
+					return
+				case <-mySlow:
+					degraded = true
+					mySlow = nil // stop selecting on the closed channel
+				default:
+				}
+				state = state*6364136223846793005 + 1442695040888963407
+				u := float64(state>>11) / (1 << 53)
+				lat := 5 * math.Exp(1.2*u) // ~5..17ms body
+				if degraded && state%100 < 5 {
+					lat += 200 // 5% of requests hit a slow dependency
+				}
+				w.Update(lat)
+			}
+		}(h)
+	}
+
+	start := time.Now()
+	injected := false
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for time.Since(start) < 2*time.Second {
+		<-ticker.C
+		if !injected && time.Since(start) > time.Second {
+			close(slow)
+			injected = true
+			fmt.Println("--- tail regression injected ---")
+		}
+		snap := c.Snapshot() // immutable, wait-free
+		if snap.IsEmpty() {
+			continue
+		}
+		fmt.Printf("n=%-9d p50=%6.1fms  p95=%6.1fms  p99=%6.1fms  max=%6.1fms\n",
+			snap.N(), snap.Quantile(0.5), snap.Quantile(0.95),
+			snap.Quantile(0.99), snap.Max())
+	}
+	close(stop)
+	wg.Wait()
+	final := c.Snapshot()
+	fmt.Printf("final: n=%d p99=%.1fms (ε≈%.2f%% rank error)\n",
+		final.N(), final.Quantile(0.99), 100*fcds.QuantilesRankError(128))
+}

@@ -1,0 +1,88 @@
+// Networkfeed simulates the paper's motivating deployment: multiple
+// network feeds streaming events into one sketch while an analytics
+// dashboard queries it continuously ("updates are constantly streaming
+// from a feed or multiple feeds, while queries arrive at a lower
+// rate", §7.1).
+//
+// Each feed is a goroutine producing events with feed-specific skew
+// and bursts of duplicates (retransmissions). A dashboard goroutine
+// polls the distinct-flow estimate every 100ms, the way a network
+// monitor would drive an anomaly detector.
+//
+// Run: go run ./examples/networkfeed
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fcds "github.com/fcds/fcds"
+)
+
+// flowEvent is a 5-tuple-ish flow key, pre-packed into a uint64: the
+// sketch only ever sees the key's hash, so the packing is free to be
+// lossy.
+func flowEvent(srcIP, dstPort, burst uint64) uint64 {
+	return srcIP<<24 | dstPort<<8 | burst
+}
+
+func main() {
+	const feeds = 4
+	c := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{
+		K: 4096, Writers: feeds, MaxError: 0.04,
+	})
+	defer c.Close()
+
+	var produced atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for f := 0; f < feeds; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			w := c.Writer(f)
+			// Each feed owns a /16 of source space; 20% of packets are
+			// retransmissions of the previous flow (duplicates).
+			var prev uint64
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					w.Flush()
+					return
+				default:
+				}
+				var ev uint64
+				if i%5 == 4 {
+					ev = prev // retransmission — must not inflate count
+				} else {
+					ev = flowEvent(uint64(f)<<16|(i%40_000), i%1024, 0)
+					prev = ev
+				}
+				w.UpdateUint64(ev)
+				produced.Add(1)
+			}
+		}(f)
+	}
+
+	// Dashboard: low-rate reader.
+	deadline := time.After(2 * time.Second)
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			fmt.Printf("[dashboard] ~%.0f distinct flows (%d events ingested)\n",
+				c.Estimate(), produced.Load())
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			// True distinct flows: 4 feeds × 40k sources... port varies
+			// too; report the final estimate against ingested volume.
+			fmt.Printf("final: ~%.0f distinct flows from %d events (dup-heavy stream)\n",
+				c.Estimate(), produced.Load())
+			return
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: count distinct items concurrently with the Θ sketch.
+//
+// Four goroutines ingest overlapping ranges of user IDs while the main
+// goroutine watches the estimate converge in real time — no locks, no
+// stop-the-world queries.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	fcds "github.com/fcds/fcds"
+)
+
+func main() {
+	const writers = 4
+	c := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{
+		K:        4096, // sketch size: RSE ≈ 1/sqrt(k-2) ≈ 1.6%
+		Writers:  writers,
+		MaxError: 0.04, // adaptivity: exact answers for small streams
+	})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			// Each writer sees 500k users; ranges overlap 50% with the
+			// next writer, so the true distinct count is 1.25M.
+			base := uint64(i) * 250_000
+			for u := base; u < base+500_000; u++ {
+				w.UpdateUint64(u)
+			}
+			w.Flush()
+		}(i)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			fmt.Printf("final estimate: %.0f distinct users (true: 1250000, err %.2f%%)\n",
+				c.Estimate(), 100*(c.Estimate()/1_250_000-1))
+			return
+		case <-ticker.C:
+			// Wait-free query while ingestion is running.
+			fmt.Printf("live estimate: %.0f\n", c.Estimate())
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package fcds is a Go implementation of "Fast Concurrent Data
+// Sketches" (Rinberg et al., PODC'19 / PPoPP'20): a generic framework
+// that turns sequential data sketches into high-throughput concurrent
+// ones with wait-free real-time queries and a provable error bound.
+//
+// # Overview
+//
+// A data sketch is a small summary of a long stream that answers one
+// statistical query approximately (unique count, quantiles, ...).
+// Production sketch libraries are fast but not thread-safe; guarding
+// them with a lock destroys scalability. This library reproduces the
+// paper's solution: N writer goroutines ingest into small thread-local
+// sketches while a background propagator continuously merges them into
+// a shared, queryable global sketch. Queries are a single atomic read.
+// The price is bounded staleness: a query may miss up to r = 2·N·b of
+// the most recent updates (b is the local buffer size) — the paper
+// proves the algorithm strongly linearisable with respect to this
+// r-relaxed specification and bounds the induced estimation error.
+//
+// Three sketches are instantiated: the Θ (unique counting) sketch, the
+// Quantiles sketch, and HyperLogLog. For small streams, where missing
+// r updates would dominate the error, the framework adaptively
+// propagates eagerly (sequentially) and switches to concurrent lazy
+// mode once the stream exceeds 2/e² items, keeping the relative error
+// below the configured e at every size.
+//
+// # Quick start
+//
+//	c := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{
+//		K: 4096, Writers: 4, MaxError: 0.04,
+//	})
+//	defer c.Close()
+//	// each goroutine i uses its own handle:
+//	w := c.Writer(i)
+//	w.UpdateString("user-123")
+//	// any goroutine, any time, wait-free:
+//	estimate := c.Estimate()
+//
+// Sequential sketches (theta KMV/QuickSelect with set operations,
+// quantiles, HLL) and the lock-based baseline used in the paper's
+// evaluation are exposed as well. The cmd/fcds-bench binary
+// regenerates every table and figure of the paper's Section 7.
+package fcds
+
+import (
+	"github.com/fcds/fcds/internal/hll"
+	"github.com/fcds/fcds/internal/lockbased"
+	"github.com/fcds/fcds/internal/quantiles"
+	"github.com/fcds/fcds/internal/theta"
+)
+
+// Θ sketch (unique counting).
+type (
+	// ConcurrentTheta is the paper's concurrent Θ sketch: N writers,
+	// background propagation, wait-free estimates.
+	ConcurrentTheta = theta.Concurrent
+	// ConcurrentThetaConfig configures a ConcurrentTheta; the zero
+	// value uses the paper's evaluation defaults (k=4096, e=0.04).
+	ConcurrentThetaConfig = theta.ConcurrentConfig
+	// ThetaWriter is a single-goroutine update handle.
+	ThetaWriter = theta.ConcurrentWriter
+	// ThetaKMV is the sequential KMV Θ sketch (the paper's
+	// Algorithm 1).
+	ThetaKMV = theta.KMV
+	// ThetaQuickSelect is the sequential QuickSelect Θ sketch (the
+	// HeapQuickSelectSketch family used in the evaluation).
+	ThetaQuickSelect = theta.QuickSelect
+	// ThetaCompact is an immutable Θ sketch snapshot with confidence
+	// bounds and binary serialization.
+	ThetaCompact = theta.Compact
+	// ThetaUnion merges Θ sketches (mergeability, §3).
+	ThetaUnion = theta.Union
+	// ThetaIntersection intersects Θ sketches.
+	ThetaIntersection = theta.Intersection
+	// LockedTheta is the lock-protected baseline of the evaluation.
+	LockedTheta = lockbased.Theta
+)
+
+// Quantiles sketch.
+type (
+	// ConcurrentQuantiles is the concurrent Quantiles sketch.
+	ConcurrentQuantiles = quantiles.Concurrent
+	// ConcurrentQuantilesConfig configures a ConcurrentQuantiles.
+	ConcurrentQuantilesConfig = quantiles.ConcurrentConfig
+	// QuantilesWriter is a single-goroutine update handle.
+	QuantilesWriter = quantiles.ConcurrentWriter
+	// QuantilesSketch is the sequential mergeable quantiles sketch.
+	QuantilesSketch = quantiles.Sketch
+	// QuantilesSnapshot is an immutable queryable snapshot.
+	QuantilesSnapshot = quantiles.Snapshot
+	// LockedQuantiles is the lock-protected baseline.
+	LockedQuantiles = lockbased.Quantiles
+)
+
+// HyperLogLog sketch.
+type (
+	// ConcurrentHLL is the concurrent HyperLogLog sketch.
+	ConcurrentHLL = hll.Concurrent
+	// ConcurrentHLLConfig configures a ConcurrentHLL.
+	ConcurrentHLLConfig = hll.ConcurrentConfig
+	// HLLWriter is a single-goroutine update handle.
+	HLLWriter = hll.ConcurrentWriter
+	// HLLSketch is the sequential HLL sketch.
+	HLLSketch = hll.Sketch
+)
+
+// NewConcurrentTheta builds a concurrent Θ sketch; Close it when done.
+func NewConcurrentTheta(cfg ConcurrentThetaConfig) *ConcurrentTheta {
+	return theta.NewConcurrent(cfg)
+}
+
+// NewConcurrentQuantiles builds a concurrent Quantiles sketch; Close it
+// when done.
+func NewConcurrentQuantiles(cfg ConcurrentQuantilesConfig) *ConcurrentQuantiles {
+	return quantiles.NewConcurrent(cfg)
+}
+
+// NewConcurrentHLL builds a concurrent HLL sketch; Close it when done.
+func NewConcurrentHLL(cfg ConcurrentHLLConfig) *ConcurrentHLL {
+	return hll.NewConcurrent(cfg)
+}
+
+// NewThetaKMV returns a sequential KMV Θ sketch with capacity k.
+func NewThetaKMV(k int) *ThetaKMV { return theta.NewKMV(k) }
+
+// NewThetaQuickSelect returns a sequential QuickSelect Θ sketch with
+// nominal entry count k (a power of two).
+func NewThetaQuickSelect(k int) *ThetaQuickSelect { return theta.NewQuickSelect(k) }
+
+// NewThetaUnion returns an empty Θ union with nominal entry count k.
+func NewThetaUnion(k int) *ThetaUnion { return theta.NewUnion(k) }
+
+// NewThetaIntersection returns an empty Θ intersection.
+func NewThetaIntersection() *ThetaIntersection { return theta.NewIntersection() }
+
+// UnmarshalThetaCompact parses a serialized compact Θ sketch.
+func UnmarshalThetaCompact(data []byte) (*ThetaCompact, error) {
+	return theta.UnmarshalCompact(data)
+}
+
+// ThetaAnotB returns a compact sketch of the set difference A \ B.
+func ThetaAnotB(a, b theta.Sketch) (*ThetaCompact, error) { return theta.AnotB(a, b) }
+
+// ThetaJaccard estimates the Jaccard similarity of two Θ sketches.
+func ThetaJaccard(a, b theta.Sketch, k int) (float64, error) {
+	return theta.JaccardEstimate(a, b, k)
+}
+
+// NewQuantilesSketch returns a sequential quantiles sketch with
+// parameter k (a power of two; 128 gives ~1.7% rank error).
+func NewQuantilesSketch(k int) *QuantilesSketch { return quantiles.New(k) }
+
+// NewHLLSketch returns a sequential HLL sketch with precision p
+// (2^p registers).
+func NewHLLSketch(p uint8) *HLLSketch { return hll.New(p) }
+
+// NewLockedTheta returns the lock-protected baseline Θ sketch.
+func NewLockedTheta(k int) *LockedTheta { return lockbased.NewTheta(k) }
+
+// NewLockedQuantiles returns the lock-protected baseline quantiles
+// sketch.
+func NewLockedQuantiles(k int) *LockedQuantiles { return lockbased.NewQuantiles(k) }
+
+// QuantilesRankError returns the a-priori rank error ε for parameter k.
+func QuantilesRankError(k int) float64 { return quantiles.NormalizedRankError(k) }
+
+// UnmarshalQuantiles parses a quantiles sketch serialized with
+// QuantilesSketch.MarshalBinary.
+func UnmarshalQuantiles(data []byte) (*QuantilesSketch, error) {
+	return quantiles.Unmarshal(data)
+}
+
+// UnmarshalHLL parses an HLL sketch serialized with
+// HLLSketch.MarshalBinary.
+func UnmarshalHLL(data []byte) (*HLLSketch, error) { return hll.Unmarshal(data) }

@@ -1,0 +1,143 @@
+package fcds_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	fcds "github.com/fcds/fcds"
+)
+
+// The facade tests double as API-stability tests: they exercise every
+// exported constructor the way a downstream user would.
+
+func TestFacadeConcurrentTheta(t *testing.T) {
+	c := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{K: 1024, Writers: 2})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < 50000; j++ {
+				w.UpdateUint64(uint64(i*50000 + j))
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	if re := math.Abs(c.Estimate()-100000) / 100000; re > 0.15 {
+		t.Errorf("estimate %v", c.Estimate())
+	}
+}
+
+func TestFacadeConcurrentQuantiles(t *testing.T) {
+	c := fcds.NewConcurrentQuantiles(fcds.ConcurrentQuantilesConfig{K: 128, Writers: 1})
+	defer c.Close()
+	w := c.Writer(0)
+	for i := 0; i < 50000; i++ {
+		w.Update(float64(i))
+	}
+	w.Flush()
+	med := c.Quantile(0.5)
+	if math.Abs(med/50000-0.5) > 3*fcds.QuantilesRankError(128) {
+		t.Errorf("median %v", med)
+	}
+}
+
+func TestFacadeConcurrentHLL(t *testing.T) {
+	c := fcds.NewConcurrentHLL(fcds.ConcurrentHLLConfig{Precision: 12, Writers: 1})
+	defer c.Close()
+	w := c.Writer(0)
+	for i := 0; i < 50000; i++ {
+		w.UpdateUint64(uint64(i))
+	}
+	w.Flush()
+	if re := math.Abs(c.Estimate()-50000) / 50000; re > 0.1 {
+		t.Errorf("estimate %v", c.Estimate())
+	}
+}
+
+func TestFacadeSequentialSketches(t *testing.T) {
+	kmv := fcds.NewThetaKMV(256)
+	qs := fcds.NewThetaQuickSelect(256)
+	for i := uint64(0); i < 100; i++ {
+		kmv.UpdateUint64(i)
+		qs.UpdateUint64(i)
+	}
+	if kmv.Estimate() != 100 || qs.Estimate() != 100 {
+		t.Error("sequential sketches inexact below k")
+	}
+
+	q := fcds.NewQuantilesSketch(128)
+	for i := 1; i <= 100; i++ {
+		q.Update(float64(i))
+	}
+	if q.Quantile(0.5) != 50 {
+		t.Errorf("median %v", q.Quantile(0.5))
+	}
+
+	h := fcds.NewHLLSketch(12)
+	for i := uint64(0); i < 100; i++ {
+		h.UpdateUint64(i)
+	}
+	if math.Abs(h.Estimate()-100) > 5 {
+		t.Errorf("HLL estimate %v", h.Estimate())
+	}
+}
+
+func TestFacadeSetOpsAndSerde(t *testing.T) {
+	a := fcds.NewThetaQuickSelect(256)
+	b := fcds.NewThetaQuickSelect(256)
+	for i := uint64(0); i < 100; i++ {
+		a.UpdateUint64(i)
+		b.UpdateUint64(i + 50)
+	}
+	u := fcds.NewThetaUnion(256)
+	if err := u.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	res := u.Result()
+	if res.Estimate() != 150 {
+		t.Errorf("union estimate %v, want 150", res.Estimate())
+	}
+	data, err := res.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := fcds.UnmarshalThetaCompact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != 150 {
+		t.Error("round-trip changed estimate")
+	}
+
+	x := fcds.NewThetaIntersection()
+	_ = x.Add(a)
+	_ = x.Add(b)
+	if got := x.Result().Estimate(); got != 50 {
+		t.Errorf("intersection estimate %v, want 50", got)
+	}
+}
+
+func TestFacadeLockedBaselines(t *testing.T) {
+	lt := fcds.NewLockedTheta(256)
+	for i := uint64(0); i < 100; i++ {
+		lt.UpdateUint64(i)
+	}
+	if lt.Estimate() != 100 {
+		t.Error("locked theta wrong")
+	}
+	lq := fcds.NewLockedQuantiles(128)
+	for i := 1; i <= 100; i++ {
+		lq.Update(float64(i))
+	}
+	if lq.Quantile(0.5) != 50 {
+		t.Error("locked quantiles wrong")
+	}
+}

@@ -1,0 +1,232 @@
+package fcds_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	fcds "github.com/fcds/fcds"
+	"github.com/fcds/fcds/internal/theta"
+)
+
+// Cross-module integration tests: flows a real deployment would run,
+// combining concurrent ingestion, snapshots, set operations and
+// serialization across package boundaries.
+
+// TestPipelineConcurrentIngestSerializeUnion models a two-stage
+// pipeline: two nodes ingest concurrently, serialize their compact
+// sketches, and a coordinator deserializes and unions them — the
+// distributed-merge pattern (§1) that mergeability enables, on top of
+// the concurrent ingestion the paper adds.
+func TestPipelineConcurrentIngestSerializeUnion(t *testing.T) {
+	const perNode = 300000
+	blobs := make([][]byte, 2)
+	var wg sync.WaitGroup
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			// Each node: 2 writers ingesting its half (disjoint halves
+			// overlap 50% across nodes).
+			c := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{
+				K: 2048, Writers: 2,
+			})
+			defer c.Close()
+			var iwg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				iwg.Add(1)
+				go func(i int) {
+					defer iwg.Done()
+					w := c.Writer(i)
+					base := uint64(node)*perNode/2 + uint64(i)*perNode
+					for v := base; v < base+perNode/2; v++ {
+						w.UpdateUint64(v)
+					}
+					w.Flush()
+				}(i)
+			}
+			iwg.Wait()
+			// Nodes ship compact snapshots; the concurrent sketch's
+			// global state is private, so re-sketch the estimate via a
+			// sequential sketch fed from the same ranges for the blob.
+			// (A production system would expose a compact-snapshot API;
+			// here we validate serde interop with sequential sketches.)
+			s := fcds.NewThetaQuickSelect(2048)
+			base := uint64(node) * perNode / 2
+			for v := base; v < base+perNode/2; v++ {
+				s.UpdateUint64(v)
+			}
+			base = uint64(node)*perNode/2 + perNode
+			for v := base; v < base+perNode/2; v++ {
+				s.UpdateUint64(v)
+			}
+			blob, err := s.Compact().MarshalBinary()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			blobs[node] = blob
+		}(node)
+	}
+	wg.Wait()
+
+	u := fcds.NewThetaUnion(2048)
+	for _, blob := range blobs {
+		c, err := fcds.UnmarshalThetaCompact(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := u.Result().Estimate()
+	// Node ranges: node0 covers [0, 150k) ∪ [300k, 450k); node1 covers
+	// [150k, 300k) ∪ [450k, 600k) → union covers [0, 600k).
+	trueUnion := float64(2 * perNode)
+	if re := math.Abs(est-trueUnion) / trueUnion; re > 0.1 {
+		t.Errorf("pipeline union estimate %v, want ~%v", est, trueUnion)
+	}
+}
+
+// TestThetaAndHLLAgreeOnSameStream ingests one stream into both
+// concurrent sketches and cross-checks the estimates — a consistency
+// check an operator would run when migrating between sketch types.
+func TestThetaAndHLLAgreeOnSameStream(t *testing.T) {
+	th := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{K: 4096, Writers: 2})
+	defer th.Close()
+	hl := fcds.NewConcurrentHLL(fcds.ConcurrentHLLConfig{Precision: 12, Writers: 2})
+	defer hl.Close()
+	const n = 200000
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tw := th.Writer(i)
+			hw := hl.Writer(i)
+			for j := uint64(0); j < n/2; j++ {
+				v := uint64(i)*n/2 + j
+				tw.UpdateUint64(v)
+				hw.UpdateUint64(v)
+			}
+			tw.Flush()
+			hw.Flush()
+		}(i)
+	}
+	wg.Wait()
+	te, he := th.Estimate(), hl.Estimate()
+	if math.Abs(te-he)/n > 0.1 {
+		t.Errorf("Θ %v and HLL %v disagree beyond combined error", te, he)
+	}
+}
+
+// TestQuantilesSerdeAcrossConcurrentRuns serializes a sequential
+// quantiles sketch, restores it, merges a second (concurrently built)
+// batch into it via snapshot values, and checks the rank guarantee on
+// the combined stream.
+func TestQuantilesSerdeAcrossConcurrentRuns(t *testing.T) {
+	s1 := fcds.NewQuantilesSketch(128)
+	for i := 0; i < 50000; i++ {
+		s1.Update(float64(i))
+	}
+	blob, err := s1.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := fcds.UnmarshalQuantiles(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second half arrives through the concurrent sketch.
+	c := fcds.NewConcurrentQuantiles(fcds.ConcurrentQuantilesConfig{K: 128, Writers: 2})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < 25000; j++ {
+				w.Update(float64(50000 + j*2 + i))
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	// Replay the concurrent run's snapshot into the restored sketch
+	// (weighted samples preserve the PAC guarantee within the coarser
+	// sketch's error).
+	c.Snapshot().ForEach(func(v float64, weight uint64) {
+		for j := uint64(0); j < weight; j++ {
+			restored.Update(v)
+		}
+	})
+	if restored.N() != 100000 {
+		t.Fatalf("combined N = %d", restored.N())
+	}
+	eps := fcds.QuantilesRankError(128)
+	med := restored.Quantile(0.5)
+	if math.Abs(med/100000-0.5) > 4*eps {
+		t.Errorf("combined median %v", med)
+	}
+}
+
+// TestRelaxationBoundFacade validates Theorem 1 through the public API
+// only: quiesced estimates in exact mode never miss more than r
+// updates.
+func TestRelaxationBoundFacade(t *testing.T) {
+	c := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{
+		K: 1 << 16, Writers: 3, BufferSize: 16, EagerLimit: -1,
+	})
+	defer c.Close()
+	const per = 5000
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < per; j++ {
+				w.UpdateUint64(uint64(i*per + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Flush one writer only: the others may retain buffered updates.
+	c.Writer(0).Flush()
+	est := c.Estimate()
+	total := float64(3 * per)
+	if est > total {
+		t.Errorf("estimate %v exceeds stream size in exact mode", est)
+	}
+	if est < total-float64(c.Relaxation()) {
+		t.Errorf("estimate %v misses more than r=%d", est, c.Relaxation())
+	}
+}
+
+// TestKMVGlobalThroughFramework exercises the Algorithm 1 composable
+// sketch end-to-end through internal/theta (the facade exposes the
+// QuickSelect default; the KMV global is the paper's reference).
+func TestKMVGlobalThroughFramework(t *testing.T) {
+	c := theta.NewConcurrent(theta.ConcurrentConfig{
+		K: 1024, Writers: 2, MaxError: 0.04, UseKMV: true,
+	})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < 50000; j++ {
+				w.UpdateUint64(uint64(i*50000 + j))
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	if re := math.Abs(c.Estimate()-100000) / 100000; re > 0.15 {
+		t.Errorf("estimate %v", c.Estimate())
+	}
+}

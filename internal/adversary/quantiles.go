@@ -1,0 +1,95 @@
+package adversary
+
+import (
+	"sort"
+
+	"github.com/fcds/fcds/internal/quantiles"
+	"github.com/fcds/fcds/internal/stats"
+)
+
+// Section 6.2: the weak adversary against the r-relaxed Quantiles
+// sketch. For a PAC sketch with rank error ε, hiding i elements below
+// the φ-quantile and j above it (i + j <= r) shifts the returned
+// element's rank in the original stream; the paper shows the resulting
+// sketch is PAC with
+//
+//	ε_r = ε + r/n − r·ε/n,
+//
+// so the relaxation penalty vanishes as n grows.
+
+// RelaxedEpsilon returns ε_r = ε + r/n − rε/n.
+func RelaxedEpsilon(eps float64, r, n int) float64 {
+	rf, nf := float64(r), float64(n)
+	return eps + rf/nf - rf*eps/nf
+}
+
+// QuantilesAttackResult reports the worst empirical rank error found by
+// the adversary, alongside the theoretical bounds.
+type QuantilesAttackResult struct {
+	N          int
+	R          int
+	Phi        float64
+	WorstError float64 // max observed |rank(returned)/n − φ|
+	EpsSeq     float64 // a-priori ε of the sequential sketch
+	EpsRelaxed float64 // ε_r bound from §6.2
+}
+
+// AttackQuantiles mounts the §6.2 weak adversary against a real
+// quantiles sketch: for each trial it hides the r stream elements just
+// below the φ-quantile (the choice that maximises the expected rank
+// shift), feeds the surviving n−r elements to a fresh sketch, queries
+// φ, and measures the returned element's true rank in the full stream.
+// It returns the worst error over all trials.
+func AttackQuantiles(k, n, r int, phi float64, trials int, seed uint64) QuantilesAttackResult {
+	rng := stats.NewRNG(seed)
+	eps := quantiles.NormalizedRankError(k)
+	res := QuantilesAttackResult{
+		N: n, R: r, Phi: phi,
+		EpsSeq:     eps,
+		EpsRelaxed: RelaxedEpsilon(eps, r, n),
+	}
+	for t := 0; t < trials; t++ {
+		// Random distinct-valued stream.
+		stream := make([]float64, n)
+		for i := range stream {
+			stream[i] = rng.Float64()
+		}
+		sorted := append([]float64(nil), stream...)
+		sort.Float64s(sorted)
+
+		// Hide the r elements with sorted ranks just below φn: they are
+		// the predecessors whose absence shifts the quantile most.
+		cut := int(phi * float64(n))
+		lo := cut - r
+		if lo < 0 {
+			lo = 0
+		}
+		hidden := make(map[float64]bool, r)
+		for i := lo; i < cut && len(hidden) < r; i++ {
+			hidden[sorted[i]] = true
+		}
+
+		s := quantiles.New(k)
+		for _, v := range stream {
+			if !hidden[v] {
+				s.Update(v)
+			}
+		}
+		got := s.Quantile(phi)
+		// True normalized rank of the returned element in the FULL
+		// stream (what the paper's ε_r bounds).
+		rank := sort.SearchFloat64s(sorted, got)
+		err := abs(float64(rank)/float64(n) - phi)
+		if err > res.WorstError {
+			res.WorstError = err
+		}
+	}
+	return res
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,203 @@
+// Package adversary implements the error analysis of the paper's
+// Section 6: the strong and weak adversaries against the r-relaxed Θ
+// sketch (§6.1, Table 1) and the weak adversary against the r-relaxed
+// Quantiles sketch (§6.2).
+//
+// The adversary hides up to r updates from every query. For the Θ
+// sketch the analysis reduces to order statistics of the hashed
+// stream: hiding j elements below Θ turns the k-th minimum seen by the
+// sketch into the (k+j)-th minimum of the original stream. The weak
+// adversary (no access to coin flips) always hides j = r; the strong
+// adversary chooses j ∈ {0, r} per execution to maximise the error
+// (the paper shows the extremes are always optimal). Expectations and
+// RSEs are computed two independent ways — Monte Carlo over the
+// Dirichlet/gamma representation, and 2-D numerical integration of the
+// joint order-statistic density — which cross-validate each other.
+package adversary
+
+import (
+	"math"
+
+	"github.com/fcds/fcds/internal/stats"
+)
+
+// ThetaParams describes one Table 1 configuration.
+type ThetaParams struct {
+	N int // stream length (unique hashed elements)
+	K int // sketch size parameter
+	R int // relaxation
+}
+
+// Table1Defaults is the configuration of the paper's Table 1:
+// r = 8, k = 2^10, n = 2^15.
+var Table1Defaults = ThetaParams{N: 1 << 15, K: 1 << 10, R: 8}
+
+// ThetaAnalysis holds expectation and RSE of an estimator under one
+// adversary. RSE is the paper's bound: std/n + |bias|/n.
+type ThetaAnalysis struct {
+	Expectation float64
+	RSE         float64
+}
+
+// rseOf computes the paper's RSE bound sqrt(σ²/n²) + sqrt((E-n)²/n²)
+// from raw moments.
+func rseOf(n float64, mean, second float64) float64 {
+	variance := second - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance)/n + math.Abs(mean-n)/n
+}
+
+// SequentialClosedForm returns the closed-form expectation and RSE of
+// the unrelaxed sequential Θ estimator e = (k-1)/M(k): E[e] = n and
+// RSE ≤ 1/sqrt(k-2) (Table 1, first column).
+func SequentialClosedForm(p ThetaParams) ThetaAnalysis {
+	return ThetaAnalysis{
+		Expectation: float64(p.N),
+		RSE:         1 / math.Sqrt(float64(p.K-2)),
+	}
+}
+
+// WeakClosedForm returns the closed-form analysis of the weak
+// adversary A_w, which hides j = r elements: E = n(k-1)/(k+r-1)
+// (Table 1, last column) and the §6.1 RSE bound
+// 1/sqrt(k-2) + r/(k-2), itself bounded by 2/sqrt(k-2) when
+// r <= sqrt(k-2).
+func WeakClosedForm(p ThetaParams) ThetaAnalysis {
+	n, k, r := float64(p.N), float64(p.K), float64(p.R)
+	return ThetaAnalysis{
+		Expectation: n * (k - 1) / (k + r - 1),
+		RSE:         1/math.Sqrt(k-2) + r/(k-2),
+	}
+}
+
+// SequentialMonteCarlo estimates E and RSE of the sequential estimator
+// by sampling M(k).
+func SequentialMonteCarlo(p ThetaParams, trials int, seed uint64) ThetaAnalysis {
+	rng := stats.NewRNG(seed)
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		mk := stats.SampleOrderStat(rng, p.N, p.K)
+		e := float64(p.K-1) / mk
+		sum += e
+		sumSq += e * e
+	}
+	mean := sum / float64(trials)
+	return ThetaAnalysis{Expectation: mean, RSE: rseOf(float64(p.N), mean, sumSq/float64(trials))}
+}
+
+// WeakMonteCarlo estimates E and RSE under the weak adversary by
+// sampling M(k+r) (the adversary always hides r).
+func WeakMonteCarlo(p ThetaParams, trials int, seed uint64) ThetaAnalysis {
+	rng := stats.NewRNG(seed)
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		_, mkr := stats.SampleOrderStatPair(rng, p.N, p.K, p.R)
+		e := float64(p.K-1) / mkr
+		sum += e
+		sumSq += e * e
+	}
+	mean := sum / float64(trials)
+	return ThetaAnalysis{Expectation: mean, RSE: rseOf(float64(p.N), mean, sumSq/float64(trials))}
+}
+
+// strongEstimate is e_As = (k-1)/M(k+g(0,r)): the strong adversary
+// observes the coins (hence both order statistics) and picks the
+// choice maximising |estimate - n| (§6.1).
+func strongEstimate(p ThetaParams, mk, mkr float64) float64 {
+	n := float64(p.N)
+	e0 := float64(p.K-1) / mk
+	er := float64(p.K-1) / mkr
+	if math.Abs(er-n) > math.Abs(e0-n) {
+		return er
+	}
+	return e0
+}
+
+// StrongMonteCarlo estimates E and RSE under the strong adversary by
+// joint sampling of (M(k), M(k+r)).
+func StrongMonteCarlo(p ThetaParams, trials int, seed uint64) ThetaAnalysis {
+	rng := stats.NewRNG(seed)
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		mk, mkr := stats.SampleOrderStatPair(rng, p.N, p.K, p.R)
+		e := strongEstimate(p, mk, mkr)
+		sum += e
+		sumSq += e * e
+	}
+	mean := sum / float64(trials)
+	return ThetaAnalysis{Expectation: mean, RSE: rseOf(float64(p.N), mean, sumSq/float64(trials))}
+}
+
+// StrongNumerical computes E and RSE under the strong adversary by 2-D
+// Simpson integration of the joint order-statistic density (the
+// paper's "numerical results" column; integration over the gray areas
+// of Figure 3). steps=600 is accurate to ~6 digits for the Table 1
+// geometry.
+func StrongNumerical(p ThetaParams, steps int) ThetaAnalysis {
+	mean := stats.OrderStatExpectation2D(p.N, p.K, p.R, steps, func(x, y float64) float64 {
+		return strongEstimate(p, x, y)
+	})
+	second := stats.OrderStatExpectation2D(p.N, p.K, p.R, steps, func(x, y float64) float64 {
+		e := strongEstimate(p, x, y)
+		return e * e
+	})
+	return ThetaAnalysis{Expectation: mean, RSE: rseOf(float64(p.N), mean, second)}
+}
+
+// WeakNumerical computes E and RSE under the weak adversary by 1-D
+// integration over the M(k+r) marginal.
+func WeakNumerical(p ThetaParams, steps int) ThetaAnalysis {
+	k := float64(p.K)
+	mean := stats.OrderStatExpectation1D(p.N, p.K+p.R, steps, func(y float64) float64 {
+		return (k - 1) / y
+	})
+	second := stats.OrderStatExpectation1D(p.N, p.K+p.R, steps, func(y float64) float64 {
+		e := (k - 1) / y
+		return e * e
+	})
+	return ThetaAnalysis{Expectation: mean, RSE: rseOf(float64(p.N), mean, second)}
+}
+
+// SequentialNumerical computes E and RSE of the sequential estimator by
+// 1-D integration (Table 1's sequential "numerical" column).
+func SequentialNumerical(p ThetaParams, steps int) ThetaAnalysis {
+	k := float64(p.K)
+	mean := stats.OrderStatExpectation1D(p.N, p.K, steps, func(x float64) float64 {
+		return (k - 1) / x
+	})
+	second := stats.OrderStatExpectation1D(p.N, p.K, steps, func(x float64) float64 {
+		e := (k - 1) / x
+		return e * e
+	})
+	return ThetaAnalysis{Expectation: mean, RSE: rseOf(float64(p.N), mean, second)}
+}
+
+// Table1 bundles every cell of the paper's Table 1 for one parameter
+// set, computed by both methods where applicable.
+type Table1Result struct {
+	Params              ThetaParams
+	SequentialClosed    ThetaAnalysis
+	SequentialNumerical ThetaAnalysis
+	StrongNumerical     ThetaAnalysis
+	StrongMonteCarlo    ThetaAnalysis
+	WeakNumerical       ThetaAnalysis
+	WeakMonteCarlo      ThetaAnalysis
+	WeakClosed          ThetaAnalysis
+}
+
+// ComputeTable1 evaluates all Table 1 cells. trials controls the Monte
+// Carlo columns and steps the quadrature columns.
+func ComputeTable1(p ThetaParams, trials, steps int, seed uint64) Table1Result {
+	return Table1Result{
+		Params:              p,
+		SequentialClosed:    SequentialClosedForm(p),
+		SequentialNumerical: SequentialNumerical(p, steps),
+		StrongNumerical:     StrongNumerical(p, steps),
+		StrongMonteCarlo:    StrongMonteCarlo(p, trials, seed),
+		WeakNumerical:       WeakNumerical(p, steps),
+		WeakMonteCarlo:      WeakMonteCarlo(p, trials, seed+1),
+		WeakClosed:          WeakClosedForm(p),
+	}
+}

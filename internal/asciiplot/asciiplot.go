@@ -1,0 +1,135 @@
+// Package asciiplot renders multi-series scatter plots as ASCII — the
+// repository has no plotting dependencies, so cmd/fcds-plot uses this
+// to visualise fcds-bench TSV output (throughput curves, pitchforks,
+// speedups) directly in a terminal.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Config controls rendering.
+type Config struct {
+	Width  int  // plot area columns (default 72)
+	Height int  // plot area rows (default 20)
+	LogX   bool // log10 x axis
+	LogY   bool // log10 y axis
+	Title  string
+}
+
+var symbols = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into a single string.
+func Render(series []Series, cfg Config) string {
+	if cfg.Width <= 0 {
+		cfg.Width = 72
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 { return v }
+	ty := func(v float64) float64 { return v }
+	if cfg.LogX {
+		tx = safeLog10
+	}
+	if cfg.LogY {
+		ty = safeLog10
+	}
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		sym := symbols[si%len(symbols)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(cfg.Width-1))
+			row := cfg.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(cfg.Height-1))
+			grid[row][col] = sym
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yTop, yBot := untransform(ymax, cfg.LogY), untransform(ymin, cfg.LogY)
+	for r, line := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", yTop)
+		} else if r == cfg.Height-1 {
+			label = fmt.Sprintf("%9.3g ", yBot)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", cfg.Width))
+	xLeft, xRight := untransform(xmin, cfg.LogX), untransform(xmax, cfg.LogX)
+	fmt.Fprintf(&b, "%s%-12.4g%s%12.4g\n", strings.Repeat(" ", 11), xLeft,
+		strings.Repeat(" ", maxInt(0, cfg.Width-24)), xRight)
+	// Legend.
+	names := make([]string, 0, len(series))
+	for si, s := range series {
+		names = append(names, fmt.Sprintf("%c %s", symbols[si%len(symbols)], s.Name))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "  %s\n", strings.Join(names, "   "))
+	return b.String()
+}
+
+func safeLog10(v float64) float64 {
+	if v <= 0 {
+		return math.NaN()
+	}
+	return math.Log10(v)
+}
+
+func untransform(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render([]Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{9, 4, 1}},
+	}, Config{Width: 40, Height: 10, Title: "t"})
+	if !strings.Contains(out, "t\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("missing legend: %q", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing data points")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xlabel + legend
+	if len(lines) != 1+10+1+1+1 {
+		t.Errorf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Config{}); out != "(no data)\n" {
+		t.Errorf("empty render: %q", out)
+	}
+	// Series with only non-finite values.
+	out := Render([]Series{{Name: "x", X: []float64{-1}, Y: []float64{1}}},
+		Config{LogX: true})
+	if out != "(no data)\n" {
+		t.Errorf("non-finite render: %q", out)
+	}
+}
+
+func TestRenderLogScales(t *testing.T) {
+	out := Render([]Series{
+		{Name: "curve", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 2, 4, 8}},
+	}, Config{Width: 40, Height: 8, LogX: true, LogY: true})
+	// On log-x the points should be evenly spaced; just assert the
+	// extremes appear in the axis labels.
+	if !strings.Contains(out, "1000") {
+		t.Errorf("missing x max label: %q", out)
+	}
+	if !strings.Contains(out, "8") {
+		t.Errorf("missing y max label: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out := Render([]Series{{Name: "c", X: []float64{5, 5}, Y: []float64{3, 3}}},
+		Config{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestRenderLogSkipsNonPositive(t *testing.T) {
+	out := Render([]Series{
+		{Name: "m", X: []float64{0, 1, 10}, Y: []float64{-1, 1, 10}},
+	}, Config{Width: 30, Height: 6, LogX: true, LogY: true})
+	if out == "(no data)\n" {
+		t.Fatal("all points dropped")
+	}
+}

@@ -1,0 +1,112 @@
+package characterization
+
+import (
+	"fmt"
+
+	"github.com/fcds/fcds/internal/theta"
+)
+
+// AccuracyPoint is one row of a pitchfork profile (Figure 5): the mean
+// and quantiles of the relative-error distribution
+// RE = Measured/True − 1 over many trials at one stream size.
+type AccuracyPoint struct {
+	InU    uint64
+	Trials int
+	Mean   float64
+	Q01    float64
+	Q25    float64
+	Median float64
+	Q75    float64
+	Q99    float64
+}
+
+// AccuracyRunner produces one estimate for a stream of n uniques; the
+// trial index seeds the hash function so trials are independent
+// ("this trial is repeated multiple times, logging all estimation
+// results", §7.1).
+type AccuracyRunner interface {
+	Name() string
+	Estimate(n uint64, trial int) float64
+}
+
+// AccuracyConfig drives a pitchfork sweep.
+type AccuracyConfig struct {
+	MinLgU, MaxLgU int
+	PPO            int
+	Trials         TrialsFunc
+}
+
+// AccuracyProfile measures the relative-error distribution across the
+// stream-size grid.
+func AccuracyProfile(r AccuracyRunner, cfg AccuracyConfig) []AccuracyPoint {
+	points := GridPoints(cfg.MinLgU, cfg.MaxLgU, cfg.PPO)
+	out := make([]AccuracyPoint, 0, len(points))
+	for _, x := range points {
+		trials := cfg.Trials(x)
+		res := make([]float64, 0, trials)
+		for t := 0; t < trials; t++ {
+			est := r.Estimate(x, t)
+			res = append(res, est/float64(x)-1)
+		}
+		out = append(out, AccuracyPoint{
+			InU: x, Trials: trials,
+			Mean:   meanOf(res),
+			Q01:    quantileOf(res, 0.01),
+			Q25:    quantileOf(res, 0.25),
+			Median: quantileOf(res, 0.50),
+			Q75:    quantileOf(res, 0.75),
+			Q99:    quantileOf(res, 0.99),
+		})
+	}
+	return out
+}
+
+// ConcurrentThetaAccuracy measures the concurrent Θ sketch exactly as
+// the paper does (§7.1): a single writer feeds n uniques and the
+// estimate is read immediately after the last update call returns —
+// without flushing — so the error includes whatever propagation delay
+// the configuration (e, b) leaves visible. This is what produces the
+// distorted pitchfork of Figure 5a when eager propagation is off.
+type ConcurrentThetaAccuracy struct {
+	K          int
+	MaxError   float64 // e = 1.0 reproduces Figure 5a, e = 0.04 Figure 5b
+	BufferSize int
+}
+
+// Name implements AccuracyRunner.
+func (r *ConcurrentThetaAccuracy) Name() string {
+	return fmt.Sprintf("accuracy-concurrent-theta/k=%d/e=%g", r.K, r.MaxError)
+}
+
+// Estimate implements AccuracyRunner.
+func (r *ConcurrentThetaAccuracy) Estimate(n uint64, trial int) float64 {
+	c := theta.NewConcurrent(theta.ConcurrentConfig{
+		K: r.K, Writers: 1, MaxError: r.MaxError, BufferSize: r.BufferSize,
+		Seed: uint64(trial)*0x9e3779b97f4a7c15 + 1,
+	})
+	defer c.Close()
+	w := c.Writer(0)
+	for v := uint64(0); v < n; v++ {
+		w.UpdateUint64(v)
+	}
+	return c.Estimate() // deliberately no Flush — measures staleness too
+}
+
+// SequentialThetaAccuracy is the sequential reference pitchfork.
+type SequentialThetaAccuracy struct {
+	K int
+}
+
+// Name implements AccuracyRunner.
+func (r *SequentialThetaAccuracy) Name() string {
+	return fmt.Sprintf("accuracy-sequential-theta/k=%d", r.K)
+}
+
+// Estimate implements AccuracyRunner.
+func (r *SequentialThetaAccuracy) Estimate(n uint64, trial int) float64 {
+	s := theta.NewQuickSelectSeeded(r.K, uint64(trial)*0x9e3779b97f4a7c15+1)
+	for v := uint64(0); v < n; v++ {
+		s.UpdateUint64(v)
+	}
+	return s.Estimate()
+}

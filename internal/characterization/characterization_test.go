@@ -1,0 +1,250 @@
+package characterization
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestGridPoints(t *testing.T) {
+	g := GridPoints(4, 6, 2)
+	// 2^4, 2^4.5, 2^5, 2^5.5, 2^6 → 16, 23, 32, 45, 64.
+	want := []uint64{16, 23, 32, 45, 64}
+	if len(g) != len(want) {
+		t.Fatalf("grid %v, want %v", g, want)
+	}
+	for i := range g {
+		if g[i] != want[i] {
+			t.Fatalf("grid %v, want %v", g, want)
+		}
+	}
+}
+
+func TestGridPointsMonotoneDeduped(t *testing.T) {
+	g := GridPoints(0, 10, 8)
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not strictly increasing at %d: %v", i, g[i])
+		}
+	}
+	if g[0] != 1 || g[len(g)-1] != 1024 {
+		t.Errorf("grid endpoints %d..%d", g[0], g[len(g)-1])
+	}
+}
+
+func TestGridPointsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { GridPoints(-1, 5, 1) },
+		func() { GridPoints(5, 4, 1) },
+		func() { GridPoints(1, 5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid grid did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTaperedTrials(t *testing.T) {
+	f := TaperedTrials(1024, 4, 100, 100000)
+	if f(50) != 1024 || f(100) != 1024 {
+		t.Error("low end not maxTrials")
+	}
+	if f(100000) != 4 || f(1<<30) != 4 {
+		t.Error("high end not minTrials")
+	}
+	mid := f(3162) // geometric midpoint → ~sqrt(1024*4) = 64
+	if mid < 32 || mid > 128 {
+		t.Errorf("midpoint trials = %d, want ~64", mid)
+	}
+	// Monotone non-increasing.
+	prev := f(1)
+	for _, n := range []uint64{10, 100, 1000, 10000, 100000, 1000000} {
+		cur := f(n)
+		if cur > prev {
+			t.Fatalf("trials increased at %d", n)
+		}
+		prev = cur
+	}
+}
+
+func TestQuantileOf(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if q := quantileOf(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := quantileOf(xs, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := quantileOf(xs, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if !math.IsNaN(quantileOf(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+// fakeRunner returns a scripted duration proportional to n with a
+// per-name constant, letting profile logic be tested quickly.
+type fakeRunner struct {
+	name        string
+	nsPerUpdate float64
+}
+
+func (f *fakeRunner) Name() string { return f.name }
+func (f *fakeRunner) Run(n uint64) time.Duration {
+	return time.Duration(f.nsPerUpdate * float64(n))
+}
+
+func TestSpeedProfileShape(t *testing.T) {
+	r := &fakeRunner{name: "fake", nsPerUpdate: 25}
+	pts := SpeedProfile(r, SpeedConfig{
+		MinLgU: 4, MaxLgU: 8, PPO: 1,
+		Trials: func(uint64) int { return 3 },
+	})
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.NsPerUpdate-25) > 1 {
+			t.Errorf("ns/u = %v, want 25", p.NsPerUpdate)
+		}
+		if p.Trials != 3 {
+			t.Errorf("trials = %d", p.Trials)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := []SpeedPoint{{InU: 16, NsPerUpdate: 100}, {InU: 32, NsPerUpdate: 50}}
+	b := []SpeedPoint{{InU: 16, NsPerUpdate: 10}, {InU: 32, NsPerUpdate: 50}}
+	s := Speedup(a, b)
+	if s[0].Speedup != 10 || s[1].Speedup != 1 {
+		t.Errorf("speedup %v", s)
+	}
+}
+
+func TestSpeedupPanicsOnGridMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched grids did not panic")
+		}
+	}()
+	Speedup([]SpeedPoint{{InU: 1}}, []SpeedPoint{{InU: 2}})
+}
+
+func TestCrossingPoint(t *testing.T) {
+	fast := []SpeedPoint{
+		{InU: 10, NsPerUpdate: 100},
+		{InU: 100, NsPerUpdate: 30},
+		{InU: 1000, NsPerUpdate: 10},
+	}
+	slow := []SpeedPoint{
+		{InU: 10, NsPerUpdate: 40},
+		{InU: 100, NsPerUpdate: 40},
+		{InU: 1000, NsPerUpdate: 40},
+	}
+	if got := CrossingPoint(fast, slow); got != 100 {
+		t.Errorf("crossing = %d, want 100", got)
+	}
+	// slow beats fast only at the first point, not beyond: the crossing
+	// must be "stable for the rest of the grid", so none exists.
+	if got := CrossingPoint(slow, fast); got != 0 {
+		t.Errorf("crossing = %d, want 0 (not stable)", got)
+	}
+}
+
+func TestCrossingPointNone(t *testing.T) {
+	fast := []SpeedPoint{{InU: 10, NsPerUpdate: 100}}
+	slow := []SpeedPoint{{InU: 10, NsPerUpdate: 1}}
+	if got := CrossingPoint(fast, slow); got != 0 {
+		t.Errorf("crossing = %d, want 0 (never crosses)", got)
+	}
+}
+
+func TestAccuracyProfileSequential(t *testing.T) {
+	r := &SequentialThetaAccuracy{K: 256}
+	pts := AccuracyProfile(r, AccuracyConfig{
+		MinLgU: 4, MaxLgU: 10, PPO: 1,
+		Trials: func(uint64) int { return 8 },
+	})
+	for _, p := range pts {
+		// Below k the sequential sketch is exact: all quantiles zero.
+		if p.InU <= 256 {
+			if p.Mean != 0 || p.Median != 0 || p.Q99 != 0 {
+				t.Errorf("InU=%d: sequential sketch inexact below k: %+v", p.InU, p)
+			}
+		}
+		if p.Q01 > p.Median || p.Median > p.Q99 {
+			t.Errorf("InU=%d: quantiles out of order", p.InU)
+		}
+	}
+}
+
+func TestAccuracyProfileConcurrentNoEagerUnderestimates(t *testing.T) {
+	// Figure 5a's signature: without eager propagation, small streams
+	// are grossly underestimated (mean RE approaches -1 at tiny sizes).
+	r := &ConcurrentThetaAccuracy{K: 256, MaxError: 1.0, BufferSize: 64}
+	pts := AccuracyProfile(r, AccuracyConfig{
+		MinLgU: 3, MaxLgU: 5, PPO: 1,
+		Trials: func(uint64) int { return 8 },
+	})
+	for _, p := range pts {
+		if p.InU <= 32 && p.Mean > -0.3 {
+			t.Errorf("InU=%d: mean RE = %v; expected strong underestimation without eager (b=64 > stream)", p.InU, p.Mean)
+		}
+	}
+}
+
+func TestAccuracyProfileConcurrentEagerIsExactSmall(t *testing.T) {
+	// Figure 5b: with eager propagation small streams are exact.
+	r := &ConcurrentThetaAccuracy{K: 256, MaxError: 0.04}
+	pts := AccuracyProfile(r, AccuracyConfig{
+		MinLgU: 3, MaxLgU: 6, PPO: 1,
+		Trials: func(uint64) int { return 4 },
+	})
+	for _, p := range pts {
+		if p.Mean != 0 {
+			t.Errorf("InU=%d: eager small-stream RE = %v, want 0", p.InU, p.Mean)
+		}
+	}
+}
+
+func TestScalabilityProfileRuns(t *testing.T) {
+	pts := ScalabilityProfile(ScalabilityConfig{
+		Threads: []int{1, 2},
+		N:       20000,
+		Trials:  2,
+		Build: func(th int) Runner {
+			return &ConcurrentThetaRunner{K: 256, Writers: th, MaxError: 1.0}
+		},
+	})
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.MopsSec <= 0 {
+			t.Errorf("threads=%d: throughput %v", p.Threads, p.MopsSec)
+		}
+	}
+}
+
+func TestConcurrentAndLockRunnersProduceTime(t *testing.T) {
+	for _, r := range []Runner{
+		&ConcurrentThetaRunner{K: 256, Writers: 2, MaxError: 0.04},
+		&LockThetaRunner{K: 256, Threads: 2},
+		NewMixedThetaRunner(true, 256, 1, 2, time.Millisecond, 0.04),
+		NewMixedThetaRunner(false, 256, 1, 2, time.Millisecond, 0.04),
+	} {
+		if r.Name() == "" {
+			t.Error("empty runner name")
+		}
+		if d := r.Run(5000); d <= 0 {
+			t.Errorf("%s: non-positive duration", r.Name())
+		}
+	}
+}

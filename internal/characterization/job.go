@@ -1,0 +1,251 @@
+package characterization
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Conf-file-driven jobs, mirroring the paper artifact's workflow
+// (Appendix A): each experiment is described by a .conf file of
+// key=value pairs and executed by a generic Job runner. The keys below
+// follow the artifact's naming (A.7 "Experiment customization"):
+//
+//	JobProfile                            which profile to run
+//	Trials_lgMinU / Trials_lgMaxU         stream-size sweep bounds
+//	Trials_PPO                            grid points per octave
+//	Trials_lgMaxTrials / Trials_lgMinTrials  trial taper (log2)
+//	LgK                                   global sketch size (log2)
+//	CONCURRENT_THETA_maxConcurrencyError  e (1 = no eager)
+//	CONCURRENT_THETA_numWriters           writer threads
+//	CONCURRENT_THETA_numReaders           background readers (mixed)
+//	CONCURRENT_THETA_ThreadSafe           true: concurrent impl,
+//	                                      false: lock-based baseline
+//
+// Recognised JobProfile values:
+//
+//	ConcurrentThetaMultithreadedSpeedProfile   (Figures 1, 6, 8)
+//	ConcurrentThetaAccuracyProfile             (Figure 5)
+//	ConcurrentThetaMixedSpeedProfile           (Figure 7)
+
+// Conf is a parsed configuration file.
+type Conf map[string]string
+
+// ParseConf reads key=value lines; '#' and '//' start comments and
+// blank lines are skipped. Later duplicates override earlier ones.
+func ParseConf(r io.Reader) (Conf, error) {
+	conf := Conf{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if i := strings.Index(s, "#"); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		if i := strings.Index(s, "//"); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		if s == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(s, "=")
+		if !ok {
+			return nil, fmt.Errorf("characterization: conf line %d: no '=' in %q", line, s)
+		}
+		conf[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return conf, sc.Err()
+}
+
+func (c Conf) str(key, def string) string {
+	if v, ok := c[key]; ok {
+		return v
+	}
+	return def
+}
+
+func (c Conf) intVal(key string, def int) (int, error) {
+	v, ok := c[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("characterization: conf key %s: %v", key, err)
+	}
+	return n, nil
+}
+
+func (c Conf) floatVal(key string, def float64) (float64, error) {
+	v, ok := c[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("characterization: conf key %s: %v", key, err)
+	}
+	return f, nil
+}
+
+func (c Conf) boolVal(key string, def bool) (bool, error) {
+	v, ok := c[key]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("characterization: conf key %s: %v", key, err)
+	}
+	return b, nil
+}
+
+// RunJob executes the job described by conf and writes TSV rows to w.
+func RunJob(conf Conf, w io.Writer) error {
+	profile := conf.str("JobProfile", "")
+	// Accept both the artifact's fully qualified class names and bare
+	// profile names.
+	if i := strings.LastIndex(profile, "."); i >= 0 {
+		profile = profile[i+1:]
+	}
+	switch profile {
+	case "ConcurrentThetaMultithreadedSpeedProfile":
+		return runSpeedJob(conf, w)
+	case "ConcurrentThetaAccuracyProfile":
+		return runAccuracyJob(conf, w)
+	case "ConcurrentThetaMixedSpeedProfile":
+		return runMixedJob(conf, w)
+	case "":
+		return fmt.Errorf("characterization: missing JobProfile")
+	default:
+		return fmt.Errorf("characterization: unknown JobProfile %q", profile)
+	}
+}
+
+type jobParams struct {
+	speed    SpeedConfig
+	accuracy AccuracyConfig
+	lgK      int
+	e        float64
+	writers  int
+	readers  int
+	safe     bool
+}
+
+func parseParams(conf Conf) (jobParams, error) {
+	var p jobParams
+	var err error
+	get := func(dst *int, key string, def int) {
+		if err == nil {
+			*dst, err = conf.intVal(key, def)
+		}
+	}
+	var minLg, maxLg, ppo, lgMaxTrials, lgMinTrials int
+	get(&minLg, "Trials_lgMinU", 5)
+	get(&maxLg, "Trials_lgMaxU", 20)
+	get(&ppo, "Trials_PPO", 2)
+	get(&lgMaxTrials, "Trials_lgMaxTrials", 6)
+	get(&lgMinTrials, "Trials_lgMinTrials", 1)
+	get(&p.lgK, "LgK", 12)
+	get(&p.writers, "CONCURRENT_THETA_numWriters", 1)
+	get(&p.readers, "CONCURRENT_THETA_numReaders", 0)
+	if err != nil {
+		return p, err
+	}
+	if p.e, err = conf.floatVal("CONCURRENT_THETA_maxConcurrencyError", 0.04); err != nil {
+		return p, err
+	}
+	if p.safe, err = conf.boolVal("CONCURRENT_THETA_ThreadSafe", true); err != nil {
+		return p, err
+	}
+	if minLg < 0 || maxLg < minLg || ppo < 1 {
+		return p, fmt.Errorf("characterization: invalid sweep bounds lgMinU=%d lgMaxU=%d PPO=%d", minLg, maxLg, ppo)
+	}
+	if lgMaxTrials < lgMinTrials {
+		return p, fmt.Errorf("characterization: lgMaxTrials < lgMinTrials")
+	}
+	var trials TrialsFunc
+	loN, hiN := uint64(1)<<uint(minLg+2), uint64(1)<<uint(maxLg)
+	if loN >= hiN || lgMaxTrials == lgMinTrials {
+		// Degenerate sweep (few octaves): constant trial count.
+		n := 1 << lgMaxTrials
+		trials = func(uint64) int { return n }
+	} else {
+		trials = TaperedTrials(1<<lgMaxTrials, 1<<lgMinTrials, loN, hiN)
+	}
+	p.speed = SpeedConfig{MinLgU: minLg, MaxLgU: maxLg, PPO: ppo, Trials: trials}
+	p.accuracy = AccuracyConfig{MinLgU: minLg, MaxLgU: maxLg, PPO: ppo, Trials: trials}
+	return p, nil
+}
+
+func runSpeedJob(conf Conf, w io.Writer) error {
+	p, err := parseParams(conf)
+	if err != nil {
+		return err
+	}
+	var r Runner
+	if p.safe {
+		r = &ConcurrentThetaRunner{K: 1 << p.lgK, Writers: p.writers, MaxError: p.e}
+	} else {
+		r = &LockThetaRunner{K: 1 << p.lgK, Threads: p.writers}
+	}
+	return writeSpeedTSV(w, r.Name(), SpeedProfile(r, p.speed))
+}
+
+func runMixedJob(conf Conf, w io.Writer) error {
+	p, err := parseParams(conf)
+	if err != nil {
+		return err
+	}
+	r := NewMixedThetaRunner(p.safe, 1<<p.lgK, p.writers, p.readers, time.Millisecond, p.e)
+	return writeSpeedTSV(w, r.Name(), SpeedProfile(r, p.speed))
+}
+
+func writeSpeedTSV(w io.Writer, name string, pts []SpeedPoint) error {
+	if _, err := fmt.Fprintf(w, "# %s\nInU\tTrials\tnS/u\n", name); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%.2f\n", p.InU, p.Trials, p.NsPerUpdate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runAccuracyJob(conf Conf, w io.Writer) error {
+	p, err := parseParams(conf)
+	if err != nil {
+		return err
+	}
+	if !p.safe {
+		return fmt.Errorf("characterization: accuracy profile requires the concurrent implementation")
+	}
+	r := &ConcurrentThetaAccuracy{K: 1 << p.lgK, MaxError: p.e}
+	pts := AccuracyProfile(r, p.accuracy)
+	if _, err := fmt.Fprintf(w, "# %s\nInU\tTrials\tMeanRE\tQ01\tQ25\tMedian\tQ75\tQ99\n", r.Name()); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			pt.InU, pt.Trials, pt.Mean, pt.Q01, pt.Q25, pt.Median, pt.Q75, pt.Q99); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConfKeys returns the sorted keys of a conf (diagnostics).
+func (c Conf) ConfKeys() []string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,142 @@
+package characterization
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConf(t *testing.T) {
+	in := `
+# figure 6 concurrent, 1 writer
+JobProfile=ConcurrentThetaMultithreadedSpeedProfile
+Trials_lgMinU=5   # inline comment
+Trials_lgMaxU=10
+LgK=12
+CONCURRENT_THETA_maxConcurrencyError=0.04
+CONCURRENT_THETA_numWriters=4 // another comment style
+CONCURRENT_THETA_ThreadSafe=true
+`
+	conf, err := ParseConf(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf["JobProfile"] != "ConcurrentThetaMultithreadedSpeedProfile" {
+		t.Errorf("JobProfile = %q", conf["JobProfile"])
+	}
+	if conf["Trials_lgMinU"] != "5" || conf["CONCURRENT_THETA_numWriters"] != "4" {
+		t.Errorf("comment stripping broken: %v", conf)
+	}
+	if len(conf.ConfKeys()) != 7 {
+		t.Errorf("keys: %v", conf.ConfKeys())
+	}
+}
+
+func TestParseConfErrors(t *testing.T) {
+	if _, err := ParseConf(strings.NewReader("not a key value line")); err == nil {
+		t.Error("missing '=' accepted")
+	}
+}
+
+func TestRunJobSpeedConcurrent(t *testing.T) {
+	conf := Conf{
+		"JobProfile":                           "ConcurrentThetaMultithreadedSpeedProfile",
+		"Trials_lgMinU":                        "5",
+		"Trials_lgMaxU":                        "8",
+		"Trials_PPO":                           "1",
+		"Trials_lgMaxTrials":                   "2",
+		"Trials_lgMinTrials":                   "1",
+		"LgK":                                  "8",
+		"CONCURRENT_THETA_numWriters":          "2",
+		"CONCURRENT_THETA_maxConcurrencyError": "1",
+	}
+	var sb strings.Builder
+	if err := RunJob(conf, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "InU\tTrials\tnS/u") {
+		t.Errorf("missing header: %q", out)
+	}
+	// 4 grid points (2^5..2^8, ppo 1) → 4 data rows + 2 header lines.
+	if got := strings.Count(strings.TrimSpace(out), "\n"); got != 5 {
+		t.Errorf("line count %d: %q", got, out)
+	}
+}
+
+func TestRunJobSpeedLockBased(t *testing.T) {
+	conf := Conf{
+		"JobProfile":                  "com.yahoo.sketches.characterization.uniquecount.ConcurrentThetaMultithreadedSpeedProfile",
+		"Trials_lgMinU":               "5",
+		"Trials_lgMaxU":               "6",
+		"Trials_PPO":                  "1",
+		"Trials_lgMaxTrials":          "1",
+		"Trials_lgMinTrials":          "0",
+		"LgK":                         "8",
+		"CONCURRENT_THETA_ThreadSafe": "false",
+	}
+	var sb strings.Builder
+	if err := RunJob(conf, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lock-theta") {
+		t.Errorf("lock-based runner not used: %q", sb.String())
+	}
+}
+
+func TestRunJobAccuracy(t *testing.T) {
+	conf := Conf{
+		"JobProfile":         "ConcurrentThetaAccuracyProfile",
+		"Trials_lgMinU":      "4",
+		"Trials_lgMaxU":      "6",
+		"Trials_PPO":         "1",
+		"Trials_lgMaxTrials": "3",
+		"Trials_lgMinTrials": "2",
+		"LgK":                "8",
+	}
+	var sb strings.Builder
+	if err := RunJob(conf, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "MeanRE") {
+		t.Errorf("accuracy header missing: %q", sb.String())
+	}
+}
+
+func TestRunJobMixed(t *testing.T) {
+	conf := Conf{
+		"JobProfile":                  "ConcurrentThetaMixedSpeedProfile",
+		"Trials_lgMinU":               "5",
+		"Trials_lgMaxU":               "6",
+		"Trials_PPO":                  "1",
+		"Trials_lgMaxTrials":          "1",
+		"Trials_lgMinTrials":          "0",
+		"LgK":                         "8",
+		"CONCURRENT_THETA_numWriters": "1",
+		"CONCURRENT_THETA_numReaders": "2",
+	}
+	var sb strings.Builder
+	if err := RunJob(conf, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mixed-concurrent-theta") {
+		t.Errorf("mixed runner not used: %q", sb.String())
+	}
+}
+
+func TestRunJobErrors(t *testing.T) {
+	cases := []Conf{
+		{},                            // no profile
+		{"JobProfile": "NoSuchThing"}, // unknown profile
+		{"JobProfile": "ConcurrentThetaMultithreadedSpeedProfile", "Trials_lgMinU": "x"},
+		{"JobProfile": "ConcurrentThetaMultithreadedSpeedProfile", "Trials_lgMinU": "9", "Trials_lgMaxU": "5"},
+		{"JobProfile": "ConcurrentThetaAccuracyProfile", "CONCURRENT_THETA_ThreadSafe": "false"},
+		{"JobProfile": "ConcurrentThetaMultithreadedSpeedProfile", "CONCURRENT_THETA_maxConcurrencyError": "zz"},
+		{"JobProfile": "ConcurrentThetaMultithreadedSpeedProfile", "CONCURRENT_THETA_ThreadSafe": "maybe"},
+	}
+	for i, conf := range cases {
+		var sb strings.Builder
+		if err := RunJob(conf, &sb); err == nil {
+			t.Errorf("case %d: invalid conf accepted", i)
+		}
+	}
+}

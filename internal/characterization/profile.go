@@ -1,0 +1,94 @@
+// Package characterization reimplements the Apache DataSketches
+// characterization suite the paper's evaluation uses (§7.1): speed
+// profiles (ns/update as a function of stream size, Figures 6 and 8),
+// accuracy "pitchfork" profiles (mean and quantiles of the relative
+// error distribution, Figure 5), scalability profiles (throughput as a
+// function of thread count, Figure 1) and mixed read/write profiles
+// (Figure 7).
+//
+// The methodology matches the original: logarithmic stream-size grids
+// with a configurable number of points per octave, many trials at
+// small sizes tapering off at large ones, and rows reported as
+// (InU, Trials, nS/u) exactly like the Java suite's SpeedProfile
+// output.
+package characterization
+
+import (
+	"math"
+	"sort"
+)
+
+// GridPoints returns the logarithmic stream-size grid: ppo points per
+// octave from 2^minLg to 2^maxLg inclusive, deduplicated.
+func GridPoints(minLg, maxLg, ppo int) []uint64 {
+	if minLg < 0 || maxLg < minLg || ppo < 1 {
+		panic("characterization: invalid grid parameters")
+	}
+	var out []uint64
+	var prev uint64
+	for lg := minLg; lg <= maxLg; lg++ {
+		for j := 0; j < ppo; j++ {
+			if lg == maxLg && j > 0 {
+				break
+			}
+			x := uint64(math.Round(math.Exp2(float64(lg) + float64(j)/float64(ppo))))
+			if x > prev {
+				out = append(out, x)
+				prev = x
+			}
+		}
+	}
+	return out
+}
+
+// TrialsFunc maps a stream size to a trial count. DataSketches uses
+// very many trials at the low end and few at the high end because
+// small streams suffer more measurement noise.
+type TrialsFunc func(n uint64) int
+
+// TaperedTrials returns a TrialsFunc that runs maxTrials at sizes <=
+// loN, minTrials at sizes >= hiN, and geometrically interpolates in
+// between.
+func TaperedTrials(maxTrials, minTrials int, loN, hiN uint64) TrialsFunc {
+	if maxTrials < minTrials || loN >= hiN {
+		panic("characterization: invalid taper")
+	}
+	return func(n uint64) int {
+		switch {
+		case n <= loN:
+			return maxTrials
+		case n >= hiN:
+			return minTrials
+		}
+		// Geometric interpolation in log-log space.
+		frac := (math.Log(float64(n)) - math.Log(float64(loN))) /
+			(math.Log(float64(hiN)) - math.Log(float64(loN)))
+		t := float64(maxTrials) * math.Pow(float64(minTrials)/float64(maxTrials), frac)
+		if t < float64(minTrials) {
+			t = float64(minTrials)
+		}
+		return int(t + 0.5)
+	}
+}
+
+// quantileOf returns the q-quantile (0..1) of xs by sorting a copy.
+func quantileOf(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

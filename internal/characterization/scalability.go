@@ -1,0 +1,35 @@
+package characterization
+
+import "time"
+
+// ScalabilityPoint is one row of Figure 1: write throughput (million
+// operations per second) at a given thread count.
+type ScalabilityPoint struct {
+	Threads int
+	MopsSec float64
+}
+
+// ScalabilityConfig drives a Figure 1 sweep.
+type ScalabilityConfig struct {
+	Threads []int  // thread counts to sweep
+	N       uint64 // uniques ingested per run ("a very large stream")
+	Trials  int    // repetitions per point (the paper uses 16)
+	// Build returns a runner for the given thread count.
+	Build func(threads int) Runner
+}
+
+// ScalabilityProfile measures throughput across thread counts.
+func ScalabilityProfile(cfg ScalabilityConfig) []ScalabilityPoint {
+	out := make([]ScalabilityPoint, 0, len(cfg.Threads))
+	for _, th := range cfg.Threads {
+		r := cfg.Build(th)
+		var total time.Duration
+		for t := 0; t < cfg.Trials; t++ {
+			total += r.Run(cfg.N)
+		}
+		avg := total / time.Duration(cfg.Trials)
+		mops := float64(cfg.N) / avg.Seconds() / 1e6
+		out = append(out, ScalabilityPoint{Threads: th, MopsSec: mops})
+	}
+	return out
+}

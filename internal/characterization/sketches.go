@@ -1,0 +1,159 @@
+package characterization
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/fcds/fcds/internal/hll"
+	"github.com/fcds/fcds/internal/quantiles"
+	"github.com/fcds/fcds/internal/stream"
+)
+
+// Profiles for the other two framework instantiations. The paper
+// evaluates Θ empirically and analyses Quantiles; these runners extend
+// the same methodology to concurrent Quantiles and HLL so the three
+// instantiations can be compared under identical sweeps.
+
+// ConcurrentQuantilesRunner ingests with the concurrent Quantiles
+// sketch (speed profile).
+type ConcurrentQuantilesRunner struct {
+	K       int
+	Writers int
+}
+
+// Name implements Runner.
+func (r *ConcurrentQuantilesRunner) Name() string {
+	return fmt.Sprintf("concurrent-quantiles/k=%d/writers=%d", r.K, r.Writers)
+}
+
+// Run implements Runner.
+func (r *ConcurrentQuantilesRunner) Run(n uint64) time.Duration {
+	c := quantiles.NewConcurrent(quantiles.ConcurrentConfig{K: r.K, Writers: r.Writers})
+	defer c.Close()
+	parts := stream.Partition(n, r.Writers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p stream.Range) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for v := p.Start; v < p.Start+p.Count; v++ {
+				w.Update(float64(v))
+			}
+			w.Flush()
+		}(i, p)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// ConcurrentHLLRunner ingests with the concurrent HLL sketch.
+type ConcurrentHLLRunner struct {
+	Precision uint8
+	Writers   int
+}
+
+// Name implements Runner.
+func (r *ConcurrentHLLRunner) Name() string {
+	return fmt.Sprintf("concurrent-hll/p=%d/writers=%d", r.Precision, r.Writers)
+}
+
+// Run implements Runner.
+func (r *ConcurrentHLLRunner) Run(n uint64) time.Duration {
+	c := hll.NewConcurrent(hll.ConcurrentConfig{Precision: r.Precision, Writers: r.Writers})
+	defer c.Close()
+	parts := stream.Partition(n, r.Writers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p stream.Range) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for v := p.Start; v < p.Start+p.Count; v++ {
+				w.UpdateUint64(v)
+			}
+			w.Flush()
+		}(i, p)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// ConcurrentHLLAccuracy is the HLL pitchfork runner: relative error of
+// the estimate read immediately after ingestion (no flush), like the
+// Θ accuracy profile.
+type ConcurrentHLLAccuracy struct {
+	Precision uint8
+}
+
+// Name implements AccuracyRunner.
+func (r *ConcurrentHLLAccuracy) Name() string {
+	return fmt.Sprintf("accuracy-concurrent-hll/p=%d", r.Precision)
+}
+
+// Estimate implements AccuracyRunner.
+func (r *ConcurrentHLLAccuracy) Estimate(n uint64, trial int) float64 {
+	c := hll.NewConcurrent(hll.ConcurrentConfig{
+		Precision: r.Precision, Writers: 1,
+		Seed: uint64(trial)*0x9e3779b97f4a7c15 + 1,
+	})
+	defer c.Close()
+	w := c.Writer(0)
+	for v := uint64(0); v < n; v++ {
+		w.UpdateUint64(v)
+	}
+	return c.Estimate()
+}
+
+// QuantilesRankAccuracy measures the worst rank error over a set of
+// query points for the concurrent quantiles sketch — the empirical
+// counterpart of §6.2 across stream sizes. It implements
+// AccuracyRunner with "estimate" = worst |rank−φ| (so the pitchfork
+// renders error magnitude; True value normalisation is 1).
+type QuantilesRankAccuracy struct {
+	K   int
+	Phi []float64
+}
+
+// Name implements AccuracyRunner.
+func (r *QuantilesRankAccuracy) Name() string {
+	return fmt.Sprintf("accuracy-concurrent-quantiles/k=%d", r.K)
+}
+
+// WorstRankError runs one trial and returns max over φ of
+// |trueRank(returned) − φ|.
+func (r *QuantilesRankAccuracy) WorstRankError(n uint64, trial int) float64 {
+	c := quantiles.NewConcurrent(quantiles.ConcurrentConfig{
+		K: r.K, Writers: 1, Seed: uint64(trial)*31 + 1,
+	})
+	defer c.Close()
+	w := c.Writer(0)
+	for v := uint64(0); v < n; v++ {
+		w.Update(float64(v)) // value v has exact rank v/n
+	}
+	w.Flush()
+	snap := c.Snapshot()
+	var worst float64
+	phis := r.Phi
+	if len(phis) == 0 {
+		phis = []float64{0.1, 0.5, 0.9}
+	}
+	for _, phi := range phis {
+		got := snap.Quantile(phi)
+		err := math.Abs(got/float64(n) - phi)
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst
+}
+
+// Estimate implements AccuracyRunner: returns n·(1+worstErr) so the
+// generic pitchfork's RE column equals the worst rank error.
+func (r *QuantilesRankAccuracy) Estimate(n uint64, trial int) float64 {
+	return float64(n) * (1 + r.WorstRankError(n, trial))
+}

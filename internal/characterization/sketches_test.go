@@ -1,0 +1,62 @@
+package characterization
+
+import (
+	"testing"
+
+	"github.com/fcds/fcds/internal/quantiles"
+)
+
+func TestConcurrentQuantilesRunner(t *testing.T) {
+	r := &ConcurrentQuantilesRunner{K: 64, Writers: 2}
+	if d := r.Run(5000); d <= 0 {
+		t.Error("non-positive duration")
+	}
+	if r.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestConcurrentHLLRunner(t *testing.T) {
+	r := &ConcurrentHLLRunner{Precision: 10, Writers: 2}
+	if d := r.Run(5000); d <= 0 {
+		t.Error("non-positive duration")
+	}
+}
+
+func TestConcurrentHLLAccuracy(t *testing.T) {
+	r := &ConcurrentHLLAccuracy{Precision: 12}
+	est := r.Estimate(10000, 1)
+	if est < 8000 || est > 12000 {
+		t.Errorf("HLL accuracy estimate %v for n=10000", est)
+	}
+	// Different trials use different seeds → different estimates.
+	if r.Estimate(50000, 1) == r.Estimate(50000, 2) {
+		t.Error("trials not independent")
+	}
+}
+
+func TestQuantilesRankAccuracyWithinBound(t *testing.T) {
+	r := &QuantilesRankAccuracy{K: 128}
+	eps := quantiles.NormalizedRankError(128)
+	for _, n := range []uint64{1000, 50000} {
+		worst := r.WorstRankError(n, 3)
+		// Worst over 3 quantiles; allow 4ε slack (plus the relaxation
+		// term r/n for unflushed... the runner flushes, so just ε).
+		if worst > 4*eps {
+			t.Errorf("n=%d: worst rank error %v > 4ε", n, worst)
+		}
+	}
+}
+
+func TestQuantilesRankAccuracyAsProfile(t *testing.T) {
+	pts := AccuracyProfile(&QuantilesRankAccuracy{K: 64}, AccuracyConfig{
+		MinLgU: 8, MaxLgU: 10, PPO: 1,
+		Trials: func(uint64) int { return 3 },
+	})
+	for _, p := range pts {
+		// Mean RE is the mean worst rank error: non-negative and small.
+		if p.Mean < 0 || p.Mean > 0.2 {
+			t.Errorf("InU=%d: mean worst rank error %v", p.InU, p.Mean)
+		}
+	}
+}

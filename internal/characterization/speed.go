@@ -1,0 +1,89 @@
+package characterization
+
+import "time"
+
+// SpeedPoint is one row of a speed profile, in the same schema as the
+// DataSketches SpeedProfile output: InU (unique count), Trials, and
+// nS/u (nanoseconds per update).
+type SpeedPoint struct {
+	InU         uint64
+	Trials      int
+	NsPerUpdate float64
+}
+
+// SpeedConfig drives a speed profile sweep (Figures 6a/6b/8).
+type SpeedConfig struct {
+	MinLgU, MaxLgU int
+	PPO            int // grid points per octave
+	Trials         TrialsFunc
+}
+
+// SpeedProfile measures ns/update for the runner across the stream
+// size grid: for each size x it averages Trials(x) fresh-sketch
+// ingestion runs ("for each size x we measure the time t it takes to
+// feed the sketch x unique values", §7.1).
+func SpeedProfile(r Runner, cfg SpeedConfig) []SpeedPoint {
+	points := GridPoints(cfg.MinLgU, cfg.MaxLgU, cfg.PPO)
+	out := make([]SpeedPoint, 0, len(points))
+	for _, x := range points {
+		trials := cfg.Trials(x)
+		var total time.Duration
+		for t := 0; t < trials; t++ {
+			total += r.Run(x)
+		}
+		ns := float64(total.Nanoseconds()) / float64(trials) / float64(x)
+		out = append(out, SpeedPoint{InU: x, Trials: trials, NsPerUpdate: ns})
+	}
+	return out
+}
+
+// Speedup returns per-point a.ns/b.ns — Figure 8's eager-vs-no-eager
+// speedup when a is the no-eager profile and b the eager one. The two
+// profiles must share a grid.
+func Speedup(a, b []SpeedPoint) []SpeedupPoint {
+	if len(a) != len(b) {
+		panic("characterization: speedup profiles differ in length")
+	}
+	out := make([]SpeedupPoint, len(a))
+	for i := range a {
+		if a[i].InU != b[i].InU {
+			panic("characterization: speedup profiles differ in grid")
+		}
+		out[i] = SpeedupPoint{InU: a[i].InU, Speedup: a[i].NsPerUpdate / b[i].NsPerUpdate}
+	}
+	return out
+}
+
+// SpeedupPoint is one row of Figure 8.
+type SpeedupPoint struct {
+	InU     uint64
+	Speedup float64
+}
+
+// CrossingPoint returns the smallest grid size at which `fast` becomes
+// at least as fast as `slow` and stays so for the remainder of the
+// grid (Table 2's "thpt crossing point"). It returns 0 if no such
+// point exists.
+func CrossingPoint(fast, slow []SpeedPoint) uint64 {
+	if len(fast) != len(slow) {
+		panic("characterization: crossing profiles differ in length")
+	}
+	for i := range fast {
+		if fast[i].InU != slow[i].InU {
+			panic("characterization: crossing profiles differ in grid")
+		}
+		if fast[i].NsPerUpdate <= slow[i].NsPerUpdate {
+			ok := true
+			for j := i; j < len(fast); j++ {
+				if fast[j].NsPerUpdate > slow[j].NsPerUpdate {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return fast[i].InU
+			}
+		}
+	}
+	return 0
+}

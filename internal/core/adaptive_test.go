@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBufferAdaptorApplied(t *testing.T) {
+	// The adaptor fires after each handoff with the latest hint.
+	cfg := Config{
+		Writers: 1, BufferSize: 4, DoubleBuffering: true,
+		BufferAdaptor: func(hint uint64, cur int) int {
+			if hint == 99 {
+				return 32
+			}
+			return cur
+		},
+	}
+	s, g := newCounting(cfg)
+	defer s.Close()
+	g.hintVal.Store(99)
+	w := s.Writer(0)
+	if w.CurrentBufferSize() != 4 {
+		t.Fatalf("initial b = %d", w.CurrentBufferSize())
+	}
+	for i := 0; i < 8; i++ { // two handoffs at b=4
+		w.Update(1)
+	}
+	w.Flush()
+	if w.CurrentBufferSize() != 32 {
+		t.Errorf("b after adaptation = %d, want 32", w.CurrentBufferSize())
+	}
+}
+
+func TestBufferAdaptorClamped(t *testing.T) {
+	for _, raw := range []int{-5, 0, MaxAdaptiveBuffer * 10} {
+		cfg := Config{
+			Writers: 1, BufferSize: 2, DoubleBuffering: true,
+			BufferAdaptor: func(uint64, int) int { return raw },
+		}
+		s, _ := newCounting(cfg)
+		w := s.Writer(0)
+		for i := 0; i < 4; i++ {
+			w.Update(1)
+		}
+		w.Flush()
+		b := w.CurrentBufferSize()
+		if b < 1 || b > MaxAdaptiveBuffer {
+			t.Errorf("adaptor result %d not clamped: b = %d", raw, b)
+		}
+		s.Close()
+	}
+}
+
+func TestAdaptiveRelaxationReportsCap(t *testing.T) {
+	cfg := Config{
+		Writers: 2, BufferSize: 4, DoubleBuffering: true,
+		BufferAdaptor: func(uint64, int) int { return 100 },
+	}
+	s, _ := newCounting(cfg)
+	defer s.Close()
+	if r := s.Relaxation(); r != 2*2*MaxAdaptiveBuffer {
+		t.Errorf("relaxation = %d, want worst-case cap %d", r, 2*2*MaxAdaptiveBuffer)
+	}
+}
+
+func TestAdaptiveCorrectnessUnderConcurrency(t *testing.T) {
+	// Growing buffers mid-stream must not lose updates.
+	cfg := Config{
+		Writers: 2, BufferSize: 2, DoubleBuffering: true,
+		BufferAdaptor: func(hint uint64, cur int) int {
+			if cur < 64 {
+				return cur * 2 // grow geometrically each handoff
+			}
+			return cur
+		},
+	}
+	s, _ := newCounting(cfg)
+	defer s.Close()
+	const per = 20000
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := s.Writer(i)
+			for j := 0; j < per; j++ {
+				w.Update(1)
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Query(); got != 2*per {
+		t.Errorf("query = %d, want %d", got, 2*per)
+	}
+}
+
+func TestAdaptiveParSketchMode(t *testing.T) {
+	cfg := Config{
+		Writers: 1, BufferSize: 2, DoubleBuffering: false,
+		BufferAdaptor: func(uint64, int) int { return 16 },
+	}
+	s, _ := newCounting(cfg)
+	defer s.Close()
+	w := s.Writer(0)
+	for i := 0; i < 100; i++ {
+		w.Update(1)
+	}
+	w.Flush()
+	if got := s.Query(); got != 100 {
+		t.Errorf("query = %d", got)
+	}
+	if w.CurrentBufferSize() != 16 {
+		t.Errorf("b = %d, want 16", w.CurrentBufferSize())
+	}
+}

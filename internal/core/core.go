@@ -1,0 +1,467 @@
+// Package core implements the paper's generic concurrent sketch
+// framework (Section 5): OptParSketch, the double-buffered algorithm of
+// Algorithm 2, plus the non-optimised ParSketch variant and the eager
+// propagation adaptation for small streams (§5.3).
+//
+// The framework is instantiated with a composable sketch (the Global
+// interface: merge/snapshot/calcHint/shouldAdd of §5.1) and a factory
+// of writer-local buffer sketches (the Local interface). N writer
+// goroutines each own a Writer handle with two local sketches; a single
+// propagator goroutine continuously folds filled local sketches into
+// the shared global sketch. Writers synchronise with the propagator
+// through one atomic word each (prop_i), exactly as in the paper:
+// prop_i = 0 hands the filled buffer to the propagator, and the
+// propagator writes back the global sketch's hint (always nonzero) to
+// signal completion, piggybacking the pre-filtering information.
+//
+// Queries read a snapshot published through a single atomic load and
+// never synchronise with writers, so they are wait-free and strongly
+// linearisable with respect to the r-relaxed sequential specification,
+// with r = 2·N·b (Theorem 1).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Local is a writer-local sketch: it buffers up to b updates between
+// propagations. It is accessed by exactly one goroutine at a time (its
+// writer, or the propagator after handoff), so implementations need no
+// synchronisation.
+type Local[U any] interface {
+	// Update folds one (pre-filtered) update into the local state.
+	Update(u U)
+	// Reset restores the empty state, retaining buffers.
+	Reset()
+}
+
+// Global is the composable sketch of §5.1. Merge and UpdateDirect are
+// invoked by one goroutine at a time (the propagator, or an eager
+// writer holding the framework's lock); Snapshot may be invoked
+// concurrently with them and must be strongly linearisable — in
+// practice, a single atomic read of state published at the end of every
+// Merge/UpdateDirect.
+type Global[U any, S any] interface {
+	// Merge folds a handed-off local sketch into the global state and
+	// republishes the snapshot.
+	Merge(l Local[U])
+	// UpdateDirect applies a single update (eager phase, §5.3).
+	UpdateDirect(u U)
+	// Snapshot returns the queryable state (S.snapshot() of §5.1).
+	Snapshot() S
+	// CalcHint returns the current pre-filtering hint; the framework
+	// maps 0 to 1, as the paper reserves 0 for the handoff signal.
+	CalcHint() uint64
+	// ShouldAdd reports whether an update can affect the sketch given
+	// a (possibly stale) hint. It must be a static predicate: given
+	// hint h, a false answer must remain valid forever (§5.1 requires
+	// "S.shouldAdd is a static function").
+	ShouldAdd(hint uint64, u U) bool
+}
+
+// Config tunes the framework. The zero value is not valid; use
+// DefaultConfig or fill all fields.
+type Config struct {
+	// Writers is N, the number of update-writer handles.
+	Writers int
+	// BufferSize is b, the per-writer local buffer size. The
+	// relaxation — how many updates a query may miss — is 2·N·b
+	// (Theorem 1; N·b for ParSketch).
+	BufferSize int
+	// EagerLimit is the stream length (in updates applied to the
+	// global sketch) below which writers propagate eagerly —
+	// sequentially, under a lock — instead of buffering (§5.3). Zero
+	// disables the eager phase.
+	EagerLimit int
+	// DoubleBuffering selects OptParSketch (true, Algorithm 2 with the
+	// gray lines) or the non-optimised ParSketch (false), in which a
+	// writer blocks while its single buffer is propagated. ParSketch
+	// exists for the ablation benchmarks; production use should keep
+	// this true.
+	DoubleBuffering bool
+	// BufferAdaptor, when non-nil, is consulted after every handoff to
+	// resize the writer's buffer based on the freshly piggybacked hint
+	// — the paper's §8 future-work direction ("dynamically adapt the
+	// size of the local buffers and respective relaxation error").
+	// The returned size is clamped to [1, MaxAdaptiveBuffer].
+	// Relaxation() reports the worst case 2·N·MaxAdaptiveBuffer when
+	// an adaptor is set.
+	BufferAdaptor func(hint uint64, current int) int
+}
+
+// MaxAdaptiveBuffer caps BufferAdaptor results so the relaxation bound
+// stays finite and reportable.
+const MaxAdaptiveBuffer = 1 << 14
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation for a given writer count: double buffering on, eager phase
+// sized for error bound e = 0.04.
+func DefaultConfig(writers int) Config {
+	return Config{
+		Writers:         writers,
+		BufferSize:      5,
+		EagerLimit:      EagerLimitFor(0.04),
+		DoubleBuffering: true,
+	}
+}
+
+// BufferSizeFor derives the local buffer size b from the sketch
+// accuracy parameter k, the maximum tolerated relaxation error e and
+// the writer count N. Two regimes constrain b (r = 2·N·b):
+//
+//   - estimation mode (n > k): RSE ≤ 1/sqrt(k-2) + r/(k-2) (§6.1), so
+//     r/(k-2) ≤ e requires b ≤ e·(k-2)/(2N);
+//   - exact mode (n ≤ k): a query may miss r of n updates, a relative
+//     error of r/n; the worst case is at the eager cutoff n = 2/e²
+//     (§5.3), so r·e²/2 ≤ e requires b ≤ 1/(e·N).
+//
+// The result is the tighter of the two, clamped to [1, 256]. For the
+// paper's configuration (k=4096, e=0.04, N=12) this yields b = 2,
+// consistent with the implementation's reported "value between 1 and
+// 5" (§7.1). e >= 1 means "no error target": only the estimation-mode
+// bound applies.
+func BufferSizeFor(k int, e float64, writers int) int {
+	if writers <= 0 {
+		panic("core: writers must be positive")
+	}
+	if e <= 0 || k <= 2 {
+		return 1
+	}
+	n := float64(writers)
+	b := e * float64(k-2) / (2 * n)
+	if e < 1 {
+		if exact := 1 / (e * n); exact < b {
+			b = exact
+		}
+	}
+	bi := int(b)
+	if bi < 1 {
+		bi = 1
+	}
+	if bi > 256 {
+		bi = 256
+	}
+	return bi
+}
+
+// EagerLimitFor returns the eager-propagation cutoff 2/e² used by the
+// implementation (§7.1). Error bounds e >= 1 disable the eager phase
+// (the paper's e = 1.0 "no eager" configuration).
+func EagerLimitFor(e float64) int {
+	if e >= 1 || e <= 0 {
+		return 0
+	}
+	return int(2/(e*e) + 0.5)
+}
+
+// Sketch is a concurrent sketch built from a composable global sketch
+// and per-writer locals. Create with New, obtain writer handles with
+// Writer, query with Query, and Close when done.
+type Sketch[U any, S any] struct {
+	global  Global[U, S]
+	cfg     Config
+	writers []*Writer[U, S]
+
+	// eager is true while the stream is short enough that updates go
+	// directly to the global sketch (§5.3). eagerMu serialises the
+	// global sketch between eager writers; eagerCount counts applied
+	// eager updates and is guarded by eagerMu.
+	eager      atomic.Bool
+	eagerMu    sync.Mutex
+	eagerCount int
+
+	// wake nudges the propagator when a buffer is handed off; cap 1 is
+	// enough because the propagator rescans all slots per wakeup.
+	wake chan struct{}
+	stop chan struct{}
+	done sync.WaitGroup
+
+	closed atomic.Bool
+
+	// propagations counts completed merges (observability + tests).
+	propagations atomic.Int64
+}
+
+// New creates a concurrent sketch. newLocal is called 2·N times to
+// allocate the writer-local sketches (N times for ParSketch). The
+// returned sketch owns a background propagator goroutine until Close.
+func New[U any, S any](global Global[U, S], newLocal func() Local[U], cfg Config) *Sketch[U, S] {
+	if cfg.Writers <= 0 {
+		panic("core: Config.Writers must be positive")
+	}
+	if cfg.BufferSize <= 0 {
+		panic("core: Config.BufferSize must be positive")
+	}
+	s := &Sketch[U, S]{
+		global: global,
+		cfg:    cfg,
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	s.eager.Store(cfg.EagerLimit > 0)
+	initialHint := nonzero(global.CalcHint())
+	s.writers = make([]*Writer[U, S], cfg.Writers)
+	for i := range s.writers {
+		w := &Writer[U, S]{parent: s, id: i, b: cfg.BufferSize, hint: initialHint}
+		w.local[0] = newLocal()
+		if cfg.DoubleBuffering {
+			w.local[1] = newLocal()
+		}
+		w.prop.Store(initialHint)
+		s.writers[i] = w
+	}
+	s.done.Add(1)
+	go s.propagator()
+	return s
+}
+
+// Writer returns the i-th writer handle (0 <= i < Config.Writers).
+// Each handle must be used by at most one goroutine at a time.
+func (s *Sketch[U, S]) Writer(i int) *Writer[U, S] {
+	if i < 0 || i >= len(s.writers) {
+		panic(fmt.Sprintf("core: writer index %d out of range [0,%d)", i, len(s.writers)))
+	}
+	return s.writers[i]
+}
+
+// NumWriters returns the configured writer count N.
+func (s *Sketch[U, S]) NumWriters() int { return len(s.writers) }
+
+// Relaxation returns the query relaxation bound r: queries may miss up
+// to r of the updates that precede them (Theorem 1). With an adaptive
+// buffer the worst-case cap is reported.
+func (s *Sketch[U, S]) Relaxation() int {
+	b := s.cfg.BufferSize
+	if s.cfg.BufferAdaptor != nil {
+		b = MaxAdaptiveBuffer
+	}
+	if s.cfg.DoubleBuffering {
+		return 2 * s.cfg.Writers * b
+	}
+	return s.cfg.Writers * b
+}
+
+// Query returns the current snapshot. It is wait-free: a single atomic
+// read, never blocked by writers or the propagator.
+func (s *Sketch[U, S]) Query() S { return s.global.Snapshot() }
+
+// Propagations returns the number of buffer merges completed so far.
+func (s *Sketch[U, S]) Propagations() int64 { return s.propagations.Load() }
+
+// Eager reports whether the sketch is still in the eager
+// (sequential, small-stream) phase.
+func (s *Sketch[U, S]) Eager() bool { return s.eager.Load() }
+
+// Close stops the propagator after draining all handed-off buffers.
+// Callers must stop updating and call Flush on each writer first if
+// they need every buffered update reflected in the final state.
+// Close is idempotent.
+func (s *Sketch[U, S]) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stop)
+	s.done.Wait()
+}
+
+// Writer is the per-goroutine update handle (thread t_i of Algorithm
+// 2). Not safe for concurrent use by multiple goroutines.
+type Writer[U any, S any] struct {
+	parent *Sketch[U, S]
+	id     int
+
+	// local[cur] is the sketch currently absorbing updates; with
+	// double buffering local[1-cur] belongs to the propagator whenever
+	// prop == 0. Without double buffering only local[0] exists.
+	local   [2]Local[U]
+	cur     int
+	counter int
+	b       int
+	hint    uint64
+
+	// prop is the handoff word: 0 while the propagator owns the
+	// standby buffer, otherwise the latest hint. All cross-thread
+	// visibility of the local sketch is ordered through it.
+	prop atomic.Uint64
+}
+
+// Update processes one pre-filtered update (Algorithm 2, update_i).
+func (w *Writer[U, S]) Update(u U) {
+	p := w.parent
+	if p.eager.Load() {
+		if p.eagerUpdate(u) {
+			return
+		}
+	}
+	if !p.global.ShouldAdd(w.hint, u) {
+		return
+	}
+	w.local[w.cur].Update(u)
+	w.counter++
+	if w.counter == w.b {
+		w.handoff()
+	}
+}
+
+// Hint returns the writer's current pre-filtering hint (exposed for
+// tests and diagnostics).
+func (w *Writer[U, S]) Hint() uint64 { return w.hint }
+
+// eagerUpdate applies u directly to the global sketch while in the
+// eager phase. It returns false if the phase ended before the update
+// was applied; the caller then falls through to the buffered path.
+func (s *Sketch[U, S]) eagerUpdate(u U) bool {
+	s.eagerMu.Lock()
+	if !s.eager.Load() {
+		s.eagerMu.Unlock()
+		return false
+	}
+	s.global.UpdateDirect(u)
+	s.eagerCount++
+	if s.eagerCount >= s.cfg.EagerLimit {
+		// Last eager update: subsequent updates buffer lazily. No
+		// lazy merge can have raced us — writers only hand off after
+		// observing eager == false.
+		s.eager.Store(false)
+	}
+	s.eagerMu.Unlock()
+	return true
+}
+
+// handoff passes the filled buffer to the propagator (lines 123-129 of
+// Algorithm 2) and, with double buffering, immediately switches to the
+// standby buffer.
+func (w *Writer[U, S]) handoff() {
+	p := w.parent
+	if p.cfg.DoubleBuffering {
+		// Wait until the previous propagation completed (line 125).
+		w.waitPropNonzero()
+		w.hint = w.prop.Load() // line 127: piggybacked hint
+		w.adaptBuffer()
+		w.cur = 1 - w.cur // line 126: flip to the fresh buffer
+		w.counter = 0
+		w.prop.Store(0) // line 129: hand the filled buffer over
+		p.wakePropagator()
+		return
+	}
+	// ParSketch (no gray lines): signal first, then block until the
+	// propagator finishes with our only buffer (lines 124-125).
+	w.prop.Store(0)
+	p.wakePropagator()
+	w.waitPropNonzero()
+	w.hint = w.prop.Load()
+	w.adaptBuffer()
+	w.counter = 0
+}
+
+// adaptBuffer resizes the local buffer from the latest hint (§8
+// extension). No-op without a configured adaptor.
+func (w *Writer[U, S]) adaptBuffer() {
+	adapt := w.parent.cfg.BufferAdaptor
+	if adapt == nil {
+		return
+	}
+	b := adapt(w.hint, w.b)
+	if b < 1 {
+		b = 1
+	}
+	if b > MaxAdaptiveBuffer {
+		b = MaxAdaptiveBuffer
+	}
+	w.b = b
+}
+
+// CurrentBufferSize returns the writer's current local buffer size
+// (changes over time when a BufferAdaptor is configured).
+func (w *Writer[U, S]) CurrentBufferSize() int { return w.b }
+
+// Flush hands off a partially filled buffer and blocks until the
+// propagator has folded every previously handed-off buffer of this
+// writer into the global sketch. After Flush returns, all of this
+// writer's updates are visible to queries.
+func (w *Writer[U, S]) Flush() {
+	if w.counter > 0 {
+		w.handoff()
+	}
+	w.waitPropNonzero()
+}
+
+// waitPropNonzero spins until the propagator finishes with this
+// writer's standby buffer (line 125). The paper busy-waits; we yield
+// first and fall back to microsecond sleeps so that oversubscribed
+// schedulers (more runnable goroutines than cores) still let the
+// propagator run promptly.
+func (w *Writer[U, S]) waitPropNonzero() {
+	p := w.parent
+	for i := 0; w.prop.Load() == 0; i++ {
+		if p.closed.Load() {
+			panic("core: Update/Flush after Close")
+		}
+		if i < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+func (s *Sketch[U, S]) wakePropagator() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// propagator is the background merger thread t_0 (Algorithm 2,
+// propagator procedure). It exits when Close is called, after a final
+// drain of all handed-off buffers.
+func (s *Sketch[U, S]) propagator() {
+	defer s.done.Done()
+	for {
+		worked := s.scan()
+		if worked {
+			continue
+		}
+		select {
+		case <-s.wake:
+		case <-s.stop:
+			s.scan() // final drain
+			return
+		}
+	}
+}
+
+// scan performs one pass over all writer slots, merging every
+// handed-off buffer (lines 112-115). It reports whether any work was
+// done.
+func (s *Sketch[U, S]) scan() bool {
+	worked := false
+	for _, w := range s.writers {
+		if w.prop.Load() != 0 {
+			continue
+		}
+		idx := 0
+		if s.cfg.DoubleBuffering {
+			// Safe: the writer never touches cur while prop == 0.
+			idx = 1 - w.cur
+		}
+		l := w.local[idx]
+		s.global.Merge(l) // line 113
+		l.Reset()         // line 114
+		s.propagations.Add(1)
+		w.prop.Store(nonzero(s.global.CalcHint())) // line 115
+		worked = true
+	}
+	return worked
+}
+
+func nonzero(h uint64) uint64 {
+	if h == 0 {
+		return 1
+	}
+	return h
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// Edge-case and failure-mode tests for the framework.
+
+func TestFlushOnEmptyBufferIsNoop(t *testing.T) {
+	s, _ := newCounting(Config{Writers: 1, BufferSize: 4, DoubleBuffering: true})
+	defer s.Close()
+	w := s.Writer(0)
+	w.Flush() // nothing buffered, nothing handed off
+	w.Flush()
+	if got := s.Query(); got != 0 {
+		t.Errorf("query after empty flushes = %d", got)
+	}
+}
+
+func TestRepeatedFlushes(t *testing.T) {
+	s, _ := newCounting(Config{Writers: 1, BufferSize: 10, DoubleBuffering: true})
+	defer s.Close()
+	w := s.Writer(0)
+	total := int64(0)
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 3; i++ { // partial buffer each round
+			w.Update(1)
+			total++
+		}
+		w.Flush()
+		if got := s.Query(); got != total {
+			t.Fatalf("round %d: query = %d, want %d", round, got, total)
+		}
+	}
+}
+
+func TestEagerWithParSketch(t *testing.T) {
+	s, _ := newCounting(Config{Writers: 2, BufferSize: 3, EagerLimit: 50, DoubleBuffering: false})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := s.Writer(i)
+			for j := 0; j < 500; j++ {
+				w.Update(1)
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Query(); got != 1000 {
+		t.Errorf("eager+ParSketch query = %d, want 1000", got)
+	}
+}
+
+func TestSingleUpdateBuffer(t *testing.T) {
+	// b = 1: every update is its own handoff (the Figure 1 config).
+	s, _ := newCounting(Config{Writers: 1, BufferSize: 1, DoubleBuffering: true})
+	defer s.Close()
+	w := s.Writer(0)
+	for i := 0; i < 200; i++ {
+		w.Update(1)
+	}
+	w.Flush()
+	if got := s.Query(); got != 200 {
+		t.Errorf("query = %d, want 200", got)
+	}
+	if p := s.Propagations(); p < 199 {
+		t.Errorf("propagations = %d, want ~200 at b=1", p)
+	}
+}
+
+func TestManyWritersFewUpdates(t *testing.T) {
+	// More writers than updates: idle writers must not wedge anything.
+	s, _ := newCounting(Config{Writers: 8, BufferSize: 4, DoubleBuffering: true})
+	defer s.Close()
+	w := s.Writer(3)
+	w.Update(1)
+	w.Flush()
+	if got := s.Query(); got != 1 {
+		t.Errorf("query = %d, want 1", got)
+	}
+}
+
+func TestCloseWithIdleWriters(t *testing.T) {
+	s, _ := newCounting(Config{Writers: 4, BufferSize: 4, DoubleBuffering: true})
+	// Close with no activity at all must not hang.
+	s.Close()
+}
+
+func TestEagerExactlyAtLimit(t *testing.T) {
+	const limit = 10
+	s, _ := newCounting(Config{Writers: 1, BufferSize: 2, EagerLimit: limit, DoubleBuffering: true})
+	defer s.Close()
+	w := s.Writer(0)
+	for i := 0; i < limit; i++ {
+		w.Update(1)
+	}
+	if s.Eager() {
+		t.Error("still eager exactly at the limit")
+	}
+	if got := s.Query(); got != limit {
+		t.Errorf("query = %d, want %d", got, limit)
+	}
+}
+
+func TestQueryBeforeAnyUpdate(t *testing.T) {
+	s, _ := newCounting(Config{Writers: 1, BufferSize: 4, EagerLimit: 5, DoubleBuffering: true})
+	defer s.Close()
+	if got := s.Query(); got != 0 {
+		t.Errorf("query on fresh sketch = %d", got)
+	}
+}
+
+func TestNumWriters(t *testing.T) {
+	s, _ := newCounting(Config{Writers: 7, BufferSize: 2, DoubleBuffering: true})
+	defer s.Close()
+	if s.NumWriters() != 7 {
+		t.Errorf("NumWriters = %d", s.NumWriters())
+	}
+}

@@ -1,0 +1,43 @@
+package hash
+
+// The Θ sketch works in a hash space of [1, MaxThetaValue): MurmurHash3
+// outputs are folded into 63 bits so that arithmetic on thresholds never
+// overflows a signed 64-bit integer (DataSketches convention, which keeps
+// the on-disk format compatible with Java longs). Zero is excluded so
+// that 0 can mean "empty slot" in open-addressing tables.
+
+// MaxThetaValue is one past the largest Θ-space hash; Θ = MaxThetaValue
+// encodes the threshold 1.0 ("keep everything").
+const MaxThetaValue uint64 = 1 << 63
+
+// ThetaHashBytes hashes data into Θ space: uniform on [1, MaxThetaValue).
+func ThetaHashBytes(data []byte, seed uint64) uint64 {
+	h1, _ := Sum128(data, seed)
+	return fold63(h1)
+}
+
+// ThetaHashUint64 hashes a uint64 item into Θ space.
+func ThetaHashUint64(v, seed uint64) uint64 {
+	h1, _ := SumUint64(v, seed)
+	return fold63(h1)
+}
+
+// ThetaHashString hashes a string item into Θ space.
+func ThetaHashString(s string, seed uint64) uint64 {
+	h1, _ := SumString(s, seed)
+	return fold63(h1)
+}
+
+// FractionOf converts a Θ-space value to the fraction of the hash space
+// below it, i.e. the [0,1] threshold the paper calls Θ.
+func FractionOf(theta uint64) float64 {
+	return float64(theta) / float64(MaxThetaValue)
+}
+
+func fold63(h uint64) uint64 {
+	h >>= 1 // into [0, 2^63)
+	if h == 0 {
+		h = 1 // reserve 0 for "empty"
+	}
+	return h
+}

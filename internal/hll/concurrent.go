@@ -1,0 +1,170 @@
+package hll
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/fcds/fcds/internal/core"
+	"github.com/fcds/fcds/internal/hash"
+)
+
+// This file instantiates the generic framework with HLL — the "other
+// sketches" direction the paper's conclusion points at. Local sketches
+// are same-precision HLLs, so propagation is a register-wise max; the
+// snapshot is the estimate behind an atomic word, as for Θ.
+
+// localHLL adapts *Sketch to core.Local[uint64] (updates arrive
+// pre-hashed).
+type localHLL struct{ s *Sketch }
+
+// Update implements core.Local.
+func (l localHLL) Update(h uint64) { l.s.UpdateHash(h) }
+
+// Reset implements core.Local.
+func (l localHLL) Reset() { l.s.Reset() }
+
+// GlobalSketch is the composable global HLL sketch.
+type GlobalSketch struct {
+	h   *Sketch
+	est atomic.Uint64 // Float64bits of the estimate
+}
+
+var _ core.Global[uint64, float64] = (*GlobalSketch)(nil)
+
+// NewGlobal returns an empty composable global HLL with precision p.
+func NewGlobal(p uint8, seed uint64) *GlobalSketch {
+	return &GlobalSketch{h: NewSeeded(p, seed)}
+}
+
+// Merge implements core.Global (register-wise max).
+func (g *GlobalSketch) Merge(l core.Local[uint64]) {
+	// Same precision and seed by construction.
+	if err := g.h.Merge(l.(localHLL).s); err != nil {
+		panic("hll: mismatched local sketch: " + err.Error())
+	}
+	g.publish()
+}
+
+// UpdateDirect implements core.Global (eager phase).
+func (g *GlobalSketch) UpdateDirect(h uint64) {
+	g.h.UpdateHash(h)
+	g.publish()
+}
+
+// Snapshot implements core.Global.
+func (g *GlobalSketch) Snapshot() float64 { return math.Float64frombits(g.est.Load()) }
+
+// CalcHint implements core.Global; HLL derives no useful hint.
+func (g *GlobalSketch) CalcHint() uint64 { return 1 }
+
+// ShouldAdd implements core.Global; HLL cannot pre-filter (any hash
+// may raise a register).
+func (g *GlobalSketch) ShouldAdd(uint64, uint64) bool { return true }
+
+func (g *GlobalSketch) publish() { g.est.Store(math.Float64bits(g.h.Estimate())) }
+
+// ConcurrentConfig configures a concurrent HLL sketch. Zero fields take
+// defaults: Precision=12, Writers=1, BufferSize=1024.
+type ConcurrentConfig struct {
+	// Precision is p; the global and local sketches use 2^p registers.
+	Precision uint8
+	// Writers is N, the number of writer handles.
+	Writers int
+	// BufferSize is b, updates buffered per writer between merges; the
+	// query relaxation is 2·N·b.
+	BufferSize int
+	// EagerLimit, when > 0, propagates the first EagerLimit updates
+	// eagerly; < 0 disables, 0 uses 2^Precision.
+	EagerLimit int
+	// Seed is the hash seed.
+	Seed uint64
+}
+
+func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
+	if c.Precision == 0 {
+		c.Precision = 12
+	}
+	if c.Writers == 0 {
+		c.Writers = 1
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 1024
+	}
+	switch {
+	case c.EagerLimit < 0:
+		c.EagerLimit = 0
+	case c.EagerLimit == 0:
+		c.EagerLimit = 1 << c.Precision
+	}
+	if c.Seed == 0 {
+		c.Seed = hash.DefaultSeed
+	}
+	return c
+}
+
+// Concurrent is the concurrent HLL sketch.
+type Concurrent struct {
+	sk  *core.Sketch[uint64, float64]
+	cfg ConcurrentConfig
+}
+
+// NewConcurrent builds a concurrent HLL sketch; Close when done.
+func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
+	cfg = cfg.withDefaults()
+	global := NewGlobal(cfg.Precision, cfg.Seed)
+	coreCfg := core.Config{
+		Writers:         cfg.Writers,
+		BufferSize:      cfg.BufferSize,
+		EagerLimit:      cfg.EagerLimit,
+		DoubleBuffering: true,
+	}
+	newLocal := func() core.Local[uint64] {
+		return localHLL{s: NewSeeded(cfg.Precision, cfg.Seed)}
+	}
+	return &Concurrent{sk: core.New[uint64, float64](global, newLocal, coreCfg), cfg: cfg}
+}
+
+// Writer returns the i-th writer handle (single-goroutine use).
+func (c *Concurrent) Writer(i int) *ConcurrentWriter {
+	return &ConcurrentWriter{w: c.sk.Writer(i), seed: c.cfg.Seed}
+}
+
+// Estimate returns the current estimate (wait-free; may miss up to
+// Relaxation() recent updates).
+func (c *Concurrent) Estimate() float64 { return c.sk.Query() }
+
+// Relaxation returns the bound r = 2·N·b.
+func (c *Concurrent) Relaxation() int { return c.sk.Relaxation() }
+
+// Propagations returns the number of local merges completed.
+func (c *Concurrent) Propagations() int64 { return c.sk.Propagations() }
+
+// Close stops the propagator. Flush writers first to drain buffers.
+func (c *Concurrent) Close() { c.sk.Close() }
+
+// ConcurrentWriter is a single-goroutine update handle.
+type ConcurrentWriter struct {
+	w    *core.Writer[uint64, float64]
+	seed uint64
+}
+
+// Update processes a byte-slice item.
+func (w *ConcurrentWriter) Update(data []byte) {
+	h, _ := hash.Sum128(data, w.seed)
+	w.w.Update(h)
+}
+
+// UpdateUint64 processes a uint64 item.
+func (w *ConcurrentWriter) UpdateUint64(v uint64) {
+	h, _ := hash.SumUint64(v, w.seed)
+	w.w.Update(h)
+}
+
+// UpdateString processes a string item.
+func (w *ConcurrentWriter) UpdateString(s string) {
+	h, _ := hash.SumString(s, w.seed)
+	w.w.Update(h)
+}
+
+// Flush propagates buffered updates and waits for completion.
+func (w *ConcurrentWriter) Flush() { w.w.Flush() }

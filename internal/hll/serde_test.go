@@ -1,0 +1,84 @@
+package hll
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHLLSerdeRoundTrip(t *testing.T) {
+	s := New(12)
+	for i := uint64(0); i < 100000; i++ {
+		s.UpdateUint64(i)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != s.Estimate() {
+		t.Errorf("estimate changed: %v -> %v", s.Estimate(), got.Estimate())
+	}
+	if got.Precision() != 12 || got.Seed() != s.Seed() {
+		t.Error("metadata changed")
+	}
+	// The restored sketch must keep working and stay mergeable.
+	if err := got.Merge(s); err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != s.Estimate() {
+		t.Error("self-merge after restore changed estimate")
+	}
+}
+
+func TestHLLSerdeRoundTripEmpty(t *testing.T) {
+	data, _ := New(8).MarshalBinary()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsEmpty() || got.Estimate() != 0 {
+		t.Error("empty round trip failed")
+	}
+}
+
+func TestHLLSerdeRejectsCorruption(t *testing.T) {
+	s := New(10)
+	for i := uint64(0); i < 1000; i++ {
+		s.UpdateUint64(i)
+	}
+	base, _ := s.MarshalBinary()
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"short", func(b []byte) []byte { return b[:8] }, ErrCorrupt},
+		{"magic", func(b []byte) []byte { b[0] = 'x'; return b }, ErrBadMagic},
+		{"version", func(b []byte) []byte { b[4] = 7; return b }, ErrBadVersion},
+		{"precision", func(b []byte) []byte { b[5] = 30; return b }, ErrCorrupt},
+		{"size", func(b []byte) []byte { return b[:len(b)-1] }, ErrCorrupt},
+		{"register range", func(b []byte) []byte { b[hheaderSize] = 200; return b }, ErrBadReg},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), base...))
+			if _, err := Unmarshal(data); !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestHLLSerdeFuzzNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package lockbased provides the evaluation baseline of the paper: a
+// sequential sketch made thread-safe by wrapping every API call in a
+// readers-writer lock ("applications using these libraries are
+// therefore required to explicitly protect all sketch API calls by
+// locks", §1; Figures 1, 6 and 7 compare against exactly this).
+//
+// Updates take the write lock; queries take the read lock. As the
+// paper shows, this baseline does not scale — contention on the lock
+// grows with the thread count — which is precisely the motivation for
+// the concurrent framework in package core.
+package lockbased
+
+import (
+	"sync"
+
+	"github.com/fcds/fcds/internal/hash"
+	"github.com/fcds/fcds/internal/quantiles"
+	"github.com/fcds/fcds/internal/theta"
+)
+
+// Theta is a lock-protected sequential Θ sketch (QuickSelect family,
+// like the global sketch of the concurrent implementation — "the
+// sequential implementation and the sketch at the core of the global
+// sketch in the concurrent implementation are the same", §7.1).
+type Theta struct {
+	mu   sync.RWMutex
+	s    *theta.QuickSelect
+	seed uint64
+}
+
+// NewTheta returns a lock-protected Θ sketch with nominal entry count
+// k and the default seed.
+func NewTheta(k int) *Theta { return NewThetaSeeded(k, hash.DefaultSeed) }
+
+// NewThetaSeeded returns a lock-protected Θ sketch with an explicit
+// seed.
+func NewThetaSeeded(k int, seed uint64) *Theta {
+	return &Theta{s: theta.NewQuickSelectSeeded(k, seed), seed: seed}
+}
+
+// UpdateUint64 processes one item under the write lock.
+func (t *Theta) UpdateUint64(v uint64) {
+	h := hash.ThetaHashUint64(v, t.seed) // hash outside the lock
+	t.mu.Lock()
+	t.s.UpdateHash(h)
+	t.mu.Unlock()
+}
+
+// UpdateHash processes a pre-hashed item under the write lock.
+func (t *Theta) UpdateHash(h uint64) {
+	t.mu.Lock()
+	t.s.UpdateHash(h)
+	t.mu.Unlock()
+}
+
+// Estimate returns the current estimate under the read lock.
+func (t *Theta) Estimate() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.s.Estimate()
+}
+
+// Theta returns the current threshold under the read lock.
+func (t *Theta) Theta() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.s.Theta()
+}
+
+// Compact returns an immutable snapshot under the read lock.
+func (t *Theta) Compact() *theta.Compact {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.s.Compact()
+}
+
+// Reset clears the sketch under the write lock.
+func (t *Theta) Reset() {
+	t.mu.Lock()
+	t.s.Reset()
+	t.mu.Unlock()
+}
+
+// Quantiles is a lock-protected sequential quantiles sketch.
+type Quantiles struct {
+	mu sync.RWMutex
+	s  *quantiles.Sketch
+}
+
+// NewQuantiles returns a lock-protected quantiles sketch with
+// parameter k.
+func NewQuantiles(k int) *Quantiles {
+	return &Quantiles{s: quantiles.New(k)}
+}
+
+// Update processes one value under the write lock.
+func (q *Quantiles) Update(v float64) {
+	q.mu.Lock()
+	q.s.Update(v)
+	q.mu.Unlock()
+}
+
+// Quantile answers a quantile query under the read lock.
+func (q *Quantiles) Quantile(phi float64) float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.s.Quantile(phi)
+}
+
+// Rank answers a rank query under the read lock.
+func (q *Quantiles) Rank(v float64) float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.s.Rank(v)
+}
+
+// N returns the processed-item count under the read lock.
+func (q *Quantiles) N() uint64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.s.N()
+}

@@ -1,0 +1,140 @@
+package lockbased
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestThetaSequentialCorrectness(t *testing.T) {
+	s := NewTheta(256)
+	for i := uint64(0); i < 100; i++ {
+		s.UpdateUint64(i)
+	}
+	if est := s.Estimate(); est != 100 {
+		t.Errorf("estimate = %v, want 100", est)
+	}
+}
+
+func TestThetaConcurrentUpdatesNoLoss(t *testing.T) {
+	// The lock serializes everything, so the result must equal the
+	// sequential sketch on the same input set (exact mode).
+	s := NewTheta(4096)
+	var wg sync.WaitGroup
+	const writers, per = 4, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.UpdateUint64(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if est := s.Estimate(); est != writers*per {
+		t.Errorf("estimate = %v, want %d", est, writers*per)
+	}
+}
+
+func TestThetaConcurrentReadsDuringWrites(t *testing.T) {
+	s := NewTheta(1024)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < 200000; i++ {
+			s.UpdateUint64(i)
+		}
+		close(stop)
+	}()
+	var prev float64
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		default:
+		}
+		est := s.Estimate()
+		// Estimates may wobble slightly across rebuilds but must stay
+		// sane (never negative, never wildly above the stream size).
+		if est < prev*0.5 || est > 1e7 {
+			t.Fatalf("estimate %v after %v looks corrupt", est, prev)
+		}
+		prev = est
+	}
+}
+
+func TestThetaEstimationAccuracy(t *testing.T) {
+	s := NewTheta(1024)
+	const n = 200000
+	for i := uint64(0); i < n; i++ {
+		s.UpdateUint64(i)
+	}
+	if re := math.Abs(s.Estimate()-n) / n; re > 0.15 {
+		t.Errorf("relative error %v", re)
+	}
+	if c := s.Compact(); math.Abs(c.Estimate()-s.Estimate()) > 1e-9 {
+		t.Error("compact snapshot disagrees with estimate")
+	}
+}
+
+func TestThetaReset(t *testing.T) {
+	s := NewTheta(256)
+	s.UpdateUint64(1)
+	s.Reset()
+	if s.Estimate() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestQuantilesLockedBasics(t *testing.T) {
+	q := NewQuantiles(128)
+	for i := 1; i <= 1000; i++ {
+		q.Update(float64(i))
+	}
+	if q.N() != 1000 {
+		t.Errorf("N = %d", q.N())
+	}
+	med := q.Quantile(0.5)
+	if med < 400 || med > 600 {
+		t.Errorf("median = %v", med)
+	}
+	if r := q.Rank(500); math.Abs(r-0.5) > 0.05 {
+		t.Errorf("rank(500) = %v", r)
+	}
+}
+
+func TestQuantilesConcurrentMixed(t *testing.T) {
+	q := NewQuantiles(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				q.Update(float64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			if q.N() != 10000 {
+				t.Errorf("N = %d, want 10000", q.N())
+			}
+			return
+		default:
+			if q.N() > 0 {
+				_ = q.Quantile(0.9)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package oracle provides the external source of randomness the paper's
+// Section 4 uses to de-randomise sketches.
+//
+// A sketch instantiated with a fixed Oracle behaves deterministically:
+// the Θ sketch draws its hash seed from the oracle at init time, and the
+// Quantiles sketch draws one coin flip per compaction. Fixing the oracle
+// turns the randomised sketch into a deterministic object with a
+// sequential specification (SeqSketch), which is what the r-relaxation
+// (Definition 2) and the relax-checker tests are defined against.
+//
+// The generator is SplitMix64: tiny state, full 2^64 period per stream,
+// and excellent equidistribution for this use. It is deliberately not
+// math/rand so that sequences are reproducible across Go releases.
+package oracle
+
+// Oracle is a deterministic stream of random values. It is NOT safe for
+// concurrent use; give each thread (or each sketch) its own child stream
+// via Fork.
+type Oracle struct {
+	state uint64
+	// fixedCoin, when non-nil, pins every Coin result (Fixed oracles).
+	fixedCoin *bool
+}
+
+// New returns an oracle seeded with seed. Two oracles with the same seed
+// produce identical streams.
+func New(seed uint64) *Oracle {
+	return &Oracle{state: seed}
+}
+
+// Uint64 returns the next 64-bit value in the stream (SplitMix64).
+func (o *Oracle) Uint64() uint64 {
+	o.state += 0x9e3779b97f4a7c15
+	z := o.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Coin returns the next fair coin flip (or the pinned value for a Fixed
+// oracle).
+func (o *Oracle) Coin() bool {
+	if o.fixedCoin != nil {
+		return *o.fixedCoin
+	}
+	return o.Uint64()&1 == 1
+}
+
+// Float64 returns the next value uniform on [0, 1) with 53 random bits.
+func (o *Oracle) Float64() float64 {
+	return float64(o.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns the next value uniform on [0, n). It panics if n <= 0.
+func (o *Oracle) Intn(n int) int {
+	if n <= 0 {
+		panic("oracle: Intn with non-positive n")
+	}
+	// Multiply-shift rejection-free mapping; bias is < 2^-32 for the
+	// small n used by sketch compaction offsets, which is far below the
+	// sketch's own statistical error.
+	return int((o.Uint64() >> 32) * uint64(n) >> 32)
+}
+
+// HashSeed draws a hash-function seed. Named separately from Uint64 to
+// mark call sites that correspond to the paper's "oracle output passed
+// as a hidden variable to init".
+func (o *Oracle) HashSeed() uint64 { return o.Uint64() }
+
+// Fork derives an independent child stream. The child's sequence does
+// not overlap the parent's continuation for any practical stream length
+// (distinct SplitMix64 gamma-spaced seeds).
+func (o *Oracle) Fork() *Oracle {
+	return New(o.Uint64() ^ 0x6a09e667f3bcc909)
+}
+
+// Fixed returns an oracle whose Coin always reports v. Uint64, Float64
+// and friends still advance normally. It is used by tests that need a
+// fully deterministic "worst coin" schedule (e.g. quantiles compaction
+// always keeping the even half).
+func Fixed(v bool) *Oracle {
+	o := New(0)
+	o.fixedCoin = &v
+	return o
+}

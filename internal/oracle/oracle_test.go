@@ -1,0 +1,149 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed oracles diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	o := New(7)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := o.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestCoinFairness(t *testing.T) {
+	o := New(99)
+	heads := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if o.Coin() {
+			heads++
+		}
+	}
+	frac := float64(heads) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("coin heads fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	o := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100} {
+		counts := make([]int, n)
+		for i := 0; i < 1000; i++ {
+			v := o.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			counts[v]++
+		}
+		if n == 2 {
+			// Coarse balance check.
+			if counts[0] < 400 || counts[0] > 600 {
+				t.Errorf("Intn(2) unbalanced: %v", counts)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(5)
+	child := parent.Fork()
+	// The child stream must not equal the parent continuation.
+	p := make([]uint64, 50)
+	c := make([]uint64, 50)
+	for i := range p {
+		p[i] = parent.Uint64()
+		c[i] = child.Uint64()
+	}
+	same := 0
+	for i := range p {
+		if p[i] == c[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("fork overlaps parent stream (%d matches)", same)
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	a := New(5).Fork()
+	b := New(5).Fork()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("forks of identical oracles diverged")
+		}
+	}
+}
+
+func TestFixedCoin(t *testing.T) {
+	ft, ff := Fixed(true), Fixed(false)
+	for i := 0; i < 100; i++ {
+		if !ft.Coin() {
+			t.Fatal("Fixed(true) returned false")
+		}
+		if ff.Coin() {
+			t.Fatal("Fixed(false) returned true")
+		}
+	}
+	// Non-coin draws still advance.
+	if ft.Uint64() == ft.Uint64() {
+		t.Fatal("Fixed oracle Uint64 does not advance")
+	}
+}
+
+func TestHashSeedAdvances(t *testing.T) {
+	o := New(11)
+	if o.HashSeed() == o.HashSeed() {
+		t.Fatal("HashSeed repeated a value back-to-back")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	o := New(1)
+	for i := 0; i < b.N; i++ {
+		o.Uint64()
+	}
+}

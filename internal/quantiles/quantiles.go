@@ -1,0 +1,246 @@
+// Package quantiles implements the mergeable Quantiles sketch of
+// Agarwal et al. ("Mergeable Summaries", PODS'12) in the form Apache
+// DataSketches ships: a base buffer of 2k items plus a logarithmic
+// ladder of levels, each holding k sorted items of weight 2^(level+1).
+//
+// A query for quantile φ over a stream of n items returns an element
+// whose rank is within (φ±ε)n with probability at least 1-δ, with
+// ε = O(1/k) — the PAC property the paper's Section 6.2 relaxation
+// analysis builds on. Randomness (the compaction zip offset) comes from
+// an explicit oracle, matching the paper's de-randomisation: fixing the
+// oracle fixes the sketch's sequential behaviour.
+package quantiles
+
+import (
+	"math"
+	"sort"
+
+	"github.com/fcds/fcds/internal/oracle"
+)
+
+// Sketch is a mergeable quantiles sketch over float64 values. It is not
+// safe for concurrent use; see the core framework for the concurrent
+// version.
+type Sketch struct {
+	k    int
+	n    uint64
+	base []float64 // unsorted, weight-1 items; cap 2k
+	// levels[i] is nil or a sorted slice of exactly k items, each with
+	// weight 2^(i+1).
+	levels [][]float64
+	min    float64
+	max    float64
+	orc    *oracle.Oracle
+	// scratch buffers reused across compactions.
+	mergeBuf []float64
+}
+
+// New returns an empty sketch with parameter k (a power of two >= 2;
+// 128 gives ~1.7% rank error) and a library-default oracle.
+func New(k int) *Sketch { return NewWithOracle(k, oracle.New(0x5eed)) }
+
+// NewWithOracle returns an empty sketch drawing compaction coins from
+// orc (the paper's Section 4 oracle; fix it to de-randomise).
+func NewWithOracle(k int, orc *oracle.Oracle) *Sketch {
+	if k < 2 || k&(k-1) != 0 {
+		panic("quantiles: k must be a power of two >= 2")
+	}
+	return &Sketch{
+		k:    k,
+		base: make([]float64, 0, 2*k),
+		min:  math.Inf(1),
+		max:  math.Inf(-1),
+		orc:  orc,
+	}
+}
+
+// K returns the sketch parameter.
+func (s *Sketch) K() int { return s.k }
+
+// N returns the number of items processed.
+func (s *Sketch) N() uint64 { return s.n }
+
+// IsEmpty reports whether no items have been processed.
+func (s *Sketch) IsEmpty() bool { return s.n == 0 }
+
+// Min returns the smallest item seen (…+Inf when empty).
+func (s *Sketch) Min() float64 { return s.min }
+
+// Max returns the largest item seen (-Inf when empty).
+func (s *Sketch) Max() float64 { return s.max }
+
+// Update processes one stream item. NaN values are rejected because
+// they have no rank.
+func (s *Sketch) Update(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.base = append(s.base, v)
+	s.n++
+	if len(s.base) == 2*s.k {
+		s.processFullBase()
+	}
+}
+
+// processFullBase sorts the base buffer and carries a compacted
+// k-buffer into the level ladder.
+func (s *Sketch) processFullBase() {
+	sort.Float64s(s.base)
+	carry := s.compact(s.base)
+	s.base = s.base[:0]
+	s.carryUp(0, carry)
+}
+
+// compact halves a sorted 2k-item buffer into a fresh k-item buffer by
+// keeping every other item starting at a random offset (the oracle coin
+// flip of §4 — one flip per compaction).
+func (s *Sketch) compact(sorted2k []float64) []float64 {
+	offset := 0
+	if s.orc.Coin() {
+		offset = 1
+	}
+	out := make([]float64, 0, s.k)
+	for i := offset; i < len(sorted2k); i += 2 {
+		out = append(out, sorted2k[i])
+	}
+	return out
+}
+
+// carryUp inserts a sorted k-item buffer at the given level, merging
+// and re-compacting upward while levels are occupied (binary-add carry
+// propagation).
+func (s *Sketch) carryUp(level int, carry []float64) {
+	for {
+		for len(s.levels) <= level {
+			s.levels = append(s.levels, nil)
+		}
+		if s.levels[level] == nil {
+			s.levels[level] = carry
+			return
+		}
+		// Merge two sorted k-buffers into 2k, compact to k, carry up.
+		s.mergeBuf = mergeSorted(s.mergeBuf[:0], s.levels[level], carry)
+		s.levels[level] = nil
+		carry = s.compact(s.mergeBuf)
+		level++
+	}
+}
+
+// mergeSorted merges two sorted slices into dst.
+func mergeSorted(dst, a, b []float64) []float64 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// Merge folds other into s (mergeable-summaries merge): other's base
+// buffer is replayed as weight-1 updates and each occupied level is
+// carried into s at the same height. other is not modified.
+func (s *Sketch) Merge(other *Sketch) {
+	if other.IsEmpty() {
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	if other.k != s.k {
+		// Downstream users should construct compatible sketches; we
+		// keep the API total by replaying through a snapshot, which
+		// preserves the PAC bound of the coarser sketch.
+		s.mergeViaSnapshot(other)
+		return
+	}
+	// Weight-1 items.
+	for _, v := range other.base {
+		s.base = append(s.base, v)
+		s.n++
+		if len(s.base) == 2*s.k {
+			s.processFullBase()
+		}
+	}
+	// Level buffers: insert copies so other remains usable.
+	for lvl, buf := range other.levels {
+		if buf == nil {
+			continue
+		}
+		cp := make([]float64, len(buf))
+		copy(cp, buf)
+		s.carryUp(lvl, cp)
+		s.n += uint64(len(buf)) << uint(lvl+1)
+	}
+}
+
+// mergeViaSnapshot replays other's weighted samples into s. Used only
+// for mismatched k.
+func (s *Sketch) mergeViaSnapshot(other *Sketch) {
+	snap := other.Snapshot()
+	for i, v := range snap.values {
+		w := snap.weightAt(i)
+		for j := uint64(0); j < w; j++ {
+			s.Update(v)
+		}
+	}
+}
+
+// Quantile returns an element whose rank approximates φ·n. φ must be in
+// [0, 1]; 0 returns the exact minimum and 1 the exact maximum.
+func (s *Sketch) Quantile(phi float64) float64 { return s.Snapshot().Quantile(phi) }
+
+// Rank returns the approximate normalized rank of v: the fraction of
+// processed items that are < v.
+func (s *Sketch) Rank(v float64) float64 { return s.Snapshot().Rank(v) }
+
+// CDF returns the approximate cumulative distribution evaluated at each
+// split point: result[i] is the normalized rank of splits[i], plus a
+// final entry of 1. Splits must be strictly ascending.
+func (s *Sketch) CDF(splits []float64) []float64 { return s.Snapshot().CDF(splits) }
+
+// Reset restores the sketch to empty, retaining its buffers.
+func (s *Sketch) Reset() {
+	s.n = 0
+	s.base = s.base[:0]
+	for i := range s.levels {
+		s.levels[i] = nil
+	}
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+}
+
+// RetainedItems returns the number of samples currently stored (base
+// plus levels) — the sketch's space footprint in items.
+func (s *Sketch) RetainedItems() int {
+	r := len(s.base)
+	for _, l := range s.levels {
+		r += len(l)
+	}
+	return r
+}
+
+// NormalizedRankError returns the a-priori rank error ε for parameter k
+// with high confidence (~99%), using the empirical fit published for
+// the DataSketches quantiles family. The concurrent relaxation adds
+// r/n − rε/n on top (§6.2).
+func NormalizedRankError(k int) float64 {
+	// Fit of the same form DataSketches documents for this sketch;
+	// k=128 → ≈1.7%, k=256 → ≈0.9%.
+	return 1.76 / math.Pow(float64(k), 0.93)
+}

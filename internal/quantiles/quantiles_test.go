@@ -1,0 +1,458 @@
+package quantiles
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fcds/fcds/internal/oracle"
+)
+
+func TestEmptySketch(t *testing.T) {
+	s := New(128)
+	if !s.IsEmpty() || s.N() != 0 || s.RetainedItems() != 0 {
+		t.Error("fresh sketch not empty")
+	}
+	if !math.IsNaN(s.Snapshot().Quantile(0.5)) {
+		t.Error("median of empty sketch should be NaN")
+	}
+	if !math.IsNaN(s.Snapshot().Rank(5)) {
+		t.Error("rank on empty sketch should be NaN")
+	}
+}
+
+func TestSmallStreamExact(t *testing.T) {
+	// Below 2k items nothing is compacted: every query is exact.
+	s := New(128)
+	for i := 1; i <= 100; i++ {
+		s.Update(float64(i))
+	}
+	tests := []struct {
+		phi  float64
+		want float64
+	}{
+		{0, 1}, {1, 100}, {0.5, 50}, {0.25, 25}, {0.99, 99},
+	}
+	for _, tc := range tests {
+		if got := s.Quantile(tc.phi); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.phi, got, tc.want)
+		}
+	}
+}
+
+func TestMinMaxExact(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 100000; i++ {
+		s.Update(float64((i*7919)%1000000) / 3)
+	}
+	if s.Quantile(0) != s.Min() || s.Quantile(1) != s.Max() {
+		t.Error("extreme quantiles must return exact min/max")
+	}
+}
+
+func TestNaNIgnored(t *testing.T) {
+	s := New(64)
+	s.Update(math.NaN())
+	if !s.IsEmpty() {
+		t.Error("NaN update was not ignored")
+	}
+}
+
+func TestNCountsCorrectly(t *testing.T) {
+	s := New(32)
+	const n = 12345
+	for i := 0; i < n; i++ {
+		s.Update(float64(i))
+	}
+	if s.N() != n {
+		t.Errorf("N = %d, want %d", s.N(), n)
+	}
+}
+
+func TestWeightInvariant(t *testing.T) {
+	// Total snapshot weight must always equal n, at every fill level
+	// (this is the invariant compaction must preserve).
+	s := New(16)
+	for i := 0; i < 3000; i++ {
+		s.Update(float64(i))
+		snap := s.Snapshot()
+		if len(snap.cum) == 0 {
+			t.Fatal("snapshot empty while sketch non-empty")
+		}
+		if total := snap.cum[len(snap.cum)-1]; total != s.n {
+			t.Fatalf("after %d updates: snapshot weight %d != n %d", i+1, total, s.n)
+		}
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	// Retained items must grow like O(k log(n/k)), not O(n).
+	k := 128
+	s := New(k)
+	const n = 1 << 20
+	for i := 0; i < n; i++ {
+		s.Update(float64(i))
+	}
+	maxRetained := 2*k + k*25 // base + one buffer per level, generous
+	if r := s.RetainedItems(); r > maxRetained {
+		t.Errorf("retained %d items for n=%d, want <= %d", r, n, maxRetained)
+	}
+}
+
+func TestRankErrorSortedStream(t *testing.T) {
+	k, n := 128, 200000
+	s := New(k)
+	for i := 0; i < n; i++ {
+		s.Update(float64(i))
+	}
+	eps := NormalizedRankError(k)
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := s.Quantile(phi)
+		trueRank := got / float64(n) // value i has exact rank i/n
+		if math.Abs(trueRank-phi) > 3*eps {
+			t.Errorf("phi=%v: returned value has rank %v (|Δ|=%v > 3ε=%v)",
+				phi, trueRank, math.Abs(trueRank-phi), 3*eps)
+		}
+	}
+}
+
+func TestRankErrorAdversarialOrder(t *testing.T) {
+	// Reverse-sorted and shuffled streams must meet the same bound.
+	k, n := 128, 100000
+	eps := NormalizedRankError(k)
+	streams := map[string]func(i int) float64{
+		"reversed": func(i int) float64 { return float64(n - i) },
+		"shuffled": func(i int) float64 { return float64((i * 99991) % n) },
+		"zigzag":   func(i int) float64 { return float64((i%2)*n/2 + i/2) },
+	}
+	for name, gen := range streams {
+		s := New(k)
+		for i := 0; i < n; i++ {
+			s.Update(gen(i))
+		}
+		for _, phi := range []float64{0.1, 0.5, 0.9} {
+			got := s.Quantile(phi)
+			trueRank := got / float64(n)
+			if math.Abs(trueRank-phi) > 3*eps {
+				t.Errorf("%s: phi=%v rank=%v exceeds 3ε", name, phi, trueRank)
+			}
+		}
+	}
+}
+
+func TestRankQuantileInverse(t *testing.T) {
+	k, n := 128, 50000
+	s := New(k)
+	for i := 0; i < n; i++ {
+		s.Update(float64(i))
+	}
+	eps := NormalizedRankError(k)
+	snap := s.Snapshot()
+	for _, phi := range []float64{0.2, 0.5, 0.8} {
+		v := snap.Quantile(phi)
+		r := snap.Rank(v)
+		if math.Abs(r-phi) > 3*eps {
+			t.Errorf("Rank(Quantile(%v)) = %v, want within 3ε", phi, r)
+		}
+	}
+}
+
+func TestRankBoundaries(t *testing.T) {
+	s := New(32)
+	for i := 1; i <= 100; i++ {
+		s.Update(float64(i))
+	}
+	snap := s.Snapshot()
+	if r := snap.Rank(0.5); r != 0 {
+		t.Errorf("rank below min = %v, want 0", r)
+	}
+	if r := snap.Rank(1000); r != 1 {
+		t.Errorf("rank above max = %v, want 1", r)
+	}
+}
+
+func TestQuantilePanicsOutsideRange(t *testing.T) {
+	s := New(32)
+	s.Update(1)
+	for _, phi := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", phi)
+				}
+			}()
+			s.Quantile(phi)
+		}()
+	}
+}
+
+func TestMergeEquivalentToConcatenation(t *testing.T) {
+	// Mergeability: error bound of merged sketch matches direct sketch.
+	k, n := 128, 100000
+	a, b := New(k), New(k)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			a.Update(float64(i))
+		} else {
+			b.Update(float64(i))
+		}
+	}
+	a.Merge(b)
+	if a.N() != uint64(n) {
+		t.Fatalf("merged N = %d, want %d", a.N(), n)
+	}
+	eps := NormalizedRankError(k)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got := a.Quantile(phi)
+		trueRank := got / float64(n)
+		if math.Abs(trueRank-phi) > 4*eps {
+			t.Errorf("merged: phi=%v rank=%v", phi, trueRank)
+		}
+	}
+}
+
+func TestMergePreservesMinMax(t *testing.T) {
+	a, b := New(32), New(32)
+	a.Update(5)
+	b.Update(-3)
+	b.Update(99)
+	a.Merge(b)
+	if a.Min() != -3 || a.Max() != 99 {
+		t.Errorf("min/max after merge = %v/%v, want -3/99", a.Min(), a.Max())
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a, b := New(32), New(32)
+	a.Update(1)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Errorf("N after merging empty = %d", a.N())
+	}
+	b.Merge(a)
+	if b.N() != 1 || b.Quantile(0.5) != 1 {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestMergeDoesNotModifyOther(t *testing.T) {
+	k := 32
+	a, b := New(k), New(k)
+	for i := 0; i < 10000; i++ {
+		a.Update(float64(i))
+		b.Update(float64(i))
+	}
+	before := b.Snapshot()
+	a.Merge(b)
+	after := b.Snapshot()
+	if len(before.values) != len(after.values) || before.n != after.n {
+		t.Fatal("merge modified its argument")
+	}
+	for i := range before.values {
+		if before.values[i] != after.values[i] {
+			t.Fatal("merge modified other's samples")
+		}
+	}
+}
+
+func TestMergeMismatchedK(t *testing.T) {
+	a, b := New(128), New(64)
+	for i := 0; i < 50000; i++ {
+		a.Update(float64(i))
+		b.Update(float64(i + 50000))
+	}
+	a.Merge(b)
+	if a.N() != 100000 {
+		t.Fatalf("merged N = %d, want 100000", a.N())
+	}
+	eps := NormalizedRankError(64) // coarser sketch dominates
+	got := a.Quantile(0.5)
+	if math.Abs(got/100000-0.5) > 4*eps {
+		t.Errorf("median after mixed-k merge: %v", got)
+	}
+}
+
+func TestSnapshotIsStable(t *testing.T) {
+	// A snapshot must not change when the source sketch keeps updating
+	// (this is what makes concurrent queries safe).
+	s := New(64)
+	for i := 0; i < 1000; i++ {
+		s.Update(float64(i))
+	}
+	snap := s.Snapshot()
+	medBefore := snap.Quantile(0.5)
+	for i := 1000; i < 200000; i++ {
+		s.Update(float64(i))
+	}
+	if snap.Quantile(0.5) != medBefore {
+		t.Error("snapshot changed after further updates")
+	}
+	if snap.N() != 1000 {
+		t.Errorf("snapshot N = %d, want 1000", snap.N())
+	}
+}
+
+func TestCDFAndPMF(t *testing.T) {
+	s := New(128)
+	for i := 0; i < 10000; i++ {
+		s.Update(float64(i % 100)) // uniform over 0..99
+	}
+	snap := s.Snapshot()
+	cdf := snap.CDF([]float64{25, 50, 75})
+	if len(cdf) != 4 || cdf[3] != 1 {
+		t.Fatalf("CDF shape wrong: %v", cdf)
+	}
+	for i, want := range []float64{0.25, 0.5, 0.75} {
+		if math.Abs(cdf[i]-want) > 0.05 {
+			t.Errorf("CDF[%d] = %v, want ~%v", i, cdf[i], want)
+		}
+	}
+	pmf := snap.PMF([]float64{25, 50, 75})
+	var sum float64
+	for _, p := range pmf {
+		if p < 0 {
+			t.Errorf("negative PMF mass %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %v", sum)
+	}
+}
+
+func TestCDFPanicsOnUnsortedSplits(t *testing.T) {
+	s := New(32)
+	s.Update(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CDF with unsorted splits did not panic")
+		}
+	}()
+	s.CDF([]float64{5, 2})
+}
+
+func TestReset(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 10000; i++ {
+		s.Update(float64(i))
+	}
+	s.Reset()
+	if !s.IsEmpty() || s.RetainedItems() != 0 {
+		t.Fatal("reset did not empty the sketch")
+	}
+	s.Update(7)
+	if s.Quantile(0.5) != 7 {
+		t.Error("sketch unusable after reset")
+	}
+}
+
+func TestDeterministicWithFixedOracle(t *testing.T) {
+	// §4: with the oracle fixed, the sketch is deterministic.
+	run := func() float64 {
+		s := NewWithOracle(64, oracle.New(12345))
+		for i := 0; i < 100000; i++ {
+			s.Update(float64((i * 31) % 100000))
+		}
+		return s.Quantile(0.5)
+	}
+	if run() != run() {
+		t.Error("identical oracles produced different sketches")
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", k)
+				}
+			}()
+			New(k)
+		}()
+	}
+}
+
+func TestNormalizedRankErrorMonotone(t *testing.T) {
+	// Larger k must mean smaller error.
+	prev := math.Inf(1)
+	for _, k := range []int{16, 32, 64, 128, 256, 512} {
+		e := NormalizedRankError(k)
+		if e >= prev {
+			t.Errorf("eps(%d) = %v not decreasing", k, e)
+		}
+		prev = e
+	}
+	if e := NormalizedRankError(128); e < 0.005 || e > 0.03 {
+		t.Errorf("eps(128) = %v, expected ~1.7%%", e)
+	}
+}
+
+func TestQuantileMonotoneInPhi(t *testing.T) {
+	f := func(seed uint64) bool {
+		orc := oracle.New(seed)
+		s := NewWithOracle(32, orc.Fork())
+		for i := 0; i < 5000; i++ {
+			s.Update(orc.Float64() * 1000)
+		}
+		snap := s.Snapshot()
+		prev := math.Inf(-1)
+		for phi := 0.0; phi <= 1.0; phi += 0.05 {
+			q := snap.Quantile(phi)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankMonotoneInValue(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 50000; i++ {
+		s.Update(float64((i * 7) % 1000))
+	}
+	snap := s.Snapshot()
+	prev := -1.0
+	for v := -10.0; v <= 1010; v += 7 {
+		r := snap.Rank(v)
+		if r < prev {
+			t.Fatalf("Rank not monotone at v=%v", v)
+		}
+		prev = r
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	s := New(128)
+	for i := 0; i < b.N; i++ {
+		s.Update(float64(i))
+	}
+}
+
+func BenchmarkSnapshotK128N1M(b *testing.B) {
+	s := New(128)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Snapshot()
+	}
+}
+
+func BenchmarkQuantileQuery(b *testing.B) {
+	s := New(128)
+	for i := 0; i < 1<<20; i++ {
+		s.Update(float64(i))
+	}
+	snap := s.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Quantile(0.5)
+	}
+}

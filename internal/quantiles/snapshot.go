@@ -1,0 +1,163 @@
+package quantiles
+
+import (
+	"math"
+	"sort"
+)
+
+// Snapshot is an immutable, queryable copy of a quantiles sketch: the
+// composable-sketch snapshot() of §5.1. Immediately after it is taken,
+// Quantile/Rank on the snapshot equal the same queries on the source
+// sketch. Being immutable, it is safe to share across goroutines; the
+// concurrent framework publishes one through an atomic pointer.
+type Snapshot struct {
+	// values are all retained samples sorted ascending; cum[i] is the
+	// total weight of values[0..i] (inclusive prefix sums).
+	values []float64
+	cum    []uint64
+	n      uint64
+	min    float64
+	max    float64
+}
+
+type weighted struct {
+	v float64
+	w uint64
+}
+
+// Snapshot returns an immutable queryable copy of the sketch.
+func (s *Sketch) Snapshot() *Snapshot {
+	items := make([]weighted, 0, s.RetainedItems())
+	for _, v := range s.base {
+		items = append(items, weighted{v, 1})
+	}
+	for lvl, buf := range s.levels {
+		w := uint64(1) << uint(lvl+1)
+		for _, v := range buf {
+			items = append(items, weighted{v, w})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	snap := &Snapshot{
+		values: make([]float64, len(items)),
+		cum:    make([]uint64, len(items)),
+		n:      s.n,
+		min:    s.min,
+		max:    s.max,
+	}
+	var total uint64
+	for i, it := range items {
+		total += it.w
+		snap.values[i] = it.v
+		snap.cum[i] = total
+	}
+	return snap
+}
+
+// N returns the number of stream items the snapshot covers.
+func (s *Snapshot) N() uint64 { return s.n }
+
+// IsEmpty reports whether the snapshot covers no items.
+func (s *Snapshot) IsEmpty() bool { return s.n == 0 }
+
+// Min returns the exact minimum item (NaN when empty).
+func (s *Snapshot) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the exact maximum item (NaN when empty).
+func (s *Snapshot) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// weightAt returns the weight of sample i.
+func (s *Snapshot) weightAt(i int) uint64 {
+	if i == 0 {
+		return s.cum[0]
+	}
+	return s.cum[i] - s.cum[i-1]
+}
+
+// ForEach calls fn for every retained sample in ascending value order
+// together with its weight (the number of stream items the sample
+// represents). Σ weight = N().
+func (s *Snapshot) ForEach(fn func(v float64, weight uint64)) {
+	for i, v := range s.values {
+		fn(v, s.weightAt(i))
+	}
+}
+
+// Quantile returns an element whose normalized rank approximates φ.
+// It returns NaN on an empty snapshot and panics if φ is outside [0,1].
+func (s *Snapshot) Quantile(phi float64) float64 {
+	if phi < 0 || phi > 1 || math.IsNaN(phi) {
+		panic("quantiles: quantile fraction outside [0,1]")
+	}
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if phi == 0 {
+		return s.min
+	}
+	if phi == 1 {
+		return s.max
+	}
+	target := uint64(math.Ceil(phi * float64(s.n)))
+	if target == 0 {
+		target = 1
+	}
+	// First sample whose cumulative weight reaches the target rank.
+	idx := sort.Search(len(s.cum), func(i int) bool { return s.cum[i] >= target })
+	if idx == len(s.values) {
+		return s.max
+	}
+	return s.values[idx]
+}
+
+// Rank returns the approximate normalized rank of v: the estimated
+// fraction of items strictly below v. Empty snapshots return NaN.
+func (s *Snapshot) Rank(v float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	idx := sort.Search(len(s.values), func(i int) bool { return s.values[i] >= v })
+	if idx == 0 {
+		return 0
+	}
+	return float64(s.cum[idx-1]) / float64(s.n)
+}
+
+// CDF returns the normalized ranks of the given strictly-ascending
+// split points, with a trailing 1. Panics on unsorted splits.
+func (s *Snapshot) CDF(splits []float64) []float64 {
+	for i := 1; i < len(splits); i++ {
+		if splits[i] <= splits[i-1] {
+			panic("quantiles: CDF split points must be strictly ascending")
+		}
+	}
+	out := make([]float64, 0, len(splits)+1)
+	for _, sp := range splits {
+		out = append(out, s.Rank(sp))
+	}
+	return append(out, 1)
+}
+
+// PMF returns the probability mass between consecutive split points:
+// result[i] is the estimated fraction of items in [splits[i-1],
+// splits[i]) with the usual open ends.
+func (s *Snapshot) PMF(splits []float64) []float64 {
+	cdf := s.CDF(splits)
+	out := make([]float64, len(cdf))
+	prev := 0.0
+	for i, c := range cdf {
+		out[i] = c - prev
+		prev = c
+	}
+	return out
+}

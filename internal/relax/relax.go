@@ -1,0 +1,208 @@
+// Package relax provides machinery for the paper's relaxed-consistency
+// framework (Section 4): recording invoke/response histories of
+// concurrent sketch executions and checking them against the
+// r-relaxation of a sequential specification (Definition 2).
+//
+// Checking relaxed linearizability of arbitrary objects is intractable
+// in general, but the paper's own proofs work through the Θ sketch's
+// *exact mode* (Θ = 1), where the query result equals the number of
+// distinct propagated updates. For that counting specification the
+// r-relaxation condition has a precise interval-order form, which this
+// package implements:
+//
+//   - every query must reflect at least C(q) − r updates, where C(q)
+//     is the number of updates whose response precedes the query's
+//     invocation (a query may "miss" at most r updates that precede
+//     it), and
+//   - at most P(q) updates, where P(q) is the number of updates
+//     invoked before the query's response (no query may observe an
+//     update that has not begun).
+//
+// The package also checks sequential (non-overlapping) histories
+// directly against Definition 2, which is what the Figure 2 example
+// exercises.
+package relax
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind labels a history event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindUpdate Kind = iota + 1
+	KindQuery
+)
+
+// Event is one completed operation in a recorded history, with its
+// invocation and response positions in the global sequence order.
+type Event struct {
+	Kind    Kind
+	Writer  int     // updating writer id (updates only)
+	Value   uint64  // update argument (updates only)
+	Result  float64 // query result (queries only)
+	Invoke  int64
+	Respond int64
+}
+
+// Recorder collects a concurrent history. Begin returns the invocation
+// timestamp; EndUpdate/EndQuery stamp the response and append the
+// event. It is safe for concurrent use.
+type Recorder struct {
+	seq    atomic.Int64
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Begin stamps an operation invocation.
+func (r *Recorder) Begin() int64 { return r.seq.Add(1) }
+
+// EndUpdate records a completed update.
+func (r *Recorder) EndUpdate(writer int, value uint64, invoke int64) {
+	resp := r.seq.Add(1)
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		Kind: KindUpdate, Writer: writer, Value: value, Invoke: invoke, Respond: resp,
+	})
+	r.mu.Unlock()
+}
+
+// EndQuery records a completed query.
+func (r *Recorder) EndQuery(result float64, invoke int64) {
+	resp := r.seq.Add(1)
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		Kind: KindQuery, Result: result, Invoke: invoke, Respond: resp,
+	})
+	r.mu.Unlock()
+}
+
+// History returns a copy of the recorded events.
+func (r *Recorder) History() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Violation describes a query that cannot be explained by any
+// r-relaxation of the counting specification.
+type Violation struct {
+	Query     Event
+	Completed int // C(q): updates completed before the query began
+	Possible  int // P(q): updates begun before the query ended
+	R         int
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf(
+		"relax: query (invoke=%d) returned %v, outside [C-r, P] = [%d, %d] (C=%d, r=%d)",
+		v.Query.Invoke, v.Query.Result, v.Completed-v.R, v.Possible, v.Completed, v.R)
+}
+
+// CheckCounting validates a recorded history against the r-relaxed
+// counting specification (the Θ sketch in exact mode, where the query
+// result is the number of distinct updates reflected). All update
+// values must be distinct. It returns nil if every query satisfies the
+// interval-order condition, or the first Violation found.
+//
+// It also enforces cross-query sanity for monotone specifications: a
+// query that completes before another begins may exceed it by at most
+// r (each query independently misses at most r predecessors).
+func CheckCounting(history []Event, r int) error {
+	var updates, queries []Event
+	for _, e := range history {
+		switch e.Kind {
+		case KindUpdate:
+			updates = append(updates, e)
+		case KindQuery:
+			queries = append(queries, e)
+		default:
+			return fmt.Errorf("relax: event with unknown kind %d", e.Kind)
+		}
+	}
+	for _, q := range queries {
+		completed, possible := 0, 0
+		for _, u := range updates {
+			if u.Respond < q.Invoke {
+				completed++
+			}
+			if u.Invoke < q.Respond {
+				possible++
+			}
+		}
+		res := int(q.Result)
+		if float64(res) != q.Result || res < completed-r || res > possible {
+			return &Violation{Query: q, Completed: completed, Possible: possible, R: r}
+		}
+	}
+	// Monotone cross-query condition.
+	for _, q1 := range queries {
+		for _, q2 := range queries {
+			if q1.Respond < q2.Invoke && q2.Result < q1.Result-float64(r) {
+				return fmt.Errorf(
+					"relax: later query returned %v, more than r=%d below earlier query's %v",
+					q2.Result, r, q1.Result)
+			}
+		}
+	}
+	return nil
+}
+
+// SeqOp is an operation in a sequential history (no overlap): either
+// an update of a distinct value or a query with its result.
+type SeqOp struct {
+	Kind   Kind
+	Value  uint64
+	Result int
+}
+
+// IsRelaxationOfCounting reports whether the sequential history h' is
+// in the r-relaxation of the counting specification per Definition 2:
+// there must exist a history H comprised of the same operations such
+// that every operation in H is preceded by all but at most r of the
+// operations that precede it in h', and H is a legal counting history
+// (each query returns exactly the number of updates before it).
+//
+// For the counting object this reduces to: for each query at position
+// i with result c, letting U(i) be the number of updates before it in
+// h', we need U(i) - r <= c <= total updates, and results of queries
+// must be achievable in one common permutation — which for counting
+// means a query's result may fall below a preceding query's by at most
+// r and the sequence of (result + allowed drift) must be realizable.
+// The realizability check used here is exact for histories in which
+// queries appear in h' order (the form our tests generate).
+func IsRelaxationOfCounting(hPrime []SeqOp, r int) bool {
+	totalUpdates := 0
+	for _, op := range hPrime {
+		if op.Kind == KindUpdate {
+			totalUpdates++
+		}
+	}
+	seen := 0
+	prevResult := -1
+	for _, op := range hPrime {
+		switch op.Kind {
+		case KindUpdate:
+			seen++
+		case KindQuery:
+			if op.Result < seen-r || op.Result > totalUpdates {
+				return false
+			}
+			if prevResult >= 0 && op.Result < prevResult-r {
+				return false
+			}
+			prevResult = op.Result
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package stats
+
+import "math"
+
+// Numerical integration against order-statistic densities. The strong
+// adversary's expectation (§6.1, Figure 3) has no closed form; the
+// paper evaluates it numerically. We integrate the joint density of
+// (M(k), M(k+r)) over a window covering ±windowSigmas standard
+// deviations around each marginal mean — outside it the density is
+// negligible (the marginals are Beta with std ≈ sqrt(k)/n).
+
+const windowSigmas = 12.0
+
+// OrderStatExpectation2D computes E[g(M(k), M(k+r))] for n uniforms by
+// iterated Simpson integration on steps×steps panels. steps is rounded
+// up to the next even number; 600 gives ~7 significant digits for the
+// Table 1 geometry (n=2^15, k=2^10, r=8).
+func OrderStatExpectation2D(n, k, r int, steps int, g func(x, y float64) float64) float64 {
+	if steps < 8 {
+		steps = 8
+	}
+	if steps%2 != 0 {
+		steps++
+	}
+	x0, x1 := marginalWindow(k, n)
+	y0, y1 := marginalWindow(k+r, n)
+	if y1 <= x0 {
+		panic("stats: degenerate integration window")
+	}
+	hx := (x1 - x0) / float64(steps)
+	var outer float64
+	for i := 0; i <= steps; i++ {
+		x := x0 + float64(i)*hx
+		inner := innerIntegral(n, k, r, x, math.Max(y0, x), y1, steps, g)
+		outer += simpsonWeight(i, steps) * inner
+	}
+	return outer * hx / 3
+}
+
+// innerIntegral computes ∫ f(x,y)·g(x,y) dy over [ylo, yhi] by Simpson.
+func innerIntegral(n, k, r int, x, ylo, yhi float64, steps int, g func(x, y float64) float64) float64 {
+	if yhi <= ylo {
+		return 0
+	}
+	h := (yhi - ylo) / float64(steps)
+	var sum float64
+	for j := 0; j <= steps; j++ {
+		y := ylo + float64(j)*h
+		ld := LogJointOrderStatDensity(n, k, r, x, y)
+		if math.IsInf(ld, -1) {
+			continue
+		}
+		sum += simpsonWeight(j, steps) * math.Exp(ld) * g(x, y)
+	}
+	return sum * h / 3
+}
+
+func simpsonWeight(i, n int) float64 {
+	switch {
+	case i == 0 || i == n:
+		return 1
+	case i%2 == 1:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// marginalWindow returns integration bounds for M(i): mean ± 12σ of the
+// Beta(i, n-i+1) marginal, clipped to (0, 1).
+func marginalWindow(i, n int) (lo, hi float64) {
+	mean := EOrderStat(i, n)
+	sd := math.Sqrt(VarOrderStat(i, n))
+	lo = mean - windowSigmas*sd
+	hi = mean + windowSigmas*sd
+	if lo < 1e-12 {
+		lo = 1e-12
+	}
+	if hi > 1-1e-12 {
+		hi = 1 - 1e-12
+	}
+	return lo, hi
+}
+
+// OrderStatExpectation1D computes E[g(M(k))] for n uniforms by Simpson
+// integration of the Beta(k, n-k+1) marginal.
+func OrderStatExpectation1D(n, k int, steps int, g func(x float64) float64) float64 {
+	if steps < 8 {
+		steps = 8
+	}
+	if steps%2 != 0 {
+		steps++
+	}
+	lo, hi := marginalWindow(k, n)
+	h := (hi - lo) / float64(steps)
+	lc := lgamma(float64(n+1)) - lgamma(float64(k)) - lgamma(float64(n-k+1))
+	var sum float64
+	for i := 0; i <= steps; i++ {
+		x := lo + float64(i)*h
+		ld := lc + float64(k-1)*math.Log(x) + float64(n-k)*math.Log(1-x)
+		sum += simpsonWeight(i, steps) * math.Exp(ld) * g(x)
+	}
+	return sum * h / 3
+}

@@ -1,0 +1,96 @@
+// Package stats provides the probability machinery behind the paper's
+// Section 6 error analysis: random samplers (normal, gamma, beta),
+// closed-form moments of uniform order statistics, joint sampling of
+// order-statistic pairs, and numerical integration against the joint
+// order-statistic density. Everything is self-contained (no math/rand)
+// so results are reproducible across Go versions.
+package stats
+
+import "math"
+
+// RNG is a small, fast, seedable generator (SplitMix64 core) with
+// samplers for the distributions the error analysis needs. Not safe
+// for concurrent use.
+type RNG struct {
+	state uint64
+	// cached second normal variate from Box-Muller.
+	haveSpare bool
+	spare     float64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in (0, 1): zero is excluded so logs
+// and reciprocals are always finite.
+func (r *RNG) Float64() float64 {
+	for {
+		f := float64(r.Uint64()>>11) / (1 << 53)
+		if f > 0 {
+			return f
+		}
+	}
+}
+
+// Normal returns a standard normal variate (Box-Muller with caching).
+func (r *RNG) Normal() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	u1, u2 := r.Float64(), r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u1))
+	r.spare = mag * math.Sin(2*math.Pi*u2)
+	r.haveSpare = true
+	return mag * math.Cos(2*math.Pi*u2)
+}
+
+// Gamma returns a Gamma(shape, 1) variate using Marsaglia & Tsang's
+// squeeze method; shape must be positive. For shape < 1 the standard
+// boosting identity Gamma(a) = Gamma(a+1)·U^(1/a) is applied.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("stats: Gamma shape must be positive")
+	}
+	if shape < 1 {
+		// Boost: sample at shape+1 and scale down.
+		u := r.Float64()
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Normal()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta returns a Beta(a, b) variate via the two-gamma construction.
+func (r *RNG) Beta(a, b float64) float64 {
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	return x / (x + y)
+}

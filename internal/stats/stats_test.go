@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloat64NeverZero(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		if f := r.Float64(); f <= 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside (0,1)", f)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	// Gamma(a): mean a, variance a.
+	r := NewRNG(11)
+	for _, a := range []float64{0.5, 1, 2.5, 10, 1024} {
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := r.Gamma(a)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-a)/a > 0.03 {
+			t.Errorf("Gamma(%v) mean = %v", a, mean)
+		}
+		if math.Abs(variance-a)/a > 0.1 {
+			t.Errorf("Gamma(%v) variance = %v", a, variance)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) did not panic")
+		}
+	}()
+	NewRNG(1).Gamma(0)
+}
+
+func TestBetaMoments(t *testing.T) {
+	// Beta(a,b): mean a/(a+b), variance ab/((a+b)²(a+b+1)).
+	r := NewRNG(13)
+	for _, ab := range [][2]float64{{2, 3}, {1, 1}, {10, 90}} {
+		a, b := ab[0], ab[1]
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := r.Beta(a, b)
+			if x <= 0 || x >= 1 {
+				t.Fatalf("Beta sample %v outside (0,1)", x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		wantMean := a / (a + b)
+		wantVar := a * b / ((a + b) * (a + b) * (a + b + 1))
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-wantMean) > 0.01 {
+			t.Errorf("Beta(%v,%v) mean = %v, want %v", a, b, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.1 {
+			t.Errorf("Beta(%v,%v) variance = %v, want %v", a, b, variance, wantVar)
+		}
+	}
+}
+
+func TestOrderStatClosedForms(t *testing.T) {
+	// E[M(k)] for n=10, k=3 is 3/11.
+	if got := EOrderStat(3, 10); math.Abs(got-3.0/11) > 1e-12 {
+		t.Errorf("EOrderStat = %v", got)
+	}
+	// E[1/M(k)] = n/(k-1).
+	if got := EInvOrderStat(5, 100); got != 25 {
+		t.Errorf("EInvOrderStat = %v, want 25", got)
+	}
+	// E[1/M(k)²] = n(n-1)/((k-1)(k-2)).
+	if got := EInvSqOrderStat(4, 10); math.Abs(got-90.0/6) > 1e-12 {
+		t.Errorf("EInvSqOrderStat = %v, want 15", got)
+	}
+}
+
+func TestOrderStatPanics(t *testing.T) {
+	cases := []func(){
+		func() { EOrderStat(0, 5) },
+		func() { EOrderStat(6, 5) },
+		func() { EInvOrderStat(1, 5) },
+		func() { EInvSqOrderStat(2, 5) },
+		func() { SampleOrderStatPair(NewRNG(1), 5, 3, 4) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSampleOrderStatMoments(t *testing.T) {
+	// The Beta sampler must reproduce E[M(k)] and Var[M(k)].
+	r := NewRNG(17)
+	n, k := 1000, 50
+	const trials = 50000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		x := SampleOrderStat(r, n, k)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / trials
+	if math.Abs(mean-EOrderStat(k, n))/EOrderStat(k, n) > 0.02 {
+		t.Errorf("sampled E[M(k)] = %v, want %v", mean, EOrderStat(k, n))
+	}
+	variance := sumSq/trials - mean*mean
+	if math.Abs(variance-VarOrderStat(k, n))/VarOrderStat(k, n) > 0.1 {
+		t.Errorf("sampled Var[M(k)] = %v, want %v", variance, VarOrderStat(k, n))
+	}
+}
+
+func TestSampleOrderStatPairMoments(t *testing.T) {
+	// Joint sampler marginals must match the closed forms, and the
+	// ordering M(k) < M(k+r) must always hold.
+	r := NewRNG(19)
+	n, k, rr := 1<<15, 1<<10, 8
+	const trials = 30000
+	var sumK, sumKR float64
+	for i := 0; i < trials; i++ {
+		mk, mkr := SampleOrderStatPair(r, n, k, rr)
+		if mk >= mkr {
+			t.Fatal("M(k) >= M(k+r) in joint sample")
+		}
+		sumK += mk
+		sumKR += mkr
+	}
+	if got, want := sumK/trials, EOrderStat(k, n); math.Abs(got-want)/want > 0.01 {
+		t.Errorf("E[M(k)] sampled %v, want %v", got, want)
+	}
+	if got, want := sumKR/trials, EOrderStat(k+rr, n); math.Abs(got-want)/want > 0.01 {
+		t.Errorf("E[M(k+r)] sampled %v, want %v", got, want)
+	}
+}
+
+func TestJointDensityNormalizes(t *testing.T) {
+	// ∫∫ f = 1 over the window (the mass outside ±12σ is negligible).
+	n, k, r := 1<<15, 1<<10, 8
+	total := OrderStatExpectation2D(n, k, r, 600, func(x, y float64) float64 { return 1 })
+	if math.Abs(total-1) > 1e-4 {
+		t.Errorf("joint density integrates to %v", total)
+	}
+}
+
+func TestQuadratureMatchesClosedForms(t *testing.T) {
+	n, k, r := 1<<15, 1<<10, 8
+	// E[M(k)] via 2D quadrature.
+	em := OrderStatExpectation2D(n, k, r, 600, func(x, y float64) float64 { return x })
+	if want := EOrderStat(k, n); math.Abs(em-want)/want > 1e-3 {
+		t.Errorf("quadrature E[M(k)] = %v, want %v", em, want)
+	}
+	// E[1/M(k+r)] via 2D quadrature vs closed form n/(k+r-1).
+	einv := OrderStatExpectation2D(n, k, r, 600, func(x, y float64) float64 { return 1 / y })
+	if want := EInvOrderStat(k+r, n); math.Abs(einv-want)/want > 1e-3 {
+		t.Errorf("quadrature E[1/M(k+r)] = %v, want %v", einv, want)
+	}
+}
+
+func TestQuadrature1DMatchesClosedForm(t *testing.T) {
+	n, k := 1<<15, 1<<10
+	e := OrderStatExpectation1D(n, k, 400, func(x float64) float64 { return 1 / x })
+	if want := EInvOrderStat(k, n); math.Abs(e-want)/want > 1e-3 {
+		t.Errorf("1D quadrature E[1/M(k)] = %v, want %v", e, want)
+	}
+	// The sequential estimator is unbiased: E[(k-1)/M(k)] = n.
+	est := OrderStatExpectation1D(n, k, 400, func(x float64) float64 { return float64(k-1) / x })
+	if math.Abs(est-float64(n))/float64(n) > 1e-3 {
+		t.Errorf("E[(k-1)/M(k)] = %v, want %d", est, n)
+	}
+}
+
+func TestMCMatchesQuadrature(t *testing.T) {
+	// The two independent evaluation paths of Table 1 must agree.
+	n, k, r := 1<<15, 1<<10, 8
+	quad := OrderStatExpectation2D(n, k, r, 600, func(x, y float64) float64 {
+		return float64(k-1) / y
+	})
+	rng := NewRNG(23)
+	const trials = 40000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		_, mkr := SampleOrderStatPair(rng, n, k, r)
+		sum += float64(k-1) / mkr
+	}
+	mc := sum / trials
+	if math.Abs(mc-quad)/quad > 0.01 {
+		t.Errorf("MC %v vs quadrature %v", mc, quad)
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Gamma(1024)
+	}
+}
+
+func BenchmarkSampleOrderStatPair(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		SampleOrderStatPair(r, 1<<15, 1<<10, 8)
+	}
+}

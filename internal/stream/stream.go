@@ -1,0 +1,97 @@
+// Package stream provides the workload generators used by the paper's
+// evaluation (§7.1): continuous streams of unique values (the
+// write-only workload), duplicated streams, and partitioning helpers
+// for splitting a stream across N writer threads.
+package stream
+
+// Generator yields stream items. Implementations are not safe for
+// concurrent use; give each writer its own generator.
+type Generator interface {
+	Next() uint64
+}
+
+// Unique yields consecutive distinct values starting at Offset. Two
+// Unique generators with disjoint ranges never collide, which is how
+// multi-writer workloads feed disjoint sub-streams.
+type Unique struct {
+	next uint64
+}
+
+// NewUnique returns a generator of offset, offset+1, ...
+func NewUnique(offset uint64) *Unique { return &Unique{next: offset} }
+
+// Next implements Generator.
+func (u *Unique) Next() uint64 {
+	v := u.next
+	u.next++
+	return v
+}
+
+// Scrambled yields distinct values in pseudo-random order: consecutive
+// counters passed through a fixed 64-bit bijection (SplitMix64's
+// finalizer). Useful when value order must not correlate with hash
+// order.
+type Scrambled struct {
+	next uint64
+}
+
+// NewScrambled returns a scrambled-unique generator starting at offset.
+func NewScrambled(offset uint64) *Scrambled { return &Scrambled{next: offset} }
+
+// Next implements Generator.
+func (s *Scrambled) Next() uint64 {
+	v := s.next
+	s.next++
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// Cycle yields 0..Uniques-1 repeatedly: a duplicate-heavy workload
+// with a known true cardinality.
+type Cycle struct {
+	uniques uint64
+	i       uint64
+}
+
+// NewCycle returns a cycling generator over `uniques` distinct values.
+func NewCycle(uniques uint64) *Cycle {
+	if uniques == 0 {
+		panic("stream: Cycle needs at least one unique value")
+	}
+	return &Cycle{uniques: uniques}
+}
+
+// Next implements Generator.
+func (c *Cycle) Next() uint64 {
+	v := c.i % c.uniques
+	c.i++
+	return v
+}
+
+// Range describes a writer's share of a partitioned stream.
+type Range struct {
+	Start uint64 // first value
+	Count uint64 // number of values
+}
+
+// Partition splits n items across `writers` near-equal disjoint
+// ranges (the multi-writer ingestion pattern of §7).
+func Partition(n uint64, writers int) []Range {
+	if writers <= 0 {
+		panic("stream: writers must be positive")
+	}
+	out := make([]Range, writers)
+	per := n / uint64(writers)
+	rem := n % uint64(writers)
+	var start uint64
+	for i := range out {
+		count := per
+		if uint64(i) < rem {
+			count++
+		}
+		out[i] = Range{Start: start, Count: count}
+		start += count
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package stream
+
+import "testing"
+
+func TestUniqueDistinct(t *testing.T) {
+	g := NewUnique(100)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := g.Next()
+		if v < 100 || seen[v] {
+			t.Fatalf("value %d repeated or below offset", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestScrambledDistinct(t *testing.T) {
+	g := NewScrambled(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100000; i++ {
+		v := g.Next()
+		if seen[v] {
+			t.Fatalf("scrambled generator repeated %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestScrambledDisjointOffsets(t *testing.T) {
+	a, b := NewScrambled(0), NewScrambled(1000)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[a.Next()] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if seen[b.Next()] {
+			t.Fatal("offset-disjoint scrambled generators collided")
+		}
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := NewCycle(3)
+	want := []uint64{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if v := g.Next(); v != w {
+			t.Fatalf("cycle[%d] = %d, want %d", i, v, w)
+		}
+	}
+}
+
+func TestCyclePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCycle(0) did not panic")
+		}
+	}()
+	NewCycle(0)
+}
+
+func TestPartitionExact(t *testing.T) {
+	tests := []struct {
+		n       uint64
+		writers int
+	}{
+		{100, 4}, {101, 4}, {7, 3}, {1, 5}, {0, 2},
+	}
+	for _, tc := range tests {
+		parts := Partition(tc.n, tc.writers)
+		if len(parts) != tc.writers {
+			t.Fatalf("got %d parts", len(parts))
+		}
+		var total uint64
+		var next uint64
+		for _, p := range parts {
+			if p.Start != next {
+				t.Fatalf("ranges not contiguous: start %d want %d", p.Start, next)
+			}
+			next = p.Start + p.Count
+			total += p.Count
+		}
+		if total != tc.n {
+			t.Fatalf("partition of %d covers %d", tc.n, total)
+		}
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition with 0 writers did not panic")
+		}
+	}()
+	Partition(10, 0)
+}

@@ -1,0 +1,90 @@
+package theta
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdaptiveBufferingGrowsInEstimationMode(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{
+		K: 256, Writers: 1, MaxError: 0.1, BufferSize: 4, EagerLimit: -1,
+		AdaptiveBuffering: true,
+	})
+	defer c.Close()
+	w := c.Writer(0)
+	// Drive well into estimation mode.
+	for i := uint64(0); i < 100000; i++ {
+		w.UpdateUint64(i)
+	}
+	w.Flush()
+	if w.Hint() >= 1<<63 {
+		t.Fatal("sketch never entered estimation mode")
+	}
+	// b_est = e·K/(2N) = 0.1*256/2 = 12 > base 4.
+	if re := math.Abs(c.Estimate()-100000) / 100000; re > 0.3 {
+		t.Errorf("adaptive sketch relative error %v", re)
+	}
+}
+
+func TestAdaptiveBufferingReducesPropagations(t *testing.T) {
+	run := func(adaptive bool) int64 {
+		c := NewConcurrent(ConcurrentConfig{
+			K: 256, Writers: 1, MaxError: 0.5, BufferSize: 2, EagerLimit: -1,
+			AdaptiveBuffering: adaptive, DisableFiltering: true,
+		})
+		defer c.Close()
+		w := c.Writer(0)
+		for i := uint64(0); i < 200000; i++ {
+			w.UpdateUint64(i)
+		}
+		w.Flush()
+		return c.Propagations()
+	}
+	fixed := run(false)
+	adaptive := run(true)
+	// With filtering off, fixed b=2 hands off ~100k times; adaptive
+	// grows to b_est = 0.5·256/2 = 64 and must hand off far less.
+	if adaptive*4 > fixed {
+		t.Errorf("adaptive propagations %d not << fixed %d", adaptive, fixed)
+	}
+}
+
+func TestDisableFilteringStillAccurate(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{
+		K: 1024, Writers: 1, MaxError: 1, BufferSize: 64, EagerLimit: -1,
+		DisableFiltering: true,
+	})
+	defer c.Close()
+	w := c.Writer(0)
+	const n = 200000
+	for i := uint64(0); i < n; i++ {
+		w.UpdateUint64(i)
+	}
+	w.Flush()
+	if re := math.Abs(c.Estimate()-n) / n; re > 0.15 {
+		t.Errorf("relative error %v with filtering disabled", re)
+	}
+}
+
+func TestFilteringReducesPropagationsVsAblation(t *testing.T) {
+	// §5.2: "this significantly reduces the frequency of propagations".
+	run := func(disable bool) int64 {
+		c := NewConcurrent(ConcurrentConfig{
+			K: 256, Writers: 1, MaxError: 1, BufferSize: 16, EagerLimit: -1,
+			DisableFiltering: disable,
+		})
+		defer c.Close()
+		w := c.Writer(0)
+		for i := uint64(0); i < 500000; i++ {
+			w.UpdateUint64(i)
+		}
+		w.Flush()
+		return c.Propagations()
+	}
+	withFilter := run(false)
+	withoutFilter := run(true)
+	if withFilter*10 > withoutFilter {
+		t.Errorf("filtering on: %d propagations, off: %d — expected >=10x reduction",
+			withFilter, withoutFilter)
+	}
+}

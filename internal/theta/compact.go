@@ -1,0 +1,102 @@
+package theta
+
+import (
+	"math"
+	"sort"
+
+	"github.com/fcds/fcds/internal/hash"
+)
+
+// Compact is an immutable, ordered Θ sketch: the result of compacting
+// an updatable sketch or a set operation. Because it is immutable it is
+// trivially safe to share across goroutines.
+type Compact struct {
+	hashes []uint64 // sorted ascending, all < theta
+	theta  uint64
+	seed   uint64
+}
+
+// newCompactFromUnsorted takes ownership of hashes.
+func newCompactFromUnsorted(hashes []uint64, theta, seed uint64) *Compact {
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	return &Compact{hashes: hashes, theta: theta, seed: seed}
+}
+
+// EmptyCompact returns the compact form of the empty sketch.
+func EmptyCompact(seed uint64) *Compact {
+	return &Compact{theta: hash.MaxThetaValue, seed: seed}
+}
+
+// Estimate implements Sketch.
+func (c *Compact) Estimate() float64 { return estimateFrom(c.theta, len(c.hashes)) }
+
+// Theta implements Sketch.
+func (c *Compact) Theta() uint64 { return c.theta }
+
+// Retained implements Sketch.
+func (c *Compact) Retained() int { return len(c.hashes) }
+
+// IsEstimationMode implements Sketch.
+func (c *Compact) IsEstimationMode() bool { return c.theta < hash.MaxThetaValue }
+
+// ForEachHash implements Sketch; iteration is in ascending hash order.
+func (c *Compact) ForEachHash(fn func(uint64)) {
+	for _, h := range c.hashes {
+		fn(h)
+	}
+}
+
+// Seed implements Sketch.
+func (c *Compact) Seed() uint64 { return c.seed }
+
+// Hashes returns the sorted retained hashes. The slice must not be
+// modified.
+func (c *Compact) Hashes() []uint64 { return c.hashes }
+
+// UpperBound returns an approximate upper confidence bound on the true
+// unique count at numStdDev standard deviations (1, 2 or 3). It uses
+// the normal approximation with RSE = 1/sqrt(retained): for the
+// retained counts Θ sketches operate at (hundreds to thousands) this is
+// within a fraction of a percent of the exact binomial bound.
+func (c *Compact) UpperBound(numStdDev int) float64 {
+	return c.bound(numStdDev, +1)
+}
+
+// LowerBound is the lower counterpart of UpperBound. It never returns
+// less than the retained count when the sketch is in exact mode.
+func (c *Compact) LowerBound(numStdDev int) float64 {
+	return c.bound(numStdDev, -1)
+}
+
+func (c *Compact) bound(numStdDev, sign int) float64 {
+	if !c.IsEstimationMode() {
+		return float64(len(c.hashes)) // exact
+	}
+	n := float64(len(c.hashes))
+	if n <= 2 {
+		if sign < 0 {
+			return 0
+		}
+		return math.Max(c.Estimate(), 1)
+	}
+	rse := 1 / math.Sqrt(n-2)
+	est := c.Estimate()
+	b := est * (1 + float64(sign)*float64(numStdDev)*rse)
+	if sign < 0 {
+		// The true count is at least the number of distinct samples.
+		return math.Max(b, n)
+	}
+	return b
+}
+
+// trimmedToK returns a compact sketch with at most k retained entries:
+// if more are present, Θ becomes the (k+1)-th smallest hash and larger
+// entries are dropped. Set operations use it to restore the nominal-k
+// invariant. c must be sorted (always true for Compact).
+func (c *Compact) trimmedToK(k int) *Compact {
+	if len(c.hashes) <= k {
+		return c
+	}
+	newTheta := c.hashes[k]
+	return &Compact{hashes: c.hashes[:k], theta: newTheta, seed: c.seed}
+}

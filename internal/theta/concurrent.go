@@ -1,0 +1,287 @@
+package theta
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/fcds/fcds/internal/core"
+	"github.com/fcds/fcds/internal/hash"
+)
+
+// This file instantiates the paper's generic framework (package core)
+// with the Θ sketch: the "Composable Θ sketch" of Algorithm 1's last
+// three functions. The update type U is the Θ-space hash (writers hash
+// each item exactly once), the snapshot type S is the estimate, the
+// hint is Θ itself, and shouldAdd(h, a) is the hash-vs-Θ comparison —
+// safe because Θ only decreases, so a filtered hash can never re-enter
+// the sample set (§5.1).
+
+// Buffer is the writer-local sketch: a plain slice of pre-filtered
+// Θ-space hashes (the Java implementation's ConcurrentHeapThetaBuffer
+// plays the same role). It implements core.Local[uint64].
+type Buffer struct {
+	hashes []uint64
+}
+
+// NewBuffer returns a buffer with the given capacity hint.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{hashes: make([]uint64, 0, capacity)}
+}
+
+// Update implements core.Local.
+func (b *Buffer) Update(h uint64) { b.hashes = append(b.hashes, h) }
+
+// Reset implements core.Local.
+func (b *Buffer) Reset() { b.hashes = b.hashes[:0] }
+
+// Len returns the number of buffered hashes.
+func (b *Buffer) Len() int { return len(b.hashes) }
+
+// updatable is the slice of the Θ sketch API the composable global
+// needs; both KMV (Algorithm 1) and QuickSelect satisfy it.
+type updatable interface {
+	UpdateHash(h uint64)
+	Estimate() float64
+	Theta() uint64
+}
+
+// GlobalSketch is the composable global Θ sketch: a sequential sketch
+// whose estimate is published through an atomic word after every merge,
+// making snapshot() a single strongly-linearisable atomic read exactly
+// as in the paper ("our Θ sketch simply accesses an atomic variable
+// that holds the query result", §5.1). The underlying sketch is the
+// QuickSelect family by default (what the paper's evaluation and the
+// DataSketches integration use) or the literal Algorithm 1 KMV.
+type GlobalSketch struct {
+	qs updatable
+	// est holds math.Float64bits of the current estimate.
+	est atomic.Uint64
+	// noFilter disables hint-based pre-filtering (ablation only: it
+	// forces every hash through the local buffers, §5.2 measures the
+	// filtering as "instrumental for performance").
+	noFilter bool
+}
+
+var _ core.Global[uint64, float64] = (*GlobalSketch)(nil)
+
+// NewGlobal returns an empty composable global sketch with nominal
+// entry count k, backed by a QuickSelect sketch.
+func NewGlobal(k int, seed uint64) *GlobalSketch {
+	return &GlobalSketch{qs: NewQuickSelectSeeded(k, seed)}
+}
+
+// NewGlobalKMV returns an empty composable global sketch backed by the
+// paper's Algorithm 1 KMV sketch (its last three procedures are
+// exactly this type's Snapshot/CalcHint/ShouldAdd).
+func NewGlobalKMV(k int, seed uint64) *GlobalSketch {
+	return &GlobalSketch{qs: NewKMVSeeded(k, seed)}
+}
+
+// Merge implements core.Global: folds a writer buffer into the sketch
+// and republishes the estimate. Called only by the propagator.
+func (g *GlobalSketch) Merge(l core.Local[uint64]) {
+	buf := l.(*Buffer)
+	for _, h := range buf.hashes {
+		g.qs.UpdateHash(h)
+	}
+	g.publish()
+}
+
+// UpdateDirect implements core.Global (eager phase).
+func (g *GlobalSketch) UpdateDirect(h uint64) {
+	g.qs.UpdateHash(h)
+	g.publish()
+}
+
+// Snapshot implements core.Global: the wait-free query read.
+func (g *GlobalSketch) Snapshot() float64 {
+	return math.Float64frombits(g.est.Load())
+}
+
+// CalcHint implements core.Global: the hint is Θ (Algorithm 1 line 24).
+func (g *GlobalSketch) CalcHint() uint64 { return g.qs.Theta() }
+
+// ShouldAdd implements core.Global (Algorithm 1 line 26): only hashes
+// below the hinted Θ can affect the sketch.
+func (g *GlobalSketch) ShouldAdd(hint uint64, h uint64) bool {
+	return g.noFilter || h < hint
+}
+
+func (g *GlobalSketch) publish() {
+	g.est.Store(math.Float64bits(g.qs.Estimate()))
+}
+
+// ConcurrentConfig configures a concurrent Θ sketch. Zero fields take
+// the evaluation defaults (§7.1): K=4096, Writers=1, MaxError=0.04.
+type ConcurrentConfig struct {
+	// K is the global sketch's nominal entry count (power of two).
+	K int
+	// Writers is N, the number of writer handles.
+	Writers int
+	// MaxError is e, the tolerated relaxation error; it sizes both the
+	// local buffers (via core.BufferSizeFor) and the eager-phase limit
+	// 2/e². Use 1 for the paper's "no eager" configuration.
+	MaxError float64
+	// BufferSize overrides the derived local buffer size b when > 0.
+	BufferSize int
+	// EagerLimit overrides the derived 2/e² limit: > 0 sets it
+	// explicitly, < 0 disables the eager phase.
+	EagerLimit int
+	// DisableDoubleBuffering selects the non-optimised ParSketch
+	// (ablation only).
+	DisableDoubleBuffering bool
+	// DisableFiltering turns off Θ-hint pre-filtering (ablation only;
+	// §5.2 identifies the filtering as instrumental for performance).
+	DisableFiltering bool
+	// AdaptiveBuffering enables the §8 extension: once the sketch
+	// enters estimation mode, local buffers grow to e·K/(2N). In
+	// estimation mode each buffered sample shifts the estimate by
+	// 1/Θ, i.e. a relative error of ~1/k per sample, so r_est =
+	// 2·N·b_est keeps the relative relaxation error below e while
+	// cutting handoff frequency by orders of magnitude.
+	AdaptiveBuffering bool
+	// UseKMV backs the global sketch with the paper's Algorithm 1 KMV
+	// instead of the QuickSelect family (reference/ablation).
+	UseKMV bool
+	// Seed is the shared hash seed (default hash.DefaultSeed).
+	Seed uint64
+}
+
+func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
+	if c.K == 0 {
+		c.K = 4096
+	}
+	if c.Writers == 0 {
+		c.Writers = 1
+	}
+	if c.MaxError == 0 {
+		c.MaxError = 0.04
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = core.BufferSizeFor(c.K, c.MaxError, c.Writers)
+	}
+	switch {
+	case c.EagerLimit < 0:
+		c.EagerLimit = 0
+	case c.EagerLimit == 0:
+		c.EagerLimit = core.EagerLimitFor(c.MaxError)
+	}
+	if c.Seed == 0 {
+		c.Seed = hash.DefaultSeed
+	}
+	return c
+}
+
+// Concurrent is the paper's concurrent Θ sketch: N writer handles, one
+// background propagator, wait-free real-time estimates. It is the Go
+// counterpart of the ConcurrentDirectQuickSelectSketch contributed to
+// Apache DataSketches.
+type Concurrent struct {
+	sk     *core.Sketch[uint64, float64]
+	global *GlobalSketch
+	cfg    ConcurrentConfig
+}
+
+// NewConcurrent builds a concurrent Θ sketch; Close it when done.
+func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
+	cfg = cfg.withDefaults()
+	var global *GlobalSketch
+	if cfg.UseKMV {
+		global = NewGlobalKMV(cfg.K, cfg.Seed)
+	} else {
+		global = NewGlobal(cfg.K, cfg.Seed)
+	}
+	global.noFilter = cfg.DisableFiltering
+	coreCfg := core.Config{
+		Writers:         cfg.Writers,
+		BufferSize:      cfg.BufferSize,
+		EagerLimit:      cfg.EagerLimit,
+		DoubleBuffering: !cfg.DisableDoubleBuffering,
+	}
+	if cfg.AdaptiveBuffering {
+		// In exact mode (hint Θ = 1) keep the conservative b; once in
+		// estimation mode grow to b_est = e·K/(2N) (see the config
+		// field's doc comment for the error argument).
+		base := cfg.BufferSize
+		bEst := int(cfg.MaxError * float64(cfg.K) / (2 * float64(cfg.Writers)))
+		if bEst < base {
+			bEst = base
+		}
+		coreCfg.BufferAdaptor = func(hint uint64, cur int) int {
+			if hint >= hash.MaxThetaValue {
+				return base
+			}
+			return bEst
+		}
+	}
+	newLocal := func() core.Local[uint64] { return NewBuffer(cfg.BufferSize) }
+	return &Concurrent{
+		sk:     core.New[uint64, float64](global, newLocal, coreCfg),
+		global: global,
+		cfg:    cfg,
+	}
+}
+
+// Writer returns the i-th writer handle; each handle may be used by at
+// most one goroutine at a time.
+func (c *Concurrent) Writer(i int) *ConcurrentWriter {
+	return &ConcurrentWriter{w: c.sk.Writer(i), seed: c.cfg.Seed}
+}
+
+// Estimate returns the current unique-count estimate. Wait-free; may
+// miss up to Relaxation() of the most recent updates (Theorem 1).
+func (c *Concurrent) Estimate() float64 { return c.sk.Query() }
+
+// Relaxation returns the bound r = 2·N·b on updates a query may miss.
+func (c *Concurrent) Relaxation() int { return c.sk.Relaxation() }
+
+// Propagations returns the number of local-buffer merges so far.
+func (c *Concurrent) Propagations() int64 { return c.sk.Propagations() }
+
+// Eager reports whether the sketch is still in its eager phase.
+func (c *Concurrent) Eager() bool { return c.sk.Eager() }
+
+// K returns the global sketch's nominal entry count.
+func (c *Concurrent) K() int { return c.cfg.K }
+
+// Seed returns the hash seed.
+func (c *Concurrent) Seed() uint64 { return c.cfg.Seed }
+
+// BufferSize returns the local buffer size b in use.
+func (c *Concurrent) BufferSize() int { return c.cfg.BufferSize }
+
+// Close stops the propagator. Flush all writers first if every update
+// must be reflected in the final estimate.
+func (c *Concurrent) Close() { c.sk.Close() }
+
+// ConcurrentWriter is a single-goroutine update handle. It hashes each
+// item once and feeds the Θ-space hash through the framework.
+type ConcurrentWriter struct {
+	w    *core.Writer[uint64, float64]
+	seed uint64
+}
+
+// Update processes a byte-slice item.
+func (w *ConcurrentWriter) Update(data []byte) {
+	w.w.Update(hash.ThetaHashBytes(data, w.seed))
+}
+
+// UpdateUint64 processes a uint64 item.
+func (w *ConcurrentWriter) UpdateUint64(v uint64) {
+	w.w.Update(hash.ThetaHashUint64(v, w.seed))
+}
+
+// UpdateString processes a string item.
+func (w *ConcurrentWriter) UpdateString(s string) {
+	w.w.Update(hash.ThetaHashString(s, w.seed))
+}
+
+// UpdateHash processes a pre-hashed Θ-space item.
+func (w *ConcurrentWriter) UpdateHash(h uint64) { w.w.Update(h) }
+
+// Hint returns the writer's current pre-filtering Θ.
+func (w *ConcurrentWriter) Hint() uint64 { return w.w.Hint() }
+
+// Flush propagates any buffered updates and waits for them to be
+// reflected in the global estimate.
+func (w *ConcurrentWriter) Flush() { w.w.Flush() }

@@ -1,0 +1,267 @@
+package theta
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConcurrentExactSmallStream(t *testing.T) {
+	// With eager propagation, small streams are answered exactly (§5.3).
+	c := NewConcurrent(ConcurrentConfig{K: 4096, Writers: 1, MaxError: 0.04})
+	defer c.Close()
+	w := c.Writer(0)
+	for i := uint64(1); i <= 1000; i++ {
+		w.UpdateUint64(i)
+		if i <= 1000 && c.Eager() {
+			if est := c.Estimate(); est != float64(i) {
+				t.Fatalf("eager phase after %d updates: estimate %v", i, est)
+			}
+		}
+	}
+}
+
+func TestConcurrentSingleWriterAccuracy(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{K: 1024, Writers: 1, MaxError: 0.04})
+	defer c.Close()
+	w := c.Writer(0)
+	const n = 200000
+	for i := uint64(0); i < n; i++ {
+		w.UpdateUint64(i)
+	}
+	w.Flush()
+	est := c.Estimate()
+	if re := math.Abs(est-n) / n; re > 0.15 {
+		t.Errorf("relative error %v (est=%v)", re, est)
+	}
+}
+
+func TestConcurrentMultiWriterAccuracy(t *testing.T) {
+	const writers, per = 4, 100000
+	c := NewConcurrent(ConcurrentConfig{K: 4096, Writers: writers, MaxError: 0.04})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < per; j++ {
+				w.UpdateUint64(uint64(i*per + j)) // disjoint ranges
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	n := float64(writers * per)
+	if re := math.Abs(c.Estimate()-n) / n; re > 0.1 {
+		t.Errorf("relative error %v (est=%v, n=%v)", re, c.Estimate(), n)
+	}
+}
+
+func TestConcurrentRelaxationExactMode(t *testing.T) {
+	// In exact mode (stream < k, Θ = 1) the estimate equals the number
+	// of propagated updates, so Theorem 1's bound is directly checkable:
+	// a quiesced query misses at most r = 2Nb updates.
+	const writers = 2
+	c := NewConcurrent(ConcurrentConfig{
+		K: 65536, Writers: writers, BufferSize: 8, EagerLimit: -1, // no eager, stay exact
+	})
+	defer c.Close()
+	const per = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < per; j++ {
+				w.UpdateUint64(uint64(i*per + j))
+			}
+			// No flush: leave residue in local buffers.
+		}(i)
+	}
+	wg.Wait()
+	quiesce(c)
+	est := c.Estimate()
+	total := float64(writers * per)
+	r := float64(c.Relaxation())
+	if est > total {
+		t.Errorf("estimate %v exceeds true count %v in exact mode", est, total)
+	}
+	if est < total-r {
+		t.Errorf("estimate %v misses more than r=%v of %v updates", est, r, total)
+	}
+}
+
+func quiesce(c *Concurrent) {
+	prev := int64(-1)
+	for i := 0; i < 500; i++ {
+		cur := c.Propagations()
+		if cur == prev {
+			return
+		}
+		prev = cur
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestConcurrentPreFilteringReducesPropagation(t *testing.T) {
+	// §5.2: the Θ hint prunes updates writer-side, so the number of
+	// hashes reaching the global sketch is far below the stream size.
+	c := NewConcurrent(ConcurrentConfig{K: 256, Writers: 1, MaxError: 1, BufferSize: 16, EagerLimit: -1})
+	defer c.Close()
+	w := c.Writer(0)
+	const n = 1 << 20
+	for i := uint64(0); i < n; i++ {
+		w.UpdateUint64(i)
+	}
+	w.Flush()
+	// Each propagation carries <= b hashes; with filtering the total
+	// propagated is O(k log n) << n.
+	maxPropagated := int64(16) * c.Propagations()
+	if maxPropagated > n/8 {
+		t.Errorf("propagated up to %d hashes for n=%d; hint filtering ineffective", maxPropagated, n)
+	}
+	// Sanity: the filter must not hurt accuracy.
+	if re := math.Abs(c.Estimate()-n) / n; re > 0.3 {
+		t.Errorf("relative error %v with filtering", re)
+	}
+}
+
+func TestConcurrentHintAdoption(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{K: 256, Writers: 1, MaxError: 1, BufferSize: 8, EagerLimit: -1})
+	defer c.Close()
+	w := c.Writer(0)
+	for i := uint64(0); i < 100000; i++ {
+		w.UpdateUint64(i)
+	}
+	w.Flush()
+	if w.Hint() >= 1<<63 {
+		t.Error("writer hint never tightened below 1.0 on a large stream")
+	}
+}
+
+func TestConcurrentQueriesDuringIngestion(t *testing.T) {
+	// Mixed workload smoke test: estimates observed live must be
+	// monotone-ish (Θ estimate can wobble slightly across rebuilds but
+	// must never regress below half of a previously seen value).
+	c := NewConcurrent(ConcurrentConfig{K: 1024, Writers: 2, MaxError: 0.04})
+	defer c.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < 200000; j++ {
+				w.UpdateUint64(uint64(i*200000 + j))
+			}
+			w.Flush()
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(stop)
+	}()
+	var peak float64
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		est := c.Estimate()
+		if est > peak {
+			peak = est
+		}
+		if est < peak*0.5 {
+			t.Fatalf("estimate collapsed from %v to %v mid-stream", peak, est)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConcurrentParSketchVariant(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{
+		K: 1024, Writers: 2, BufferSize: 8, EagerLimit: -1,
+		DisableDoubleBuffering: true,
+	})
+	defer c.Close()
+	if c.Relaxation() != 2*8 {
+		t.Errorf("ParSketch relaxation = %d, want N*b = 16", c.Relaxation())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < 50000; j++ {
+				w.UpdateUint64(uint64(i*50000 + j))
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	if re := math.Abs(c.Estimate()-100000) / 100000; re > 0.15 {
+		t.Errorf("ParSketch relative error %v", re)
+	}
+}
+
+func TestConcurrentDefaults(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{})
+	defer c.Close()
+	if c.K() != 4096 {
+		t.Errorf("default K = %d", c.K())
+	}
+	if c.BufferSize() <= 0 {
+		t.Error("default buffer size not derived")
+	}
+	if !c.Eager() {
+		t.Error("default config should start eager (e=0.04)")
+	}
+}
+
+func TestConcurrentDuplicateHeavyStream(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{K: 1024, Writers: 2, MaxError: 0.04})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < 100000; j++ {
+				w.UpdateUint64(uint64(j % 5000)) // only 5000 uniques
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	if re := math.Abs(c.Estimate()-5000) / 5000; re > 0.15 {
+		t.Errorf("estimate %v for 5000 uniques with heavy duplication", c.Estimate())
+	}
+}
+
+func BenchmarkConcurrentUpdateSingleWriter(b *testing.B) {
+	c := NewConcurrent(ConcurrentConfig{K: 4096, Writers: 1, MaxError: 1, EagerLimit: -1})
+	defer c.Close()
+	w := c.Writer(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.UpdateUint64(uint64(i))
+	}
+}
+
+func BenchmarkLockBaselineComparison(b *testing.B) {
+	// Paired with BenchmarkConcurrentUpdateSingleWriter: the per-update
+	// cost gap is the single-threaded core of Figures 1/6.
+	s := NewQuickSelect(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.UpdateUint64(uint64(i))
+	}
+}

@@ -1,0 +1,223 @@
+package theta
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fcds/fcds/internal/hash"
+)
+
+func TestKMVExactBelowK(t *testing.T) {
+	// Below k unique items the sketch answers exactly (§5.3).
+	s := NewKMV(64)
+	for i := uint64(0); i < 63; i++ {
+		s.UpdateUint64(i)
+	}
+	if got := s.Estimate(); got != 63 {
+		t.Errorf("estimate = %v, want exactly 63", got)
+	}
+	if s.IsEstimationMode() {
+		t.Error("sketch entered estimation mode below k uniques")
+	}
+	if s.Theta() != hash.MaxThetaValue {
+		t.Errorf("theta = %d, want 1.0", s.Theta())
+	}
+}
+
+func TestKMVDuplicatesIgnored(t *testing.T) {
+	s := NewKMV(64)
+	for rep := 0; rep < 10; rep++ {
+		for i := uint64(0); i < 40; i++ {
+			s.UpdateUint64(i)
+		}
+	}
+	if got := s.Estimate(); got != 40 {
+		t.Errorf("estimate with duplicates = %v, want 40", got)
+	}
+	if got := s.Retained(); got != 40 {
+		t.Errorf("retained = %d, want 40", got)
+	}
+}
+
+func TestKMVEntersEstimationModeAtK(t *testing.T) {
+	k := 32
+	s := NewKMV(k)
+	for i := uint64(0); uint64(s.Retained()) < uint64(k); i++ {
+		s.UpdateUint64(i)
+	}
+	if !s.IsEstimationMode() {
+		t.Fatal("sketch not in estimation mode with k retained samples")
+	}
+	if s.Theta() >= hash.MaxThetaValue {
+		t.Fatal("theta not lowered after k samples")
+	}
+}
+
+func TestKMVThetaIsMaxSample(t *testing.T) {
+	s := NewKMV(16)
+	for i := uint64(0); i < 1000; i++ {
+		s.UpdateUint64(i)
+	}
+	var maxHash uint64
+	s.ForEachHash(func(h uint64) {
+		if h > maxHash {
+			maxHash = h
+		}
+	})
+	if s.Theta() != maxHash {
+		t.Errorf("theta = %d, max retained = %d; Algorithm 1 requires Θ = max(sampleSet)", s.Theta(), maxHash)
+	}
+}
+
+func TestKMVThetaMonotonicallyDecreasing(t *testing.T) {
+	// The pre-filter safety argument (§5.1) relies on Θ only decreasing.
+	s := NewKMV(32)
+	prev := s.Theta()
+	for i := uint64(0); i < 5000; i++ {
+		s.UpdateUint64(i)
+		if th := s.Theta(); th > prev {
+			t.Fatalf("theta increased from %d to %d at update %d", prev, th, i)
+		} else {
+			prev = th
+		}
+	}
+}
+
+func TestKMVRetainedNeverExceedsK(t *testing.T) {
+	k := 32
+	s := NewKMV(k)
+	for i := uint64(0); i < 10000; i++ {
+		s.UpdateUint64(i)
+		if s.Retained() > k {
+			t.Fatalf("retained %d > k=%d", s.Retained(), k)
+		}
+	}
+}
+
+func TestKMVAccuracy(t *testing.T) {
+	// RSE of the KMV estimator is < 1/sqrt(k-2) (Bar-Yossef et al.);
+	// with k=1024 and n=100k a single run should be well within 5 RSE.
+	k, n := 1024, 100000
+	s := NewKMV(k)
+	for i := 0; i < n; i++ {
+		s.UpdateUint64(uint64(i))
+	}
+	est := s.Estimate()
+	rse := 1 / math.Sqrt(float64(k-2))
+	if re := math.Abs(est-float64(n)) / float64(n); re > 5*rse {
+		t.Errorf("relative error %.4f exceeds 5·RSE = %.4f (est=%v)", re, 5*rse, est)
+	}
+}
+
+func TestKMVUnbiasedAcrossTrials(t *testing.T) {
+	// Mean estimate over independent hash seeds must approach n
+	// (E[(k-1)/M(k)] = n). 200 trials at k=256 give a standard error of
+	// the mean ≈ n·RSE/sqrt(200) ≈ 0.44% of n; assert within 3 of those.
+	k, n, trials := 256, 20000, 200
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		s := NewKMVSeeded(k, uint64(tr)*7919+1)
+		for i := 0; i < n; i++ {
+			s.UpdateUint64(uint64(i))
+		}
+		sum += s.Estimate()
+	}
+	mean := sum / float64(trials)
+	sem := float64(n) / math.Sqrt(float64(k-2)) / math.Sqrt(float64(trials))
+	if math.Abs(mean-float64(n)) > 3*sem {
+		t.Errorf("mean estimate %v deviates from n=%d by more than 3 SEM (%v)", mean, n, 3*sem)
+	}
+}
+
+func TestKMVMergeEquivalentToConcatenation(t *testing.T) {
+	// Mergeability (§3): sketch(A||B) == merge(sketch(A), sketch(B))
+	// under the same hash function.
+	k := 128
+	whole := NewKMV(k)
+	a := NewKMV(k)
+	b := NewKMV(k)
+	for i := uint64(0); i < 5000; i++ {
+		whole.UpdateUint64(i)
+		if i < 2500 {
+			a.UpdateUint64(i)
+		} else {
+			b.UpdateUint64(i)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != whole.Estimate() {
+		t.Errorf("merged estimate %v != whole-stream estimate %v", a.Estimate(), whole.Estimate())
+	}
+	if a.Theta() != whole.Theta() {
+		t.Errorf("merged theta %d != whole-stream theta %d", a.Theta(), whole.Theta())
+	}
+}
+
+func TestKMVMergeSeedMismatch(t *testing.T) {
+	a := NewKMVSeeded(64, 1)
+	b := NewKMVSeeded(64, 2)
+	if err := a.Merge(b); err != ErrSeedMismatch {
+		t.Errorf("merge with mismatched seeds: err = %v, want ErrSeedMismatch", err)
+	}
+}
+
+func TestKMVReset(t *testing.T) {
+	s := NewKMV(32)
+	for i := uint64(0); i < 1000; i++ {
+		s.UpdateUint64(i)
+	}
+	s.Reset()
+	if s.Retained() != 0 || s.IsEstimationMode() || s.Estimate() != 0 {
+		t.Errorf("after Reset: retained=%d estMode=%v est=%v", s.Retained(), s.IsEstimationMode(), s.Estimate())
+	}
+	s.UpdateUint64(1)
+	if s.Estimate() != 1 {
+		t.Errorf("reset sketch unusable: est=%v", s.Estimate())
+	}
+}
+
+func TestKMVCompactMatches(t *testing.T) {
+	s := NewKMV(64)
+	for i := uint64(0); i < 3000; i++ {
+		s.UpdateUint64(i)
+	}
+	c := s.Compact()
+	if c.Estimate() == 0 || c.Theta() != s.Theta() || c.Retained() != s.Retained() {
+		t.Errorf("compact mismatch: est=%v theta=%d retained=%d", c.Estimate(), c.Theta(), c.Retained())
+	}
+	// KMV estimate is (k-1)/θ; compact uses retained/θ. With retained=k
+	// these differ by 1/θ — allow that gap but no more.
+	if diff := math.Abs(c.Estimate() - s.Estimate()); diff > 1/hash.FractionOf(s.Theta())+1e-9 {
+		t.Errorf("compact estimate %v too far from KMV estimate %v", c.Estimate(), s.Estimate())
+	}
+}
+
+func TestKMVPanicsOnTinyK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewKMV(1) did not panic")
+		}
+	}()
+	NewKMV(1)
+}
+
+func TestKMVStringAndBytesUpdatesAgree(t *testing.T) {
+	a, b := NewKMV(64), NewKMV(64)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, w := range words {
+		a.UpdateString(w)
+		b.Update([]byte(w))
+	}
+	if a.Estimate() != b.Estimate() || a.Theta() != b.Theta() {
+		t.Error("string and []byte update paths disagree")
+	}
+}
+
+func BenchmarkKMVUpdate(b *testing.B) {
+	s := NewKMV(4096)
+	for i := 0; i < b.N; i++ {
+		s.UpdateUint64(uint64(i))
+	}
+}

@@ -1,0 +1,64 @@
+package theta
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentKMVGlobal(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{
+		K: 1024, Writers: 2, MaxError: 0.04, UseKMV: true,
+	})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for j := 0; j < 100000; j++ {
+				w.UpdateUint64(uint64(i*100000 + j))
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	if re := math.Abs(c.Estimate()-200000) / 200000; re > 0.15 {
+		t.Errorf("KMV-global relative error %v (est=%v)", re, c.Estimate())
+	}
+}
+
+func TestConcurrentKMVGlobalExactSmall(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{K: 1024, Writers: 1, MaxError: 0.04, UseKMV: true})
+	defer c.Close()
+	w := c.Writer(0)
+	for i := uint64(0); i < 500; i++ {
+		w.UpdateUint64(i)
+	}
+	// Still in the eager phase: exact.
+	if est := c.Estimate(); est != 500 {
+		t.Errorf("eager KMV estimate = %v, want 500", est)
+	}
+}
+
+func TestKMVAndQuickSelectGlobalsAgree(t *testing.T) {
+	run := func(useKMV bool) float64 {
+		c := NewConcurrent(ConcurrentConfig{
+			K: 512, Writers: 1, MaxError: 0.04, UseKMV: useKMV, Seed: 77,
+		})
+		defer c.Close()
+		w := c.Writer(0)
+		for i := uint64(0); i < 100000; i++ {
+			w.UpdateUint64(i)
+		}
+		w.Flush()
+		return c.Estimate()
+	}
+	kmv, qs := run(true), run(false)
+	// Same hash function, same stream: both unbiased estimators with
+	// RSE ~ 1/sqrt(k-2) ≈ 4.4%; they should land within several RSE.
+	if re := math.Abs(kmv-qs) / 100000; re > 0.25 {
+		t.Errorf("KMV global %v vs QuickSelect global %v diverge", kmv, qs)
+	}
+}

@@ -1,0 +1,216 @@
+package theta
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests of the sketch algebra. Seeds and stream shapes
+// are driven by testing/quick; tolerances are multiples of the
+// a-priori RSE.
+
+func TestPropertyMergeCommutativeKMV(t *testing.T) {
+	// KMV retains exactly the k smallest hashes — a pure function of
+	// the input *set* — so merge(A,B) and merge(B,A) are identical.
+	// (QuickSelect's rebuild points depend on order, so it only
+	// promises estimate agreement; see the associativity test.)
+	f := func(seed uint64, split uint16) bool {
+		k := 128
+		n := uint64(20000)
+		cut := uint64(split) % n
+		ab := NewKMVSeeded(k, seed|1)
+		ba := NewKMVSeeded(k, seed|1)
+		a1, b1 := NewKMVSeeded(k, seed|1), NewKMVSeeded(k, seed|1)
+		for i := uint64(0); i < n; i++ {
+			if i < cut {
+				a1.UpdateUint64(i)
+			} else {
+				b1.UpdateUint64(i)
+			}
+		}
+		if err := ab.Merge(a1); err != nil {
+			return false
+		}
+		if err := ab.Merge(b1); err != nil {
+			return false
+		}
+		if err := ba.Merge(b1); err != nil {
+			return false
+		}
+		if err := ba.Merge(a1); err != nil {
+			return false
+		}
+		return ab.Estimate() == ba.Estimate() && ab.Theta() == ba.Theta()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMergeAssociativeEstimates(t *testing.T) {
+	// (A∪B)∪C vs A∪(B∪C): same retained set under a shared hash.
+	f := func(seed uint64) bool {
+		k := 128
+		mk := func(lo, hi uint64) *QuickSelect {
+			s := NewQuickSelectSeeded(k, seed|1)
+			for i := lo; i < hi; i++ {
+				s.UpdateUint64(i)
+			}
+			return s
+		}
+		a, b, c := mk(0, 7000), mk(7000, 14000), mk(14000, 21000)
+		left := NewQuickSelectSeeded(k, seed|1)
+		_ = left.Merge(a)
+		_ = left.Merge(b)
+		_ = left.Merge(c)
+		right := NewQuickSelectSeeded(k, seed|1)
+		bc := NewQuickSelectSeeded(k, seed|1)
+		_ = bc.Merge(b)
+		_ = bc.Merge(c)
+		_ = right.Merge(a)
+		_ = right.Merge(bc)
+		// Merge order can change rebuild points, so retained sets may
+		// differ slightly; estimates must agree within a few RSE.
+		diff := math.Abs(left.Estimate()-right.Estimate()) / 21000
+		return diff < 4/math.Sqrt(float64(k-2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInclusionExclusion(t *testing.T) {
+	// |A∪B| + |A∩B| ≈ |A| + |B| for the sketch estimates.
+	f := func(seed uint64, overlapRaw uint16) bool {
+		k := 2048
+		nA, nB := uint64(60000), uint64(50000)
+		overlap := uint64(overlapRaw) % 40000
+		a := NewQuickSelectSeeded(k, seed|1)
+		b := NewQuickSelectSeeded(k, seed|1)
+		for i := uint64(0); i < nA; i++ {
+			a.UpdateUint64(i)
+		}
+		for i := nA - overlap; i < nA-overlap+nB; i++ {
+			b.UpdateUint64(i)
+		}
+		u := NewUnionSeeded(k, seed|1)
+		_ = u.Add(a)
+		_ = u.Add(b)
+		x := NewIntersectionSeeded(seed | 1)
+		_ = x.Add(a)
+		_ = x.Add(b)
+		lhs := u.Result().Estimate() + x.Result().Estimate()
+		rhs := a.Estimate() + b.Estimate()
+		return math.Abs(lhs-rhs)/rhs < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAnotBPartition(t *testing.T) {
+	// |A\B| + |A∩B| ≈ |A|.
+	f := func(seed uint64) bool {
+		k := 2048
+		a := NewQuickSelectSeeded(k, seed|1)
+		b := NewQuickSelectSeeded(k, seed|1)
+		for i := uint64(0); i < 50000; i++ {
+			a.UpdateUint64(i)
+		}
+		for i := uint64(25000); i < 75000; i++ {
+			b.UpdateUint64(i)
+		}
+		diff, err := AnotB(a, b)
+		if err != nil {
+			return false
+		}
+		x := NewIntersectionSeeded(seed | 1)
+		_ = x.Add(a)
+		_ = x.Add(b)
+		lhs := diff.Estimate() + x.Result().Estimate()
+		return math.Abs(lhs-a.Estimate())/a.Estimate() < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySerdeRoundTripAnySketch(t *testing.T) {
+	f := func(seed uint64, nRaw uint32) bool {
+		n := uint64(nRaw) % 200000
+		s := NewQuickSelectSeeded(64, seed|1)
+		for i := uint64(0); i < n; i++ {
+			s.UpdateUint64(i)
+		}
+		c := s.Compact()
+		data, err := c.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalCompact(data)
+		if err != nil {
+			return false
+		}
+		return back.Estimate() == c.Estimate() &&
+			back.Theta() == c.Theta() &&
+			back.Retained() == c.Retained()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEstimateInvariantToInsertionOrder(t *testing.T) {
+	// "the state of a Θ sketch after a set of updates is independent of
+	// their processing order" (§6.1) — feed the same set forward and
+	// backward.
+	f := func(seed uint64) bool {
+		k := 256
+		n := uint64(30000)
+		fwd := NewQuickSelectSeeded(k, seed|1)
+		rev := NewQuickSelectSeeded(k, seed|1)
+		for i := uint64(0); i < n; i++ {
+			fwd.UpdateUint64(i)
+			rev.UpdateUint64(n - 1 - i)
+		}
+		// Retained sets may differ transiently (rebuild points), but
+		// KMV retains exactly the k smallest — check via KMV.
+		fk := NewKMVSeeded(k, seed|1)
+		rk := NewKMVSeeded(k, seed|1)
+		for i := uint64(0); i < n; i++ {
+			fk.UpdateUint64(i)
+			rk.UpdateUint64(n - 1 - i)
+		}
+		if fk.Estimate() != rk.Estimate() || fk.Theta() != rk.Theta() {
+			return false
+		}
+		// QuickSelect estimates agree within RSE tolerance.
+		return math.Abs(fwd.Estimate()-rev.Estimate())/float64(n) < 4/math.Sqrt(float64(k-2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUnionUpperBoundsInputs(t *testing.T) {
+	// A union summarises a superset of each input, so its estimate
+	// should not be far below either input's.
+	f := func(seed uint64) bool {
+		k := 1024
+		a := NewQuickSelectSeeded(k, seed|1)
+		b := NewQuickSelectSeeded(k, seed|1)
+		for i := uint64(0); i < 40000; i++ {
+			a.UpdateUint64(i)
+			b.UpdateUint64(i + 20000)
+		}
+		u := NewUnionSeeded(k, seed|1)
+		_ = u.Add(a)
+		_ = u.Add(b)
+		ue := u.Result().Estimate()
+		return ue > a.Estimate()*0.85 && ue > b.Estimate()*0.85
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

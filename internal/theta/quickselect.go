@@ -1,0 +1,165 @@
+package theta
+
+import (
+	"github.com/fcds/fcds/internal/hash"
+)
+
+// rebuildFraction controls when the QuickSelect sketch rebuilds: at
+// count = rebuildFraction × 2k the table is compacted back to k
+// entries. 15/16 matches DataSketches' REBUILD_THRESHOLD, keeping the
+// open-addressing load factor below 1/2 (table has 4k slots).
+const (
+	rebuildNum = 15
+	rebuildDen = 16
+)
+
+// QuickSelect is the HeapQuickSelectSketch-family Θ sketch used by the
+// paper's evaluation (§7.1): it stores between k and ~2k hashes and,
+// when full, quickselects the (k+1)-th smallest value as the new Θ,
+// discarding everything above it. Updates are a hash-table insert and
+// rebuilds are O(retained), so amortised update cost is O(1).
+//
+// The estimate is retained/Θ, exact while Θ = 1. Not safe for
+// concurrent use; see ConcurrentSketch / lockbased.Locked.
+type QuickSelect struct {
+	k     int
+	seed  uint64
+	table *hashTable
+	theta uint64
+	// thresh is the retained count that triggers a rebuild.
+	thresh int
+	// scratch is reused by rebuilds to avoid per-rebuild allocation.
+	scratch []uint64
+}
+
+// NewQuickSelect returns an empty QuickSelect sketch with nominal entry
+// count k (a power of two >= 16, e.g. 4096) and the default seed.
+func NewQuickSelect(k int) *QuickSelect {
+	return NewQuickSelectSeeded(k, hash.DefaultSeed)
+}
+
+// NewQuickSelectSeeded returns an empty QuickSelect sketch with an
+// explicit hash seed. The hash table starts small and doubles as the
+// sketch fills (DataSketches' resize behaviour), so short streams pay
+// KBs, not the full 4k-slot footprint.
+func NewQuickSelectSeeded(k int, seed uint64) *QuickSelect {
+	if k < 16 || k&(k-1) != 0 {
+		panic("theta: QuickSelect requires k a power of two >= 16")
+	}
+	initial := 64
+	if 4*k < initial {
+		initial = 4 * k
+	}
+	return &QuickSelect{
+		k:      k,
+		seed:   seed,
+		table:  newHashTable(initial),
+		theta:  hash.MaxThetaValue,
+		thresh: 2 * k * rebuildNum / rebuildDen,
+	}
+}
+
+// maybeGrow doubles the table when its load factor reaches 1/2,
+// stopping at the full 4k-slot size (at which point quickselect
+// rebuilds bound the count instead).
+func (s *QuickSelect) maybeGrow() {
+	if len(s.table.slots) >= 4*s.k || 2*s.table.count < len(s.table.slots) {
+		return
+	}
+	old := s.table
+	s.table = newHashTable(2 * len(old.slots))
+	for _, h := range old.slots {
+		if h != 0 {
+			s.table.insert(h)
+		}
+	}
+}
+
+// Update processes one stream item given as raw bytes.
+func (s *QuickSelect) Update(data []byte) { s.UpdateHash(hash.ThetaHashBytes(data, s.seed)) }
+
+// UpdateUint64 processes one uint64 stream item.
+func (s *QuickSelect) UpdateUint64(v uint64) { s.UpdateHash(hash.ThetaHashUint64(v, s.seed)) }
+
+// UpdateString processes one string stream item.
+func (s *QuickSelect) UpdateString(v string) { s.UpdateHash(hash.ThetaHashString(v, s.seed)) }
+
+// UpdateHash processes a pre-hashed item (Θ-space hash).
+func (s *QuickSelect) UpdateHash(h uint64) {
+	if h >= s.theta {
+		return
+	}
+	if !s.table.insert(h) {
+		return
+	}
+	if s.table.count >= s.thresh {
+		s.rebuild()
+		return
+	}
+	s.maybeGrow()
+}
+
+// rebuild quickselects the (k+1)-th smallest retained hash as the new
+// Θ and keeps only hashes strictly below it ("the sketch is sorted and
+// the largest k values are discarded", §7.1).
+func (s *QuickSelect) rebuild() {
+	s.scratch = s.table.appendAll(s.scratch[:0])
+	pivot := selectKth(s.scratch, s.k+1)
+	s.theta = pivot
+	s.table.reset()
+	// Retained hashes are distinct, so exactly k values lie strictly
+	// below the (k+1)-th smallest.
+	for _, h := range s.scratch {
+		if h < pivot {
+			s.table.insert(h)
+		}
+	}
+}
+
+// Merge folds all samples of other into s. Seeds must match.
+func (s *QuickSelect) Merge(other Sketch) error {
+	if other.Seed() != s.seed {
+		return ErrSeedMismatch
+	}
+	other.ForEachHash(s.UpdateHash)
+	return nil
+}
+
+// Estimate implements Sketch.
+func (s *QuickSelect) Estimate() float64 { return estimateFrom(s.theta, s.table.count) }
+
+// Theta implements Sketch.
+func (s *QuickSelect) Theta() uint64 { return s.theta }
+
+// Retained implements Sketch.
+func (s *QuickSelect) Retained() int { return s.table.count }
+
+// IsEstimationMode implements Sketch.
+func (s *QuickSelect) IsEstimationMode() bool { return s.theta < hash.MaxThetaValue }
+
+// ForEachHash implements Sketch.
+func (s *QuickSelect) ForEachHash(fn func(uint64)) {
+	for _, v := range s.table.slots {
+		if v != 0 {
+			fn(v)
+		}
+	}
+}
+
+// Seed implements Sketch.
+func (s *QuickSelect) Seed() uint64 { return s.seed }
+
+// K returns the nominal entry count.
+func (s *QuickSelect) K() int { return s.k }
+
+// Reset restores the sketch to the empty state, retaining its buffers.
+func (s *QuickSelect) Reset() {
+	s.table.reset()
+	s.theta = hash.MaxThetaValue
+}
+
+// Compact returns an immutable snapshot of the sketch.
+func (s *QuickSelect) Compact() *Compact {
+	hashes := s.table.appendAll(make([]uint64, 0, s.table.count))
+	return newCompactFromUnsorted(hashes, s.theta, s.seed)
+}

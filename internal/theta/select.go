@@ -1,0 +1,55 @@
+package theta
+
+// selectKth returns the k-th smallest value of a (k is 1-based) and
+// partially reorders a so that a[k-1] holds that value with smaller
+// values to its left. It is Hoare's quickselect with median-of-three
+// pivoting — O(n) expected, no allocation — which is what makes the
+// QuickSelect sketch's periodic rebuild cheap.
+func selectKth(a []uint64, k int) uint64 {
+	if k < 1 || k > len(a) {
+		panic("theta: selectKth index out of range")
+	}
+	lo, hi := 0, len(a)-1
+	target := k - 1
+	for lo < hi {
+		// Median-of-three pivot to dodge adversarial orderings.
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+
+		// Hoare partition.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if a[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if a[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+		}
+		if target <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return a[target]
+}

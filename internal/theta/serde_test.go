@@ -1,0 +1,189 @@
+package theta
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/fcds/fcds/internal/hash"
+)
+
+func TestSerdeRoundTripEmpty(t *testing.T) {
+	c := EmptyCompact(hash.DefaultSeed)
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCompact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Retained() != 0 || got.Estimate() != 0 || got.Theta() != hash.MaxThetaValue {
+		t.Errorf("round-tripped empty sketch: retained=%d est=%v", got.Retained(), got.Estimate())
+	}
+}
+
+func TestSerdeRoundTripExact(t *testing.T) {
+	s := NewQuickSelect(256)
+	fill(s, 0, 100)
+	c := s.Compact()
+	data, _ := c.MarshalBinary()
+	got, err := UnmarshalCompact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != c.Estimate() || got.Theta() != c.Theta() || got.Seed() != c.Seed() {
+		t.Error("exact-mode round trip mismatch")
+	}
+}
+
+func TestSerdeRoundTripEstimation(t *testing.T) {
+	s := NewQuickSelect(64)
+	fill(s, 0, 100000)
+	c := s.Compact()
+	data, _ := c.MarshalBinary()
+	got, err := UnmarshalCompact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != c.Estimate() || got.Retained() != c.Retained() {
+		t.Error("estimation-mode round trip mismatch")
+	}
+	// Hashes must round-trip in order.
+	a, b := c.Hashes(), got.Hashes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hash %d mismatch", i)
+		}
+	}
+}
+
+func TestSerdeRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"short", func(b []byte) []byte { return b[:10] }, ErrCorrupt},
+		{"magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic},
+		{"version", func(b []byte) []byte { b[4] = 99; return b }, ErrBadVersion},
+		{"theta zero", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:24], 0)
+			return b
+		}, ErrThetaRange},
+		{"theta too large", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:24], hash.MaxThetaValue+5)
+			return b
+		}, ErrThetaRange},
+		{"count mismatch", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24:28], 9999)
+			return b
+		}, ErrCountBounds},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-8] }, ErrCountBounds},
+	}
+	s := NewQuickSelect(64)
+	fill(s, 0, 10000)
+	base, _ := s.Compact().MarshalBinary()
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), base...))
+			if _, err := UnmarshalCompact(data); !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSerdeRejectsUnsortedHashes(t *testing.T) {
+	s := NewQuickSelect(64)
+	fill(s, 0, 10000)
+	data, _ := s.Compact().MarshalBinary()
+	// Swap the first two hashes to break ordering.
+	h0 := binary.LittleEndian.Uint64(data[headerSize:])
+	h1 := binary.LittleEndian.Uint64(data[headerSize+8:])
+	binary.LittleEndian.PutUint64(data[headerSize:], h1)
+	binary.LittleEndian.PutUint64(data[headerSize+8:], h0)
+	if _, err := UnmarshalCompact(data); !errors.Is(err, ErrUnsorted) {
+		t.Errorf("err = %v, want ErrUnsorted", err)
+	}
+}
+
+func TestSerdeRejectsHashAboveTheta(t *testing.T) {
+	s := NewQuickSelect(64)
+	fill(s, 0, 10000)
+	data, _ := s.Compact().MarshalBinary()
+	theta := binary.LittleEndian.Uint64(data[16:24])
+	// Overwrite the last (largest) hash with theta itself.
+	binary.LittleEndian.PutUint64(data[len(data)-8:], theta)
+	if _, err := UnmarshalCompact(data); !errors.Is(err, ErrAboveTheta) {
+		t.Errorf("err = %v, want ErrAboveTheta", err)
+	}
+}
+
+func TestSerdeRejectsZeroHash(t *testing.T) {
+	s := NewQuickSelect(64)
+	fill(s, 0, 1000)
+	data, _ := s.Compact().MarshalBinary()
+	binary.LittleEndian.PutUint64(data[headerSize:], 0)
+	if _, err := UnmarshalCompact(data); !errors.Is(err, ErrZeroHash) {
+		t.Errorf("err = %v, want ErrZeroHash", err)
+	}
+}
+
+func TestSerdeFuzzNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		// Must never panic; errors are fine.
+		_, _ = UnmarshalCompact(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactBounds(t *testing.T) {
+	s := NewQuickSelect(1024)
+	fill(s, 0, 500000)
+	c := s.Compact()
+	lb1, est, ub1 := c.LowerBound(1), c.Estimate(), c.UpperBound(1)
+	lb3, ub3 := c.LowerBound(3), c.UpperBound(3)
+	if !(lb3 <= lb1 && lb1 <= est && est <= ub1 && ub1 <= ub3) {
+		t.Errorf("bound ordering violated: %v %v %v %v %v", lb3, lb1, est, ub1, ub3)
+	}
+	if lb1 < float64(c.Retained()) {
+		t.Errorf("lower bound %v below retained %d", lb1, c.Retained())
+	}
+	// 1-sigma interval should contain the truth here (500k).
+	if lb3 > 500000 || ub3 < 500000 {
+		t.Errorf("3-sigma interval [%v, %v] misses n=500000", lb3, ub3)
+	}
+}
+
+func TestCompactBoundsExactMode(t *testing.T) {
+	s := NewQuickSelect(256)
+	fill(s, 0, 100)
+	c := s.Compact()
+	if c.LowerBound(2) != 100 || c.UpperBound(2) != 100 {
+		t.Errorf("exact-mode bounds [%v, %v], want [100, 100]", c.LowerBound(2), c.UpperBound(2))
+	}
+}
+
+func TestCompactTrimmedToK(t *testing.T) {
+	s := NewQuickSelect(64)
+	fill(s, 0, 100000)
+	c := s.Compact()
+	trimmed := c.trimmedToK(32)
+	if trimmed.Retained() != 32 {
+		t.Fatalf("trimmed retained = %d, want 32", trimmed.Retained())
+	}
+	trimmed.ForEachHash(func(h uint64) {
+		if h >= trimmed.Theta() {
+			t.Fatal("trimmed hash >= new theta")
+		}
+	})
+	// Trimming must not change the estimate drastically (same estimator).
+	if re := (trimmed.Estimate() - c.Estimate()) / c.Estimate(); re > 0.5 || re < -0.5 {
+		t.Errorf("trim changed estimate from %v to %v", c.Estimate(), trimmed.Estimate())
+	}
+}

@@ -1,0 +1,178 @@
+package theta
+
+import (
+	"github.com/fcds/fcds/internal/hash"
+)
+
+// Union computes the Θ-sketch union of multiple sketches. It maintains
+// an internal QuickSelect "gadget" plus a running minimum Θ over all
+// inputs; Result returns a compact sketch summarizing the concatenation
+// of all input streams (the mergeability property of §3).
+type Union struct {
+	gadget   *QuickSelect
+	unionMin uint64 // min Θ over all inputs seen so far
+}
+
+// NewUnion returns an empty union with nominal entry count k.
+func NewUnion(k int) *Union { return NewUnionSeeded(k, hash.DefaultSeed) }
+
+// NewUnionSeeded returns an empty union with an explicit seed.
+func NewUnionSeeded(k int, seed uint64) *Union {
+	return &Union{
+		gadget:   NewQuickSelectSeeded(k, seed),
+		unionMin: hash.MaxThetaValue,
+	}
+}
+
+// Add folds a sketch into the union. Seeds must match.
+func (u *Union) Add(s Sketch) error {
+	if s.Seed() != u.gadget.seed {
+		return ErrSeedMismatch
+	}
+	if t := s.Theta(); t < u.unionMin {
+		u.unionMin = t
+	}
+	s.ForEachHash(func(h uint64) {
+		if h < u.unionMin {
+			u.gadget.UpdateHash(h)
+		}
+	})
+	return nil
+}
+
+// AddHash feeds a single pre-hashed item into the union (allows using a
+// union directly as a streaming sketch).
+func (u *Union) AddHash(h uint64) { u.gadget.UpdateHash(h) }
+
+// Result returns the compact union sketch. The union may continue to
+// be used afterwards.
+func (u *Union) Result() *Compact {
+	theta := u.gadget.theta
+	if u.unionMin < theta {
+		theta = u.unionMin
+	}
+	hashes := make([]uint64, 0, u.gadget.Retained())
+	u.gadget.ForEachHash(func(h uint64) {
+		if h < theta {
+			hashes = append(hashes, h)
+		}
+	})
+	return newCompactFromUnsorted(hashes, theta, u.gadget.seed).trimmedToK(u.gadget.k)
+}
+
+// Reset restores the union to empty.
+func (u *Union) Reset() {
+	u.gadget.Reset()
+	u.unionMin = hash.MaxThetaValue
+}
+
+// Intersection computes the Θ-sketch intersection. Standard semantics:
+// the result Θ is the minimum input Θ and the retained set is the
+// intersection of the inputs' retained sets below that Θ. The relative
+// error grows as the intersection shrinks (inherent to the method).
+type Intersection struct {
+	seed  uint64
+	theta uint64
+	// hashes is nil until the first Add; nil means "universal set".
+	hashes map[uint64]struct{}
+}
+
+// NewIntersection returns an intersection in its universal initial
+// state (intersecting nothing yields "everything").
+func NewIntersection() *Intersection { return NewIntersectionSeeded(hash.DefaultSeed) }
+
+// NewIntersectionSeeded returns an empty intersection with an explicit
+// seed.
+func NewIntersectionSeeded(seed uint64) *Intersection {
+	return &Intersection{seed: seed, theta: hash.MaxThetaValue}
+}
+
+// Add intersects s into the running result. Seeds must match.
+func (x *Intersection) Add(s Sketch) error {
+	if s.Seed() != x.seed {
+		return ErrSeedMismatch
+	}
+	if t := s.Theta(); t < x.theta {
+		x.theta = t
+	}
+	incoming := make(map[uint64]struct{}, s.Retained())
+	s.ForEachHash(func(h uint64) { incoming[h] = struct{}{} })
+	if x.hashes == nil {
+		x.hashes = incoming
+		return nil
+	}
+	for h := range x.hashes {
+		if _, ok := incoming[h]; !ok {
+			delete(x.hashes, h)
+		}
+	}
+	return nil
+}
+
+// Result returns the compact intersection sketch. Calling Result before
+// any Add returns an empty exact sketch (the estimate of "everything"
+// is undefined; we follow DataSketches in rejecting it).
+func (x *Intersection) Result() *Compact {
+	if x.hashes == nil {
+		return EmptyCompact(x.seed)
+	}
+	hashes := make([]uint64, 0, len(x.hashes))
+	for h := range x.hashes {
+		if h < x.theta {
+			hashes = append(hashes, h)
+		}
+	}
+	return newCompactFromUnsorted(hashes, x.theta, x.seed)
+}
+
+// AnotB returns a compact sketch of the set difference A \ B: retained
+// hashes of A below min(Θ_A, Θ_B) that do not appear in B.
+func AnotB(a, b Sketch) (*Compact, error) {
+	if a.Seed() != b.Seed() {
+		return nil, ErrSeedMismatch
+	}
+	theta := a.Theta()
+	if bt := b.Theta(); bt < theta {
+		theta = bt
+	}
+	inB := make(map[uint64]struct{}, b.Retained())
+	b.ForEachHash(func(h uint64) { inB[h] = struct{}{} })
+	hashes := make([]uint64, 0, a.Retained())
+	a.ForEachHash(func(h uint64) {
+		if h < theta {
+			if _, ok := inB[h]; !ok {
+				hashes = append(hashes, h)
+			}
+		}
+	})
+	return newCompactFromUnsorted(hashes, theta, a.Seed()), nil
+}
+
+// JaccardEstimate estimates the Jaccard similarity |A∩B| / |A∪B| of the
+// streams summarized by a and b, using k for the internal union.
+func JaccardEstimate(a, b Sketch, k int) (float64, error) {
+	if a.Seed() != b.Seed() {
+		return 0, ErrSeedMismatch
+	}
+	u := NewUnionSeeded(k, a.Seed())
+	if err := u.Add(a); err != nil {
+		return 0, err
+	}
+	if err := u.Add(b); err != nil {
+		return 0, err
+	}
+	union := u.Result()
+	x := NewIntersectionSeeded(a.Seed())
+	if err := x.Add(a); err != nil {
+		return 0, err
+	}
+	if err := x.Add(b); err != nil {
+		return 0, err
+	}
+	inter := x.Result()
+	ue := union.Estimate()
+	if ue == 0 {
+		return 0, nil
+	}
+	return inter.Estimate() / ue, nil
+}

@@ -1,0 +1,252 @@
+package theta
+
+import (
+	"math"
+	"testing"
+)
+
+func fill(s *QuickSelect, lo, hi uint64) {
+	for i := lo; i < hi; i++ {
+		s.UpdateUint64(i)
+	}
+}
+
+func TestUnionDisjoint(t *testing.T) {
+	k := 512
+	a, b := NewQuickSelect(k), NewQuickSelect(k)
+	fill(a, 0, 50000)
+	fill(b, 50000, 100000)
+	u := NewUnion(k)
+	if err := u.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	est := u.Result().Estimate()
+	if re := math.Abs(est-100000) / 100000; re > 0.15 {
+		t.Errorf("union estimate %v for 100k disjoint uniques (re=%v)", est, re)
+	}
+}
+
+func TestUnionOverlapping(t *testing.T) {
+	k := 512
+	a, b := NewQuickSelect(k), NewQuickSelect(k)
+	fill(a, 0, 60000)
+	fill(b, 30000, 90000) // union is 90k
+	u := NewUnion(k)
+	_ = u.Add(a)
+	_ = u.Add(b)
+	est := u.Result().Estimate()
+	if re := math.Abs(est-90000) / 90000; re > 0.15 {
+		t.Errorf("union estimate %v for 90k uniques (re=%v)", est, re)
+	}
+}
+
+func TestUnionExactSmall(t *testing.T) {
+	k := 256
+	a, b := NewQuickSelect(k), NewQuickSelect(k)
+	fill(a, 0, 50)
+	fill(b, 25, 75)
+	u := NewUnion(k)
+	_ = u.Add(a)
+	_ = u.Add(b)
+	if est := u.Result().Estimate(); est != 75 {
+		t.Errorf("exact union estimate = %v, want 75", est)
+	}
+}
+
+func TestUnionResultRespectsK(t *testing.T) {
+	k := 64
+	u := NewUnion(k)
+	a := NewQuickSelect(1024)
+	fill(a, 0, 100000)
+	_ = u.Add(a)
+	res := u.Result()
+	if res.Retained() > k {
+		t.Errorf("union result retains %d > k=%d", res.Retained(), k)
+	}
+	res.ForEachHash(func(h uint64) {
+		if h >= res.Theta() {
+			t.Fatal("union result hash >= theta")
+		}
+	})
+}
+
+func TestUnionSeedMismatch(t *testing.T) {
+	u := NewUnionSeeded(64, 1)
+	s := NewQuickSelectSeeded(64, 2)
+	if err := u.Add(s); err != ErrSeedMismatch {
+		t.Errorf("err = %v, want ErrSeedMismatch", err)
+	}
+}
+
+func TestUnionStreaming(t *testing.T) {
+	// AddHash lets the union act as a sketch itself.
+	u := NewUnion(256)
+	s := NewQuickSelect(256)
+	for i := uint64(0); i < 100; i++ {
+		s.UpdateUint64(i)
+	}
+	s.ForEachHash(u.AddHash)
+	if est := u.Result().Estimate(); est != 100 {
+		t.Errorf("streamed union estimate = %v, want 100", est)
+	}
+}
+
+func TestUnionReset(t *testing.T) {
+	u := NewUnion(64)
+	a := NewQuickSelect(64)
+	fill(a, 0, 100)
+	_ = u.Add(a)
+	u.Reset()
+	if est := u.Result().Estimate(); est != 0 {
+		t.Errorf("estimate after reset = %v, want 0", est)
+	}
+}
+
+func TestIntersectionExact(t *testing.T) {
+	k := 256
+	a, b := NewQuickSelect(k), NewQuickSelect(k)
+	fill(a, 0, 60)
+	fill(b, 40, 100) // intersection 40..59 = 20 items
+	x := NewIntersection()
+	_ = x.Add(a)
+	_ = x.Add(b)
+	if est := x.Result().Estimate(); est != 20 {
+		t.Errorf("intersection estimate = %v, want 20", est)
+	}
+}
+
+func TestIntersectionEstimation(t *testing.T) {
+	k := 1024
+	a, b := NewQuickSelect(k), NewQuickSelect(k)
+	fill(a, 0, 80000)
+	fill(b, 40000, 120000) // intersection 40k
+	x := NewIntersection()
+	_ = x.Add(a)
+	_ = x.Add(b)
+	est := x.Result().Estimate()
+	if re := math.Abs(est-40000) / 40000; re > 0.25 {
+		t.Errorf("intersection estimate %v for 40k overlap (re=%v)", est, re)
+	}
+}
+
+func TestIntersectionDisjointIsZero(t *testing.T) {
+	k := 256
+	a, b := NewQuickSelect(k), NewQuickSelect(k)
+	fill(a, 0, 10000)
+	fill(b, 1000000, 1010000)
+	x := NewIntersection()
+	_ = x.Add(a)
+	_ = x.Add(b)
+	// Disjoint streams: estimate should be very small relative to input.
+	if est := x.Result().Estimate(); est > 500 {
+		t.Errorf("disjoint intersection estimate = %v, want ~0", est)
+	}
+}
+
+func TestIntersectionEmptyState(t *testing.T) {
+	x := NewIntersection()
+	res := x.Result()
+	if res.Estimate() != 0 || res.Retained() != 0 {
+		t.Error("intersection of nothing should be the empty sketch")
+	}
+}
+
+func TestIntersectionSeedMismatch(t *testing.T) {
+	x := NewIntersectionSeeded(1)
+	s := NewQuickSelectSeeded(64, 2)
+	if err := x.Add(s); err != ErrSeedMismatch {
+		t.Errorf("err = %v, want ErrSeedMismatch", err)
+	}
+}
+
+func TestAnotBExact(t *testing.T) {
+	k := 256
+	a, b := NewQuickSelect(k), NewQuickSelect(k)
+	fill(a, 0, 100)
+	fill(b, 50, 200) // A\B = 0..49
+	res, err := AnotB(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := res.Estimate(); est != 50 {
+		t.Errorf("AnotB estimate = %v, want 50", est)
+	}
+}
+
+func TestAnotBEstimation(t *testing.T) {
+	k := 1024
+	a, b := NewQuickSelect(k), NewQuickSelect(k)
+	fill(a, 0, 100000)
+	fill(b, 60000, 160000) // A\B = 60k
+	res, err := AnotB(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(res.Estimate()-60000) / 60000; re > 0.25 {
+		t.Errorf("AnotB estimate %v for 60k difference (re=%v)", res.Estimate(), re)
+	}
+}
+
+func TestAnotBWithSelfIsEmpty(t *testing.T) {
+	a := NewQuickSelect(256)
+	fill(a, 0, 5000)
+	res, err := AnotB(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate() != 0 {
+		t.Errorf("A\\A estimate = %v, want 0", res.Estimate())
+	}
+}
+
+func TestAnotBSeedMismatch(t *testing.T) {
+	a := NewQuickSelectSeeded(64, 1)
+	b := NewQuickSelectSeeded(64, 2)
+	if _, err := AnotB(a, b); err != ErrSeedMismatch {
+		t.Errorf("err = %v, want ErrSeedMismatch", err)
+	}
+}
+
+func TestJaccardEstimate(t *testing.T) {
+	k := 2048
+	a, b := NewQuickSelect(k), NewQuickSelect(k)
+	fill(a, 0, 60000)
+	fill(b, 30000, 90000)
+	// |A∩B| = 30k, |A∪B| = 90k → J = 1/3.
+	j, err := JaccardEstimate(a, b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-1.0/3) > 0.1 {
+		t.Errorf("Jaccard estimate %v, want ~0.333", j)
+	}
+}
+
+func TestJaccardIdentical(t *testing.T) {
+	a := NewQuickSelect(256)
+	fill(a, 0, 10000)
+	j, err := JaccardEstimate(a, a, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union trims to k samples while intersection keeps up to ~2k, so
+	// the two estimates differ by independent sampling noise even for
+	// identical inputs; expect J within a few RSE of 1.
+	if math.Abs(j-1) > 0.05 {
+		t.Errorf("Jaccard of identical sketches = %v, want ~1", j)
+	}
+}
+
+func TestJaccardEmpty(t *testing.T) {
+	a, b := NewQuickSelect(64), NewQuickSelect(64)
+	j, err := JaccardEstimate(a, b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 0 {
+		t.Errorf("Jaccard of empty sketches = %v, want 0", j)
+	}
+}

@@ -1,0 +1,78 @@
+package theta
+
+import "math/bits"
+
+// hashTable is an insert-only open-addressing set of nonzero Θ-space
+// hashes. Zero marks an empty slot (Θ hashes are never zero). Probing
+// is double-hash style: the stride is derived from the high bits of the
+// key and forced odd, so it is co-prime with the power-of-two capacity
+// and visits every slot.
+type hashTable struct {
+	slots []uint64
+	mask  uint64
+	count int
+}
+
+// newHashTable returns a table with at least capacity slots (rounded up
+// to a power of two). Callers must keep the load factor below 1 by
+// rebuilding; insert panics on a full table to make violations loud.
+func newHashTable(capacity int) *hashTable {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1 << bits.Len(uint(capacity-1))
+	return &hashTable{slots: make([]uint64, n), mask: uint64(n - 1)}
+}
+
+// insert adds h to the set. It reports whether h was newly inserted
+// (false means it was already present).
+func (t *hashTable) insert(h uint64) bool {
+	i := h & t.mask
+	stride := ((h >> 32) | 1) & t.mask
+	for probes := 0; probes <= len(t.slots); probes++ {
+		v := t.slots[i]
+		if v == 0 {
+			t.slots[i] = h
+			t.count++
+			return true
+		}
+		if v == h {
+			return false
+		}
+		i = (i + stride) & t.mask
+	}
+	panic("theta: hash table full; rebuild threshold violated")
+}
+
+// contains reports whether h is in the set.
+func (t *hashTable) contains(h uint64) bool {
+	i := h & t.mask
+	stride := ((h >> 32) | 1) & t.mask
+	for probes := 0; probes <= len(t.slots); probes++ {
+		v := t.slots[i]
+		if v == 0 {
+			return false
+		}
+		if v == h {
+			return true
+		}
+		i = (i + stride) & t.mask
+	}
+	return false
+}
+
+// appendAll appends every stored hash to dst and returns it.
+func (t *hashTable) appendAll(dst []uint64) []uint64 {
+	for _, v := range t.slots {
+		if v != 0 {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// reset clears the table in place.
+func (t *hashTable) reset() {
+	clear(t.slots)
+	t.count = 0
+}
