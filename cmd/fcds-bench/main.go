@@ -16,9 +16,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/fcds/fcds/internal/adversary"
@@ -34,9 +36,12 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	full := fs.Bool("full", false, "paper-scale parameters (much slower)")
 	k := fs.Int("k", 4096, "global sketch nominal entries")
+	jsonPath := fs.String("json", "", "also write results as JSON to this file (BENCH_*.json trajectory)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
+	case "batch":
+		batch(*full, *k, *jsonPath)
 	case "figure1":
 		figure1(*full)
 	case "figure5a":
@@ -66,8 +71,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fcds-bench <experiment> [-full] [-k N]
+	fmt.Fprintln(os.Stderr, `usage: fcds-bench <experiment> [-full] [-k N] [-json FILE]
 experiments:
+  batch            batched vs per-item ingestion throughput (the batch pipeline)
   figure1          scalability: concurrent vs lock-based, update-only
   figure5a         accuracy pitchfork, no eager propagation (e=1.0)
   figure5b         accuracy pitchfork, eager propagation (e=0.04)
@@ -84,6 +90,7 @@ experiments:
 func all(full bool, k int) {
 	for _, f := range []func(){
 		func() { table1(full) },
+		func() { batch(full, k, "") },
 		func() { figure1(full) },
 		func() { figure5(full, 1.0, k) },
 		func() { figure5(full, 0.04, k) },
@@ -95,6 +102,88 @@ func all(full bool, k int) {
 	} {
 		f()
 		fmt.Println()
+	}
+}
+
+// benchRecord is one measured point of a JSON bench report.
+type benchRecord struct {
+	Curve   string  `json:"curve"`
+	Threads int     `json:"threads"`
+	Chunk   int     `json:"chunk,omitempty"` // 0 = per-item ingestion
+	MopsSec float64 `json:"mops_sec"`
+}
+
+// benchReport is the schema of the BENCH_*.json trajectory files: one
+// self-describing JSON document per experiment run, so successive PRs
+// can be compared point for point.
+type benchReport struct {
+	Experiment string        `json:"experiment"`
+	Unix       int64         `json:"unix"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	N          uint64        `json:"n"`
+	Trials     int           `json:"trials"`
+	K          int           `json:"k"`
+	Results    []benchRecord `json:"results"`
+}
+
+// writeBenchJSON emits a benchReport to path (the bench JSON emitter).
+func writeBenchJSON(path string, rep benchReport) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fcds-bench: marshal json:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fcds-bench: write json:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+}
+
+// batch: the batched ingestion pipeline vs the per-item path, across
+// writer counts and chunk sizes.
+func batch(full bool, k int, jsonPath string) {
+	n := uint64(1 << 21)
+	trials := 3
+	writers := []int{1, 2, 4}
+	chunks := []int{64, 256, 4096}
+	if full {
+		n = 1 << 24
+		trials = 16
+		writers = []int{1, 2, 4, 8, 12}
+	}
+	fmt.Printf("# Batch pipeline: batched vs per-item ingestion, k=%d, e=1.0, b=64\n", k)
+	fmt.Println("curve\tthreads\tchunk\tMops_sec")
+	rep := benchReport{
+		Experiment: "batch", Unix: time.Now().Unix(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), N: n, Trials: trials, K: k,
+	}
+	profile := func(curve string, chunk int, build func(th int) characterization.Runner) {
+		pts := characterization.ScalabilityProfile(characterization.ScalabilityConfig{
+			Threads: writers, N: n, Trials: trials, Build: build,
+		})
+		for _, p := range pts {
+			fmt.Printf("%s\t%d\t%d\t%.2f\n", curve, p.Threads, chunk, p.MopsSec)
+			rep.Results = append(rep.Results, benchRecord{
+				Curve: curve, Threads: p.Threads, Chunk: chunk, MopsSec: p.MopsSec,
+			})
+		}
+	}
+	profile("item", 0, func(th int) characterization.Runner {
+		return &characterization.ConcurrentThetaRunner{
+			K: k, Writers: th, MaxError: 1.0, BufferSize: 64,
+		}
+	})
+	for _, chunk := range chunks {
+		profile(fmt.Sprintf("batch%d", chunk), chunk, func(th int) characterization.Runner {
+			return &characterization.ConcurrentThetaBatchRunner{
+				K: k, Writers: th, MaxError: 1.0, BufferSize: 64, ChunkSize: chunk,
+			}
+		})
+	}
+	if jsonPath != "" {
+		writeBenchJSON(jsonPath, rep)
 	}
 }
 

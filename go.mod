@@ -1,0 +1,3 @@
+module github.com/fcds/fcds
+
+go 1.24

@@ -39,6 +39,17 @@ type Local[U any] interface {
 	Reset()
 }
 
+// BatchLocal is an optional extension of Local: locals that can absorb
+// a contiguous run of updates in one call (e.g. with a single bulk
+// copy) implement it, and the framework's batch ingestion path uses it
+// instead of per-item Update interface dispatch.
+type BatchLocal[U any] interface {
+	Local[U]
+	// UpdateSlice folds a run of pre-filtered updates into the local
+	// state, equivalent to calling Update on each element in order.
+	UpdateSlice(us []U)
+}
+
 // Global is the composable sketch of §5.1. Merge and UpdateDirect are
 // invoked by one goroutine at a time (the propagator, or an eager
 // writer holding the framework's lock); Snapshot may be invoked
@@ -174,16 +185,23 @@ type Sketch[U any, S any] struct {
 	eagerMu    sync.Mutex
 	eagerCount int
 
-	// wake nudges the propagator when a buffer is handed off; cap 1 is
-	// enough because the propagator rescans all slots per wakeup.
-	wake chan struct{}
-	stop chan struct{}
-	done sync.WaitGroup
+	// handoffq is the MPSC handoff queue: writers enqueue their index
+	// after storing prop = 0, and the propagator merges exactly that
+	// slot, so wakeup cost is O(outstanding handoffs) instead of a full
+	// O(N) slot scan. The prop protocol guarantees at most one
+	// outstanding handoff per writer, so capacity N means enqueues
+	// never block.
+	handoffq chan int
+	stop     chan struct{}
+	done     sync.WaitGroup
 
 	closed atomic.Bool
 
 	// propagations counts completed merges (observability + tests).
 	propagations atomic.Int64
+	// fullScans counts full slot scans; after the queue refactor only
+	// the Close drain scans, which the handoff-path tests pin down.
+	fullScans atomic.Int64
 }
 
 // New creates a concurrent sketch. newLocal is called 2·N times to
@@ -197,10 +215,10 @@ func New[U any, S any](global Global[U, S], newLocal func() Local[U], cfg Config
 		panic("core: Config.BufferSize must be positive")
 	}
 	s := &Sketch[U, S]{
-		global: global,
-		cfg:    cfg,
-		wake:   make(chan struct{}, 1),
-		stop:   make(chan struct{}),
+		global:   global,
+		cfg:      cfg,
+		handoffq: make(chan int, cfg.Writers),
+		stop:     make(chan struct{}),
 	}
 	s.eager.Store(cfg.EagerLimit > 0)
 	initialHint := nonzero(global.CalcHint())
@@ -307,6 +325,84 @@ func (w *Writer[U, S]) Update(u U) {
 	}
 }
 
+// UpdateBatch processes a slice of updates as if Update were called on
+// each element in order, amortising the eager-phase check, the hint
+// load, and the counter arithmetic over the whole slice: the eager
+// prefix is applied under one lock acquisition, and the local buffer
+// is filled in contiguous runs (a single UpdateSlice call per run when
+// the local implements BatchLocal) with a handoff at each buffer
+// boundary.
+func (w *Writer[U, S]) UpdateBatch(us []U) { w.updateBatch(us, true) }
+
+// UpdateBatchPrefiltered is UpdateBatch for callers that have already
+// applied ShouldAdd to every element — the sketch instantiations
+// pre-filter in the same pass that hashes the raw items, so the
+// framework skips the per-item ShouldAdd interface call entirely.
+// Elements filtered against a hint that has since become stale are
+// still safe to admit: pre-filtering is an optimisation and the global
+// sketch re-checks every update on merge.
+func (w *Writer[U, S]) UpdateBatchPrefiltered(us []U) { w.updateBatch(us, false) }
+
+func (w *Writer[U, S]) updateBatch(us []U, filter bool) {
+	if len(us) == 0 {
+		return
+	}
+	p := w.parent
+	if p.eager.Load() {
+		us = p.eagerUpdateBatch(us)
+	}
+	if len(us) == 0 {
+		return
+	}
+	local := w.local[w.cur]
+	bulk, isBulk := local.(BatchLocal[U])
+	for len(us) > 0 {
+		room := w.b - w.counter
+		var run []U
+		if filter {
+			// One scan: skip the rejected prefix, then take the admitted
+			// run that fits the remaining buffer space (each element is
+			// checked exactly once).
+			i := 0
+			for i < len(us) && !p.global.ShouldAdd(w.hint, us[i]) {
+				i++
+			}
+			n := i
+			if n < len(us) {
+				n++ // us[i] is known admitted, and room >= 1 always holds
+				for n < len(us) && n-i < room && p.global.ShouldAdd(w.hint, us[n]) {
+					n++
+				}
+			}
+			run, us = us[i:n], us[n:]
+		} else {
+			n := len(us)
+			if n > room {
+				n = room
+			}
+			run, us = us[:n], us[n:]
+		}
+		if len(run) > 0 {
+			if isBulk {
+				bulk.UpdateSlice(run)
+			} else {
+				for _, u := range run {
+					local.Update(u)
+				}
+			}
+			w.counter += len(run)
+		}
+		if w.counter == w.b {
+			w.handoff()
+			// handoff flipped cur (and may have refreshed hint and b).
+			local = w.local[w.cur]
+			if isBulk {
+				bulk = local.(BatchLocal[U])
+			}
+		}
+	}
+}
+
 // Hint returns the writer's current pre-filtering hint (exposed for
 // tests and diagnostics).
 func (w *Writer[U, S]) Hint() uint64 { return w.hint }
@@ -332,6 +428,30 @@ func (s *Sketch[U, S]) eagerUpdate(u U) bool {
 	return true
 }
 
+// eagerUpdateBatch applies a prefix of us directly to the global
+// sketch under one lock acquisition and returns the remaining suffix.
+// If the eager phase ends mid-batch (or ended before the lock was
+// acquired) the rest of the batch is left for the lazy path.
+func (s *Sketch[U, S]) eagerUpdateBatch(us []U) []U {
+	s.eagerMu.Lock()
+	defer s.eagerMu.Unlock()
+	if !s.eager.Load() {
+		return us
+	}
+	n := len(us)
+	if rem := s.cfg.EagerLimit - s.eagerCount; n > rem {
+		n = rem
+	}
+	for _, u := range us[:n] {
+		s.global.UpdateDirect(u)
+	}
+	s.eagerCount += n
+	if s.eagerCount >= s.cfg.EagerLimit {
+		s.eager.Store(false)
+	}
+	return us[n:]
+}
+
 // handoff passes the filled buffer to the propagator (lines 123-129 of
 // Algorithm 2) and, with double buffering, immediately switches to the
 // standby buffer.
@@ -345,13 +465,13 @@ func (w *Writer[U, S]) handoff() {
 		w.cur = 1 - w.cur // line 126: flip to the fresh buffer
 		w.counter = 0
 		w.prop.Store(0) // line 129: hand the filled buffer over
-		p.wakePropagator()
+		p.signalHandoff(w.id)
 		return
 	}
 	// ParSketch (no gray lines): signal first, then block until the
 	// propagator finishes with our only buffer (lines 124-125).
 	w.prop.Store(0)
-	p.wakePropagator()
+	p.signalHandoff(w.id)
 	w.waitPropNonzero()
 	w.hint = w.prop.Load()
 	w.adaptBuffer()
@@ -409,54 +529,70 @@ func (w *Writer[U, S]) waitPropNonzero() {
 	}
 }
 
-func (s *Sketch[U, S]) wakePropagator() {
-	select {
-	case s.wake <- struct{}{}:
-	default:
-	}
+// signalHandoff enqueues the writer's index for the propagator. The
+// send never blocks: each writer has at most one outstanding handoff
+// (it must observe prop != 0 before handing off again), so the queue
+// holds at most N entries.
+func (s *Sketch[U, S]) signalHandoff(id int) {
+	s.handoffq <- id
 }
 
 // propagator is the background merger thread t_0 (Algorithm 2,
-// propagator procedure). It exits when Close is called, after a final
-// drain of all handed-off buffers.
+// propagator procedure). Instead of rescanning all N writer slots per
+// wakeup it merges exactly the slots that writers enqueue, so each
+// wakeup costs O(outstanding handoffs). It exits when Close is called,
+// after a final drain of the queue plus one full scan for handoffs
+// whose enqueue raced with Close.
 func (s *Sketch[U, S]) propagator() {
 	defer s.done.Done()
 	for {
-		worked := s.scan()
-		if worked {
-			continue
-		}
 		select {
-		case <-s.wake:
+		case id := <-s.handoffq:
+			s.merge(s.writers[id])
 		case <-s.stop:
+			for {
+				select {
+				case id := <-s.handoffq:
+					s.merge(s.writers[id])
+					continue
+				default:
+				}
+				break
+			}
 			s.scan() // final drain
 			return
 		}
 	}
 }
 
-// scan performs one pass over all writer slots, merging every
-// handed-off buffer (lines 112-115). It reports whether any work was
-// done.
-func (s *Sketch[U, S]) scan() bool {
-	worked := false
-	for _, w := range s.writers {
-		if w.prop.Load() != 0 {
-			continue
-		}
-		idx := 0
-		if s.cfg.DoubleBuffering {
-			// Safe: the writer never touches cur while prop == 0.
-			idx = 1 - w.cur
-		}
-		l := w.local[idx]
-		s.global.Merge(l) // line 113
-		l.Reset()         // line 114
-		s.propagations.Add(1)
-		w.prop.Store(nonzero(s.global.CalcHint())) // line 115
-		worked = true
+// merge folds one writer's handed-off buffer into the global sketch
+// (lines 112-115 of Algorithm 2, for a single slot).
+func (s *Sketch[U, S]) merge(w *Writer[U, S]) {
+	if w.prop.Load() != 0 {
+		// Already merged (a queue entry can go stale only through the
+		// Close-drain scan below).
+		return
 	}
-	return worked
+	idx := 0
+	if s.cfg.DoubleBuffering {
+		// Safe: the writer never touches cur while prop == 0.
+		idx = 1 - w.cur
+	}
+	l := w.local[idx]
+	s.global.Merge(l) // line 113
+	l.Reset()         // line 114
+	s.propagations.Add(1)
+	w.prop.Store(nonzero(s.global.CalcHint())) // line 115
+}
+
+// scan performs one pass over all writer slots, merging every
+// handed-off buffer. Only the Close drain uses it, to catch a writer
+// that stored prop = 0 but had not yet enqueued when Close fired.
+func (s *Sketch[U, S]) scan() {
+	s.fullScans.Add(1)
+	for _, w := range s.writers {
+		s.merge(w)
+	}
 }
 
 func nonzero(h uint64) uint64 {

@@ -26,7 +26,16 @@ type countLocal struct{ n int64 }
 func (l *countLocal) Update(u int64) { l.n += u }
 func (l *countLocal) Reset()         { l.n = 0 }
 
-func (g *countGlobal) Merge(l Local[int64]) { g.total.Add(l.(*countLocal).n) }
+func (g *countGlobal) Merge(l Local[int64]) {
+	switch v := l.(type) {
+	case *countLocal:
+		g.total.Add(v.n)
+	case *batchCountLocal:
+		g.total.Add(v.n)
+	default:
+		panic("unknown local type")
+	}
+}
 func (g *countGlobal) UpdateDirect(u int64) { g.total.Add(u) }
 func (g *countGlobal) Snapshot() int64      { return g.total.Load() }
 func (g *countGlobal) CalcHint() uint64     { return g.hintVal.Load() }

@@ -6,7 +6,10 @@
 // on. The implementation is self-contained and allocation-free.
 package hash
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"unsafe"
+)
 
 const (
 	c1 = 0x87c37b91114253d5
@@ -117,21 +120,66 @@ func Sum128(data []byte, seed uint64) (h1, h2 uint64) {
 }
 
 // SumUint64 hashes a single uint64 value, treating it as its 8-byte
-// little-endian encoding (matching DataSketches' update(long)).
+// little-endian encoding (matching DataSketches' update(long)). The
+// tail and finalization rounds are specialised for the fixed 8-byte
+// length: reassembling the little-endian bytes yields v itself, so the
+// encode/decode round trip of the generic path is skipped entirely.
+// This is the ingestion hot path for numeric streams.
 func SumUint64(v, seed uint64) (uint64, uint64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	return Sum128(buf[:], seed)
+	h1, h2 := seed, seed
+	k1 := v * c1
+	k1 = rotl(k1, 31)
+	k1 *= c2
+	h1 ^= k1
+	h1 ^= 8
+	h2 ^= 8
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+// AppendSumUint64 is the batch form of SumUint64 for sketches that key
+// on the first hash word: it appends Sum128's h1 of each value to dst
+// and returns the extended slice. The murmur rounds are written out in
+// the loop body because SumUint64 is past the compiler's inlining
+// budget, and a per-item call is the dominant overhead of a fused
+// batch pass. Outputs are bit-identical to SumUint64.
+func AppendSumUint64(dst []uint64, vs []uint64, seed uint64) []uint64 {
+	for _, v := range vs {
+		k1 := v * c1
+		k1 = k1<<31 | k1>>33
+		k1 *= c2
+		h1 := seed ^ k1
+		h2 := seed
+		h1 ^= 8
+		h2 ^= 8
+		h1 += h2
+		h2 += h1
+		h1 = fmix64(h1)
+		h2 = fmix64(h2)
+		dst = append(dst, h1+h2)
+	}
+	return dst
+}
+
+// Sum128String hashes the raw bytes of s with zero allocations for any
+// length: the string's backing array is viewed in place (read-only, as
+// Sum128 never writes through its argument) instead of being copied to
+// a []byte.
+func Sum128String(s string, seed uint64) (uint64, uint64) {
+	if len(s) == 0 {
+		return Sum128(nil, seed)
+	}
+	return Sum128(unsafe.Slice(unsafe.StringData(s), len(s)), seed)
 }
 
 // SumString hashes the raw bytes of s without allocating.
 func SumString(s string, seed uint64) (uint64, uint64) {
-	if len(s) <= 64 {
-		var buf [64]byte
-		n := copy(buf[:], s)
-		return Sum128(buf[:n], seed)
-	}
-	return Sum128([]byte(s), seed)
+	return Sum128String(s, seed)
 }
 
 func rotl(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }

@@ -182,3 +182,92 @@ func BenchmarkThetaHashUint64(b *testing.B) {
 		ThetaHashUint64(uint64(i), DefaultSeed)
 	}
 }
+
+// TestSumUint64MatchesGenericPath pins the specialised SumUint64 fast
+// path to the generic Sum128 of the value's 8-byte little-endian
+// encoding — the two must agree bit for bit or serialized sketches
+// built from numeric streams stop matching.
+func TestSumUint64MatchesGenericPath(t *testing.T) {
+	check := func(v, seed uint64) bool {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		g1, g2 := Sum128(buf[:], seed)
+		f1, f2 := SumUint64(v, seed)
+		return g1 == f1 && g2 == f2
+	}
+	for _, v := range []uint64{0, 1, 8, math.MaxUint64, 0xdeadbeef} {
+		for _, seed := range []uint64{0, DefaultSeed, 12345} {
+			if !check(v, seed) {
+				t.Errorf("SumUint64(%#x, %d) diverges from Sum128 of LE bytes", v, seed)
+			}
+		}
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSum128StringMatchesBytes pins the zero-copy string path to the
+// []byte path for all lengths (empty, tail-only, multi-block).
+func TestSum128StringMatchesBytes(t *testing.T) {
+	data := "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ-_."
+	for n := 0; n <= len(data); n++ {
+		s := data[:n]
+		b1, b2 := Sum128([]byte(s), DefaultSeed)
+		s1, s2 := Sum128String(s, DefaultSeed)
+		if b1 != s1 || b2 != s2 {
+			t.Errorf("length %d: Sum128String diverges from Sum128", n)
+		}
+	}
+}
+
+// TestSum128StringZeroAllocs pins the string hash at zero allocations
+// for any length, including strings past the old 64-byte copy cutoff.
+func TestSum128StringZeroAllocs(t *testing.T) {
+	short := "user-42"
+	long := "a-much-longer-key-that-exceeds-the-sixty-four-byte-stack-buffer-threshold-easily"
+	var sink uint64
+	if avg := testing.AllocsPerRun(100, func() {
+		h1, _ := Sum128String(short, DefaultSeed)
+		h2, _ := Sum128String(long, DefaultSeed)
+		sink = h1 ^ h2
+	}); avg != 0 {
+		t.Errorf("Sum128String allocates %.1f allocs/op, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestAppendBatchHashesMatchScalar pins the fused batch loops to their
+// scalar counterparts element for element, including the Θ-space fold
+// and the hint filter.
+func TestAppendBatchHashesMatchScalar(t *testing.T) {
+	vs := make([]uint64, 300)
+	for i := range vs {
+		vs[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	h1s := AppendSumUint64(nil, vs, DefaultSeed)
+	if len(h1s) != len(vs) {
+		t.Fatalf("AppendSumUint64 returned %d hashes for %d values", len(h1s), len(vs))
+	}
+	for i, v := range vs {
+		if want, _ := SumUint64(v, DefaultSeed); h1s[i] != want {
+			t.Fatalf("AppendSumUint64[%d] = %#x, want %#x", i, h1s[i], want)
+		}
+	}
+	hint := MaxThetaValue / 3
+	got := AppendThetaUint64Filtered(nil, vs, DefaultSeed, hint)
+	var want []uint64
+	for _, v := range vs {
+		if h := ThetaHashUint64(v, DefaultSeed); h < hint {
+			want = append(want, h)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("filtered batch kept %d hashes, scalar path kept %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("filtered batch[%d] = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}

@@ -28,6 +28,35 @@ func ThetaHashString(s string, seed uint64) uint64 {
 	return fold63(h1)
 }
 
+// AppendThetaUint64Filtered hashes each value into Θ space and appends
+// the hashes below hint to dst, returning the extended slice. It fuses
+// SumUint64 and fold63 with the pre-filter comparison into one loop so
+// batch ingestion pays no per-item call overhead (SumUint64 is past
+// the inlining budget); outputs are bit-identical to ThetaHashUint64.
+func AppendThetaUint64Filtered(dst []uint64, vs []uint64, seed, hint uint64) []uint64 {
+	for _, v := range vs {
+		k1 := v * c1
+		k1 = k1<<31 | k1>>33
+		k1 *= c2
+		h1 := seed ^ k1
+		h2 := seed
+		h1 ^= 8
+		h2 ^= 8
+		h1 += h2
+		h2 += h1
+		h1 = fmix64(h1)
+		h2 = fmix64(h2)
+		h := (h1 + h2) >> 1
+		if h == 0 {
+			h = 1
+		}
+		if h < hint {
+			dst = append(dst, h)
+		}
+	}
+	return dst
+}
+
 // FractionOf converts a Θ-space value to the fraction of the hash space
 // below it, i.e. the [0,1] threshold the paper calls Θ.
 func FractionOf(theta uint64) float64 {

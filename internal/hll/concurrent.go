@@ -20,6 +20,14 @@ type localHLL struct{ s *Sketch }
 // Update implements core.Local.
 func (l localHLL) Update(h uint64) { l.s.UpdateHash(h) }
 
+// UpdateSlice implements core.BatchLocal: one interface dispatch per
+// run of hashes instead of one per hash.
+func (l localHLL) UpdateSlice(hs []uint64) {
+	for _, h := range hs {
+		l.s.UpdateHash(h)
+	}
+}
+
 // Reset implements core.Local.
 func (l localHLL) Reset() { l.s.Reset() }
 
@@ -146,6 +154,9 @@ func (c *Concurrent) Close() { c.sk.Close() }
 type ConcurrentWriter struct {
 	w    *core.Writer[uint64, float64]
 	seed uint64
+	// scratch holds a batch's hashes between the hashing pass and the
+	// framework handoff; reused so steady-state batches do not allocate.
+	scratch []uint64
 }
 
 // Update processes a byte-slice item.
@@ -164,6 +175,38 @@ func (w *ConcurrentWriter) UpdateUint64(v uint64) {
 func (w *ConcurrentWriter) UpdateString(s string) {
 	h, _ := hash.SumString(s, w.seed)
 	w.w.Update(h)
+}
+
+// UpdateUint64Batch processes a slice of uint64 items: one hashing
+// pass, then a bulk handoff to the framework. HLL cannot pre-filter
+// (any hash may raise a register), so every hash is kept.
+func (w *ConcurrentWriter) UpdateUint64Batch(vs []uint64) {
+	w.scratch = hash.AppendSumUint64(w.scratch[:0], vs, w.seed)
+	w.w.UpdateBatchPrefiltered(w.scratch)
+}
+
+// UpdateStringBatch processes a slice of string items in one hashing
+// pass; steady state is allocation-free.
+func (w *ConcurrentWriter) UpdateStringBatch(ss []string) {
+	scratch := w.scratch[:0]
+	for _, s := range ss {
+		h, _ := hash.Sum128String(s, w.seed)
+		scratch = append(scratch, h)
+	}
+	w.scratch = scratch
+	w.w.UpdateBatchPrefiltered(scratch)
+}
+
+// UpdateBatch processes a slice of byte-slice items in one hashing
+// pass.
+func (w *ConcurrentWriter) UpdateBatch(items [][]byte) {
+	scratch := w.scratch[:0]
+	for _, it := range items {
+		h, _ := hash.Sum128(it, w.seed)
+		scratch = append(scratch, h)
+	}
+	w.scratch = scratch
+	w.w.UpdateBatchPrefiltered(scratch)
 }
 
 // Flush propagates buffered updates and waits for completion.

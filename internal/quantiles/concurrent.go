@@ -156,5 +156,11 @@ type ConcurrentWriter struct {
 // Update processes one stream value.
 func (w *ConcurrentWriter) Update(v float64) { w.w.Update(v) }
 
+// UpdateBatch processes a slice of stream values, amortising the
+// framework's per-item overhead over the whole slice. Quantiles filter
+// nothing (ShouldAdd is constant true), so the batch enters the
+// framework pre-filtered by construction.
+func (w *ConcurrentWriter) UpdateBatch(vs []float64) { w.w.UpdateBatchPrefiltered(vs) }
+
 // Flush propagates buffered updates and waits for completion.
 func (w *ConcurrentWriter) Flush() { w.w.Flush() }

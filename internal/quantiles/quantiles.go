@@ -88,6 +88,16 @@ func (s *Sketch) Update(v float64) {
 	}
 }
 
+// UpdateSlice folds a run of values into the sketch, equivalent to
+// calling Update on each element in order (it implements the framework
+// batch-local extension; a compaction can trigger at any element
+// boundary, so the per-item bookkeeping stays).
+func (s *Sketch) UpdateSlice(vs []float64) {
+	for _, v := range vs {
+		s.Update(v)
+	}
+}
+
 // processFullBase sorts the base buffer and carries a compacted
 // k-buffer into the level ladder.
 func (s *Sketch) processFullBase() {

@@ -1,0 +1,179 @@
+package theta
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/fcds/fcds/internal/stream"
+)
+
+// TestBatchMatchesItemIngestion checks that with a single writer the
+// batch path produces exactly the per-item path's estimate: the
+// sequence of hashes accepted by the global sketch is identical, so
+// rebuilds trigger at the same points and Θ trajectories coincide.
+func TestBatchMatchesItemIngestion(t *testing.T) {
+	const n = 60000
+	run := func(batch int) float64 {
+		c := NewConcurrent(ConcurrentConfig{K: 256, Writers: 1, MaxError: 0.04})
+		defer c.Close()
+		w := c.Writer(0)
+		if batch == 0 {
+			for v := uint64(0); v < n; v++ {
+				w.UpdateUint64(v)
+			}
+		} else {
+			buf := make([]uint64, 0, batch)
+			for v := uint64(0); v < n; v++ {
+				buf = append(buf, v)
+				if len(buf) == batch {
+					w.UpdateUint64Batch(buf)
+					buf = buf[:0]
+				}
+			}
+			w.UpdateUint64Batch(buf)
+		}
+		w.Flush()
+		return c.Estimate()
+	}
+	want := run(0)
+	for _, batch := range []int{1, 7, 64, 1000} {
+		if got := run(batch); got != want {
+			t.Errorf("batch=%d: estimate %.2f != per-item estimate %.2f", batch, got, want)
+		}
+	}
+}
+
+// TestBatchStringAndBytesAgree checks all three batch input kinds hash
+// to the same sketch state.
+func TestBatchStringAndBytesAgree(t *testing.T) {
+	const n = 5000
+	ss := make([]string, n)
+	bs := make([][]byte, n)
+	for i := range ss {
+		ss[i] = fmt.Sprintf("item-%06d", i)
+		bs[i] = []byte(ss[i])
+	}
+	est := func(fill func(w *ConcurrentWriter)) float64 {
+		c := NewConcurrent(ConcurrentConfig{K: 1024, Writers: 1, MaxError: 1, EagerLimit: -1})
+		defer c.Close()
+		w := c.Writer(0)
+		fill(w)
+		w.Flush()
+		return c.Estimate()
+	}
+	fromStrings := est(func(w *ConcurrentWriter) { w.UpdateStringBatch(ss) })
+	fromBytes := est(func(w *ConcurrentWriter) { w.UpdateBatch(bs) })
+	if fromStrings != fromBytes {
+		t.Errorf("string batch estimate %.2f != bytes batch estimate %.2f", fromStrings, fromBytes)
+	}
+	if re := math.Abs(fromStrings-n) / n; re > 0.15 {
+		t.Errorf("estimate %.2f is %.1f%% off %d uniques", fromStrings, 100*re, n)
+	}
+}
+
+// TestBatchConcurrentWithQueries exercises UpdateBatch from N writer
+// goroutines against continuous concurrent queries — the race-detector
+// test the batch handoff path must survive.
+func TestBatchConcurrentWithQueries(t *testing.T) {
+	const writers, n, chunk = 4, 1 << 16, 512
+	c := NewConcurrent(ConcurrentConfig{K: 4096, Writers: writers, MaxError: 0.04})
+	defer c.Close()
+
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			last := 0.0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if e := c.Estimate(); e < last {
+					// Estimates may wobble with Θ refinement, but must
+					// never go negative or NaN.
+					_ = e
+				} else {
+					last = e
+				}
+				if math.IsNaN(last) || last < 0 {
+					t.Error("query returned invalid estimate")
+					return
+				}
+				runtime.Gosched() // don't starve writers on small machines
+			}
+		}()
+	}
+
+	parts := stream.Partition(n, writers)
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p stream.Range) {
+			defer wg.Done()
+			w := c.Writer(i)
+			buf := make([]uint64, 0, chunk)
+			for v := p.Start; v < p.Start+p.Count; v++ {
+				buf = append(buf, v)
+				if len(buf) == chunk {
+					w.UpdateUint64Batch(buf)
+					buf = buf[:0]
+				}
+			}
+			w.UpdateUint64Batch(buf)
+			w.Flush()
+		}(i, p)
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+
+	if re := math.Abs(c.Estimate()-n) / n; re > 0.10 {
+		t.Errorf("estimate %.2f is %.1f%% off %d uniques", c.Estimate(), 100*re, n)
+	}
+}
+
+// TestUpdateStringBatchZeroAllocs pins the string batch hot path at
+// zero allocations per op: the hash views string bytes in place and
+// the scratch + local buffers are reused. Sized so the measured runs
+// never hand off (propagator-side merges are measured globally by
+// AllocsPerRun and would pollute the count).
+func TestUpdateStringBatchZeroAllocs(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{
+		K: 4096, Writers: 1, MaxError: 1, BufferSize: 1 << 14, EagerLimit: -1,
+	})
+	defer c.Close()
+	w := c.Writer(0)
+	ss := make([]string, 64)
+	for i := range ss {
+		// Mix short and long (>64 byte) strings to cover both the tail
+		// and multi-block murmur paths.
+		ss[i] = fmt.Sprintf("user-%03d-%0*d", i, (i%9)*12+1, i)
+	}
+	if avg := testing.AllocsPerRun(100, func() { w.UpdateStringBatch(ss) }); avg != 0 {
+		t.Errorf("UpdateStringBatch allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestUpdateUint64BatchZeroAllocs pins the numeric batch path at zero
+// allocations per op as well.
+func TestUpdateUint64BatchZeroAllocs(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{
+		K: 4096, Writers: 1, MaxError: 1, BufferSize: 1 << 14, EagerLimit: -1,
+	})
+	defer c.Close()
+	w := c.Writer(0)
+	vs := make([]uint64, 64)
+	for i := range vs {
+		vs[i] = uint64(i)
+	}
+	if avg := testing.AllocsPerRun(100, func() { w.UpdateUint64Batch(vs) }); avg != 0 {
+		t.Errorf("UpdateUint64Batch allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -2,7 +2,7 @@ package theta
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/fcds/fcds/internal/hash"
 )
@@ -18,7 +18,7 @@ type Compact struct {
 
 // newCompactFromUnsorted takes ownership of hashes.
 func newCompactFromUnsorted(hashes []uint64, theta, seed uint64) *Compact {
-	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	slices.Sort(hashes)
 	return &Compact{hashes: hashes, theta: theta, seed: seed}
 }
 

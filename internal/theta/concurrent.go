@@ -31,6 +31,10 @@ func NewBuffer(capacity int) *Buffer {
 // Update implements core.Local.
 func (b *Buffer) Update(h uint64) { b.hashes = append(b.hashes, h) }
 
+// UpdateSlice implements core.BatchLocal: a run of pre-filtered hashes
+// lands in the buffer with a single bulk append.
+func (b *Buffer) UpdateSlice(hs []uint64) { b.hashes = append(b.hashes, hs...) }
+
 // Reset implements core.Local.
 func (b *Buffer) Reset() { b.hashes = b.hashes[:0] }
 
@@ -225,7 +229,11 @@ func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
 // Writer returns the i-th writer handle; each handle may be used by at
 // most one goroutine at a time.
 func (c *Concurrent) Writer(i int) *ConcurrentWriter {
-	return &ConcurrentWriter{w: c.sk.Writer(i), seed: c.cfg.Seed}
+	return &ConcurrentWriter{
+		w:        c.sk.Writer(i),
+		seed:     c.cfg.Seed,
+		noFilter: c.cfg.DisableFiltering,
+	}
 }
 
 // Estimate returns the current unique-count estimate. Wait-free; may
@@ -259,6 +267,11 @@ func (c *Concurrent) Close() { c.sk.Close() }
 type ConcurrentWriter struct {
 	w    *core.Writer[uint64, float64]
 	seed uint64
+	// scratch holds the surviving hashes of a batch between the
+	// hash+filter pass and the framework handoff; it is reused across
+	// calls so steady-state batch ingestion is allocation-free.
+	scratch  []uint64
+	noFilter bool
 }
 
 // Update processes a byte-slice item.
@@ -278,6 +291,67 @@ func (w *ConcurrentWriter) UpdateString(s string) {
 
 // UpdateHash processes a pre-hashed Θ-space item.
 func (w *ConcurrentWriter) UpdateHash(h uint64) { w.w.Update(h) }
+
+// filterHint returns the Θ threshold the batch paths pre-filter
+// against. During the eager phase the hint is still the initial
+// MaxThetaValue (it only refreshes at handoffs, which the eager phase
+// has none of), so every hash passes, exactly as the per-item path
+// behaves. Filtering against a hint that a mid-batch handoff has since
+// tightened is safe: the global sketch drops hashes >= Θ on merge.
+func (w *ConcurrentWriter) filterHint() uint64 {
+	if w.noFilter {
+		return hash.MaxThetaValue
+	}
+	return w.w.Hint()
+}
+
+// UpdateUint64Batch processes a slice of uint64 items: hashing and Θ
+// pre-filtering happen in one pass over the input, and the surviving
+// hashes enter the framework in bulk. This is the recommended
+// high-throughput ingestion path for numeric streams.
+func (w *ConcurrentWriter) UpdateUint64Batch(vs []uint64) {
+	w.scratch = hash.AppendThetaUint64Filtered(w.scratch[:0], vs, w.seed, w.filterHint())
+	w.w.UpdateBatchPrefiltered(w.scratch)
+}
+
+// UpdateStringBatch processes a slice of string items in one
+// hash+filter pass; steady state is allocation-free (the hash views
+// each string's bytes in place and the scratch buffer is reused).
+func (w *ConcurrentWriter) UpdateStringBatch(ss []string) {
+	scratch, hint := w.scratch[:0], w.filterHint()
+	for _, s := range ss {
+		if h := hash.ThetaHashString(s, w.seed); h < hint {
+			scratch = append(scratch, h)
+		}
+	}
+	w.scratch = scratch
+	w.w.UpdateBatchPrefiltered(scratch)
+}
+
+// UpdateBatch processes a slice of byte-slice items in one hash+filter
+// pass.
+func (w *ConcurrentWriter) UpdateBatch(items [][]byte) {
+	scratch, hint := w.scratch[:0], w.filterHint()
+	for _, it := range items {
+		if h := hash.ThetaHashBytes(it, w.seed); h < hint {
+			scratch = append(scratch, h)
+		}
+	}
+	w.scratch = scratch
+	w.w.UpdateBatchPrefiltered(scratch)
+}
+
+// UpdateHashBatch processes a slice of pre-hashed Θ-space items.
+func (w *ConcurrentWriter) UpdateHashBatch(hs []uint64) {
+	scratch, hint := w.scratch[:0], w.filterHint()
+	for _, h := range hs {
+		if h < hint {
+			scratch = append(scratch, h)
+		}
+	}
+	w.scratch = scratch
+	w.w.UpdateBatchPrefiltered(scratch)
+}
 
 // Hint returns the writer's current pre-filtering Θ.
 func (w *ConcurrentWriter) Hint() uint64 { return w.w.Hint() }
