@@ -21,10 +21,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
+	fcds "github.com/fcds/fcds"
 	"github.com/fcds/fcds/internal/adversary"
 	"github.com/fcds/fcds/internal/characterization"
+	"github.com/fcds/fcds/internal/stream"
 )
 
 func main() {
@@ -39,9 +42,15 @@ func main() {
 	jsonPath := fs.String("json", "", "also write results as JSON to this file (BENCH_*.json trajectory)")
 	_ = fs.Parse(os.Args[2:])
 
+	// Every experiment returns its JSON report (nil when the experiment
+	// defines none); -json is honoured uniformly here rather than
+	// inside each experiment.
+	var rep *benchReport
 	switch cmd {
 	case "batch":
-		batch(*full, *k, *jsonPath)
+		rep = batch(*full, *k)
+	case "table":
+		rep = tableExp(*full)
 	case "figure1":
 		figure1(*full)
 	case "figure5a":
@@ -68,12 +77,22 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if *jsonPath != "" {
+		if rep == nil {
+			fmt.Fprintf(os.Stderr,
+				"fcds-bench: warning: experiment %q defines no JSON report; -json %s not written\n",
+				cmd, *jsonPath)
+		} else {
+			writeBenchJSON(*jsonPath, *rep)
+		}
+	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fcds-bench <experiment> [-full] [-k N] [-json FILE]
 experiments:
   batch            batched vs per-item ingestion throughput (the batch pipeline)
+  table            keyed multi-tenant tables: zipfian keys, shared propagator pool
   figure1          scalability: concurrent vs lock-based, update-only
   figure5a         accuracy pitchfork, no eager propagation (e=1.0)
   figure5b         accuracy pitchfork, eager propagation (e=0.04)
@@ -90,7 +109,8 @@ experiments:
 func all(full bool, k int) {
 	for _, f := range []func(){
 		func() { table1(full) },
-		func() { batch(full, k, "") },
+		func() { batch(full, k) },
+		func() { tableExp(full) },
 		func() { figure1(full) },
 		func() { figure5(full, 1.0, k) },
 		func() { figure5(full, 0.04, k) },
@@ -111,6 +131,10 @@ type benchRecord struct {
 	Threads int     `json:"threads"`
 	Chunk   int     `json:"chunk,omitempty"` // 0 = per-item ingestion
 	MopsSec float64 `json:"mops_sec"`
+	// Keyed-table experiments: distinct key count and the goroutine
+	// count observed mid-run (pinning pool-not-per-key propagation).
+	Keys       int `json:"keys,omitempty"`
+	Goroutines int `json:"goroutines,omitempty"`
 }
 
 // benchReport is the schema of the BENCH_*.json trajectory files: one
@@ -143,7 +167,7 @@ func writeBenchJSON(path string, rep benchReport) {
 
 // batch: the batched ingestion pipeline vs the per-item path, across
 // writer counts and chunk sizes.
-func batch(full bool, k int, jsonPath string) {
+func batch(full bool, k int) *benchReport {
 	n := uint64(1 << 21)
 	trials := 3
 	writers := []int{1, 2, 4}
@@ -182,9 +206,90 @@ func batch(full bool, k int, jsonPath string) {
 			}
 		})
 	}
-	if jsonPath != "" {
-		writeBenchJSON(jsonPath, rep)
+	return &rep
+}
+
+// tableExp: keyed multi-tenant Θ tables under a zipfian key draw —
+// throughput and goroutine count across key-space sizes, all key
+// sketches propagated by one shared pool.
+func tableExp(full bool) *benchReport {
+	n := uint64(1 << 21)
+	trials := 2
+	keySpaces := []int{1_000, 100_000}
+	writerCounts := []int{1, 4}
+	if full {
+		n = 1 << 23
+		trials = 5
+		keySpaces = []int{1_000, 100_000, 1_000_000}
+		writerCounts = []int{1, 4, 8, 12}
 	}
+	const chunk = 512
+	fmt.Println("# Table: keyed Θ tables, zipfian keys (s=1.2), K=256 per key, shared propagator pool")
+	fmt.Println("curve\tthreads\tkeys\tgoroutines\tMops_sec")
+	rep := benchReport{
+		Experiment: "table", Unix: time.Now().Unix(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), N: n, Trials: trials, K: 256,
+	}
+	for _, keys := range keySpaces {
+		for _, writers := range writerCounts {
+			var best float64
+			var goroutines int
+			for trial := 0; trial < trials; trial++ {
+				mops, g := runTableTrial(n, keys, writers, chunk, uint64(trial))
+				if mops > best {
+					best = mops
+				}
+				goroutines = g
+			}
+			curve := fmt.Sprintf("keys%d", keys)
+			fmt.Printf("%s\t%d\t%d\t%d\t%.2f\n", curve, writers, keys, goroutines, best)
+			rep.Results = append(rep.Results, benchRecord{
+				Curve: curve, Threads: writers, Chunk: chunk,
+				MopsSec: best, Keys: keys, Goroutines: goroutines,
+			})
+		}
+	}
+	return &rep
+}
+
+// runTableTrial ingests n zipfian-keyed updates with the given writer
+// count and returns Mops/sec plus the goroutine count observed at the
+// end of ingestion (before Close), which stays O(GOMAXPROCS) however
+// many keys are live.
+func runTableTrial(n uint64, keys, writers, chunk int, seed uint64) (mops float64, goroutines int) {
+	tab := fcds.NewThetaTableU64(fcds.ThetaTableU64Config{
+		Table: fcds.TableU64Config{Writers: writers, Shards: 1024},
+	})
+	defer tab.Close()
+	parts := stream.Partition(n, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := tab.Writer(wi)
+			z := stream.NewZipf(uint64(keys), 1.2, seed*1000+uint64(wi)+1)
+			vals := stream.NewScrambled(parts[wi].Start)
+			ks := make([]uint64, chunk)
+			vs := make([]uint64, chunk)
+			for sent := uint64(0); sent < parts[wi].Count; sent += uint64(chunk) {
+				m := uint64(chunk)
+				if rem := parts[wi].Count - sent; rem < m {
+					m = rem
+				}
+				for i := uint64(0); i < m; i++ {
+					ks[i] = z.Next()
+					vs[i] = vals.Next()
+				}
+				w.UpdateKeyedBatch(ks[:m], vs[:m])
+			}
+		}(wi)
+	}
+	wg.Wait()
+	goroutines = runtime.NumGoroutine()
+	elapsed := time.Since(start)
+	return float64(n) / 1e6 / elapsed.Seconds(), goroutines
 }
 
 // figure1: scalability of concurrent vs lock-based Θ sketch, b=1.

@@ -1,0 +1,144 @@
+// Multitenant tracks per-tenant unique users with a keyed Θ table:
+// ingest goroutines push zipfian-keyed batches (a few hot tenants, a
+// long tail), a dashboard reads per-tenant estimates wait-free, idle
+// tenants are evicted as serialized snapshots, and two simulated nodes
+// merge their table snapshots — the distributed-aggregation path.
+//
+// However many tenants appear, propagation runs on one fixed pool:
+// the goroutine count is O(GOMAXPROCS), not O(tenants).
+//
+// Run: go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	fcds "github.com/fcds/fcds"
+	"github.com/fcds/fcds/internal/stream"
+)
+
+const (
+	ingesters = 3
+	tenants   = 5000
+	batches   = 400
+	batchSize = 512
+)
+
+func tenantName(id uint64) string { return fmt.Sprintf("tenant-%04d", id) }
+
+func main() {
+	var spilled sync.Map // tenant -> serialized Θ snapshot
+	tab := fcds.NewThetaTable(fcds.ThetaTableConfig{
+		Table: fcds.TableConfig{
+			Writers: ingesters,
+			MaxKeys: 4000, // cap forces the cold tail to spill
+			OnEvict: func(k string, snap []byte) { spilled.Store(k, snap) },
+		},
+		K: 1024,
+	})
+	defer tab.Close()
+
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := tab.Writer(g)
+			keys := make([]string, batchSize)
+			users := make([]uint64, batchSize)
+			tenantDraw := stream.NewZipf(tenants, 1.2, uint64(g)+1)
+			userDraw := stream.NewScrambled(uint64(g) << 40)
+			for b := 0; b < batches; b++ {
+				for i := range keys {
+					keys[i] = tenantName(tenantDraw.Next())
+					users[i] = userDraw.Next()
+				}
+				w.UpdateKeyedBatch(keys, users)
+			}
+		}(g)
+	}
+	wg.Wait()
+	tab.Drain()
+
+	fmt.Printf("ingested %d keyed updates across up to %d tenants\n",
+		ingesters*batches*batchSize, tenants)
+	fmt.Printf("live tenants: %d, evicted (spilled): %d, goroutines: %d before / %d after\n",
+		tab.Keys(), tab.Evictions(), before, runtime.NumGoroutine())
+
+	// Wait-free per-tenant reads: top hot tenants by estimate.
+	type row struct {
+		name string
+		est  float64
+	}
+	var rows []row
+	for id := uint64(0); id < 10; id++ {
+		if est, ok := tab.Estimate(tenantName(id)); ok {
+			rows = append(rows, row{tenantName(id), est})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].est > rows[j].est })
+	fmt.Println("\nhot tenants (unique users, wait-free estimates):")
+	for _, r := range rows[:min(5, len(rows))] {
+		fmt.Printf("  %s  ~%.0f\n", r.name, r.est)
+	}
+
+	// All-tenant rollup: duplicates across tenants collapse.
+	fmt.Printf("\nall-tenant rollup: ~%.0f unique users\n", tab.Rollup().Estimate())
+
+	// A spilled tenant's snapshot is still queryable offline.
+	spilled.Range(func(k, v any) bool {
+		c, err := fcds.UnmarshalThetaCompact(v.([]byte))
+		if err == nil {
+			fmt.Printf("spilled %s: ~%.0f unique users (from %d-byte snapshot)\n",
+				k, c.Estimate(), len(v.([]byte)))
+		}
+		return false // just one example
+	})
+
+	// Distributed aggregation: a second "node" sees overlapping users
+	// for tenant 0; snapshots merge per key.
+	node2 := fcds.NewThetaTable(fcds.ThetaTableConfig{
+		Table: fcds.TableConfig{Writers: 1},
+		K:     1024,
+	})
+	defer node2.Close()
+	w := node2.Writer(0)
+	users := make([]uint64, 2000)
+	keys := make([]string, 2000)
+	draw := stream.NewScrambled(0) // overlaps node 1's g=0 ingester
+	for i := range users {
+		keys[i] = tenantName(0)
+		users[i] = draw.Next()
+	}
+	w.UpdateKeyedBatch(keys, users)
+	node2.Drain()
+
+	b1, err1 := tab.SnapshotBinary()
+	b2, err2 := node2.SnapshotBinary()
+	if err1 != nil || err2 != nil {
+		panic(fmt.Sprint(err1, err2))
+	}
+	s1, _ := fcds.UnmarshalThetaTableSnapshot(b1)
+	s2, _ := fcds.UnmarshalThetaTableSnapshot(b2)
+	e1, _ := tab.Estimate(tenantName(0))
+	e2, _ := node2.Estimate(tenantName(0))
+	if err := s1.Merge(s2); err != nil {
+		panic(err)
+	}
+	if c, ok := s1.Get(tenantName(0)); ok {
+		fmt.Printf("\ndistributed merge for %s: node1 ~%.0f + node2 ~%.0f -> merged ~%.0f (overlap collapsed)\n",
+			tenantName(0), e1, e2, c.Estimate())
+	}
+	fmt.Printf("merged snapshot: %d tenants, %d bytes\n", s1.Len(), len(b1)+len(b2))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -51,6 +51,38 @@
 //	// any goroutine, any time, wait-free:
 //	estimate := c.Estimate()
 //
+// # Keyed tables
+//
+// Production workloads rarely track one stream: they track one small
+// stream per key — unique users per tenant, latency per endpoint,
+// cardinality per device — across millions of keys. The table types
+// (ThetaTable, QuantilesTable, HLLTable, plus *U64 variants for
+// uint64 keys) map keys to lightweight per-key concurrent sketches:
+// sharded lazy creation, keyed batch ingestion that groups a batch by
+// key and shard before running the fused hash+pre-filter pipeline,
+// wait-free per-key queries with the full per-key r = 2·N·b
+// guarantee, an all-keys rollup, TTL/size-cap eviction that spills
+// evicted keys as serialized snapshots, and whole-table binary
+// snapshots that merge across processes for distributed aggregation.
+//
+// Crucially, a table does not spawn one propagator goroutine per key:
+// every per-key sketch attaches to one shared PropagatorPool (a fixed
+// set of workers, GOMAXPROCS by default), so a million keys propagate
+// on a handful of goroutines.
+//
+//	t := fcds.NewThetaTable(fcds.ThetaTableConfig{
+//		Table: fcds.TableConfig{Writers: 4, MaxKeys: 1_000_000},
+//	})
+//	defer t.Close()
+//	w := t.Writer(i)
+//	w.UpdateKeyedBatch(tenants, userIDs) // grouped, fused, bulk
+//	estimate, ok := t.Estimate("tenant-42") // wait-free
+//	total := t.Rollup().Estimate()          // all keys merged
+//
+// Standalone concurrent sketches can opt into a shared pool too, via
+// the Pool field of their configs; Compact() on any concurrent sketch
+// returns a serializable point-in-time snapshot.
+//
 // Sequential sketches (theta KMV/QuickSelect with set operations,
 // quantiles, HLL) and the lock-based baseline used in the paper's
 // evaluation are exposed as well. The cmd/fcds-bench binary
@@ -58,9 +90,11 @@
 package fcds
 
 import (
+	"github.com/fcds/fcds/internal/core"
 	"github.com/fcds/fcds/internal/hll"
 	"github.com/fcds/fcds/internal/lockbased"
 	"github.com/fcds/fcds/internal/quantiles"
+	"github.com/fcds/fcds/internal/table"
 	"github.com/fcds/fcds/internal/theta"
 )
 
@@ -118,6 +152,138 @@ type (
 	// HLLSketch is the sequential HLL sketch.
 	HLLSketch = hll.Sketch
 )
+
+// Propagation executor.
+type (
+	// PropagatorPool is a fixed pool of propagator goroutines shared
+	// by any number of concurrent sketches and tables.
+	PropagatorPool = core.PropagatorPool
+)
+
+// Keyed sketch tables: one lightweight concurrent sketch per key, all
+// propagated by one shared pool. The plain types use string keys, the
+// U64 variants uint64 keys.
+type (
+	// TableConfig is the sketch-independent table configuration for
+	// string-keyed tables (writers, shards, pool, eviction policy).
+	TableConfig = table.Config[string]
+	// TableU64Config is TableConfig for uint64-keyed tables.
+	TableU64Config = table.Config[uint64]
+
+	// ThetaTable maps string keys to concurrent Θ sketches (per-key
+	// unique counting).
+	ThetaTable = table.ThetaTable[string]
+	// ThetaTableU64 is ThetaTable with uint64 keys.
+	ThetaTableU64 = table.ThetaTable[uint64]
+	// ThetaTableConfig configures a string-keyed Θ table.
+	ThetaTableConfig = table.ThetaConfig[string]
+	// ThetaTableU64Config configures a uint64-keyed Θ table.
+	ThetaTableU64Config = table.ThetaConfig[uint64]
+	// ThetaTableWriter is a single-goroutine keyed ingestion handle.
+	ThetaTableWriter = table.ThetaTableWriter[string]
+	// ThetaTableSnapshot is a mergeable serialized-table capture.
+	ThetaTableSnapshot = table.TableSnapshot[string, *theta.Compact]
+	// ThetaTableU64Snapshot is ThetaTableSnapshot with uint64 keys.
+	ThetaTableU64Snapshot = table.TableSnapshot[uint64, *theta.Compact]
+
+	// QuantilesTable maps string keys to concurrent quantiles sketches
+	// (per-key distributions).
+	QuantilesTable = table.QuantilesTable[string]
+	// QuantilesTableU64 is QuantilesTable with uint64 keys.
+	QuantilesTableU64 = table.QuantilesTable[uint64]
+	// QuantilesTableConfig configures a string-keyed quantiles table.
+	QuantilesTableConfig = table.QuantilesConfig[string]
+	// QuantilesTableU64Config configures a uint64-keyed quantiles
+	// table.
+	QuantilesTableU64Config = table.QuantilesConfig[uint64]
+	// QuantilesTableWriter is a single-goroutine keyed ingestion
+	// handle.
+	QuantilesTableWriter = table.QuantilesTableWriter[string]
+	// QuantilesTableSnapshot is a mergeable serialized-table capture.
+	QuantilesTableSnapshot = table.TableSnapshot[string, *quantiles.Sketch]
+	// QuantilesTableU64Snapshot is QuantilesTableSnapshot with uint64
+	// keys.
+	QuantilesTableU64Snapshot = table.TableSnapshot[uint64, *quantiles.Sketch]
+
+	// HLLTable maps string keys to concurrent HLL sketches (per-key
+	// unique counting in fixed tiny per-key memory).
+	HLLTable = table.HLLTable[string]
+	// HLLTableU64 is HLLTable with uint64 keys.
+	HLLTableU64 = table.HLLTable[uint64]
+	// HLLTableConfig configures a string-keyed HLL table.
+	HLLTableConfig = table.HLLConfig[string]
+	// HLLTableU64Config configures a uint64-keyed HLL table.
+	HLLTableU64Config = table.HLLConfig[uint64]
+	// HLLTableWriter is a single-goroutine keyed ingestion handle.
+	HLLTableWriter = table.HLLTableWriter[string]
+	// HLLTableSnapshot is a mergeable serialized-table capture.
+	HLLTableSnapshot = table.TableSnapshot[string, *hll.Sketch]
+	// HLLTableU64Snapshot is HLLTableSnapshot with uint64 keys.
+	HLLTableU64Snapshot = table.TableSnapshot[uint64, *hll.Sketch]
+)
+
+// NewPropagatorPool starts a shared propagation executor with the
+// given worker count (<= 0 means GOMAXPROCS). Close it after every
+// sketch and table attached to it.
+func NewPropagatorPool(workers int) *PropagatorPool { return core.NewPropagatorPool(workers) }
+
+// NewThetaTable builds a string-keyed Θ table; Close it when done.
+func NewThetaTable(cfg ThetaTableConfig) *ThetaTable { return table.NewTheta(cfg) }
+
+// NewThetaTableU64 builds a uint64-keyed Θ table; Close it when done.
+func NewThetaTableU64(cfg ThetaTableU64Config) *ThetaTableU64 { return table.NewTheta(cfg) }
+
+// NewQuantilesTable builds a string-keyed quantiles table; Close it
+// when done.
+func NewQuantilesTable(cfg QuantilesTableConfig) *QuantilesTable { return table.NewQuantiles(cfg) }
+
+// NewQuantilesTableU64 builds a uint64-keyed quantiles table; Close it
+// when done.
+func NewQuantilesTableU64(cfg QuantilesTableU64Config) *QuantilesTableU64 {
+	return table.NewQuantiles(cfg)
+}
+
+// NewHLLTable builds a string-keyed HLL table; Close it when done.
+func NewHLLTable(cfg HLLTableConfig) *HLLTable { return table.NewHLL(cfg) }
+
+// NewHLLTableU64 builds a uint64-keyed HLL table; Close it when done.
+func NewHLLTableU64(cfg HLLTableU64Config) *HLLTableU64 { return table.NewHLL(cfg) }
+
+// UnmarshalThetaTableSnapshot parses a serialized string-keyed Θ table
+// snapshot (see ThetaTable.SnapshotBinary).
+func UnmarshalThetaTableSnapshot(data []byte) (*ThetaTableSnapshot, error) {
+	return table.UnmarshalThetaSnapshot[string](data)
+}
+
+// UnmarshalThetaTableU64Snapshot parses a serialized uint64-keyed Θ
+// table snapshot.
+func UnmarshalThetaTableU64Snapshot(data []byte) (*ThetaTableU64Snapshot, error) {
+	return table.UnmarshalThetaSnapshot[uint64](data)
+}
+
+// UnmarshalQuantilesTableSnapshot parses a serialized string-keyed
+// quantiles table snapshot.
+func UnmarshalQuantilesTableSnapshot(data []byte) (*QuantilesTableSnapshot, error) {
+	return table.UnmarshalQuantilesSnapshot[string](data)
+}
+
+// UnmarshalQuantilesTableU64Snapshot parses a serialized uint64-keyed
+// quantiles table snapshot.
+func UnmarshalQuantilesTableU64Snapshot(data []byte) (*QuantilesTableU64Snapshot, error) {
+	return table.UnmarshalQuantilesSnapshot[uint64](data)
+}
+
+// UnmarshalHLLTableSnapshot parses a serialized string-keyed HLL table
+// snapshot.
+func UnmarshalHLLTableSnapshot(data []byte) (*HLLTableSnapshot, error) {
+	return table.UnmarshalHLLSnapshot[string](data)
+}
+
+// UnmarshalHLLTableU64Snapshot parses a serialized uint64-keyed HLL
+// table snapshot.
+func UnmarshalHLLTableU64Snapshot(data []byte) (*HLLTableU64Snapshot, error) {
+	return table.UnmarshalHLLSnapshot[uint64](data)
+}
 
 // NewConcurrentTheta builds a concurrent Θ sketch; Close it when done.
 func NewConcurrentTheta(cfg ConcurrentThetaConfig) *ConcurrentTheta {

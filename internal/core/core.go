@@ -6,9 +6,12 @@
 // The framework is instantiated with a composable sketch (the Global
 // interface: merge/snapshot/calcHint/shouldAdd of §5.1) and a factory
 // of writer-local buffer sketches (the Local interface). N writer
-// goroutines each own a Writer handle with two local sketches; a single
-// propagator goroutine continuously folds filled local sketches into
-// the shared global sketch. Writers synchronise with the propagator
+// goroutines each own a Writer handle with two local sketches; a
+// propagator continuously folds filled local sketches into the shared
+// global sketch. By default each sketch owns a dedicated propagator
+// goroutine (the paper's thread t_0); sketches can instead share a
+// fixed PropagatorPool, which keyed workloads with millions of
+// per-key sketches require. Writers synchronise with the propagator
 // through one atomic word each (prop_i), exactly as in the paper:
 // prop_i = 0 hands the filled buffer to the propagator, and the
 // propagator writes back the global sketch's hint (always nonzero) to
@@ -102,6 +105,12 @@ type Config struct {
 	// Relaxation() reports the worst case 2·N·MaxAdaptiveBuffer when
 	// an adaptor is set.
 	BufferAdaptor func(hint uint64, current int) int
+	// Pool, when non-nil, is the shared propagation executor this
+	// sketch attaches to; the sketch then spawns no goroutine of its
+	// own and must be closed before the pool. Nil gives the sketch a
+	// dedicated single-worker pool — the paper's per-sketch propagator
+	// thread.
+	Pool *PropagatorPool
 }
 
 // MaxAdaptiveBuffer caps BufferAdaptor results so the relaxation bound
@@ -185,15 +194,25 @@ type Sketch[U any, S any] struct {
 	eagerMu    sync.Mutex
 	eagerCount int
 
-	// handoffq is the MPSC handoff queue: writers enqueue their index
-	// after storing prop = 0, and the propagator merges exactly that
-	// slot, so wakeup cost is O(outstanding handoffs) instead of a full
-	// O(N) slot scan. The prop protocol guarantees at most one
-	// outstanding handoff per writer, so capacity N means enqueues
-	// never block.
-	handoffq chan int
-	stop     chan struct{}
-	done     sync.WaitGroup
+	// pending is the sketch's private MPSC handoff queue: writers
+	// enqueue their index after storing prop = 0, and a pool worker
+	// merges exactly those slots, so wakeup cost is O(outstanding
+	// handoffs) instead of a full O(N) slot scan. The prop protocol
+	// guarantees at most one outstanding handoff per writer, so
+	// capacity N means enqueues never block.
+	pending chan int
+	// scheduled is true while the sketch sits in the pool's run queue
+	// or a worker is draining pending; it serialises propagation so at
+	// most one goroutine merges into the global sketch at a time.
+	scheduled atomic.Bool
+	// inflight counts handoffs enqueued but not yet merged; Close on a
+	// shared pool waits for it to reach zero.
+	inflight atomic.Int64
+
+	pool *PropagatorPool
+	// ownPool is true when the sketch created its pool (the dedicated
+	// single-propagator default) and is responsible for closing it.
+	ownPool bool
 
 	closed atomic.Bool
 
@@ -205,8 +224,9 @@ type Sketch[U any, S any] struct {
 }
 
 // New creates a concurrent sketch. newLocal is called 2·N times to
-// allocate the writer-local sketches (N times for ParSketch). The
-// returned sketch owns a background propagator goroutine until Close.
+// allocate the writer-local sketches (N times for ParSketch). Unless
+// cfg.Pool is set, the returned sketch owns a background propagator
+// goroutine until Close.
 func New[U any, S any](global Global[U, S], newLocal func() Local[U], cfg Config) *Sketch[U, S] {
 	if cfg.Writers <= 0 {
 		panic("core: Config.Writers must be positive")
@@ -215,11 +235,16 @@ func New[U any, S any](global Global[U, S], newLocal func() Local[U], cfg Config
 		panic("core: Config.BufferSize must be positive")
 	}
 	s := &Sketch[U, S]{
-		global:   global,
-		cfg:      cfg,
-		handoffq: make(chan int, cfg.Writers),
-		stop:     make(chan struct{}),
+		global:  global,
+		cfg:     cfg,
+		pending: make(chan int, cfg.Writers),
+		pool:    cfg.Pool,
 	}
+	if s.pool == nil {
+		s.pool = NewPropagatorPool(1)
+		s.ownPool = true
+	}
+	s.pool.sketches.Add(1)
 	s.eager.Store(cfg.EagerLimit > 0)
 	initialHint := nonzero(global.CalcHint())
 	s.writers = make([]*Writer[U, S], cfg.Writers)
@@ -232,8 +257,6 @@ func New[U any, S any](global Global[U, S], newLocal func() Local[U], cfg Config
 		w.prop.Store(initialHint)
 		s.writers[i] = w
 	}
-	s.done.Add(1)
-	go s.propagator()
 	return s
 }
 
@@ -274,17 +297,34 @@ func (s *Sketch[U, S]) Propagations() int64 { return s.propagations.Load() }
 // (sequential, small-stream) phase.
 func (s *Sketch[U, S]) Eager() bool { return s.eager.Load() }
 
-// Close stops the propagator after draining all handed-off buffers.
-// Callers must stop updating and call Flush on each writer first if
-// they need every buffered update reflected in the final state.
-// Close is idempotent.
+// Close detaches the sketch from propagation after draining all
+// handed-off buffers: an owned pool is shut down, a shared pool keeps
+// serving its other sketches. Callers must stop updating and call
+// Flush on each writer first if they need every buffered update
+// reflected in the final state. Close is idempotent.
 func (s *Sketch[U, S]) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
-	close(s.stop)
-	s.done.Wait()
+	if s.ownPool {
+		s.pool.Close()
+	} else {
+		// Wait until the pool has merged every outstanding handoff of
+		// this sketch and no worker is still draining it.
+		for i := 0; s.inflight.Load() > 0 || s.scheduled.Load(); i++ {
+			if i < 128 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}
+	s.pool.sketches.Add(-1)
+	s.scan() // final drain
 }
+
+// Pool returns the propagation executor this sketch is attached to.
+func (s *Sketch[U, S]) Pool() *PropagatorPool { return s.pool }
 
 // Writer is the per-goroutine update handle (thread t_i of Algorithm
 // 2). Not safe for concurrent use by multiple goroutines.
@@ -529,39 +569,49 @@ func (w *Writer[U, S]) waitPropNonzero() {
 	}
 }
 
-// signalHandoff enqueues the writer's index for the propagator. The
-// send never blocks: each writer has at most one outstanding handoff
-// (it must observe prop != 0 before handing off again), so the queue
-// holds at most N entries.
+// signalHandoff enqueues the writer's index on the sketch's private
+// queue and, on the idle-to-scheduled transition, enters the sketch
+// into the pool's run queue. The send never blocks: each writer has at
+// most one outstanding handoff (it must observe prop != 0 before
+// handing off again), so the queue holds at most N entries.
 func (s *Sketch[U, S]) signalHandoff(id int) {
-	s.handoffq <- id
+	s.inflight.Add(1)
+	s.pending <- id
+	if s.scheduled.CompareAndSwap(false, true) {
+		s.pool.submit(s)
+	}
 }
 
-// propagator is the background merger thread t_0 (Algorithm 2,
-// propagator procedure). Instead of rescanning all N writer slots per
-// wakeup it merges exactly the slots that writers enqueue, so each
-// wakeup costs O(outstanding handoffs). It exits when Close is called,
-// after a final drain of the queue plus one full scan for handoffs
-// whose enqueue raced with Close.
-func (s *Sketch[U, S]) propagator() {
-	defer s.done.Done()
-	for {
+// runPropagation is the body of the merger thread t_0 (Algorithm 2,
+// propagator procedure), executed by a pool worker. It merges exactly
+// the slots that writers enqueued — O(outstanding handoffs), never a
+// full O(N) slot scan — then clears the scheduled flag. A handoff
+// that raced the drain re-enters the sketch at the tail of the pool's
+// run queue rather than looping here, so one hot sketch cannot starve
+// the pool's other sketches.
+func (s *Sketch[U, S]) runPropagation() {
+	// Merge at most N handoffs per run — the most that can be
+	// outstanding at one instant. Without the bound, a sketch whose
+	// writers refill the queue as fast as it drains would never hit
+	// the empty case and would capture this worker forever, starving
+	// the pool's other sketches.
+	budget := cap(s.pending)
+	for budget > 0 {
 		select {
-		case id := <-s.handoffq:
+		case id := <-s.pending:
 			s.merge(s.writers[id])
-		case <-s.stop:
-			for {
-				select {
-				case id := <-s.handoffq:
-					s.merge(s.writers[id])
-					continue
-				default:
-				}
-				break
-			}
-			s.scan() // final drain
-			return
+			s.inflight.Add(-1)
+			budget--
+			continue
+		default:
 		}
+		break
+	}
+	s.scheduled.Store(false)
+	// Re-check after clearing the flag: a writer that enqueued between
+	// the drain and the Store saw scheduled == true and did not submit.
+	if len(s.pending) != 0 && s.scheduled.CompareAndSwap(false, true) {
+		s.pool.submit(s)
 	}
 }
 

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PropagatorPool is a fixed-size pool of propagator goroutines serving
+// any number of concurrent sketches. The paper dedicates one propagator
+// thread t_0 per sketch, which is the right trade for a handful of
+// sketches but collapses for keyed workloads that instantiate one
+// sketch per key (millions of keys would mean millions of goroutines).
+// The pool decouples the population of sketches from the set of
+// executors — a fixed scheduler pool drives a parameterised population
+// of sketch "processes" — so a table with 1M keys propagates on
+// GOMAXPROCS goroutines.
+//
+// Scheduling preserves the framework's invariant that at most one
+// goroutine merges into a given global sketch at a time: each sketch
+// carries a private MPSC queue of handed-off writer ids plus a
+// scheduled flag, and enters the pool's shared run queue only on the
+// idle-to-scheduled transition. A worker that dequeues a sketch drains
+// that sketch's private queue, then clears the flag; if a handoff
+// raced the drain, the sketch re-enters at the tail of the run queue,
+// which keeps one hot sketch from starving the others.
+//
+// A standalone Sketch owns a pool of size one, reproducing the paper's
+// dedicated-propagator semantics exactly (same merge order, same
+// Flush/Close behaviour, same r = 2·N·b relaxation bound).
+type PropagatorPool struct {
+	mu   sync.Mutex
+	runq []propagable // FIFO of scheduled sketches
+	head int
+
+	// wake carries at most one token per worker; submit never blocks.
+	wake chan struct{}
+	stop chan struct{}
+	done sync.WaitGroup
+
+	workers int
+	closed  atomic.Bool
+	// sketches counts attached sketches (observability + tests).
+	sketches atomic.Int64
+}
+
+// propagable is a scheduled unit of propagation work: a sketch with a
+// non-empty private handoff queue.
+type propagable interface {
+	// runPropagation drains the sketch's private handoff queue. It is
+	// never invoked concurrently for the same sketch (the scheduled
+	// flag serialises it).
+	runPropagation()
+}
+
+// NewPropagatorPool starts a pool with the given number of propagator
+// goroutines; workers <= 0 means GOMAXPROCS. Close it after every
+// attached sketch is closed.
+func NewPropagatorPool(workers int) *PropagatorPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &PropagatorPool{
+		workers: workers,
+		wake:    make(chan struct{}, workers),
+		stop:    make(chan struct{}),
+	}
+	p.done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the number of propagator goroutines.
+func (p *PropagatorPool) Workers() int { return p.workers }
+
+// Sketches returns the number of sketches currently attached.
+func (p *PropagatorPool) Sketches() int64 { return p.sketches.Load() }
+
+// Close drains the run queue and stops the workers. All attached
+// sketches must have stopped handing off (their writers quiescent or
+// the sketches closed) before Close is called. Close is idempotent.
+func (p *PropagatorPool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.stop)
+	p.done.Wait()
+}
+
+// submit schedules a sketch for propagation. Called exactly once per
+// idle-to-scheduled transition, so each sketch occupies at most one
+// run-queue slot.
+func (p *PropagatorPool) submit(t propagable) {
+	p.mu.Lock()
+	p.runq = append(p.runq, t)
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+		// Buffer full: every worker already has a pending wake token
+		// and will keep popping until the run queue is empty.
+	}
+}
+
+// pop removes the head of the run queue, or returns nil when empty.
+func (p *PropagatorPool) pop() propagable {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.head == len(p.runq) {
+		p.runq = p.runq[:0]
+		p.head = 0
+		return nil
+	}
+	t := p.runq[p.head]
+	p.runq[p.head] = nil // release for GC
+	p.head++
+	// Compact once the dead prefix dominates: a queue that never goes
+	// fully idle would otherwise append past the prefix forever.
+	if p.head > 64 && p.head*2 >= len(p.runq) {
+		n := copy(p.runq, p.runq[p.head:])
+		clear(p.runq[n:])
+		p.runq = p.runq[:n]
+		p.head = 0
+	}
+	return t
+}
+
+// worker is one propagator goroutine: it pops scheduled sketches and
+// drains their handoff queues until the pool is closed, then performs
+// a final drain so no scheduled work is dropped.
+func (p *PropagatorPool) worker() {
+	defer p.done.Done()
+	for {
+		if t := p.pop(); t != nil {
+			t.runPropagation()
+			continue
+		}
+		select {
+		case <-p.wake:
+		case <-p.stop:
+			for {
+				t := p.pop()
+				if t == nil {
+					return
+				}
+				t.runPropagation()
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package hll
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"github.com/fcds/fcds/internal/core"
@@ -33,7 +34,10 @@ func (l localHLL) Reset() { l.s.Reset() }
 
 // GlobalSketch is the composable global HLL sketch.
 type GlobalSketch struct {
-	h   *Sketch
+	h *Sketch
+	// mu serialises structural access to h (merge/eager paths vs
+	// Compact copies); the wait-free estimate read never touches it.
+	mu  sync.Mutex
 	est atomic.Uint64 // Float64bits of the estimate
 }
 
@@ -46,17 +50,30 @@ func NewGlobal(p uint8, seed uint64) *GlobalSketch {
 
 // Merge implements core.Global (register-wise max).
 func (g *GlobalSketch) Merge(l core.Local[uint64]) {
+	g.mu.Lock()
 	// Same precision and seed by construction.
 	if err := g.h.Merge(l.(localHLL).s); err != nil {
 		panic("hll: mismatched local sketch: " + err.Error())
 	}
 	g.publish()
+	g.mu.Unlock()
 }
 
 // UpdateDirect implements core.Global (eager phase).
 func (g *GlobalSketch) UpdateDirect(h uint64) {
+	g.mu.Lock()
 	g.h.UpdateHash(h)
 	g.publish()
+	g.mu.Unlock()
+}
+
+// Compact returns a register-wise copy of the global sketch,
+// serialised against concurrent merges: serializable with
+// MarshalBinary and mergeable into other same-precision HLLs.
+func (g *GlobalSketch) Compact() *Sketch {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.h.Clone()
 }
 
 // Snapshot implements core.Global.
@@ -86,34 +103,29 @@ type ConcurrentConfig struct {
 	EagerLimit int
 	// Seed is the hash seed.
 	Seed uint64
+	// Pool, when non-nil, attaches the sketch to a shared propagation
+	// executor instead of a dedicated propagator goroutine.
+	Pool *core.PropagatorPool
 }
 
 func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
 	if c.Precision == 0 {
 		c.Precision = 12
 	}
-	if c.Writers == 0 {
-		c.Writers = 1
-	}
+	com := core.CommonConfig{Writers: c.Writers, EagerLimit: c.EagerLimit, Seed: c.Seed}.
+		WithDefaults(1<<c.Precision, hash.DefaultSeed)
+	c.Writers, c.EagerLimit, c.Seed = com.Writers, com.EagerLimit, com.Seed
 	if c.BufferSize == 0 {
 		c.BufferSize = 1024
-	}
-	switch {
-	case c.EagerLimit < 0:
-		c.EagerLimit = 0
-	case c.EagerLimit == 0:
-		c.EagerLimit = 1 << c.Precision
-	}
-	if c.Seed == 0 {
-		c.Seed = hash.DefaultSeed
 	}
 	return c
 }
 
 // Concurrent is the concurrent HLL sketch.
 type Concurrent struct {
-	sk  *core.Sketch[uint64, float64]
-	cfg ConcurrentConfig
+	sk     *core.Sketch[uint64, float64]
+	global *GlobalSketch
+	cfg    ConcurrentConfig
 }
 
 // NewConcurrent builds a concurrent HLL sketch; Close when done.
@@ -125,11 +137,16 @@ func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
 		BufferSize:      cfg.BufferSize,
 		EagerLimit:      cfg.EagerLimit,
 		DoubleBuffering: true,
+		Pool:            cfg.Pool,
 	}
 	newLocal := func() core.Local[uint64] {
 		return localHLL{s: NewSeeded(cfg.Precision, cfg.Seed)}
 	}
-	return &Concurrent{sk: core.New[uint64, float64](global, newLocal, coreCfg), cfg: cfg}
+	return &Concurrent{
+		sk:     core.New[uint64, float64](global, newLocal, coreCfg),
+		global: global,
+		cfg:    cfg,
+	}
 }
 
 // Writer returns the i-th writer handle (single-goroutine use).
@@ -143,6 +160,12 @@ func (c *Concurrent) Estimate() float64 { return c.sk.Query() }
 
 // Relaxation returns the bound r = 2·N·b.
 func (c *Concurrent) Relaxation() int { return c.sk.Relaxation() }
+
+// Compact returns a register-wise copy of the sketch: serializable
+// with MarshalBinary and mergeable into other same-precision HLLs.
+// Not wait-free (it briefly synchronises with the propagator); may
+// miss up to Relaxation() recent updates unless writers Flush first.
+func (c *Concurrent) Compact() *Sketch { return c.global.Compact() }
 
 // Propagations returns the number of local merges completed.
 func (c *Concurrent) Propagations() int64 { return c.sk.Propagations() }

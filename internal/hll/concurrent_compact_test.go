@@ -1,0 +1,53 @@
+package hll
+
+import "testing"
+
+// TestConcurrentCompact checks the register-wise copy matches the live
+// estimate after a flush and survives a serde round trip.
+func TestConcurrentCompact(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{Precision: 10, Writers: 1})
+	defer c.Close()
+	w := c.Writer(0)
+	const n = 5000
+	for v := uint64(0); v < n; v++ {
+		w.UpdateUint64(v)
+	}
+	w.Flush()
+	cp := c.Compact()
+	if got, want := cp.Estimate(), c.Estimate(); got != want {
+		t.Errorf("compact estimate = %v, live estimate = %v", got, want)
+	}
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != cp.Estimate() {
+		t.Errorf("round-trip estimate = %v, want %v", back.Estimate(), cp.Estimate())
+	}
+}
+
+// TestConcurrentCompactDuringIngest races Compact against ingestion;
+// the race detector is the assertion.
+func TestConcurrentCompactDuringIngest(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{Precision: 8, Writers: 1, BufferSize: 16})
+	defer c.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := c.Writer(0)
+		for v := uint64(0); v < 20000; v++ {
+			w.UpdateUint64(v)
+		}
+		w.Flush()
+	}()
+	for i := 0; i < 100; i++ {
+		if cp := c.Compact(); cp.Estimate() < 0 {
+			t.Fatal("negative estimate")
+		}
+	}
+	<-done
+}

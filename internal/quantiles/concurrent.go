@@ -1,6 +1,7 @@
 package quantiles
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"github.com/fcds/fcds/internal/core"
@@ -18,7 +19,10 @@ import (
 
 // GlobalSketch is the composable global quantiles sketch.
 type GlobalSketch struct {
-	q    *Sketch
+	q *Sketch
+	// mu serialises structural access to q (merge/eager paths vs
+	// Compact copies); the wait-free snapshot read never touches it.
+	mu   sync.Mutex
 	snap atomic.Pointer[Snapshot]
 }
 
@@ -33,14 +37,29 @@ func NewGlobal(k int, orc *oracle.Oracle) *GlobalSketch {
 
 // Merge implements core.Global. Called only by the propagator.
 func (g *GlobalSketch) Merge(l core.Local[float64]) {
+	g.mu.Lock()
 	g.q.Merge(l.(*Sketch))
 	g.publish()
+	g.mu.Unlock()
 }
 
 // UpdateDirect implements core.Global (eager phase).
 func (g *GlobalSketch) UpdateDirect(v float64) {
+	g.mu.Lock()
 	g.q.Update(v)
 	g.publish()
+	g.mu.Unlock()
+}
+
+// Compact returns a sequential copy of the global sketch, serialised
+// against concurrent merges. The copy owns its buffers, so it can be
+// serialized with MarshalBinary and merged into other sketches.
+func (g *GlobalSketch) Compact() *Sketch {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cp := New(g.q.K())
+	cp.Merge(g.q)
+	return cp
 }
 
 // Snapshot implements core.Global: a wait-free atomic pointer load of
@@ -72,26 +91,20 @@ type ConcurrentConfig struct {
 	EagerLimit int
 	// Seed seeds the compaction-coin oracle.
 	Seed uint64
+	// Pool, when non-nil, attaches the sketch to a shared propagation
+	// executor instead of a dedicated propagator goroutine.
+	Pool *core.PropagatorPool
 }
 
 func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
 	if c.K == 0 {
 		c.K = 128
 	}
-	if c.Writers == 0 {
-		c.Writers = 1
-	}
+	com := core.CommonConfig{Writers: c.Writers, EagerLimit: c.EagerLimit, Seed: c.Seed}.
+		WithDefaults(2*c.K, 0x5eed)
+	c.Writers, c.EagerLimit, c.Seed = com.Writers, com.EagerLimit, com.Seed
 	if c.BufferSize == 0 {
 		c.BufferSize = 2 * c.K
-	}
-	switch {
-	case c.EagerLimit < 0:
-		c.EagerLimit = 0
-	case c.EagerLimit == 0:
-		c.EagerLimit = 2 * c.K
-	}
-	if c.Seed == 0 {
-		c.Seed = 0x5eed
 	}
 	return c
 }
@@ -100,8 +113,9 @@ func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
 // local sketches that a background propagator merges into the global
 // one; queries read an immutable snapshot wait-free.
 type Concurrent struct {
-	sk  *core.Sketch[float64, *Snapshot]
-	cfg ConcurrentConfig
+	sk     *core.Sketch[float64, *Snapshot]
+	global *GlobalSketch
+	cfg    ConcurrentConfig
 }
 
 // NewConcurrent builds a concurrent quantiles sketch; Close when done.
@@ -114,11 +128,16 @@ func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
 		BufferSize:      cfg.BufferSize,
 		EagerLimit:      cfg.EagerLimit,
 		DoubleBuffering: true,
+		Pool:            cfg.Pool,
 	}
 	newLocal := func() core.Local[float64] {
 		return NewWithOracle(cfg.K, orc.Fork())
 	}
-	return &Concurrent{sk: core.New[float64, *Snapshot](global, newLocal, coreCfg), cfg: cfg}
+	return &Concurrent{
+		sk:     core.New[float64, *Snapshot](global, newLocal, coreCfg),
+		global: global,
+		cfg:    cfg,
+	}
 }
 
 // Writer returns the i-th writer handle (single-goroutine use).
@@ -135,6 +154,13 @@ func (c *Concurrent) Quantile(phi float64) float64 { return c.Snapshot().Quantil
 
 // Rank returns the current normalized-rank estimate of v.
 func (c *Concurrent) Rank(v float64) float64 { return c.Snapshot().Rank(v) }
+
+// Compact returns a sequential copy of the sketch that owns its
+// buffers: serializable with MarshalBinary and mergeable into other
+// quantiles sketches. Not wait-free (it briefly synchronises with the
+// propagator); may miss up to Relaxation() recent updates unless
+// writers Flush first.
+func (c *Concurrent) Compact() *Sketch { return c.global.Compact() }
 
 // Relaxation returns the bound r = 2·N·b on updates a query may miss.
 func (c *Concurrent) Relaxation() int { return c.sk.Relaxation() }

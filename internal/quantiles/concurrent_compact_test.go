@@ -1,0 +1,57 @@
+package quantiles
+
+import "testing"
+
+// TestConcurrentCompact checks the sequential copy matches the live
+// snapshot after a flush and survives a serde round trip.
+func TestConcurrentCompact(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{K: 64, Writers: 1})
+	defer c.Close()
+	w := c.Writer(0)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		w.Update(float64(i))
+	}
+	w.Flush()
+	cp := c.Compact()
+	if cp.N() != uint64(n) {
+		t.Fatalf("compact N = %d, want %d", cp.N(), n)
+	}
+	med := cp.Quantile(0.5)
+	if med < n/2-n/10 || med > n/2+n/10 {
+		t.Errorf("compact median = %v, want ~%d", med, n/2)
+	}
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != cp.N() || back.Quantile(0.5) != cp.Quantile(0.5) {
+		t.Errorf("round-trip mismatch: N %d vs %d", back.N(), cp.N())
+	}
+}
+
+// TestConcurrentCompactDuringIngest races Compact against ingestion;
+// the race detector is the assertion.
+func TestConcurrentCompactDuringIngest(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{K: 32, Writers: 1, BufferSize: 8})
+	defer c.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := c.Writer(0)
+		for i := 0; i < 20000; i++ {
+			w.Update(float64(i))
+		}
+		w.Flush()
+	}()
+	for i := 0; i < 100; i++ {
+		if cp := c.Compact(); cp.N() > 20000 {
+			t.Fatalf("compact N = %d exceeds stream length", cp.N())
+		}
+	}
+	<-done
+}

@@ -1,8 +1,11 @@
 // Package stream provides the workload generators used by the paper's
 // evaluation (§7.1): continuous streams of unique values (the
-// write-only workload), duplicated streams, and partitioning helpers
-// for splitting a stream across N writer threads.
+// write-only workload), duplicated streams, zipfian key draws (the
+// keyed multi-tenant workload), and partitioning helpers for splitting
+// a stream across N writer threads.
 package stream
+
+import "math/rand"
 
 // Generator yields stream items. Implementations are not safe for
 // concurrent use; give each writer its own generator.
@@ -68,6 +71,29 @@ func (c *Cycle) Next() uint64 {
 	c.i++
 	return v
 }
+
+// Zipf yields values in [0, n) drawn from a zipfian distribution —
+// the canonical keyed workload shape (a few hot tenants, a long tail
+// of cold ones). Determinism comes from the seed; two generators with
+// the same parameters and seed yield the same sequence.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a zipfian generator over n values with skew s > 1
+// (s near 1 is flattest; 1.1 is a common web-workload shape).
+func NewZipf(n uint64, s float64, seed uint64) *Zipf {
+	if n == 0 {
+		panic("stream: Zipf needs at least one value")
+	}
+	if s <= 1 {
+		panic("stream: Zipf skew must be > 1")
+	}
+	return &Zipf{z: rand.NewZipf(rand.New(rand.NewSource(int64(seed))), s, 1, n-1)}
+}
+
+// Next implements Generator.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
 
 // Range describes a writer's share of a partitioned stream.
 type Range struct {

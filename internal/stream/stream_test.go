@@ -93,3 +93,48 @@ func TestPartitionPanics(t *testing.T) {
 	}()
 	Partition(10, 0)
 }
+
+func TestZipfSkewAndDeterminism(t *testing.T) {
+	const n, draws = 1000, 100000
+	a := NewZipf(n, 1.2, 42)
+	b := NewZipf(n, 1.2, 42)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, va, vb)
+		}
+		if va >= n {
+			t.Fatalf("draw %d: value %d out of range [0,%d)", i, va, n)
+		}
+		counts[va]++
+	}
+	// Zipfian shape: rank 0 strictly dominates, and the head (top 1%)
+	// carries a disproportionate share of the mass.
+	if counts[0] <= counts[n/2] {
+		t.Errorf("rank 0 drawn %d times, rank %d drawn %d: no head bias", counts[0], n/2, counts[n/2])
+	}
+	head := 0
+	for i := 0; i < n/100; i++ {
+		head += counts[i]
+	}
+	if head < draws/4 {
+		t.Errorf("top 1%% of keys drew %d of %d: distribution too flat for skew 1.2", head, draws)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 1.2, 1) },
+		func() { NewZipf(10, 1.0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,238 @@
+package table
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary table-snapshot format (little endian), version 1:
+//
+//	offset  size  field
+//	0       4     magic "FCTB"
+//	4       1     format version (1)
+//	5       1     sketch kind (1 Θ, 2 quantiles, 3 HLL)
+//	6       1     key type (1 string, 2 uint64)
+//	7       1     reserved (0)
+//	8       4     sketch parameter (k or precision)
+//	12      4     key count
+//	16      ...   count entries: key, then uvarint blob length + blob
+//
+// String keys are uvarint length + bytes; uint64 keys are 8 bytes LE.
+// Each blob is the per-key sketch's own serialization (validated by
+// its own unmarshaller), so a corrupt snapshot cannot smuggle in an
+// invalid sketch.
+const (
+	snapMagic      = "FCTB"
+	snapVersion    = 1
+	snapHeaderSize = 16
+
+	// Sketch kinds.
+	KindTheta     byte = 1
+	KindQuantiles byte = 2
+	KindHLL       byte = 3
+
+	keyTypeString byte = 1
+	keyTypeUint64 byte = 2
+)
+
+// Snapshot serialization errors.
+var (
+	ErrSnapBadMagic     = errors.New("table: bad snapshot magic")
+	ErrSnapBadVersion   = errors.New("table: unsupported snapshot version")
+	ErrSnapKindMismatch = errors.New("table: snapshot sketch kind mismatch")
+	ErrSnapKeyMismatch  = errors.New("table: snapshot key type mismatch")
+	ErrSnapCorrupt      = errors.New("table: corrupt snapshot bytes")
+	ErrSnapIncompatible = errors.New("table: snapshots not mergeable (kind or parameter differ)")
+)
+
+// keyTypeOf reports the wire key-type byte for K.
+func keyTypeOf[K Key]() byte {
+	var zero K
+	if _, ok := any(zero).(string); ok {
+		return keyTypeString
+	}
+	return keyTypeUint64
+}
+
+// appendKey writes a key in its wire encoding.
+func appendKey[K Key](dst []byte, k K) []byte {
+	switch v := any(k).(type) {
+	case string:
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		return append(dst, v...)
+	case uint64:
+		return binary.LittleEndian.AppendUint64(dst, v)
+	default:
+		panic("table: unsupported key type")
+	}
+}
+
+// readKey parses one key and returns the remaining bytes.
+func readKey[K Key](data []byte) (K, []byte, error) {
+	var zero K
+	if keyTypeOf[K]() == keyTypeString {
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < n {
+			return zero, nil, fmt.Errorf("%w: truncated string key", ErrSnapCorrupt)
+		}
+		s := string(data[sz : sz+int(n)])
+		return any(s).(K), data[sz+int(n):], nil
+	}
+	if len(data) < 8 {
+		return zero, nil, fmt.Errorf("%w: truncated uint64 key", ErrSnapCorrupt)
+	}
+	v := binary.LittleEndian.Uint64(data)
+	return any(v).(K), data[8:], nil
+}
+
+// TableSnapshot is an immutable point-in-time capture of a keyed
+// table: one compact sketch per key. Snapshots from different
+// processes merge per key (the distributed-aggregation path: every
+// node snapshots its table, one aggregator merges and queries), and
+// serialize with MarshalBinary.
+type TableSnapshot[K Key, C any] struct {
+	kind    byte
+	param   uint32
+	entries map[K]C
+
+	mergeC     func(a, b C) (C, error)
+	marshalC   func(C) ([]byte, error)
+	unmarshalC func([]byte) (C, error)
+}
+
+// Len returns the number of keys captured.
+func (s *TableSnapshot[K, C]) Len() int { return len(s.entries) }
+
+// Get returns the compact sketch captured for a key.
+func (s *TableSnapshot[K, C]) Get(k K) (C, bool) {
+	c, ok := s.entries[k]
+	return c, ok
+}
+
+// ForEach visits every (key, compact sketch) pair in unspecified
+// order.
+func (s *TableSnapshot[K, C]) ForEach(fn func(k K, c C)) {
+	for k, c := range s.entries {
+		fn(k, c)
+	}
+}
+
+// Merge folds other into s: keys present in both are merged sketch-
+// wise, keys only in other are copied. Both snapshots must come from
+// tables with the same sketch kind and parameter.
+func (s *TableSnapshot[K, C]) Merge(other *TableSnapshot[K, C]) error {
+	if s.kind != other.kind || s.param != other.param {
+		return fmt.Errorf("%w: kind %d/param %d vs kind %d/param %d",
+			ErrSnapIncompatible, s.kind, s.param, other.kind, other.param)
+	}
+	for k, oc := range other.entries {
+		if mine, ok := s.entries[k]; ok {
+			merged, err := s.mergeC(mine, oc)
+			if err != nil {
+				return err
+			}
+			s.entries[k] = merged
+		} else {
+			s.entries[k] = oc
+		}
+	}
+	return nil
+}
+
+// MarshalBinary serializes the snapshot.
+func (s *TableSnapshot[K, C]) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, snapHeaderSize, snapHeaderSize+32*len(s.entries))
+	copy(buf[0:4], snapMagic)
+	buf[4] = snapVersion
+	buf[5] = s.kind
+	buf[6] = keyTypeOf[K]()
+	binary.LittleEndian.PutUint32(buf[8:12], s.param)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(s.entries)))
+	for k, c := range s.entries {
+		blob, err := s.marshalC(c)
+		if err != nil {
+			return nil, err
+		}
+		buf = appendKey(buf, k)
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf, nil
+}
+
+// snapHeader is the parsed fixed-size snapshot prefix.
+type snapHeader struct {
+	kind  byte
+	param uint32
+	count int
+}
+
+// parseSnapshotHeader validates the fixed prefix against the expected
+// kind and key type and returns the entry bytes.
+func parseSnapshotHeader[K Key](data []byte, wantKind byte) (snapHeader, []byte, error) {
+	var h snapHeader
+	if len(data) < snapHeaderSize {
+		return h, nil, fmt.Errorf("%w: %d bytes < header", ErrSnapCorrupt, len(data))
+	}
+	if string(data[0:4]) != snapMagic {
+		return h, nil, ErrSnapBadMagic
+	}
+	if data[4] != snapVersion {
+		return h, nil, fmt.Errorf("%w: %d", ErrSnapBadVersion, data[4])
+	}
+	if data[5] != wantKind {
+		return h, nil, fmt.Errorf("%w: snapshot kind %d, want %d", ErrSnapKindMismatch, data[5], wantKind)
+	}
+	if data[6] != keyTypeOf[K]() {
+		return h, nil, fmt.Errorf("%w: snapshot key type %d, want %d", ErrSnapKeyMismatch, data[6], keyTypeOf[K]())
+	}
+	h.kind = data[5]
+	h.param = binary.LittleEndian.Uint32(data[8:12])
+	h.count = int(binary.LittleEndian.Uint32(data[12:16]))
+	if !validParam(h.kind, h.param) {
+		return h, nil, fmt.Errorf("%w: parameter %d invalid for kind %d", ErrSnapCorrupt, h.param, h.kind)
+	}
+	return h, data[snapHeaderSize:], nil
+}
+
+// validParam checks the header's sketch parameter against the kind's
+// constructor constraints, so a corrupt snapshot fails Unmarshal with
+// an error instead of panicking later inside Merge's union/merge
+// constructors.
+func validParam(kind byte, param uint32) bool {
+	switch kind {
+	case KindTheta:
+		return param >= 16 && param <= 1<<26 && param&(param-1) == 0
+	case KindQuantiles:
+		return param >= 2 && param <= 1<<20 && param&(param-1) == 0
+	case KindHLL:
+		return param >= 4 && param <= 18
+	default:
+		return false
+	}
+}
+
+// parseEntries fills s.entries from the post-header bytes.
+func (s *TableSnapshot[K, C]) parseEntries(body []byte, count int) error {
+	for i := 0; i < count; i++ {
+		k, rest, err := readKey[K](body)
+		if err != nil {
+			return err
+		}
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < n {
+			return fmt.Errorf("%w: truncated sketch blob for entry %d", ErrSnapCorrupt, i)
+		}
+		c, err := s.unmarshalC(rest[sz : sz+int(n)])
+		if err != nil {
+			return err
+		}
+		s.entries[k] = c
+		body = rest[sz+int(n):]
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrSnapCorrupt, len(body))
+	}
+	return nil
+}

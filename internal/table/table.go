@@ -1,0 +1,575 @@
+// Package table implements multi-tenant keyed sketch tables: a sharded
+// map from keys to lightweight per-key concurrent sketches, all served
+// by one shared core.PropagatorPool so the goroutine count is a
+// function of GOMAXPROCS, not of the key count.
+//
+// The paper's framework composes naturally here — each key is an
+// independent r-relaxed sketch with the full per-key guarantee
+// r = 2·N·b (Theorem 1) — but instantiating the paper's design naively
+// would dedicate one propagator goroutine per key, which collapses at
+// millions of keys. Instead every per-key sketch attaches to the
+// table's pool: writers hand off filled buffers exactly as in
+// Algorithm 2, and a fixed set of pool workers drains whichever
+// sketches have outstanding handoffs.
+//
+// Layout: keys hash into power-of-two shards. Each shard holds a
+// lock-guarded map; sketches are created lazily on first update. The
+// shard lock protects only map membership — never sketch state — so
+// per-key queries are a brief read-lock plus the framework's wait-free
+// atomic snapshot read, and batch ingestion touches each shard lock
+// once per batch. Size-cap and TTL eviction spill evicted keys as
+// compact serialized snapshots through the OnEvict callback, and whole
+// tables serialize to a binary snapshot that merges with snapshots
+// from other processes for distributed aggregation.
+package table
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fcds/fcds/internal/core"
+	"github.com/fcds/fcds/internal/hash"
+)
+
+// Key is the set of supported table key types.
+type Key interface {
+	string | uint64
+}
+
+// shardSeed hashes keys to shards; distinct from sketch seeds so key
+// placement does not correlate with Θ-space sampling.
+const shardSeed uint64 = 0x7ab1e5eed
+
+// Config carries the sketch-independent table configuration. The zero
+// value is usable: 1 writer, 256 shards, GOMAXPROCS propagators, no
+// eviction.
+type Config[K Key] struct {
+	// Writers is N, the number of table writer handles; every per-key
+	// sketch is created with the same N slots, so the per-key
+	// relaxation is r = 2·N·b. 0 means 1.
+	Writers int
+	// Shards is the number of key shards (a power of two; default 256).
+	// More shards mean less lock contention on key creation/eviction.
+	Shards int
+	// Propagators sizes the table's owned propagator pool (default
+	// GOMAXPROCS). Ignored when Pool is set.
+	Propagators int
+	// Pool, when non-nil, is an external propagation executor shared
+	// with other tables or sketches; the caller closes it after the
+	// table. Nil gives the table its own pool.
+	Pool *core.PropagatorPool
+	// MaxKeys caps the number of live keys (0 = unlimited). The cap is
+	// enforced per shard (MaxKeys/Shards, rounded up), evicting the
+	// least-recently-updated keys of the overflowing shard.
+	MaxKeys int
+	// TTL, when > 0, marks keys idle for longer than TTL as evictable
+	// by EvictExpired.
+	TTL time.Duration
+	// OnEvict, when non-nil, receives each evicted key with its final
+	// state as a compact serialized snapshot (the same bytes a table
+	// snapshot holds per key), after the key's buffers are drained.
+	// snapshot is nil in the exceptional case that serialization
+	// failed; consumers persisting spills must handle it. Called
+	// outside all table locks; implementations may be slow but must
+	// not call back into the evicting table's write path.
+	OnEvict func(key K, snapshot []byte)
+}
+
+func (c Config[K]) withDefaults() Config[K] {
+	if c.Writers == 0 {
+		c.Writers = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 256
+	}
+	if c.Shards&(c.Shards-1) != 0 {
+		panic(fmt.Sprintf("table: Shards must be a power of two, got %d", c.Shards))
+	}
+	return c
+}
+
+// ops bundles the sketch-kind-specific operations the generic table
+// needs; each kind (Θ, quantiles, HLL) supplies one.
+type ops[V, S, C any] struct {
+	// kind and param identify the sketch family and its accuracy
+	// parameter (k or precision) in snapshot headers.
+	kind  byte
+	param uint32
+	// newSketch creates one per-key sketch attached to the given pool.
+	newSketch func(pool *core.PropagatorPool) keySketch[V, S, C]
+	// marshal serializes a compact per-key snapshot.
+	marshal func(C) ([]byte, error)
+}
+
+// keySketch is the per-key concurrent sketch as the generic table sees
+// it. Writer slot i is only ever driven by table writer handle i (or
+// by an evictor holding the entry's exclusive lock).
+type keySketch[V, S, C any] interface {
+	updateBatch(writer int, vals []V)
+	update(writer int, v V)
+	flush(writer int)
+	query() S
+	compact() C
+	close()
+}
+
+// entry is one live key. mu serialises sketch liveness: updaters hold
+// it shared for the duration of their sketch calls, evictors hold it
+// exclusive while draining and closing the sketch. touched is the
+// UnixNano of the last update, for TTL/LRU eviction.
+type entry[V, S, C any] struct {
+	mu      sync.RWMutex
+	sk      keySketch[V, S, C]
+	touched atomic.Int64
+}
+
+// shard is one power-of-two slice of the key space. mu protects m
+// (membership only, never sketch state).
+type shard[K Key, V, S, C any] struct {
+	mu sync.RWMutex
+	m  map[K]*entry[V, S, C]
+}
+
+// Table is the generic keyed sketch table; the exported ThetaTable /
+// QuantilesTable / HLLTable wrap it with concrete sketch kinds.
+type Table[K Key, V, S, C any] struct {
+	cfg  Config[K]
+	ops  ops[V, S, C]
+	pool *core.PropagatorPool
+	// ownPool is true when the table created (and must close) its pool.
+	ownPool bool
+
+	shards []shard[K, V, S, C]
+	mask   uint64
+	// perShardCap is ceil(MaxKeys/Shards), 0 when uncapped.
+	perShardCap int
+
+	keys      atomic.Int64
+	evictions atomic.Int64
+	closed    atomic.Bool
+
+	// now is the eviction clock (UnixNano); tests override it.
+	now func() int64
+}
+
+func newTable[K Key, V, S, C any](cfg Config[K], o ops[V, S, C]) *Table[K, V, S, C] {
+	cfg = cfg.withDefaults()
+	t := &Table[K, V, S, C]{
+		cfg:    cfg,
+		ops:    o,
+		pool:   cfg.Pool,
+		shards: make([]shard[K, V, S, C], cfg.Shards),
+		mask:   uint64(cfg.Shards - 1),
+		now:    func() int64 { return time.Now().UnixNano() },
+	}
+	if t.pool == nil {
+		t.pool = core.NewPropagatorPool(cfg.Propagators)
+		t.ownPool = true
+	}
+	if cfg.MaxKeys > 0 {
+		t.perShardCap = (cfg.MaxKeys + cfg.Shards - 1) / cfg.Shards
+	}
+	for i := range t.shards {
+		t.shards[i].m = make(map[K]*entry[V, S, C])
+	}
+	return t
+}
+
+// shardIndex places a key. The any-boxing compiles to a type switch on
+// the instantiation's shape and does not escape.
+func shardIndex[K Key](k K, mask uint64) uint64 {
+	switch v := any(k).(type) {
+	case string:
+		h, _ := hash.Sum128String(v, shardSeed)
+		return h & mask
+	case uint64:
+		h, _ := hash.SumUint64(v, shardSeed)
+		return h & mask
+	default:
+		panic("table: unsupported key type")
+	}
+}
+
+// Pool returns the table's propagation executor.
+func (t *Table[K, V, S, C]) Pool() *core.PropagatorPool { return t.pool }
+
+// Keys returns the number of live keys.
+func (t *Table[K, V, S, C]) Keys() int { return int(t.keys.Load()) }
+
+// Evictions returns the number of keys evicted so far.
+func (t *Table[K, V, S, C]) Evictions() int64 { return t.evictions.Load() }
+
+// NumWriters returns the configured writer-handle count N.
+func (t *Table[K, V, S, C]) NumWriters() int { return t.cfg.Writers }
+
+// Writer returns the i-th writer handle (0 <= i < Config.Writers).
+// Each handle must be used by at most one goroutine at a time.
+func (t *Table[K, V, S, C]) Writer(i int) *Writer[K, V, S, C] {
+	if i < 0 || i >= t.cfg.Writers {
+		panic(fmt.Sprintf("table: writer index %d out of range [0,%d)", i, t.cfg.Writers))
+	}
+	return &Writer[K, V, S, C]{
+		t:           t,
+		id:          i,
+		gidx:        make(map[K]int),
+		shardGroups: make([][]int, t.cfg.Shards),
+	}
+}
+
+// query returns the wait-free per-key snapshot. The shard read-lock
+// guards only map membership; the snapshot itself is the framework's
+// single atomic read and is never blocked by ingestion or propagation.
+func (t *Table[K, V, S, C]) query(k K) (S, bool) {
+	sh := &t.shards[shardIndex(k, t.mask)]
+	sh.mu.RLock()
+	e := sh.m[k]
+	if e == nil {
+		sh.mu.RUnlock()
+		var zero S
+		return zero, false
+	}
+	s := e.sk.query()
+	sh.mu.RUnlock()
+	return s, true
+}
+
+// compactKey returns a serializable compact snapshot of one live key.
+func (t *Table[K, V, S, C]) compactKey(k K) (C, bool) {
+	sh := &t.shards[shardIndex(k, t.mask)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.m[k]
+	if e == nil {
+		var zero C
+		return zero, false
+	}
+	return e.sk.compact(), true
+}
+
+// forEachCompact visits a compact snapshot of every live key. Snapshots
+// are taken shard by shard under the shard read-lock, so a concurrent
+// snapshot is consistent per key but not across keys — the usual
+// r-relaxed guarantee, per key.
+func (t *Table[K, V, S, C]) forEachCompact(fn func(k K, c C)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.m {
+			fn(k, e.sk.compact())
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// getOrCreate resolves the entry for a key, creating it lazily, and
+// returns it with its liveness lock held shared (the caller must
+// release it after the sketch call). Lock coupling with the shard lock
+// guarantees an evictor cannot close the sketch in between.
+func (t *Table[K, V, S, C]) getOrCreate(sh *shard[K, V, S, C], k K) *entry[V, S, C] {
+	sh.mu.RLock()
+	if e := sh.m[k]; e != nil {
+		e.mu.RLock()
+		sh.mu.RUnlock()
+		return e
+	}
+	sh.mu.RUnlock()
+	sh.mu.Lock()
+	e := sh.m[k]
+	if e == nil {
+		e = t.newEntry()
+		sh.m[k] = e
+		t.keys.Add(1)
+	}
+	e.mu.RLock()
+	sh.mu.Unlock()
+	return e
+}
+
+// newEntry creates a live entry. touched starts at now, not zero — a
+// zero timestamp would make a just-created key the LRU victim and
+// invert the eviction order.
+func (t *Table[K, V, S, C]) newEntry() *entry[V, S, C] {
+	e := &entry[V, S, C]{sk: t.ops.newSketch(t.pool)}
+	e.touched.Store(t.now())
+	return e
+}
+
+// maybeEvictCap enforces the per-shard key cap after inserts into
+// shard si, evicting least-recently-updated keys first.
+func (t *Table[K, V, S, C]) maybeEvictCap(si uint64) {
+	if t.perShardCap == 0 {
+		return
+	}
+	sh := &t.shards[si]
+	sh.mu.RLock()
+	over := len(sh.m) > t.perShardCap
+	sh.mu.RUnlock()
+	if !over {
+		return
+	}
+	type victim struct {
+		k K
+		e *entry[V, S, C]
+	}
+	var victims []victim
+	sh.mu.Lock()
+	for len(sh.m) > t.perShardCap {
+		// Sampled LRU (Redis-style): examine a bounded sample per
+		// victim instead of the whole shard, so eviction under key
+		// churn costs O(sample), not O(shard), per insert while the
+		// shard's exclusive lock is held. Go's randomized map
+		// iteration supplies the sample; shards at or below the
+		// sample size degenerate to exact LRU.
+		const evictionSample = 64
+		var oldestK K
+		var oldest *entry[V, S, C]
+		var oldestT int64
+		seen := 0
+		for k, e := range sh.m {
+			if ts := e.touched.Load(); oldest == nil || ts < oldestT {
+				oldestK, oldest, oldestT = k, e, ts
+			}
+			if seen++; seen >= evictionSample {
+				break
+			}
+		}
+		delete(sh.m, oldestK)
+		t.keys.Add(-1)
+		victims = append(victims, victim{oldestK, oldest})
+	}
+	sh.mu.Unlock()
+	for _, v := range victims {
+		t.finalize(v.k, v.e, true)
+	}
+}
+
+// EvictExpired evicts every key idle for longer than Config.TTL and
+// returns the number evicted. A no-op when TTL is zero. Spilled
+// snapshots go to OnEvict like cap evictions.
+func (t *Table[K, V, S, C]) EvictExpired() int {
+	if t.cfg.TTL <= 0 {
+		return 0
+	}
+	cutoff := t.now() - t.cfg.TTL.Nanoseconds()
+	type victim struct {
+		k K
+		e *entry[V, S, C]
+	}
+	var victims []victim
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if e.touched.Load() < cutoff {
+				delete(sh.m, k)
+				t.keys.Add(-1)
+				victims = append(victims, victim{k, e})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, v := range victims {
+		t.finalize(v.k, v.e, true)
+	}
+	return len(victims)
+}
+
+// finalize drains and closes an entry already removed from its shard
+// map, spilling its compact snapshot to OnEvict when requested. The
+// exclusive entry lock waits out in-flight updaters; holding it makes
+// the evictor the sole user of every writer slot, so flushing them is
+// within the framework's single-goroutine handle contract.
+func (t *Table[K, V, S, C]) finalize(k K, e *entry[V, S, C], spill bool) {
+	e.mu.Lock()
+	for i := 0; i < t.cfg.Writers; i++ {
+		e.sk.flush(i)
+	}
+	var data []byte
+	if spill && t.cfg.OnEvict != nil {
+		if b, err := t.ops.marshal(e.sk.compact()); err == nil {
+			data = b
+		}
+	}
+	e.sk.close()
+	e.mu.Unlock()
+	t.evictions.Add(1)
+	if spill && t.cfg.OnEvict != nil {
+		t.cfg.OnEvict(k, data)
+	}
+}
+
+// Drain flushes every writer slot of every live key so queries and
+// snapshots reflect all prior updates. All writer handles must be
+// quiescent, exactly as for Close.
+func (t *Table[K, V, S, C]) Drain() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.m {
+			e.mu.Lock()
+			for w := 0; w < t.cfg.Writers; w++ {
+				e.sk.flush(w)
+			}
+			e.mu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Close drains and closes every per-key sketch and, when owned, the
+// propagator pool. All writer handles must be quiescent. Idempotent.
+func (t *Table[K, V, S, C]) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		m := sh.m
+		sh.m = make(map[K]*entry[V, S, C])
+		sh.mu.Unlock()
+		for _, e := range m {
+			e.mu.Lock()
+			for w := 0; w < t.cfg.Writers; w++ {
+				e.sk.flush(w)
+			}
+			e.sk.close()
+			e.mu.Unlock()
+			t.keys.Add(-1)
+		}
+	}
+	if t.ownPool {
+		t.pool.Close()
+	}
+}
+
+// Writer is a single-goroutine keyed ingestion handle: table writer i
+// drives slot i of every per-key sketch it touches. All grouping
+// scratch is retained across calls, so steady-state keyed batches
+// allocate only when a batch introduces new distinct keys or values
+// outgrow their run buffers.
+type Writer[K Key, V, S, C any] struct {
+	t  *Table[K, V, S, C]
+	id int
+
+	// gidx maps a batch's distinct keys to group indices; gkeys/gvals
+	// are the parallel key and value-run storage, entries the resolved
+	// per-group entries. shardGroups buckets group indices by shard
+	// (len = Shards) and shardOrder lists touched shards.
+	gidx        map[K]int
+	gkeys       []K
+	gvals       [][]V
+	entries     []*entry[V, S, C]
+	shardGroups [][]int
+	shardOrder  []int
+	missing     []int
+}
+
+// UpdateKeyed processes one (key, value) update.
+func (w *Writer[K, V, S, C]) UpdateKeyed(k K, v V) {
+	t := w.t
+	si := shardIndex(k, t.mask)
+	e := t.getOrCreate(&t.shards[si], k)
+	e.sk.update(w.id, v)
+	e.touched.Store(t.now())
+	e.mu.RUnlock()
+	t.maybeEvictCap(si)
+}
+
+// UpdateKeyedBatch processes parallel slices of keys and values: values
+// are grouped by key, the distinct keys grouped by shard so each shard
+// lock is taken once, and each key's run enters its sketch through the
+// fused hash+pre-filter batch path. Slices must have equal length.
+func (w *Writer[K, V, S, C]) UpdateKeyedBatch(keys []K, vals []V) {
+	if len(keys) != len(vals) {
+		panic(fmt.Sprintf("table: UpdateKeyedBatch length mismatch: %d keys, %d values", len(keys), len(vals)))
+	}
+	if len(keys) == 0 {
+		return
+	}
+	t := w.t
+	// Pass 1: group values by key and distinct keys by shard.
+	for i, k := range keys {
+		gi, ok := w.gidx[k]
+		if !ok {
+			gi = len(w.gkeys)
+			w.gidx[k] = gi
+			w.gkeys = append(w.gkeys, k)
+			if len(w.gvals) <= gi {
+				w.gvals = append(w.gvals, nil)
+				w.entries = append(w.entries, nil)
+			}
+			si := shardIndex(k, t.mask)
+			if len(w.shardGroups[si]) == 0 {
+				w.shardOrder = append(w.shardOrder, int(si))
+			}
+			w.shardGroups[si] = append(w.shardGroups[si], gi)
+		}
+		w.gvals[gi] = append(w.gvals[gi], vals[i])
+	}
+	now := t.now()
+	// Pass 2: per shard — resolve entries (one shard-lock round), apply
+	// each key's run, then enforce the shard's key cap.
+	for _, si := range w.shardOrder {
+		sh := &t.shards[si]
+		groups := w.shardGroups[si]
+		w.missing = w.missing[:0]
+		sh.mu.RLock()
+		for _, gi := range groups {
+			if e := sh.m[w.gkeys[gi]]; e != nil {
+				e.mu.RLock()
+				w.entries[gi] = e
+			} else {
+				w.missing = append(w.missing, gi)
+			}
+		}
+		sh.mu.RUnlock()
+		if len(w.missing) > 0 {
+			sh.mu.Lock()
+			for _, gi := range w.missing {
+				k := w.gkeys[gi]
+				e := sh.m[k]
+				if e == nil {
+					e = t.newEntry()
+					sh.m[k] = e
+					t.keys.Add(1)
+				}
+				e.mu.RLock()
+				w.entries[gi] = e
+			}
+			sh.mu.Unlock()
+		}
+		for _, gi := range groups {
+			e := w.entries[gi]
+			e.sk.updateBatch(w.id, w.gvals[gi])
+			e.touched.Store(now)
+			e.mu.RUnlock()
+			w.entries[gi] = nil
+			w.gvals[gi] = w.gvals[gi][:0]
+			delete(w.gidx, w.gkeys[gi])
+		}
+		w.shardGroups[si] = w.shardGroups[si][:0]
+		t.maybeEvictCap(uint64(si))
+	}
+	w.gkeys = w.gkeys[:0]
+	w.shardOrder = w.shardOrder[:0]
+}
+
+// FlushKey hands off this writer's buffered updates for one key and
+// waits until they are folded into the key's global sketch.
+func (w *Writer[K, V, S, C]) FlushKey(k K) {
+	t := w.t
+	sh := &t.shards[shardIndex(k, t.mask)]
+	sh.mu.RLock()
+	e := sh.m[k]
+	if e == nil {
+		sh.mu.RUnlock()
+		return
+	}
+	e.mu.RLock()
+	sh.mu.RUnlock()
+	e.sk.flush(w.id)
+	e.mu.RUnlock()
+}

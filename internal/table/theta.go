@@ -1,0 +1,226 @@
+package table
+
+import (
+	"fmt"
+
+	"github.com/fcds/fcds/internal/core"
+	"github.com/fcds/fcds/internal/hash"
+	"github.com/fcds/fcds/internal/theta"
+)
+
+// ThetaConfig configures a keyed Θ table. Zero fields take defaults
+// tuned for millions of small per-key sketches: K=256, BufferSize=8.
+type ThetaConfig[K Key] struct {
+	// Table is the sketch-independent table configuration.
+	Table Config[K]
+	// K is each per-key sketch's nominal entry count (power of two,
+	// default 256 — per-key RSE ≈ 1/sqrt(K-2) ≈ 6.3%). Per-key memory
+	// grows with K; the table default trades accuracy for footprint
+	// against the paper's standalone default of 4096.
+	K int
+	// MaxError is e, the per-key tolerated relaxation error; it sizes
+	// the eager cutoff 2/e² exactly as for a standalone sketch.
+	MaxError float64
+	// BufferSize is b, each writer slot's local buffer per key; the
+	// per-key relaxation is r = 2·N·b. Default 8 (the error-derived
+	// size would be 1 at table-scale K, which would hand off on every
+	// update; 8 amortises pool scheduling at r = 16·N staleness).
+	BufferSize int
+	// Seed is the shared hash seed (default hash.DefaultSeed). All
+	// tables and snapshots that are merged together must agree on it.
+	Seed uint64
+}
+
+func (c ThetaConfig[K]) withDefaults() ThetaConfig[K] {
+	c.Table = c.Table.withDefaults()
+	if c.K == 0 {
+		c.K = 256
+	}
+	// Validate here, not on first update: the lazy newSketch call runs
+	// under a shard write-lock, where a constructor panic would leave
+	// the shard locked for any caller that recovers.
+	if c.K < 16 || c.K&(c.K-1) != 0 {
+		panic(fmt.Sprintf("table: ThetaConfig.K must be a power of two >= 16, got %d", c.K))
+	}
+	if c.MaxError == 0 {
+		c.MaxError = 0.04
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = hash.DefaultSeed
+	}
+	return c
+}
+
+// thetaKey adapts one per-key concurrent Θ sketch. Writer handles are
+// created lazily per slot: slot i is only touched by table writer i,
+// or by an evictor holding the entry's exclusive lock.
+type thetaKey struct {
+	c  *theta.Concurrent
+	ws []*theta.ConcurrentWriter
+}
+
+func (s *thetaKey) writer(i int) *theta.ConcurrentWriter {
+	if s.ws[i] == nil {
+		s.ws[i] = s.c.Writer(i)
+	}
+	return s.ws[i]
+}
+
+func (s *thetaKey) updateBatch(i int, vals []uint64) { s.writer(i).UpdateUint64Batch(vals) }
+func (s *thetaKey) update(i int, v uint64)           { s.writer(i).UpdateUint64(v) }
+func (s *thetaKey) flush(i int) {
+	if s.ws[i] != nil {
+		s.ws[i].Flush()
+	}
+}
+func (s *thetaKey) query() float64          { return s.c.Estimate() }
+func (s *thetaKey) compact() *theta.Compact { return s.c.Compact() }
+func (s *thetaKey) close()                  { s.c.Close() }
+
+// ThetaTable maps keys to concurrent Θ sketches: per-key unique
+// counting (users per tenant, distinct URLs per endpoint, ...) with
+// wait-free per-key estimates and one shared propagator pool.
+type ThetaTable[K Key] struct {
+	t   *Table[K, uint64, float64, *theta.Compact]
+	cfg ThetaConfig[K]
+}
+
+// ThetaTableWriter is a single-goroutine keyed ingestion handle.
+type ThetaTableWriter[K Key] struct {
+	w *Writer[K, uint64, float64, *theta.Compact]
+}
+
+// NewTheta builds a keyed Θ table; Close it when done.
+func NewTheta[K Key](cfg ThetaConfig[K]) *ThetaTable[K] {
+	cfg = cfg.withDefaults()
+	o := ops[uint64, float64, *theta.Compact]{
+		kind:  KindTheta,
+		param: uint32(cfg.K),
+		newSketch: func(pool *core.PropagatorPool) keySketch[uint64, float64, *theta.Compact] {
+			return &thetaKey{
+				c: theta.NewConcurrent(theta.ConcurrentConfig{
+					K:          cfg.K,
+					Writers:    cfg.Table.Writers,
+					MaxError:   cfg.MaxError,
+					BufferSize: cfg.BufferSize,
+					Seed:       cfg.Seed,
+					Pool:       pool,
+				}),
+				ws: make([]*theta.ConcurrentWriter, cfg.Table.Writers),
+			}
+		},
+		marshal: func(c *theta.Compact) ([]byte, error) { return c.MarshalBinary() },
+	}
+	return &ThetaTable[K]{t: newTable(cfg.Table, o), cfg: cfg}
+}
+
+// Writer returns the i-th writer handle (single-goroutine use).
+func (t *ThetaTable[K]) Writer(i int) *ThetaTableWriter[K] {
+	return &ThetaTableWriter[K]{w: t.t.Writer(i)}
+}
+
+// Estimate returns the key's current unique-count estimate. Wait-free;
+// false when the key has never been updated (or was evicted). The
+// estimate may miss up to Relaxation() of the key's latest updates.
+func (t *ThetaTable[K]) Estimate(k K) (float64, bool) { return t.t.query(k) }
+
+// CompactKey returns an immutable serializable snapshot of one key's
+// sketch; false when the key is not live.
+func (t *ThetaTable[K]) CompactKey(k K) (*theta.Compact, bool) { return t.t.compactKey(k) }
+
+// Rollup merges every live key's sketch into one compact Θ sketch —
+// the all-keys unique count (duplicates across keys collapse, by
+// Θ-sketch mergeability).
+func (t *ThetaTable[K]) Rollup() *theta.Compact {
+	u := theta.NewUnionSeeded(t.cfg.K, t.cfg.Seed)
+	t.t.forEachCompact(func(_ K, c *theta.Compact) {
+		_ = u.Add(c) // seeds match by construction
+	})
+	return u.Result()
+}
+
+// Relaxation returns the per-key bound r = 2·N·b on updates a per-key
+// query may miss (Theorem 1, applied to one key's sketch).
+func (t *ThetaTable[K]) Relaxation() int { return 2 * t.cfg.Table.Writers * t.cfg.BufferSize }
+
+// Keys returns the number of live keys.
+func (t *ThetaTable[K]) Keys() int { return t.t.Keys() }
+
+// Evictions returns the number of keys evicted so far.
+func (t *ThetaTable[K]) Evictions() int64 { return t.t.Evictions() }
+
+// Pool returns the table's propagation executor.
+func (t *ThetaTable[K]) Pool() *core.PropagatorPool { return t.t.Pool() }
+
+// EvictExpired evicts keys idle longer than the configured TTL.
+func (t *ThetaTable[K]) EvictExpired() int { return t.t.EvictExpired() }
+
+// Drain flushes all writer slots of all keys (writers must be
+// quiescent), making every prior update visible to queries.
+func (t *ThetaTable[K]) Drain() { t.t.Drain() }
+
+// Snapshot captures every live key's compact sketch into a mergeable,
+// serializable table snapshot.
+func (t *ThetaTable[K]) Snapshot() *TableSnapshot[K, *theta.Compact] {
+	s := newThetaSnapshot[K](uint32(t.cfg.K))
+	t.t.forEachCompact(func(k K, c *theta.Compact) { s.entries[k] = c })
+	return s
+}
+
+// SnapshotBinary serializes the whole table (Snapshot + MarshalBinary).
+func (t *ThetaTable[K]) SnapshotBinary() ([]byte, error) { return t.Snapshot().MarshalBinary() }
+
+// Close drains and closes every per-key sketch and the owned pool.
+func (t *ThetaTable[K]) Close() { t.t.Close() }
+
+// UpdateKeyedBatch ingests parallel (key, item) slices: items are
+// grouped by key and shard, then each key's run is hashed and
+// Θ-pre-filtered in one fused pass (the batch ingestion pipeline)
+// before entering that key's sketch.
+func (w *ThetaTableWriter[K]) UpdateKeyedBatch(keys []K, items []uint64) {
+	w.w.UpdateKeyedBatch(keys, items)
+}
+
+// UpdateKeyed ingests one (key, item) pair.
+func (w *ThetaTableWriter[K]) UpdateKeyed(k K, item uint64) { w.w.UpdateKeyed(k, item) }
+
+// FlushKey makes this writer's buffered updates for the key visible.
+func (w *ThetaTableWriter[K]) FlushKey(k K) { w.w.FlushKey(k) }
+
+// newThetaSnapshot builds an empty Θ table snapshot for key type K.
+func newThetaSnapshot[K Key](param uint32) *TableSnapshot[K, *theta.Compact] {
+	return &TableSnapshot[K, *theta.Compact]{
+		kind:    KindTheta,
+		param:   param,
+		entries: make(map[K]*theta.Compact),
+		mergeC: func(a, b *theta.Compact) (*theta.Compact, error) {
+			u := theta.NewUnionSeeded(int(param), a.Seed())
+			if err := u.Add(a); err != nil {
+				return nil, err
+			}
+			if err := u.Add(b); err != nil {
+				return nil, err
+			}
+			return u.Result(), nil
+		},
+		marshalC:   func(c *theta.Compact) ([]byte, error) { return c.MarshalBinary() },
+		unmarshalC: func(b []byte) (*theta.Compact, error) { return theta.UnmarshalCompact(b) },
+	}
+}
+
+// UnmarshalThetaSnapshot parses a serialized Θ table snapshot keyed by
+// K (the key type must match the one the snapshot was written with).
+func UnmarshalThetaSnapshot[K Key](data []byte) (*TableSnapshot[K, *theta.Compact], error) {
+	h, body, err := parseSnapshotHeader[K](data, KindTheta)
+	if err != nil {
+		return nil, err
+	}
+	s := newThetaSnapshot[K](h.param)
+	if err := s.parseEntries(body, h.count); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -2,6 +2,7 @@ package theta
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"github.com/fcds/fcds/internal/core"
@@ -47,6 +48,7 @@ type updatable interface {
 	UpdateHash(h uint64)
 	Estimate() float64
 	Theta() uint64
+	Compact() *Compact
 }
 
 // GlobalSketch is the composable global Θ sketch: a sequential sketch
@@ -58,6 +60,12 @@ type updatable interface {
 // DataSketches integration use) or the literal Algorithm 1 KMV.
 type GlobalSketch struct {
 	qs updatable
+	// mu serialises structural access to qs: the merge/eager paths
+	// (already one goroutine at a time by the framework contract)
+	// against Compact snapshots taken by arbitrary goroutines. Merges
+	// are amortised over whole buffers, so the lock is uncontended in
+	// steady state; the wait-free query path never touches it.
+	mu sync.Mutex
 	// est holds math.Float64bits of the current estimate.
 	est atomic.Uint64
 	// noFilter disables hint-based pre-filtering (ablation only: it
@@ -85,16 +93,30 @@ func NewGlobalKMV(k int, seed uint64) *GlobalSketch {
 // and republishes the estimate. Called only by the propagator.
 func (g *GlobalSketch) Merge(l core.Local[uint64]) {
 	buf := l.(*Buffer)
+	g.mu.Lock()
 	for _, h := range buf.hashes {
 		g.qs.UpdateHash(h)
 	}
 	g.publish()
+	g.mu.Unlock()
 }
 
 // UpdateDirect implements core.Global (eager phase).
 func (g *GlobalSketch) UpdateDirect(h uint64) {
+	g.mu.Lock()
 	g.qs.UpdateHash(h)
 	g.publish()
+	g.mu.Unlock()
+}
+
+// Compact returns an immutable point-in-time snapshot of the full
+// sample set, serialised against concurrent merges. Unlike Snapshot
+// (the wait-free estimate read) it retains the hashes, so it can be
+// serialized, merged and persisted.
+func (g *GlobalSketch) Compact() *Compact {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.qs.Compact()
 }
 
 // Snapshot implements core.Global: the wait-free query read.
@@ -149,29 +171,24 @@ type ConcurrentConfig struct {
 	UseKMV bool
 	// Seed is the shared hash seed (default hash.DefaultSeed).
 	Seed uint64
+	// Pool, when non-nil, attaches the sketch to a shared propagation
+	// executor instead of a dedicated propagator goroutine (keyed
+	// tables attach millions of sketches to one pool).
+	Pool *core.PropagatorPool
 }
 
 func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
 	if c.K == 0 {
 		c.K = 4096
 	}
-	if c.Writers == 0 {
-		c.Writers = 1
-	}
 	if c.MaxError == 0 {
 		c.MaxError = 0.04
 	}
+	com := core.CommonConfig{Writers: c.Writers, EagerLimit: c.EagerLimit, Seed: c.Seed}.
+		WithDefaults(core.EagerLimitFor(c.MaxError), hash.DefaultSeed)
+	c.Writers, c.EagerLimit, c.Seed = com.Writers, com.EagerLimit, com.Seed
 	if c.BufferSize == 0 {
 		c.BufferSize = core.BufferSizeFor(c.K, c.MaxError, c.Writers)
-	}
-	switch {
-	case c.EagerLimit < 0:
-		c.EagerLimit = 0
-	case c.EagerLimit == 0:
-		c.EagerLimit = core.EagerLimitFor(c.MaxError)
-	}
-	if c.Seed == 0 {
-		c.Seed = hash.DefaultSeed
 	}
 	return c
 }
@@ -201,6 +218,7 @@ func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
 		BufferSize:      cfg.BufferSize,
 		EagerLimit:      cfg.EagerLimit,
 		DoubleBuffering: !cfg.DisableDoubleBuffering,
+		Pool:            cfg.Pool,
 	}
 	if cfg.AdaptiveBuffering {
 		// In exact mode (hint Θ = 1) keep the conservative b; once in
@@ -239,6 +257,14 @@ func (c *Concurrent) Writer(i int) *ConcurrentWriter {
 // Estimate returns the current unique-count estimate. Wait-free; may
 // miss up to Relaxation() of the most recent updates (Theorem 1).
 func (c *Concurrent) Estimate() float64 { return c.sk.Query() }
+
+// Compact returns an immutable point-in-time snapshot of the sketch —
+// retained hashes, Θ, confidence bounds — that can be serialized with
+// MarshalBinary, merged via Union, and persisted, all without touching
+// the live sketch again. Unlike Estimate it briefly synchronises with
+// the propagator, so it is not wait-free; like Estimate it may miss up
+// to Relaxation() recent updates unless writers Flush first.
+func (c *Concurrent) Compact() *Compact { return c.global.Compact() }
 
 // Relaxation returns the bound r = 2·N·b on updates a query may miss.
 func (c *Concurrent) Relaxation() int { return c.sk.Relaxation() }

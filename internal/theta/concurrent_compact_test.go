@@ -1,0 +1,67 @@
+package theta
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCompact checks that a compact snapshot of a live
+// concurrent sketch round-trips through serialization and matches the
+// published estimate after a flush.
+func TestConcurrentCompact(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{K: 256, Writers: 2, MaxError: 1.0})
+	defer c.Close()
+	const n = 10000
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Writer(i)
+			for v := uint64(0); v < n/2; v++ {
+				w.UpdateUint64(v*2 + uint64(i))
+			}
+			w.Flush()
+		}(i)
+	}
+	wg.Wait()
+	cp := c.Compact()
+	if got, want := cp.Estimate(), c.Estimate(); got != want {
+		t.Errorf("compact estimate = %v, live estimate = %v", got, want)
+	}
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCompact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != cp.Estimate() || back.Retained() != cp.Retained() {
+		t.Errorf("round-trip mismatch: %v/%d vs %v/%d",
+			back.Estimate(), back.Retained(), cp.Estimate(), cp.Retained())
+	}
+}
+
+// TestConcurrentCompactDuringIngest races Compact against ongoing
+// ingestion; the race detector is the assertion.
+func TestConcurrentCompactDuringIngest(t *testing.T) {
+	c := NewConcurrent(ConcurrentConfig{K: 64, Writers: 1, MaxError: 1.0, BufferSize: 2})
+	defer c.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := c.Writer(0)
+		for v := uint64(0); v < 20000; v++ {
+			w.UpdateUint64(v)
+		}
+		w.Flush()
+	}()
+	for i := 0; i < 100; i++ {
+		cp := c.Compact()
+		if cp.Estimate() < 0 {
+			t.Fatal("negative estimate")
+		}
+	}
+	<-done
+}

@@ -1,0 +1,133 @@
+package fcds_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	fcds "github.com/fcds/fcds"
+)
+
+// TestFacadeThetaTable drives the public keyed Θ table end to end:
+// concurrent keyed batches, wait-free per-key estimates, rollup,
+// snapshot round trip, eviction spill.
+func TestFacadeThetaTable(t *testing.T) {
+	var spilled sync.Map
+	tab := fcds.NewThetaTable(fcds.ThetaTableConfig{
+		Table: fcds.TableConfig{
+			Writers: 2,
+			Shards:  32,
+			OnEvict: func(k string, snap []byte) { spilled.Store(k, snap) },
+			TTL:     time.Hour,
+		},
+		// K=512 > perTenant keeps every per-key sketch in exact mode.
+		K: 512,
+	})
+	defer tab.Close()
+
+	const tenants, perTenant = 20, 300
+	var wg sync.WaitGroup
+	for wi := 0; wi < 2; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := tab.Writer(wi)
+			keys := make([]string, 0, 128)
+			ids := make([]uint64, 0, 128)
+			for ti := 0; ti < tenants; ti++ {
+				for u := wi * perTenant / 2; u < (wi+1)*perTenant/2; u++ {
+					keys = append(keys, tenant(ti))
+					ids = append(ids, uint64(ti*perTenant+u))
+					if len(keys) == cap(keys) {
+						w.UpdateKeyedBatch(keys, ids)
+						keys, ids = keys[:0], ids[:0]
+					}
+				}
+			}
+			w.UpdateKeyedBatch(keys, ids)
+		}(wi)
+	}
+	wg.Wait()
+	tab.Drain()
+
+	for ti := 0; ti < tenants; ti++ {
+		est, ok := tab.Estimate(tenant(ti))
+		if !ok || est != perTenant {
+			t.Errorf("tenant %d estimate = %v (ok=%v), want exactly %d", ti, est, ok, perTenant)
+		}
+	}
+	// The rollup union holds 20·300 uniques at k=512, i.e. estimation
+	// mode: allow its statistical error (RSE ≈ 4.4%, use 4 RSE).
+	if est, want := tab.Rollup().Estimate(), float64(tenants*perTenant); est < want*0.83 || est > want*1.17 {
+		t.Errorf("rollup = %v, want %v ±17%%", est, want)
+	}
+
+	data, err := tab.SnapshotBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := fcds.UnmarshalThetaTableSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != tenants {
+		t.Errorf("snapshot has %d keys, want %d", snap.Len(), tenants)
+	}
+	if c, ok := snap.Get(tenant(3)); !ok || c.Estimate() != perTenant {
+		t.Errorf("snapshot tenant 3 = %v (ok=%v), want %d", c, ok, perTenant)
+	}
+}
+
+// TestFacadeTablesSharePool runs all three table kinds plus a
+// standalone sketch on one externally owned pool.
+func TestFacadeTablesSharePool(t *testing.T) {
+	pool := fcds.NewPropagatorPool(2)
+	defer pool.Close()
+
+	th := fcds.NewThetaTableU64(fcds.ThetaTableU64Config{
+		Table: fcds.TableU64Config{Writers: 1, Shards: 8, Pool: pool},
+	})
+	qt := fcds.NewQuantilesTable(fcds.QuantilesTableConfig{
+		Table: fcds.TableConfig{Writers: 1, Shards: 8, Pool: pool},
+	})
+	hl := fcds.NewHLLTable(fcds.HLLTableConfig{
+		Table: fcds.TableConfig{Writers: 1, Shards: 8, Pool: pool},
+	})
+	sk := fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{K: 256, Writers: 1, Pool: pool})
+	defer sk.Close()
+
+	tw, qw, hw, sw := th.Writer(0), qt.Writer(0), hl.Writer(0), sk.Writer(0)
+	for i := 0; i < 2000; i++ {
+		tw.UpdateKeyed(uint64(i%4), uint64(i))
+		qw.UpdateKeyed("lat", float64(i%100))
+		hw.UpdateKeyed("ids", uint64(i))
+		sw.UpdateUint64(uint64(i))
+	}
+	th.Drain()
+	qt.Drain()
+	hl.Drain()
+	sw.Flush()
+
+	// 500 uniques at the table default K=256 is estimation mode:
+	// tolerate 4 RSE ≈ 25%.
+	if est, _ := th.Estimate(0); est < 375 || est > 625 {
+		t.Errorf("theta table key 0 = %v, want ~500", est)
+	}
+	if med, ok := qt.Quantile("lat", 0.5); !ok || med < 30 || med > 70 {
+		t.Errorf("quantiles table median = %v (ok=%v), want ~50", med, ok)
+	}
+	if est, _ := hl.Estimate("ids"); est < 1800 || est > 2200 {
+		t.Errorf("hll table estimate = %v, want ~2000", est)
+	}
+	// 2000 uniques at K=256 is estimation mode: tolerate 4 RSE ≈ 25%.
+	if est := sk.Estimate(); est < 1500 || est > 2500 {
+		t.Errorf("standalone sketch estimate = %v, want ~2000", est)
+	}
+	th.Close()
+	qt.Close()
+	hl.Close()
+}
+
+func tenant(i int) string {
+	return string([]byte{'t', byte('0' + i/10), byte('0' + i%10)})
+}
