@@ -51,6 +51,8 @@ func main() {
 		rep = batch(*full, *k)
 	case "table":
 		rep = tableExp(*full)
+	case "window":
+		rep = windowExp(*full)
 	case "figure1":
 		figure1(*full)
 	case "figure5a":
@@ -93,6 +95,7 @@ func usage() {
 experiments:
   batch            batched vs per-item ingestion throughput (the batch pipeline)
   table            keyed multi-tenant tables: zipfian keys, shared propagator pool
+  window           sliding-window keyed tables: zipfian keys, rotating epochs vs plain tables
   figure1          scalability: concurrent vs lock-based, update-only
   figure5a         accuracy pitchfork, no eager propagation (e=1.0)
   figure5b         accuracy pitchfork, eager propagation (e=0.04)
@@ -111,6 +114,7 @@ func all(full bool, k int) {
 		func() { table1(full) },
 		func() { batch(full, k) },
 		func() { tableExp(full) },
+		func() { windowExp(full) },
 		func() { figure1(full) },
 		func() { figure5(full, 1.0, k) },
 		func() { figure5(full, 0.04, k) },
@@ -283,6 +287,106 @@ func runTableTrial(n uint64, keys, writers, chunk int, seed uint64) (mops float6
 					vs[i] = vals.Next()
 				}
 				w.UpdateKeyedBatch(ks[:m], vs[:m])
+			}
+		}(wi)
+	}
+	wg.Wait()
+	goroutines = runtime.NumGoroutine()
+	elapsed := time.Since(start)
+	return float64(n) / 1e6 / elapsed.Seconds(), goroutines
+}
+
+// windowExp: sliding-window keyed Θ tables under the same zipfian draw
+// as the table experiment, rotating through 16 epochs per trial, with
+// the plain (non-windowed) keyed table as the in-run baseline — the
+// epoch-ring overhead is the gap between the two curves.
+func windowExp(full bool) *benchReport {
+	n := uint64(1 << 21)
+	trials := 2
+	keySpaces := []int{1_000, 100_000}
+	writerCounts := []int{1, 4}
+	if full {
+		n = 1 << 23
+		trials = 5
+		keySpaces = []int{1_000, 100_000, 1_000_000}
+		writerCounts = []int{1, 4, 8, 12}
+	}
+	const chunk = 512
+	const rotations = 16
+	fmt.Println("# Window: sliding-window keyed Θ tables, zipfian keys (s=1.2), 6-slot epoch ring, 16 rotations/trial")
+	fmt.Println("curve\tthreads\tkeys\tgoroutines\tMops_sec")
+	rep := benchReport{
+		Experiment: "window", Unix: time.Now().Unix(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), N: n, Trials: trials, K: 256,
+	}
+	record := func(curve string, writers, keys, goroutines int, mops float64) {
+		fmt.Printf("%s\t%d\t%d\t%d\t%.2f\n", curve, writers, keys, goroutines, mops)
+		rep.Results = append(rep.Results, benchRecord{
+			Curve: curve, Threads: writers, Chunk: chunk,
+			MopsSec: mops, Keys: keys, Goroutines: goroutines,
+		})
+	}
+	for _, keys := range keySpaces {
+		for _, writers := range writerCounts {
+			var bestW, bestP float64
+			var gor int
+			for trial := 0; trial < trials; trial++ {
+				mops, g := runWindowTrial(n, keys, writers, chunk, rotations, uint64(trial))
+				if mops > bestW {
+					bestW = mops
+				}
+				gor = g
+				if mops, _ := runTableTrial(n, keys, writers, chunk, uint64(trial)); mops > bestP {
+					bestP = mops
+				}
+			}
+			record(fmt.Sprintf("windowed-keys%d", keys), writers, keys, gor, bestW)
+			record(fmt.Sprintf("plain-keys%d", keys), writers, keys, 0, bestP)
+		}
+	}
+	return &rep
+}
+
+// runWindowTrial ingests n zipfian-keyed updates into a 6-slot
+// windowed table; writer 0 rotates the ring `rotations` times evenly
+// through its share of the stream, so every trial exercises epoch
+// sealing (drain + snapshot-spill) while the other writers keep
+// ingesting.
+func runWindowTrial(n uint64, keys, writers, chunk, rotations int, seed uint64) (mops float64, goroutines int) {
+	wt := fcds.NewWindowedThetaTableU64(
+		fcds.ThetaTableU64Config{
+			Table: fcds.TableU64Config{Writers: writers, Shards: 1024},
+		},
+		fcds.WindowConfig{Slots: 6, Width: time.Hour},
+	)
+	defer wt.Close()
+	parts := stream.Partition(n, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := wt.Writer(wi)
+			z := stream.NewZipf(uint64(keys), 1.2, seed*1000+uint64(wi)+1)
+			vals := stream.NewScrambled(parts[wi].Start)
+			ks := make([]uint64, chunk)
+			vs := make([]uint64, chunk)
+			batches := uint64(0)
+			rotEvery := parts[wi].Count/uint64(chunk)/uint64(rotations) + 1
+			for sent := uint64(0); sent < parts[wi].Count; sent += uint64(chunk) {
+				m := uint64(chunk)
+				if rem := parts[wi].Count - sent; rem < m {
+					m = rem
+				}
+				for i := uint64(0); i < m; i++ {
+					ks[i] = z.Next()
+					vs[i] = vals.Next()
+				}
+				w.UpdateKeyedBatch(ks[:m], vs[:m])
+				if batches++; wi == 0 && batches%rotEvery == 0 {
+					wt.Rotate()
+				}
 			}
 		}(wi)
 	}

@@ -83,6 +83,41 @@
 // the Pool field of their configs; Compact() on any concurrent sketch
 // returns a serializable point-in-time snapshot.
 //
+// # Sliding windows
+//
+// Point-in-time sketches answer "uniques ever"; dashboards ask
+// "uniques in the last N minutes". The windowed types answer that with
+// an epoch ring: time is cut into Slots epochs of Width each, every
+// epoch owns a fresh concurrent sketch, and a rotation (explicit
+// Rotate, or an AutoRotate ticker) retires the epoch that fell off the
+// ring — which is how sliding windows work over merge-only sketches:
+// expired data leaves wholesale with its epoch, everything else merges.
+//
+//	w := fcds.NewWindowedTheta(fcds.WindowedThetaConfig{
+//		Sketch: fcds.ConcurrentThetaConfig{K: 4096, Writers: 4},
+//		Window: fcds.WindowConfig{Slots: 10, Width: time.Minute},
+//	})
+//	defer w.Close()
+//	w.AutoRotate()
+//	w.Writer(i).UpdateBatch(ids)    // same batch pipeline per epoch
+//	last10m := w.QueryWindow()      // uniques over the last ~10 minutes
+//
+// WindowedTheta/WindowedQuantiles/WindowedHLL window one stream; the
+// windowed tables (NewWindowedThetaTable, ...) window per key across
+// millions of keys, rotating whole keyed tables through the table
+// snapshot path and answering QueryWindow(key) from at most three
+// merged per-key compacts.
+//
+// Error bounds compose per epoch: each epoch is a full r-relaxed
+// concurrent sketch, so a window query may miss up to r = 2·N·b of
+// the newest updates of each epoch it spans (RelaxationPerEpoch), and
+// items leave the window in epoch-width steps (quantisation W). The
+// cached aggregate of sealed epochs additionally defers a sealed
+// epoch's unflushed tail — again at most r per epoch — until the next
+// rotation folds it in. QueryWindow never blocks ingestion;
+// QueryWindowCached is a single atomic read (strictly wait-free) that
+// refreshes once per rotation.
+//
 // Sequential sketches (theta KMV/QuickSelect with set operations,
 // quantiles, HLL) and the lock-based baseline used in the paper's
 // evaluation are exposed as well. The cmd/fcds-bench binary
@@ -96,6 +131,7 @@ import (
 	"github.com/fcds/fcds/internal/quantiles"
 	"github.com/fcds/fcds/internal/table"
 	"github.com/fcds/fcds/internal/theta"
+	"github.com/fcds/fcds/internal/window"
 )
 
 // Θ sketch (unique counting).
@@ -221,6 +257,118 @@ type (
 	// HLLTableU64Snapshot is HLLTableSnapshot with uint64 keys.
 	HLLTableU64Snapshot = table.TableSnapshot[uint64, *hll.Sketch]
 )
+
+// Sliding-window sketches: epoch rings of concurrent sketches (see the
+// package documentation's "Sliding windows" section for semantics and
+// error bounds).
+type (
+	// WindowConfig configures an epoch ring: Slots epochs of Width each,
+	// optionally on a shared Pool.
+	WindowConfig = window.Config
+
+	// WindowedTheta windows one Θ stream: uniques over the last
+	// Slots·Width.
+	WindowedTheta = window.Windowed[uint64, float64, *theta.Compact]
+	// WindowedQuantiles windows one quantiles stream: distributions
+	// over the last Slots·Width.
+	WindowedQuantiles = window.Windowed[float64, *quantiles.Snapshot, *quantiles.Sketch]
+	// WindowedHLL windows one HLL stream in fixed memory per epoch.
+	WindowedHLL = window.Windowed[uint64, float64, *hll.Sketch]
+
+	// WindowedThetaTable windows a string-keyed Θ table: per-key uniques
+	// over the last Slots·Width.
+	WindowedThetaTable = window.Table[string, uint64, float64, *theta.Compact]
+	// WindowedThetaTableU64 is WindowedThetaTable with uint64 keys.
+	WindowedThetaTableU64 = window.Table[uint64, uint64, float64, *theta.Compact]
+	// WindowedQuantilesTable windows a string-keyed quantiles table.
+	WindowedQuantilesTable = window.Table[string, float64, *quantiles.Snapshot, *quantiles.Sketch]
+	// WindowedHLLTable windows a string-keyed HLL table.
+	WindowedHLLTable = window.Table[string, uint64, float64, *hll.Sketch]
+)
+
+// WindowedThetaConfig configures a standalone windowed Θ sketch. The
+// window's propagation executor is Window.Pool; as a convenience,
+// Sketch.Pool is promoted to Window.Pool when only the former is set
+// (the per-epoch sketches always run on the window's executor).
+type WindowedThetaConfig struct {
+	// Sketch configures each epoch's concurrent Θ sketch.
+	Sketch ConcurrentThetaConfig
+	// Window configures the epoch ring.
+	Window WindowConfig
+}
+
+// WindowedQuantilesConfig configures a standalone windowed quantiles
+// sketch; see WindowedThetaConfig for the Pool convention.
+type WindowedQuantilesConfig struct {
+	// Sketch configures each epoch's concurrent quantiles sketch.
+	Sketch ConcurrentQuantilesConfig
+	// Window configures the epoch ring.
+	Window WindowConfig
+}
+
+// WindowedHLLConfig configures a standalone windowed HLL sketch; see
+// WindowedThetaConfig for the Pool convention.
+type WindowedHLLConfig struct {
+	// Sketch configures each epoch's concurrent HLL sketch.
+	Sketch ConcurrentHLLConfig
+	// Window configures the epoch ring.
+	Window WindowConfig
+}
+
+// NewWindowedTheta builds an epoch-ring windowed Θ sketch; Close it
+// when done.
+func NewWindowedTheta(cfg WindowedThetaConfig) *WindowedTheta {
+	if cfg.Window.Pool == nil {
+		cfg.Window.Pool = cfg.Sketch.Pool
+	}
+	return window.New[uint64, float64, *theta.Compact](theta.NewEngine(cfg.Sketch), cfg.Window)
+}
+
+// NewWindowedQuantiles builds an epoch-ring windowed quantiles sketch;
+// Close it when done.
+func NewWindowedQuantiles(cfg WindowedQuantilesConfig) *WindowedQuantiles {
+	if cfg.Window.Pool == nil {
+		cfg.Window.Pool = cfg.Sketch.Pool
+	}
+	return window.New[float64, *quantiles.Snapshot, *quantiles.Sketch](quantiles.NewEngine(cfg.Sketch), cfg.Window)
+}
+
+// NewWindowedHLL builds an epoch-ring windowed HLL sketch; Close it
+// when done.
+func NewWindowedHLL(cfg WindowedHLLConfig) *WindowedHLL {
+	if cfg.Window.Pool == nil {
+		cfg.Window.Pool = cfg.Sketch.Pool
+	}
+	return window.New[uint64, float64, *hll.Sketch](hll.NewEngine(cfg.Sketch), cfg.Window)
+}
+
+// NewWindowedThetaTable builds a sliding-window string-keyed Θ table;
+// Close it when done.
+func NewWindowedThetaTable(tableCfg ThetaTableConfig, windowCfg WindowConfig) *WindowedThetaTable {
+	tcfg, eng := tableCfg.Engine()
+	return window.NewTable[string, uint64, float64, *theta.Compact](tcfg, eng, windowCfg)
+}
+
+// NewWindowedThetaTableU64 builds a sliding-window uint64-keyed Θ
+// table; Close it when done.
+func NewWindowedThetaTableU64(tableCfg ThetaTableU64Config, windowCfg WindowConfig) *WindowedThetaTableU64 {
+	tcfg, eng := tableCfg.Engine()
+	return window.NewTable[uint64, uint64, float64, *theta.Compact](tcfg, eng, windowCfg)
+}
+
+// NewWindowedQuantilesTable builds a sliding-window string-keyed
+// quantiles table; Close it when done.
+func NewWindowedQuantilesTable(tableCfg QuantilesTableConfig, windowCfg WindowConfig) *WindowedQuantilesTable {
+	tcfg, eng := tableCfg.Engine()
+	return window.NewTable[string, float64, *quantiles.Snapshot, *quantiles.Sketch](tcfg, eng, windowCfg)
+}
+
+// NewWindowedHLLTable builds a sliding-window string-keyed HLL table;
+// Close it when done.
+func NewWindowedHLLTable(tableCfg HLLTableConfig, windowCfg WindowConfig) *WindowedHLLTable {
+	tcfg, eng := tableCfg.Engine()
+	return window.NewTable[string, uint64, float64, *hll.Sketch](tcfg, eng, windowCfg)
+}
 
 // NewPropagatorPool starts a shared propagation executor with the
 // given worker count (<= 0 means GOMAXPROCS). Close it after every

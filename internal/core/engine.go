@@ -1,0 +1,115 @@
+package core
+
+// This file defines the mergeable-sketch engine abstraction: the one
+// place the sketch lifecycle — create, fused batch ingest, wait-free
+// query, compact snapshot, serialize, merge, reset — is described, so
+// generic composites (keyed tables, epoch-ring windows) are written
+// once and instantiated per family. Each sketch family (Θ, quantiles,
+// HLL) implements Engine exactly once, in its own package.
+//
+// Type parameters, shared by every interface here:
+//
+//	V — the raw value type writers ingest (uint64 items, float64
+//	    samples, ...);
+//	S — the wait-free query snapshot type (an estimate, an immutable
+//	    quantiles snapshot, ...);
+//	C — the compact type: an immutable point-in-time copy that can be
+//	    serialized, merged and persisted independently of the live
+//	    sketch.
+
+// Wire identifiers of the sketch families. core is the root of the
+// dependency graph, so the registry lives here; the binary snapshot
+// formats (table, window) embed these bytes in their headers.
+const (
+	KindTheta     byte = 1
+	KindQuantiles byte = 2
+	KindHLL       byte = 3
+)
+
+// CompactCodec is the compact-sketch half of an Engine: everything
+// needed to identify, merge and (de)serialize compacts without touching
+// a live concurrent sketch. Snapshot containers hold a CompactCodec so
+// they need no live-sketch type parameters.
+type CompactCodec[C any] interface {
+	// Kind is the family's wire identifier (KindTheta, ...).
+	Kind() byte
+	// Param is the family's accuracy parameter (k or precision) —
+	// compacts only merge across equal (Kind, Param).
+	Param() uint32
+	// MergeCompact merges two compacts into a new one; neither input is
+	// mutated.
+	MergeCompact(a, b C) (C, error)
+	// MarshalCompact serializes one compact.
+	MarshalCompact(c C) ([]byte, error)
+	// UnmarshalCompact parses a compact serialized by MarshalCompact,
+	// validating the bytes.
+	UnmarshalCompact(data []byte) (C, error)
+}
+
+// Aggregator folds many compacts into one — the rollup/window-merge
+// primitive. Unlike pairwise MergeCompact it reuses one accumulator, so
+// merging n compacts is one pass, not n allocations. Not safe for
+// concurrent use; Result finalizes the aggregator (do not Add after).
+type Aggregator[C any] interface {
+	// Add folds one compact into the accumulator. It fails only on
+	// incompatible inputs (foreign seed or precision).
+	Add(c C) error
+	// Result returns the merged compact; with no Adds, the family's
+	// empty compact.
+	Result() C
+}
+
+// EngineSketch is one live concurrent sketch as generic composites see
+// it: N writer slots, a wait-free query, and a serializable compact
+// view. The writer-slot contract is the framework's: slot i may be
+// driven by at most one goroutine at a time (its writer, or an owner
+// holding exclusive access, e.g. a table evictor).
+type EngineSketch[V, S, C any] interface {
+	// Update ingests one value through writer slot i.
+	Update(writer int, v V)
+	// UpdateBatch ingests a slice of values through writer slot i via
+	// the family's fused hash+pre-filter batch pipeline.
+	UpdateBatch(writer int, vals []V)
+	// UpdateHashedBatch ingests values that were already hashed by the
+	// family's item hash (the keyed string-ingestion path hashes in the
+	// grouping pass). Families whose value type is not a hash space
+	// (quantiles) treat it as UpdateBatch.
+	UpdateHashedBatch(writer int, hs []V)
+	// Flush hands off writer slot i's buffered updates and waits until
+	// they are folded into the global sketch.
+	Flush(writer int)
+	// Query returns the wait-free snapshot (a single atomic read).
+	Query() S
+	// Compact returns an immutable serializable point-in-time copy. It
+	// briefly synchronises with the propagator (never with writers) and
+	// may miss up to the relaxation bound of recent updates.
+	Compact() C
+	// Reset restores the empty state. The caller must hold the same
+	// exclusivity as for Close: no concurrent writer-slot use.
+	Reset()
+	// Close detaches the sketch from propagation after draining every
+	// handed-off buffer.
+	Close()
+}
+
+// Engine describes one mergeable-sketch family bound to a fixed
+// configuration (accuracy parameter, writer count, buffer size, seed).
+// It is the single seam between the generic composites and the three
+// families: keyed tables instantiate one sketch per key through it, and
+// windowed sketches one per epoch.
+type Engine[V, S, C any] interface {
+	CompactCodec[C]
+	// NewSketch creates one live concurrent sketch attached to the given
+	// propagation executor.
+	NewSketch(pool *PropagatorPool) EngineSketch[V, S, C]
+	// NewAggregator returns a fresh many-compact merger.
+	NewAggregator() Aggregator[C]
+	// QueryCompact answers the family's query from a compact alone —
+	// how merged (rolled-up, windowed) compacts are queried.
+	QueryCompact(c C) S
+	// NumWriters is N, the writer-slot count each NewSketch sketch has.
+	NumWriters() int
+	// Relaxation is the per-sketch bound r = 2·N·b on updates a query
+	// of one NewSketch sketch may miss (Theorem 1).
+	Relaxation() int
+}

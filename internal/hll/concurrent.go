@@ -208,6 +208,14 @@ func (w *ConcurrentWriter) UpdateUint64Batch(vs []uint64) {
 	w.w.UpdateBatchPrefiltered(w.scratch)
 }
 
+// UpdateHash processes a pre-hashed item.
+func (w *ConcurrentWriter) UpdateHash(h uint64) { w.w.Update(h) }
+
+// UpdateHashBatch processes a slice of pre-hashed items in one bulk
+// handoff — the keyed string-ingestion path hashes whole batches in its
+// grouping pass and feeds the hashes through here.
+func (w *ConcurrentWriter) UpdateHashBatch(hs []uint64) { w.w.UpdateBatchPrefiltered(hs) }
+
 // UpdateStringBatch processes a slice of string items in one hashing
 // pass; steady state is allocation-free.
 func (w *ConcurrentWriter) UpdateStringBatch(ss []string) {

@@ -1,0 +1,88 @@
+package table
+
+import (
+	"github.com/fcds/fcds/internal/core"
+)
+
+// SketchTable is the engine-parameterized keyed table: the whole
+// sketch-table lifecycle — keyed ingestion, wait-free per-key queries,
+// rollup, whole-table snapshots, eviction spill, drain, close —
+// written once against core.Engine and shared by every sketch family.
+// The exported ThetaTable / QuantilesTable / HLLTable embed it and add
+// only family-flavoured method names and configs.
+type SketchTable[K Key, V, S, C any] struct {
+	t   *Table[K, V, S, C]
+	eng core.Engine[V, S, C]
+}
+
+// NewEngineTable builds a keyed table whose per-key sketches come from
+// the given engine; Close it when done. Composites that are generic
+// themselves (the windowed table) build on this constructor directly.
+func NewEngineTable[K Key, V, S, C any](cfg Config[K], eng core.Engine[V, S, C]) *SketchTable[K, V, S, C] {
+	return &SketchTable[K, V, S, C]{t: newTable(cfg, eng), eng: eng}
+}
+
+// Engine returns the engine whose sketches populate the table.
+func (st *SketchTable[K, V, S, C]) Engine() core.Engine[V, S, C] { return st.eng }
+
+// Query returns the key's current wait-free query snapshot; false when
+// the key has never been updated (or was evicted). The snapshot may
+// miss up to Relaxation() of the key's latest updates.
+func (st *SketchTable[K, V, S, C]) Query(k K) (S, bool) { return st.t.query(k) }
+
+// CompactKey returns an immutable serializable snapshot of one key's
+// sketch; false when the key is not live.
+func (st *SketchTable[K, V, S, C]) CompactKey(k K) (C, bool) { return st.t.compactKey(k) }
+
+// Rollup merges every live key's sketch into one compact — the
+// all-keys aggregate, by the family's mergeability.
+func (st *SketchTable[K, V, S, C]) Rollup() C {
+	agg := st.eng.NewAggregator()
+	st.t.forEachCompact(func(_ K, c C) {
+		_ = agg.Add(c) // engine-made compacts are compatible by construction
+	})
+	return agg.Result()
+}
+
+// Relaxation returns the per-key bound r = 2·N·b on updates a per-key
+// query may miss (Theorem 1, applied to one key's sketch).
+func (st *SketchTable[K, V, S, C]) Relaxation() int { return st.eng.Relaxation() }
+
+// Keys returns the number of live keys.
+func (st *SketchTable[K, V, S, C]) Keys() int { return st.t.Keys() }
+
+// Evictions returns the number of keys evicted so far.
+func (st *SketchTable[K, V, S, C]) Evictions() int64 { return st.t.Evictions() }
+
+// Pool returns the table's propagation executor.
+func (st *SketchTable[K, V, S, C]) Pool() *core.PropagatorPool { return st.t.Pool() }
+
+// NumWriters returns the configured writer-handle count N.
+func (st *SketchTable[K, V, S, C]) NumWriters() int { return st.t.NumWriters() }
+
+// EvictExpired evicts keys idle longer than the configured TTL.
+func (st *SketchTable[K, V, S, C]) EvictExpired() int { return st.t.EvictExpired() }
+
+// Drain flushes all writer slots of all keys (writers must be
+// quiescent), making every prior update visible to queries.
+func (st *SketchTable[K, V, S, C]) Drain() { st.t.Drain() }
+
+// Snapshot captures every live key's compact sketch into a mergeable,
+// serializable table snapshot.
+func (st *SketchTable[K, V, S, C]) Snapshot() *TableSnapshot[K, C] {
+	s := NewTableSnapshot[K](st.eng)
+	st.t.forEachCompact(func(k K, c C) { s.entries[k] = c })
+	return s
+}
+
+// SnapshotBinary serializes the whole table (Snapshot + MarshalBinary).
+func (st *SketchTable[K, V, S, C]) SnapshotBinary() ([]byte, error) {
+	return st.Snapshot().MarshalBinary()
+}
+
+// Close drains and closes every per-key sketch and the owned pool.
+func (st *SketchTable[K, V, S, C]) Close() { st.t.Close() }
+
+// Writer returns the i-th generic writer handle (single-goroutine
+// use). The family tables wrap it with their flavoured writer types.
+func (st *SketchTable[K, V, S, C]) Writer(i int) *Writer[K, V, S, C] { return st.t.Writer(i) }

@@ -29,7 +29,7 @@ func (c HLLConfig[K]) withDefaults() HLLConfig[K] {
 	if c.Precision == 0 {
 		c.Precision = 10
 	}
-	// Validate here, not on first update: the lazy newSketch call runs
+	// Validate here, not on first update: the lazy NewSketch call runs
 	// under a shard write-lock (see ThetaConfig.withDefaults).
 	if c.Precision < 4 || c.Precision > 18 {
 		panic(fmt.Sprintf("table: HLLConfig.Precision must be in [4, 18], got %d", c.Precision))
@@ -43,125 +43,60 @@ func (c HLLConfig[K]) withDefaults() HLLConfig[K] {
 	return c
 }
 
-// hllKey adapts one per-key concurrent HLL sketch.
-type hllKey struct {
-	c  *hll.Concurrent
-	ws []*hll.ConcurrentWriter
+// Engine returns the fully defaulted table configuration and the bound
+// per-key HLL sketch engine this config describes.
+func (c HLLConfig[K]) Engine() (Config[K], *hll.Engine) {
+	c = c.withDefaults()
+	return c.Table, hll.NewEngine(hll.ConcurrentConfig{
+		Precision:  c.Precision,
+		Writers:    c.Table.Writers,
+		BufferSize: c.BufferSize,
+		Seed:       c.Seed,
+	})
 }
-
-func (s *hllKey) writer(i int) *hll.ConcurrentWriter {
-	if s.ws[i] == nil {
-		s.ws[i] = s.c.Writer(i)
-	}
-	return s.ws[i]
-}
-
-func (s *hllKey) updateBatch(i int, vals []uint64) { s.writer(i).UpdateUint64Batch(vals) }
-func (s *hllKey) update(i int, v uint64)           { s.writer(i).UpdateUint64(v) }
-func (s *hllKey) flush(i int) {
-	if s.ws[i] != nil {
-		s.ws[i].Flush()
-	}
-}
-func (s *hllKey) query() float64       { return s.c.Estimate() }
-func (s *hllKey) compact() *hll.Sketch { return s.c.Compact() }
-func (s *hllKey) close()               { s.c.Close() }
 
 // HLLTable maps keys to concurrent HLL sketches: per-key unique
 // counting in fixed tiny memory per key.
 type HLLTable[K Key] struct {
-	t   *Table[K, uint64, float64, *hll.Sketch]
-	cfg HLLConfig[K]
+	SketchTable[K, uint64, float64, *hll.Sketch]
+	hashItem func(string) uint64
 }
 
 // HLLTableWriter is a single-goroutine keyed ingestion handle.
 type HLLTableWriter[K Key] struct {
-	w *Writer[K, uint64, float64, *hll.Sketch]
+	w        *Writer[K, uint64, float64, *hll.Sketch]
+	hashItem func(string) uint64
 }
 
 // NewHLL builds a keyed HLL table; Close it when done.
 func NewHLL[K Key](cfg HLLConfig[K]) *HLLTable[K] {
-	cfg = cfg.withDefaults()
-	o := ops[uint64, float64, *hll.Sketch]{
-		kind:  KindHLL,
-		param: uint32(cfg.Precision),
-		newSketch: func(pool *core.PropagatorPool) keySketch[uint64, float64, *hll.Sketch] {
-			return &hllKey{
-				c: hll.NewConcurrent(hll.ConcurrentConfig{
-					Precision:  cfg.Precision,
-					Writers:    cfg.Table.Writers,
-					BufferSize: cfg.BufferSize,
-					Seed:       cfg.Seed,
-					Pool:       pool,
-				}),
-				ws: make([]*hll.ConcurrentWriter, cfg.Table.Writers),
-			}
-		},
-		marshal: func(c *hll.Sketch) ([]byte, error) { return c.MarshalBinary() },
+	tcfg, eng := cfg.Engine()
+	return &HLLTable[K]{
+		SketchTable: *NewEngineTable[K](tcfg, core.Engine[uint64, float64, *hll.Sketch](eng)),
+		hashItem:    eng.HashString,
 	}
-	return &HLLTable[K]{t: newTable(cfg.Table, o), cfg: cfg}
 }
 
 // Writer returns the i-th writer handle (single-goroutine use).
 func (t *HLLTable[K]) Writer(i int) *HLLTableWriter[K] {
-	return &HLLTableWriter[K]{w: t.t.Writer(i)}
+	return &HLLTableWriter[K]{w: t.SketchTable.Writer(i), hashItem: t.hashItem}
 }
 
 // Estimate returns the key's current unique-count estimate. Wait-free;
 // false when the key has never been updated (or was evicted).
-func (t *HLLTable[K]) Estimate(k K) (float64, bool) { return t.t.query(k) }
-
-// CompactKey returns a serializable register-wise copy of one key's
-// sketch; false when the key is not live.
-func (t *HLLTable[K]) CompactKey(k K) (*hll.Sketch, bool) { return t.t.compactKey(k) }
-
-// Rollup merges every live key's registers into one HLL sketch — the
-// all-keys unique count.
-func (t *HLLTable[K]) Rollup() *hll.Sketch {
-	out := hll.NewSeeded(t.cfg.Precision, t.cfg.Seed)
-	t.t.forEachCompact(func(_ K, c *hll.Sketch) {
-		_ = out.Merge(c) // precision and seed match by construction
-	})
-	return out
-}
-
-// Relaxation returns the per-key bound r = 2·N·b.
-func (t *HLLTable[K]) Relaxation() int { return 2 * t.cfg.Table.Writers * t.cfg.BufferSize }
-
-// Keys returns the number of live keys.
-func (t *HLLTable[K]) Keys() int { return t.t.Keys() }
-
-// Evictions returns the number of keys evicted so far.
-func (t *HLLTable[K]) Evictions() int64 { return t.t.Evictions() }
-
-// Pool returns the table's propagation executor.
-func (t *HLLTable[K]) Pool() *core.PropagatorPool { return t.t.Pool() }
-
-// EvictExpired evicts keys idle longer than the configured TTL.
-func (t *HLLTable[K]) EvictExpired() int { return t.t.EvictExpired() }
-
-// Drain flushes all writer slots of all keys (writers must be
-// quiescent).
-func (t *HLLTable[K]) Drain() { t.t.Drain() }
-
-// Snapshot captures every live key's sketch into a mergeable,
-// serializable table snapshot.
-func (t *HLLTable[K]) Snapshot() *TableSnapshot[K, *hll.Sketch] {
-	s := newHLLSnapshot[K](uint32(t.cfg.Precision))
-	t.t.forEachCompact(func(k K, c *hll.Sketch) { s.entries[k] = c })
-	return s
-}
-
-// SnapshotBinary serializes the whole table (Snapshot + MarshalBinary).
-func (t *HLLTable[K]) SnapshotBinary() ([]byte, error) { return t.Snapshot().MarshalBinary() }
-
-// Close drains and closes every per-key sketch and the owned pool.
-func (t *HLLTable[K]) Close() { t.t.Close() }
+func (t *HLLTable[K]) Estimate(k K) (float64, bool) { return t.Query(k) }
 
 // UpdateKeyedBatch ingests parallel (key, item) slices through the
 // grouped bulk path.
 func (w *HLLTableWriter[K]) UpdateKeyedBatch(keys []K, items []uint64) {
 	w.w.UpdateKeyedBatch(keys, items)
+}
+
+// UpdateKeyedStringBatch ingests parallel (key, string item) slices:
+// each item is hashed in the grouping pass (zero-alloc string hashing),
+// so log pipelines need no pre-hash step.
+func (w *HLLTableWriter[K]) UpdateKeyedStringBatch(keys []K, items []string) {
+	w.w.updateKeyedStringBatch(keys, items, w.hashItem)
 }
 
 // UpdateKeyed ingests one (key, item) pair.
@@ -170,34 +105,10 @@ func (w *HLLTableWriter[K]) UpdateKeyed(k K, item uint64) { w.w.UpdateKeyed(k, i
 // FlushKey makes this writer's buffered updates for the key visible.
 func (w *HLLTableWriter[K]) FlushKey(k K) { w.w.FlushKey(k) }
 
-// newHLLSnapshot builds an empty HLL table snapshot.
-func newHLLSnapshot[K Key](param uint32) *TableSnapshot[K, *hll.Sketch] {
-	return &TableSnapshot[K, *hll.Sketch]{
-		kind:    KindHLL,
-		param:   param,
-		entries: make(map[K]*hll.Sketch),
-		mergeC: func(a, b *hll.Sketch) (*hll.Sketch, error) {
-			out := a.Clone()
-			if err := out.Merge(b); err != nil {
-				return nil, err
-			}
-			return out, nil
-		},
-		marshalC:   func(c *hll.Sketch) ([]byte, error) { return c.MarshalBinary() },
-		unmarshalC: func(b []byte) (*hll.Sketch, error) { return hll.Unmarshal(b) },
-	}
-}
-
 // UnmarshalHLLSnapshot parses a serialized HLL table snapshot keyed by
 // K.
 func UnmarshalHLLSnapshot[K Key](data []byte) (*TableSnapshot[K, *hll.Sketch], error) {
-	h, body, err := parseSnapshotHeader[K](data, KindHLL)
-	if err != nil {
-		return nil, err
-	}
-	s := newHLLSnapshot[K](h.param)
-	if err := s.parseEntries(body, h.count); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return unmarshalSnapshot[K](data, KindHLL, func(param uint32) core.CompactCodec[*hll.Sketch] {
+		return hll.NewEngine(hll.ConcurrentConfig{Precision: uint8(param)})
+	})
 }

@@ -28,7 +28,7 @@ func (c QuantilesConfig[K]) withDefaults() QuantilesConfig[K] {
 	if c.K == 0 {
 		c.K = 32
 	}
-	// Validate here, not on first update: the lazy newSketch call runs
+	// Validate here, not on first update: the lazy NewSketch call runs
 	// under a shard write-lock (see ThetaConfig.withDefaults).
 	if c.K < 2 || c.K&(c.K-1) != 0 {
 		panic(fmt.Sprintf("table: QuantilesConfig.K must be a power of two >= 2, got %d", c.K))
@@ -42,36 +42,23 @@ func (c QuantilesConfig[K]) withDefaults() QuantilesConfig[K] {
 	return c
 }
 
-// quantilesKey adapts one per-key concurrent quantiles sketch.
-type quantilesKey struct {
-	c  *quantiles.Concurrent
-	ws []*quantiles.ConcurrentWriter
+// Engine returns the fully defaulted table configuration and the bound
+// per-key quantiles sketch engine this config describes.
+func (c QuantilesConfig[K]) Engine() (Config[K], *quantiles.Engine) {
+	c = c.withDefaults()
+	return c.Table, quantiles.NewEngine(quantiles.ConcurrentConfig{
+		K:          c.K,
+		Writers:    c.Table.Writers,
+		BufferSize: c.BufferSize,
+		Seed:       c.Seed,
+	})
 }
-
-func (s *quantilesKey) writer(i int) *quantiles.ConcurrentWriter {
-	if s.ws[i] == nil {
-		s.ws[i] = s.c.Writer(i)
-	}
-	return s.ws[i]
-}
-
-func (s *quantilesKey) updateBatch(i int, vals []float64) { s.writer(i).UpdateBatch(vals) }
-func (s *quantilesKey) update(i int, v float64)           { s.writer(i).Update(v) }
-func (s *quantilesKey) flush(i int) {
-	if s.ws[i] != nil {
-		s.ws[i].Flush()
-	}
-}
-func (s *quantilesKey) query() *quantiles.Snapshot { return s.c.Snapshot() }
-func (s *quantilesKey) compact() *quantiles.Sketch { return s.c.Compact() }
-func (s *quantilesKey) close()                     { s.c.Close() }
 
 // QuantilesTable maps keys to concurrent quantiles sketches: per-key
 // distributions (latency per endpoint, payload size per tenant, ...)
 // with wait-free per-key snapshots and one shared propagator pool.
 type QuantilesTable[K Key] struct {
-	t   *Table[K, float64, *quantiles.Snapshot, *quantiles.Sketch]
-	cfg QuantilesConfig[K]
+	SketchTable[K, float64, *quantiles.Snapshot, *quantiles.Sketch]
 }
 
 // QuantilesTableWriter is a single-goroutine keyed ingestion handle.
@@ -81,90 +68,30 @@ type QuantilesTableWriter[K Key] struct {
 
 // NewQuantiles builds a keyed quantiles table; Close it when done.
 func NewQuantiles[K Key](cfg QuantilesConfig[K]) *QuantilesTable[K] {
-	cfg = cfg.withDefaults()
-	o := ops[float64, *quantiles.Snapshot, *quantiles.Sketch]{
-		kind:  KindQuantiles,
-		param: uint32(cfg.K),
-		newSketch: func(pool *core.PropagatorPool) keySketch[float64, *quantiles.Snapshot, *quantiles.Sketch] {
-			return &quantilesKey{
-				c: quantiles.NewConcurrent(quantiles.ConcurrentConfig{
-					K:          cfg.K,
-					Writers:    cfg.Table.Writers,
-					BufferSize: cfg.BufferSize,
-					Seed:       cfg.Seed,
-					Pool:       pool,
-				}),
-				ws: make([]*quantiles.ConcurrentWriter, cfg.Table.Writers),
-			}
-		},
-		marshal: func(c *quantiles.Sketch) ([]byte, error) { return c.MarshalBinary() },
+	tcfg, eng := cfg.Engine()
+	return &QuantilesTable[K]{
+		SketchTable: *NewEngineTable[K](tcfg, core.Engine[float64, *quantiles.Snapshot, *quantiles.Sketch](eng)),
 	}
-	return &QuantilesTable[K]{t: newTable(cfg.Table, o), cfg: cfg}
 }
 
 // Writer returns the i-th writer handle (single-goroutine use).
 func (t *QuantilesTable[K]) Writer(i int) *QuantilesTableWriter[K] {
-	return &QuantilesTableWriter[K]{w: t.t.Writer(i)}
+	return &QuantilesTableWriter[K]{w: t.SketchTable.Writer(i)}
 }
 
 // SnapshotKey returns the key's current queryable snapshot. Wait-free;
 // false when the key has never been updated (or was evicted).
-func (t *QuantilesTable[K]) SnapshotKey(k K) (*quantiles.Snapshot, bool) { return t.t.query(k) }
+func (t *QuantilesTable[K]) SnapshotKey(k K) (*quantiles.Snapshot, bool) { return t.Query(k) }
 
 // Quantile returns the key's current φ-quantile estimate; false when
 // the key is not live.
 func (t *QuantilesTable[K]) Quantile(k K, phi float64) (float64, bool) {
-	s, ok := t.t.query(k)
+	s, ok := t.Query(k)
 	if !ok || s.IsEmpty() {
 		return 0, false
 	}
 	return s.Quantile(phi), true
 }
-
-// CompactKey returns a serializable sequential copy of one key's
-// sketch; false when the key is not live.
-func (t *QuantilesTable[K]) CompactKey(k K) (*quantiles.Sketch, bool) { return t.t.compactKey(k) }
-
-// Rollup merges every live key's sketch into one quantiles sketch over
-// the union of all per-key streams.
-func (t *QuantilesTable[K]) Rollup() *quantiles.Sketch {
-	out := quantiles.New(t.cfg.K)
-	t.t.forEachCompact(func(_ K, c *quantiles.Sketch) { out.Merge(c) })
-	return out
-}
-
-// Relaxation returns the per-key bound r = 2·N·b.
-func (t *QuantilesTable[K]) Relaxation() int { return 2 * t.cfg.Table.Writers * t.cfg.BufferSize }
-
-// Keys returns the number of live keys.
-func (t *QuantilesTable[K]) Keys() int { return t.t.Keys() }
-
-// Evictions returns the number of keys evicted so far.
-func (t *QuantilesTable[K]) Evictions() int64 { return t.t.Evictions() }
-
-// Pool returns the table's propagation executor.
-func (t *QuantilesTable[K]) Pool() *core.PropagatorPool { return t.t.Pool() }
-
-// EvictExpired evicts keys idle longer than the configured TTL.
-func (t *QuantilesTable[K]) EvictExpired() int { return t.t.EvictExpired() }
-
-// Drain flushes all writer slots of all keys (writers must be
-// quiescent).
-func (t *QuantilesTable[K]) Drain() { t.t.Drain() }
-
-// Snapshot captures every live key's sketch into a mergeable,
-// serializable table snapshot.
-func (t *QuantilesTable[K]) Snapshot() *TableSnapshot[K, *quantiles.Sketch] {
-	s := newQuantilesSnapshot[K](uint32(t.cfg.K))
-	t.t.forEachCompact(func(k K, c *quantiles.Sketch) { s.entries[k] = c })
-	return s
-}
-
-// SnapshotBinary serializes the whole table (Snapshot + MarshalBinary).
-func (t *QuantilesTable[K]) SnapshotBinary() ([]byte, error) { return t.Snapshot().MarshalBinary() }
-
-// Close drains and closes every per-key sketch and the owned pool.
-func (t *QuantilesTable[K]) Close() { t.t.Close() }
 
 // UpdateKeyedBatch ingests parallel (key, value) slices: values are
 // grouped by key and shard, then each key's run enters its sketch
@@ -179,33 +106,10 @@ func (w *QuantilesTableWriter[K]) UpdateKeyed(k K, v float64) { w.w.UpdateKeyed(
 // FlushKey makes this writer's buffered updates for the key visible.
 func (w *QuantilesTableWriter[K]) FlushKey(k K) { w.w.FlushKey(k) }
 
-// newQuantilesSnapshot builds an empty quantiles table snapshot.
-func newQuantilesSnapshot[K Key](param uint32) *TableSnapshot[K, *quantiles.Sketch] {
-	return &TableSnapshot[K, *quantiles.Sketch]{
-		kind:    KindQuantiles,
-		param:   param,
-		entries: make(map[K]*quantiles.Sketch),
-		mergeC: func(a, b *quantiles.Sketch) (*quantiles.Sketch, error) {
-			out := quantiles.New(int(param))
-			out.Merge(a)
-			out.Merge(b)
-			return out, nil
-		},
-		marshalC:   func(c *quantiles.Sketch) ([]byte, error) { return c.MarshalBinary() },
-		unmarshalC: func(b []byte) (*quantiles.Sketch, error) { return quantiles.Unmarshal(b) },
-	}
-}
-
 // UnmarshalQuantilesSnapshot parses a serialized quantiles table
 // snapshot keyed by K.
 func UnmarshalQuantilesSnapshot[K Key](data []byte) (*TableSnapshot[K, *quantiles.Sketch], error) {
-	h, body, err := parseSnapshotHeader[K](data, KindQuantiles)
-	if err != nil {
-		return nil, err
-	}
-	s := newQuantilesSnapshot[K](h.param)
-	if err := s.parseEntries(body, h.count); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return unmarshalSnapshot[K](data, KindQuantiles, func(param uint32) core.CompactCodec[*quantiles.Sketch] {
+		return quantiles.NewEngine(quantiles.ConcurrentConfig{K: int(param)})
+	})
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"github.com/fcds/fcds/internal/core"
 )
 
 // Binary table-snapshot format (little endian), version 1:
@@ -27,10 +29,10 @@ const (
 	snapVersion    = 1
 	snapHeaderSize = 16
 
-	// Sketch kinds.
-	KindTheta     byte = 1
-	KindQuantiles byte = 2
-	KindHLL       byte = 3
+	// Sketch kinds (the core wire registry).
+	KindTheta     = core.KindTheta
+	KindQuantiles = core.KindQuantiles
+	KindHLL       = core.KindHLL
 
 	keyTypeString byte = 1
 	keyTypeUint64 byte = 2
@@ -90,15 +92,18 @@ func readKey[K Key](data []byte) (K, []byte, error) {
 // table: one compact sketch per key. Snapshots from different
 // processes merge per key (the distributed-aggregation path: every
 // node snapshots its table, one aggregator merges and queries), and
-// serialize with MarshalBinary.
+// serialize with MarshalBinary. The codec — the compact half of the
+// family's engine — supplies kind, parameter, per-key merge and
+// (de)serialization.
 type TableSnapshot[K Key, C any] struct {
-	kind    byte
-	param   uint32
+	codec   core.CompactCodec[C]
 	entries map[K]C
+}
 
-	mergeC     func(a, b C) (C, error)
-	marshalC   func(C) ([]byte, error)
-	unmarshalC func([]byte) (C, error)
+// NewTableSnapshot returns an empty snapshot bound to a codec;
+// populate it with Merge or by capturing a live table's Snapshot.
+func NewTableSnapshot[K Key, C any](codec core.CompactCodec[C]) *TableSnapshot[K, C] {
+	return &TableSnapshot[K, C]{codec: codec, entries: make(map[K]C)}
 }
 
 // Len returns the number of keys captured.
@@ -118,17 +123,23 @@ func (s *TableSnapshot[K, C]) ForEach(fn func(k K, c C)) {
 	}
 }
 
+// Set stores a compact for a key, replacing any previous one. The
+// compact must come from the snapshot's own sketch family and
+// parameter (composites building snapshots from engine aggregators use
+// this; Merge is the checked path for foreign snapshots).
+func (s *TableSnapshot[K, C]) Set(k K, c C) { s.entries[k] = c }
+
 // Merge folds other into s: keys present in both are merged sketch-
 // wise, keys only in other are copied. Both snapshots must come from
 // tables with the same sketch kind and parameter.
 func (s *TableSnapshot[K, C]) Merge(other *TableSnapshot[K, C]) error {
-	if s.kind != other.kind || s.param != other.param {
+	if s.codec.Kind() != other.codec.Kind() || s.codec.Param() != other.codec.Param() {
 		return fmt.Errorf("%w: kind %d/param %d vs kind %d/param %d",
-			ErrSnapIncompatible, s.kind, s.param, other.kind, other.param)
+			ErrSnapIncompatible, s.codec.Kind(), s.codec.Param(), other.codec.Kind(), other.codec.Param())
 	}
 	for k, oc := range other.entries {
 		if mine, ok := s.entries[k]; ok {
-			merged, err := s.mergeC(mine, oc)
+			merged, err := s.codec.MergeCompact(mine, oc)
 			if err != nil {
 				return err
 			}
@@ -145,12 +156,12 @@ func (s *TableSnapshot[K, C]) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, snapHeaderSize, snapHeaderSize+32*len(s.entries))
 	copy(buf[0:4], snapMagic)
 	buf[4] = snapVersion
-	buf[5] = s.kind
+	buf[5] = s.codec.Kind()
 	buf[6] = keyTypeOf[K]()
-	binary.LittleEndian.PutUint32(buf[8:12], s.param)
+	binary.LittleEndian.PutUint32(buf[8:12], s.codec.Param())
 	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(s.entries)))
 	for k, c := range s.entries {
-		blob, err := s.marshalC(c)
+		blob, err := s.codec.MarshalCompact(c)
 		if err != nil {
 			return nil, err
 		}
@@ -213,6 +224,22 @@ func validParam(kind byte, param uint32) bool {
 	}
 }
 
+// unmarshalSnapshot parses a serialized table snapshot: the header is
+// validated against wantKind and K, then newCodec builds the family
+// codec for the wire parameter and the entries are parsed through it.
+// The per-family Unmarshal*Snapshot functions are thin wrappers.
+func unmarshalSnapshot[K Key, C any](data []byte, wantKind byte, newCodec func(param uint32) core.CompactCodec[C]) (*TableSnapshot[K, C], error) {
+	h, body, err := parseSnapshotHeader[K](data, wantKind)
+	if err != nil {
+		return nil, err
+	}
+	s := NewTableSnapshot[K](newCodec(h.param))
+	if err := s.parseEntries(body, h.count); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // parseEntries fills s.entries from the post-header bytes.
 func (s *TableSnapshot[K, C]) parseEntries(body []byte, count int) error {
 	for i := 0; i < count; i++ {
@@ -224,7 +251,7 @@ func (s *TableSnapshot[K, C]) parseEntries(body []byte, count int) error {
 		if sz <= 0 || uint64(len(rest)-sz) < n {
 			return fmt.Errorf("%w: truncated sketch blob for entry %d", ErrSnapCorrupt, i)
 		}
-		c, err := s.unmarshalC(rest[sz : sz+int(n)])
+		c, err := s.codec.UnmarshalCompact(rest[sz : sz+int(n)])
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,117 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestThetaStringItemBatch: UpdateKeyedStringBatch must agree exactly
+// with ingesting the same logical items through the uint64 path is not
+// possible (different hash inputs), so the pin is internal consistency:
+// string items are hashed once in the grouping pass, estimates are
+// exact in exact mode, and duplicates collapse across batches and
+// writers.
+func TestThetaStringItemBatch(t *testing.T) {
+	tab := NewTheta(ThetaConfig[string]{
+		Table: Config[string]{Writers: 2, Shards: 8},
+		K:     1024, MaxError: 1,
+	})
+	defer tab.Close()
+
+	const perTenant = 200
+	for wi := 0; wi < 2; wi++ {
+		w := tab.Writer(wi)
+		var keys, items []string
+		for ti := 0; ti < 3; ti++ {
+			for u := 0; u < perTenant; u++ {
+				keys = append(keys, fmt.Sprintf("tenant-%d", ti))
+				// Both writers send the same user ids: duplicates must
+				// collapse per key.
+				items = append(items, fmt.Sprintf("user-%d-%d", ti, u))
+			}
+		}
+		w.UpdateKeyedStringBatch(keys, items)
+	}
+	tab.Drain()
+	for ti := 0; ti < 3; ti++ {
+		if est, ok := tab.Estimate(fmt.Sprintf("tenant-%d", ti)); !ok || est != perTenant {
+			t.Errorf("tenant-%d = %v (ok=%v), want exactly %d", ti, est, ok, perTenant)
+		}
+	}
+	// A repeated batch changes nothing (idempotent uniques).
+	w := tab.Writer(0)
+	keys := []string{"tenant-0", "tenant-0"}
+	items := []string{"user-0-0", "user-0-1"}
+	w.UpdateKeyedStringBatch(keys, items)
+	tab.Drain()
+	if est, _ := tab.Estimate("tenant-0"); est != perTenant {
+		t.Errorf("tenant-0 after duplicate batch = %v, want %d", est, perTenant)
+	}
+}
+
+// TestHLLStringItemBatch: the HLL string-item path agrees with the
+// standalone concurrent HLL ingesting the same strings (same hash,
+// same registers, same estimate).
+func TestHLLStringItemBatch(t *testing.T) {
+	tab := NewHLL(HLLConfig[string]{
+		Table: Config[string]{Writers: 1, Shards: 8}, Precision: 12,
+	})
+	defer tab.Close()
+	w := tab.Writer(0)
+	const n = 5000
+	keys := make([]string, n)
+	items := make([]string, n)
+	for i := range keys {
+		keys[i] = "ids"
+		items[i] = fmt.Sprintf("device-%d", i)
+	}
+	w.UpdateKeyedStringBatch(keys, items)
+	tab.Drain()
+	est, ok := tab.Estimate("ids")
+	if !ok || est < n*0.9 || est > n*1.1 {
+		t.Fatalf("hll string-item estimate = %v (ok=%v), want ~%d", est, ok, n)
+	}
+}
+
+// TestStringItemBatchLengthMismatchPanics pins the contract check.
+func TestStringItemBatchLengthMismatchPanics(t *testing.T) {
+	tab := NewTheta(ThetaConfig[string]{Table: Config[string]{Writers: 1, Shards: 4}})
+	defer tab.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	tab.Writer(0).UpdateKeyedStringBatch([]string{"a"}, []string{"x", "y"})
+}
+
+// TestStringItemBatchZeroAlloc: steady-state string-item batches reuse
+// all grouping and hashing scratch.
+func TestStringItemBatchZeroAlloc(t *testing.T) {
+	tab := NewTheta(ThetaConfig[string]{
+		Table: Config[string]{Writers: 1, Shards: 8},
+		K:     256, MaxError: 1, BufferSize: 64,
+	})
+	defer tab.Close()
+	w := tab.Writer(0)
+	const batch = 256
+	keys := make([]string, batch)
+	items := make([]string, batch)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i%4)
+		items[i] = fmt.Sprintf("item-%d", i)
+	}
+	// Warm up: create the keys, size the scratch.
+	for i := 0; i < 8; i++ {
+		w.UpdateKeyedStringBatch(keys, items)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		w.UpdateKeyedStringBatch(keys, items)
+	})
+	// The grouped apply path hands runs to per-key sketches whose
+	// handoffs are pool-scheduled; allow a small constant for those,
+	// but the per-item hashing and grouping must not allocate.
+	if avg > 8 {
+		t.Fatalf("steady-state string keyed batch allocates %.1f/op, want <= 8", avg)
+	}
+}

@@ -90,38 +90,13 @@ func (c Config[K]) withDefaults() Config[K] {
 	return c
 }
 
-// ops bundles the sketch-kind-specific operations the generic table
-// needs; each kind (Θ, quantiles, HLL) supplies one.
-type ops[V, S, C any] struct {
-	// kind and param identify the sketch family and its accuracy
-	// parameter (k or precision) in snapshot headers.
-	kind  byte
-	param uint32
-	// newSketch creates one per-key sketch attached to the given pool.
-	newSketch func(pool *core.PropagatorPool) keySketch[V, S, C]
-	// marshal serializes a compact per-key snapshot.
-	marshal func(C) ([]byte, error)
-}
-
-// keySketch is the per-key concurrent sketch as the generic table sees
-// it. Writer slot i is only ever driven by table writer handle i (or
-// by an evictor holding the entry's exclusive lock).
-type keySketch[V, S, C any] interface {
-	updateBatch(writer int, vals []V)
-	update(writer int, v V)
-	flush(writer int)
-	query() S
-	compact() C
-	close()
-}
-
 // entry is one live key. mu serialises sketch liveness: updaters hold
 // it shared for the duration of their sketch calls, evictors hold it
 // exclusive while draining and closing the sketch. touched is the
 // UnixNano of the last update, for TTL/LRU eviction.
 type entry[V, S, C any] struct {
 	mu      sync.RWMutex
-	sk      keySketch[V, S, C]
+	sk      core.EngineSketch[V, S, C]
 	touched atomic.Int64
 }
 
@@ -133,10 +108,11 @@ type shard[K Key, V, S, C any] struct {
 }
 
 // Table is the generic keyed sketch table; the exported ThetaTable /
-// QuantilesTable / HLLTable wrap it with concrete sketch kinds.
+// QuantilesTable / HLLTable wrap it (through SketchTable) with
+// concrete sketch engines.
 type Table[K Key, V, S, C any] struct {
 	cfg  Config[K]
-	ops  ops[V, S, C]
+	eng  core.Engine[V, S, C]
 	pool *core.PropagatorPool
 	// ownPool is true when the table created (and must close) its pool.
 	ownPool bool
@@ -154,11 +130,11 @@ type Table[K Key, V, S, C any] struct {
 	now func() int64
 }
 
-func newTable[K Key, V, S, C any](cfg Config[K], o ops[V, S, C]) *Table[K, V, S, C] {
+func newTable[K Key, V, S, C any](cfg Config[K], eng core.Engine[V, S, C]) *Table[K, V, S, C] {
 	cfg = cfg.withDefaults()
 	t := &Table[K, V, S, C]{
 		cfg:    cfg,
-		ops:    o,
+		eng:    eng,
 		pool:   cfg.Pool,
 		shards: make([]shard[K, V, S, C], cfg.Shards),
 		mask:   uint64(cfg.Shards - 1),
@@ -230,7 +206,7 @@ func (t *Table[K, V, S, C]) query(k K) (S, bool) {
 		var zero S
 		return zero, false
 	}
-	s := e.sk.query()
+	s := e.sk.Query()
 	sh.mu.RUnlock()
 	return s, true
 }
@@ -245,7 +221,7 @@ func (t *Table[K, V, S, C]) compactKey(k K) (C, bool) {
 		var zero C
 		return zero, false
 	}
-	return e.sk.compact(), true
+	return e.sk.Compact(), true
 }
 
 // forEachCompact visits a compact snapshot of every live key. Snapshots
@@ -257,7 +233,7 @@ func (t *Table[K, V, S, C]) forEachCompact(fn func(k K, c C)) {
 		sh := &t.shards[i]
 		sh.mu.RLock()
 		for k, e := range sh.m {
-			fn(k, e.sk.compact())
+			fn(k, e.sk.Compact())
 		}
 		sh.mu.RUnlock()
 	}
@@ -291,7 +267,7 @@ func (t *Table[K, V, S, C]) getOrCreate(sh *shard[K, V, S, C], k K) *entry[V, S,
 // zero timestamp would make a just-created key the LRU victim and
 // invert the eviction order.
 func (t *Table[K, V, S, C]) newEntry() *entry[V, S, C] {
-	e := &entry[V, S, C]{sk: t.ops.newSketch(t.pool)}
+	e := &entry[V, S, C]{sk: t.eng.NewSketch(t.pool)}
 	e.touched.Store(t.now())
 	return e
 }
@@ -384,15 +360,15 @@ func (t *Table[K, V, S, C]) EvictExpired() int {
 func (t *Table[K, V, S, C]) finalize(k K, e *entry[V, S, C], spill bool) {
 	e.mu.Lock()
 	for i := 0; i < t.cfg.Writers; i++ {
-		e.sk.flush(i)
+		e.sk.Flush(i)
 	}
 	var data []byte
 	if spill && t.cfg.OnEvict != nil {
-		if b, err := t.ops.marshal(e.sk.compact()); err == nil {
+		if b, err := t.eng.MarshalCompact(e.sk.Compact()); err == nil {
 			data = b
 		}
 	}
-	e.sk.close()
+	e.sk.Close()
 	e.mu.Unlock()
 	t.evictions.Add(1)
 	if spill && t.cfg.OnEvict != nil {
@@ -410,7 +386,7 @@ func (t *Table[K, V, S, C]) Drain() {
 		for _, e := range sh.m {
 			e.mu.Lock()
 			for w := 0; w < t.cfg.Writers; w++ {
-				e.sk.flush(w)
+				e.sk.Flush(w)
 			}
 			e.mu.Unlock()
 		}
@@ -433,9 +409,9 @@ func (t *Table[K, V, S, C]) Close() {
 		for _, e := range m {
 			e.mu.Lock()
 			for w := 0; w < t.cfg.Writers; w++ {
-				e.sk.flush(w)
+				e.sk.Flush(w)
 			}
-			e.sk.close()
+			e.sk.Close()
 			e.mu.Unlock()
 			t.keys.Add(-1)
 		}
@@ -472,7 +448,7 @@ func (w *Writer[K, V, S, C]) UpdateKeyed(k K, v V) {
 	t := w.t
 	si := shardIndex(k, t.mask)
 	e := t.getOrCreate(&t.shards[si], k)
-	e.sk.update(w.id, v)
+	e.sk.Update(w.id, v)
 	e.touched.Store(t.now())
 	e.mu.RUnlock()
 	t.maybeEvictCap(si)
@@ -489,26 +465,76 @@ func (w *Writer[K, V, S, C]) UpdateKeyedBatch(keys []K, vals []V) {
 	if len(keys) == 0 {
 		return
 	}
-	t := w.t
 	// Pass 1: group values by key and distinct keys by shard.
 	for i, k := range keys {
-		gi, ok := w.gidx[k]
-		if !ok {
-			gi = len(w.gkeys)
-			w.gidx[k] = gi
-			w.gkeys = append(w.gkeys, k)
-			if len(w.gvals) <= gi {
-				w.gvals = append(w.gvals, nil)
-				w.entries = append(w.entries, nil)
-			}
-			si := shardIndex(k, t.mask)
-			if len(w.shardGroups[si]) == 0 {
-				w.shardOrder = append(w.shardOrder, int(si))
-			}
-			w.shardGroups[si] = append(w.shardGroups[si], gi)
-		}
+		gi := w.group(k)
 		w.gvals[gi] = append(w.gvals[gi], vals[i])
 	}
+	w.apply(false)
+}
+
+// UpdateKeyedHashedBatch is UpdateKeyedBatch for values that are
+// already item hashes in the sketch family's hash space; each key's run
+// enters its sketch through the pre-hashed batch path. The keyed
+// string-ingestion paths hash in their grouping pass and land here.
+func (w *Writer[K, V, S, C]) UpdateKeyedHashedBatch(keys []K, hs []V) {
+	if len(keys) != len(hs) {
+		panic(fmt.Sprintf("table: UpdateKeyedHashedBatch length mismatch: %d keys, %d hashes", len(keys), len(hs)))
+	}
+	if len(keys) == 0 {
+		return
+	}
+	for i, k := range keys {
+		gi := w.group(k)
+		w.gvals[gi] = append(w.gvals[gi], hs[i])
+	}
+	w.apply(true)
+}
+
+// updateKeyedStringBatch groups string items by key while hashing each
+// item with hashItem in the same pass — one scan, no intermediate
+// hashed slice — then applies the runs through the pre-hashed path.
+// The Θ and HLL table writers bind hashItem to their seed once.
+func (w *Writer[K, V, S, C]) updateKeyedStringBatch(keys []K, items []string, hashItem func(string) V) {
+	if len(keys) != len(items) {
+		panic(fmt.Sprintf("table: UpdateKeyedStringBatch length mismatch: %d keys, %d items", len(keys), len(items)))
+	}
+	if len(keys) == 0 {
+		return
+	}
+	for i, k := range keys {
+		gi := w.group(k)
+		w.gvals[gi] = append(w.gvals[gi], hashItem(items[i]))
+	}
+	w.apply(true)
+}
+
+// group resolves the batch group index for a key, registering the key
+// with its shard on first sight (pass 1 of the grouped ingestion).
+func (w *Writer[K, V, S, C]) group(k K) int {
+	gi, ok := w.gidx[k]
+	if !ok {
+		gi = len(w.gkeys)
+		w.gidx[k] = gi
+		w.gkeys = append(w.gkeys, k)
+		if len(w.gvals) <= gi {
+			w.gvals = append(w.gvals, nil)
+			w.entries = append(w.entries, nil)
+		}
+		si := shardIndex(k, w.t.mask)
+		if len(w.shardGroups[si]) == 0 {
+			w.shardOrder = append(w.shardOrder, int(si))
+		}
+		w.shardGroups[si] = append(w.shardGroups[si], gi)
+	}
+	return gi
+}
+
+// apply drains the grouped runs into the per-key sketches (pass 2 of
+// the grouped ingestion), leaving the grouping scratch empty. hashed
+// selects the pre-hashed ingestion path.
+func (w *Writer[K, V, S, C]) apply(hashed bool) {
+	t := w.t
 	now := t.now()
 	// Pass 2: per shard — resolve entries (one shard-lock round), apply
 	// each key's run, then enforce the shard's key cap.
@@ -543,7 +569,11 @@ func (w *Writer[K, V, S, C]) UpdateKeyedBatch(keys []K, vals []V) {
 		}
 		for _, gi := range groups {
 			e := w.entries[gi]
-			e.sk.updateBatch(w.id, w.gvals[gi])
+			if hashed {
+				e.sk.UpdateHashedBatch(w.id, w.gvals[gi])
+			} else {
+				e.sk.UpdateBatch(w.id, w.gvals[gi])
+			}
 			e.touched.Store(now)
 			e.mu.RUnlock()
 			w.entries[gi] = nil
@@ -570,6 +600,6 @@ func (w *Writer[K, V, S, C]) FlushKey(k K) {
 	}
 	e.mu.RLock()
 	sh.mu.RUnlock()
-	e.sk.flush(w.id)
+	e.sk.Flush(w.id)
 	e.mu.RUnlock()
 }

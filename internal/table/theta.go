@@ -36,7 +36,7 @@ func (c ThetaConfig[K]) withDefaults() ThetaConfig[K] {
 	if c.K == 0 {
 		c.K = 256
 	}
-	// Validate here, not on first update: the lazy newSketch call runs
+	// Validate here, not on first update: the lazy NewSketch call runs
 	// under a shard write-lock, where a constructor panic would leave
 	// the shard locked for any caller that recovers.
 	if c.K < 16 || c.K&(c.K-1) != 0 {
@@ -54,127 +54,54 @@ func (c ThetaConfig[K]) withDefaults() ThetaConfig[K] {
 	return c
 }
 
-// thetaKey adapts one per-key concurrent Θ sketch. Writer handles are
-// created lazily per slot: slot i is only touched by table writer i,
-// or by an evictor holding the entry's exclusive lock.
-type thetaKey struct {
-	c  *theta.Concurrent
-	ws []*theta.ConcurrentWriter
+// Engine returns the fully defaulted table configuration and the bound
+// per-key Θ sketch engine this config describes. Composites that
+// layer on the generic table (the windowed table) start here.
+func (c ThetaConfig[K]) Engine() (Config[K], *theta.Engine) {
+	c = c.withDefaults()
+	return c.Table, theta.NewEngine(theta.ConcurrentConfig{
+		K:          c.K,
+		Writers:    c.Table.Writers,
+		MaxError:   c.MaxError,
+		BufferSize: c.BufferSize,
+		Seed:       c.Seed,
+	})
 }
-
-func (s *thetaKey) writer(i int) *theta.ConcurrentWriter {
-	if s.ws[i] == nil {
-		s.ws[i] = s.c.Writer(i)
-	}
-	return s.ws[i]
-}
-
-func (s *thetaKey) updateBatch(i int, vals []uint64) { s.writer(i).UpdateUint64Batch(vals) }
-func (s *thetaKey) update(i int, v uint64)           { s.writer(i).UpdateUint64(v) }
-func (s *thetaKey) flush(i int) {
-	if s.ws[i] != nil {
-		s.ws[i].Flush()
-	}
-}
-func (s *thetaKey) query() float64          { return s.c.Estimate() }
-func (s *thetaKey) compact() *theta.Compact { return s.c.Compact() }
-func (s *thetaKey) close()                  { s.c.Close() }
 
 // ThetaTable maps keys to concurrent Θ sketches: per-key unique
 // counting (users per tenant, distinct URLs per endpoint, ...) with
-// wait-free per-key estimates and one shared propagator pool.
+// wait-free per-key estimates and one shared propagator pool. The
+// lifecycle — rollup, snapshots, eviction, drain — is the embedded
+// generic SketchTable's.
 type ThetaTable[K Key] struct {
-	t   *Table[K, uint64, float64, *theta.Compact]
-	cfg ThetaConfig[K]
+	SketchTable[K, uint64, float64, *theta.Compact]
+	hashItem func(string) uint64
 }
 
 // ThetaTableWriter is a single-goroutine keyed ingestion handle.
 type ThetaTableWriter[K Key] struct {
-	w *Writer[K, uint64, float64, *theta.Compact]
+	w        *Writer[K, uint64, float64, *theta.Compact]
+	hashItem func(string) uint64
 }
 
 // NewTheta builds a keyed Θ table; Close it when done.
 func NewTheta[K Key](cfg ThetaConfig[K]) *ThetaTable[K] {
-	cfg = cfg.withDefaults()
-	o := ops[uint64, float64, *theta.Compact]{
-		kind:  KindTheta,
-		param: uint32(cfg.K),
-		newSketch: func(pool *core.PropagatorPool) keySketch[uint64, float64, *theta.Compact] {
-			return &thetaKey{
-				c: theta.NewConcurrent(theta.ConcurrentConfig{
-					K:          cfg.K,
-					Writers:    cfg.Table.Writers,
-					MaxError:   cfg.MaxError,
-					BufferSize: cfg.BufferSize,
-					Seed:       cfg.Seed,
-					Pool:       pool,
-				}),
-				ws: make([]*theta.ConcurrentWriter, cfg.Table.Writers),
-			}
-		},
-		marshal: func(c *theta.Compact) ([]byte, error) { return c.MarshalBinary() },
+	tcfg, eng := cfg.Engine()
+	return &ThetaTable[K]{
+		SketchTable: *NewEngineTable[K](tcfg, core.Engine[uint64, float64, *theta.Compact](eng)),
+		hashItem:    eng.HashString,
 	}
-	return &ThetaTable[K]{t: newTable(cfg.Table, o), cfg: cfg}
 }
 
 // Writer returns the i-th writer handle (single-goroutine use).
 func (t *ThetaTable[K]) Writer(i int) *ThetaTableWriter[K] {
-	return &ThetaTableWriter[K]{w: t.t.Writer(i)}
+	return &ThetaTableWriter[K]{w: t.SketchTable.Writer(i), hashItem: t.hashItem}
 }
 
 // Estimate returns the key's current unique-count estimate. Wait-free;
 // false when the key has never been updated (or was evicted). The
 // estimate may miss up to Relaxation() of the key's latest updates.
-func (t *ThetaTable[K]) Estimate(k K) (float64, bool) { return t.t.query(k) }
-
-// CompactKey returns an immutable serializable snapshot of one key's
-// sketch; false when the key is not live.
-func (t *ThetaTable[K]) CompactKey(k K) (*theta.Compact, bool) { return t.t.compactKey(k) }
-
-// Rollup merges every live key's sketch into one compact Θ sketch —
-// the all-keys unique count (duplicates across keys collapse, by
-// Θ-sketch mergeability).
-func (t *ThetaTable[K]) Rollup() *theta.Compact {
-	u := theta.NewUnionSeeded(t.cfg.K, t.cfg.Seed)
-	t.t.forEachCompact(func(_ K, c *theta.Compact) {
-		_ = u.Add(c) // seeds match by construction
-	})
-	return u.Result()
-}
-
-// Relaxation returns the per-key bound r = 2·N·b on updates a per-key
-// query may miss (Theorem 1, applied to one key's sketch).
-func (t *ThetaTable[K]) Relaxation() int { return 2 * t.cfg.Table.Writers * t.cfg.BufferSize }
-
-// Keys returns the number of live keys.
-func (t *ThetaTable[K]) Keys() int { return t.t.Keys() }
-
-// Evictions returns the number of keys evicted so far.
-func (t *ThetaTable[K]) Evictions() int64 { return t.t.Evictions() }
-
-// Pool returns the table's propagation executor.
-func (t *ThetaTable[K]) Pool() *core.PropagatorPool { return t.t.Pool() }
-
-// EvictExpired evicts keys idle longer than the configured TTL.
-func (t *ThetaTable[K]) EvictExpired() int { return t.t.EvictExpired() }
-
-// Drain flushes all writer slots of all keys (writers must be
-// quiescent), making every prior update visible to queries.
-func (t *ThetaTable[K]) Drain() { t.t.Drain() }
-
-// Snapshot captures every live key's compact sketch into a mergeable,
-// serializable table snapshot.
-func (t *ThetaTable[K]) Snapshot() *TableSnapshot[K, *theta.Compact] {
-	s := newThetaSnapshot[K](uint32(t.cfg.K))
-	t.t.forEachCompact(func(k K, c *theta.Compact) { s.entries[k] = c })
-	return s
-}
-
-// SnapshotBinary serializes the whole table (Snapshot + MarshalBinary).
-func (t *ThetaTable[K]) SnapshotBinary() ([]byte, error) { return t.Snapshot().MarshalBinary() }
-
-// Close drains and closes every per-key sketch and the owned pool.
-func (t *ThetaTable[K]) Close() { t.t.Close() }
+func (t *ThetaTable[K]) Estimate(k K) (float64, bool) { return t.Query(k) }
 
 // UpdateKeyedBatch ingests parallel (key, item) slices: items are
 // grouped by key and shard, then each key's run is hashed and
@@ -184,43 +111,23 @@ func (w *ThetaTableWriter[K]) UpdateKeyedBatch(keys []K, items []uint64) {
 	w.w.UpdateKeyedBatch(keys, items)
 }
 
+// UpdateKeyedStringBatch ingests parallel (key, string item) slices:
+// each item is hashed to Θ space in the grouping pass (zero-alloc
+// string hashing), so log pipelines need no pre-hash step.
+func (w *ThetaTableWriter[K]) UpdateKeyedStringBatch(keys []K, items []string) {
+	w.w.updateKeyedStringBatch(keys, items, w.hashItem)
+}
+
 // UpdateKeyed ingests one (key, item) pair.
 func (w *ThetaTableWriter[K]) UpdateKeyed(k K, item uint64) { w.w.UpdateKeyed(k, item) }
 
 // FlushKey makes this writer's buffered updates for the key visible.
 func (w *ThetaTableWriter[K]) FlushKey(k K) { w.w.FlushKey(k) }
 
-// newThetaSnapshot builds an empty Θ table snapshot for key type K.
-func newThetaSnapshot[K Key](param uint32) *TableSnapshot[K, *theta.Compact] {
-	return &TableSnapshot[K, *theta.Compact]{
-		kind:    KindTheta,
-		param:   param,
-		entries: make(map[K]*theta.Compact),
-		mergeC: func(a, b *theta.Compact) (*theta.Compact, error) {
-			u := theta.NewUnionSeeded(int(param), a.Seed())
-			if err := u.Add(a); err != nil {
-				return nil, err
-			}
-			if err := u.Add(b); err != nil {
-				return nil, err
-			}
-			return u.Result(), nil
-		},
-		marshalC:   func(c *theta.Compact) ([]byte, error) { return c.MarshalBinary() },
-		unmarshalC: func(b []byte) (*theta.Compact, error) { return theta.UnmarshalCompact(b) },
-	}
-}
-
 // UnmarshalThetaSnapshot parses a serialized Θ table snapshot keyed by
 // K (the key type must match the one the snapshot was written with).
 func UnmarshalThetaSnapshot[K Key](data []byte) (*TableSnapshot[K, *theta.Compact], error) {
-	h, body, err := parseSnapshotHeader[K](data, KindTheta)
-	if err != nil {
-		return nil, err
-	}
-	s := newThetaSnapshot[K](h.param)
-	if err := s.parseEntries(body, h.count); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return unmarshalSnapshot[K](data, KindTheta, func(param uint32) core.CompactCodec[*theta.Compact] {
+		return theta.NewEngine(theta.ConcurrentConfig{K: int(param)})
+	})
 }

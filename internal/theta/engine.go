@@ -1,0 +1,130 @@
+package theta
+
+import (
+	"github.com/fcds/fcds/internal/core"
+	"github.com/fcds/fcds/internal/hash"
+)
+
+// Engine binds a concurrent-Θ configuration into the generic
+// core.Engine interface: the one description of the Θ lifecycle that
+// keyed tables and windowed sketches instantiate per key / per epoch.
+// Value type is the raw uint64 item, snapshot type the unique-count
+// estimate, compact type the immutable *Compact.
+type Engine struct {
+	cfg ConcurrentConfig
+}
+
+var _ core.Engine[uint64, float64, *Compact] = (*Engine)(nil)
+
+// NewEngine returns a Θ engine for the given configuration (zero fields
+// take the ConcurrentConfig defaults). The Pool field is ignored: the
+// executor is chosen per sketch by NewSketch.
+func NewEngine(cfg ConcurrentConfig) *Engine {
+	cfg.Pool = nil
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+// Kind implements core.CompactCodec.
+func (e *Engine) Kind() byte { return core.KindTheta }
+
+// Param implements core.CompactCodec: the nominal entry count k.
+func (e *Engine) Param() uint32 { return uint32(e.cfg.K) }
+
+// Seed returns the engine's shared hash seed.
+func (e *Engine) Seed() uint64 { return e.cfg.Seed }
+
+// HashString maps a string item to its Θ-space hash (zero-alloc); used
+// by keyed string-batch ingestion to hash in the grouping pass.
+func (e *Engine) HashString(s string) uint64 { return hash.ThetaHashString(s, e.cfg.Seed) }
+
+// NumWriters implements core.Engine.
+func (e *Engine) NumWriters() int { return e.cfg.Writers }
+
+// Relaxation implements core.Engine: r = 2·N·b per sketch.
+func (e *Engine) Relaxation() int { return 2 * e.cfg.Writers * e.cfg.BufferSize }
+
+// NewSketch implements core.Engine.
+func (e *Engine) NewSketch(pool *core.PropagatorPool) core.EngineSketch[uint64, float64, *Compact] {
+	return &engineSketch{
+		eng:  e,
+		pool: pool,
+		c:    e.newConcurrent(pool),
+		ws:   make([]*ConcurrentWriter, e.cfg.Writers),
+	}
+}
+
+func (e *Engine) newConcurrent(pool *core.PropagatorPool) *Concurrent {
+	cfg := e.cfg
+	cfg.Pool = pool
+	return NewConcurrent(cfg)
+}
+
+// NewAggregator implements core.Engine: a Union accumulator.
+func (e *Engine) NewAggregator() core.Aggregator[*Compact] {
+	return &unionAggregator{u: NewUnionSeeded(e.cfg.K, e.cfg.Seed)}
+}
+
+// QueryCompact implements core.Engine.
+func (e *Engine) QueryCompact(c *Compact) float64 { return c.Estimate() }
+
+// MergeCompact implements core.CompactCodec via a two-sketch union.
+func (e *Engine) MergeCompact(a, b *Compact) (*Compact, error) {
+	u := NewUnionSeeded(e.cfg.K, a.Seed())
+	if err := u.Add(a); err != nil {
+		return nil, err
+	}
+	if err := u.Add(b); err != nil {
+		return nil, err
+	}
+	return u.Result(), nil
+}
+
+// MarshalCompact implements core.CompactCodec.
+func (e *Engine) MarshalCompact(c *Compact) ([]byte, error) { return c.MarshalBinary() }
+
+// UnmarshalCompact implements core.CompactCodec.
+func (e *Engine) UnmarshalCompact(data []byte) (*Compact, error) { return UnmarshalCompact(data) }
+
+// unionAggregator adapts Union to core.Aggregator.
+type unionAggregator struct{ u *Union }
+
+func (a *unionAggregator) Add(c *Compact) error { return a.u.Add(c) }
+func (a *unionAggregator) Result() *Compact     { return a.u.Result() }
+
+// engineSketch adapts one Concurrent to core.EngineSketch. Writer
+// handles are created lazily per slot: slot i is only touched by the
+// composite's writer i, or by an owner holding exclusive access.
+type engineSketch struct {
+	eng  *Engine
+	pool *core.PropagatorPool
+	c    *Concurrent
+	ws   []*ConcurrentWriter
+}
+
+func (s *engineSketch) writer(i int) *ConcurrentWriter {
+	if s.ws[i] == nil {
+		s.ws[i] = s.c.Writer(i)
+	}
+	return s.ws[i]
+}
+
+func (s *engineSketch) Update(i int, v uint64)               { s.writer(i).UpdateUint64(v) }
+func (s *engineSketch) UpdateBatch(i int, vals []uint64)     { s.writer(i).UpdateUint64Batch(vals) }
+func (s *engineSketch) UpdateHashedBatch(i int, hs []uint64) { s.writer(i).UpdateHashBatch(hs) }
+func (s *engineSketch) Flush(i int) {
+	if s.ws[i] != nil {
+		s.ws[i].Flush()
+	}
+}
+func (s *engineSketch) Query() float64    { return s.c.Estimate() }
+func (s *engineSketch) Compact() *Compact { return s.c.Compact() }
+func (s *engineSketch) Close()            { s.c.Close() }
+
+// Reset implements core.EngineSketch: equivalent to Close followed by a
+// fresh sketch on the same executor. The caller must hold the same
+// exclusivity as for Close.
+func (s *engineSketch) Reset() {
+	s.c.Close()
+	s.c = s.eng.newConcurrent(s.pool)
+	clear(s.ws)
+}

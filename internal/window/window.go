@@ -1,0 +1,442 @@
+// Package window implements sliding-window sketches on top of the
+// generic mergeable-sketch engine (core.Engine): answers to
+// "uniques/quantiles over the last R·W of stream" rather than the
+// point-in-time "ever" answers of the base framework.
+//
+// The construction is an epoch ring: time is cut into epochs of width
+// W, each epoch owns one live concurrent sketch built by the engine,
+// and the window is the union of the most recent R epochs. Rotation
+// (on a tick, or driven explicitly) installs a fresh sketch as the
+// active epoch, closes the epoch that fell off the ring — expired data
+// leaves the window wholesale, which is what makes sliding windows
+// possible over merge-only (non-subtractable) sketches — and
+// recomputes a cached aggregate of the sealed (non-active) epochs so
+// queries merge two things, not R.
+//
+// Error bounds compose per epoch: every epoch sketch is the paper's
+// r-relaxed concurrent sketch, so a window query may miss up to
+// r = 2·N·b of the most recent updates of each epoch it spans
+// (Theorem 1, applied slot-wise), on top of the window quantisation
+// inherent to epoch rings (items expire in epoch-width steps). The
+// sealed aggregate additionally lags a sealed epoch's unflushed tail
+// until the next rotation folds it in — also bounded by r per epoch.
+//
+// Writers keep the framework's handle discipline: handle i of the
+// window maps to writer slot i of whichever epoch sketch is active,
+// re-binding (with a flush of the outgoing epoch's slot) on the first
+// call after a rotation, so every slot is still driven by one
+// goroutine at a time and no update is lost at an epoch boundary
+// while its epoch is in the window.
+package window
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fcds/fcds/internal/core"
+)
+
+// Config configures an epoch ring. The zero value gives 8 slots of one
+// minute each (a ~8-minute sliding window) on an owned pool.
+type Config struct {
+	// Slots is R, the number of ring epochs (>= 2; default 8). The
+	// window covers the R most recent epochs, active one included.
+	Slots int
+	// Width is W, one epoch's duration (default one minute). Rotation
+	// is driven by AutoRotate (a W-ticker) or explicit Rotate calls;
+	// Width also documents the window span Slots·Width.
+	Width time.Duration
+	// Propagators sizes the window's owned propagator pool (default
+	// GOMAXPROCS). Ignored when Pool is set.
+	Propagators int
+	// Pool, when non-nil, is an external propagation executor shared
+	// with other sketches, tables or windows; the caller closes it
+	// after the window. Nil gives the window its own pool.
+	Pool *core.PropagatorPool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots == 0 {
+		c.Slots = 8
+	}
+	if c.Slots < 2 {
+		panic(fmt.Sprintf("window: Config.Slots must be >= 2, got %d", c.Slots))
+	}
+	if c.Width == 0 {
+		c.Width = time.Minute
+	}
+	if c.Width < 0 {
+		panic("window: Config.Width must be positive")
+	}
+	return c
+}
+
+// generation is one epoch's live sketch. mu serialises liveness:
+// writers and queriers hold it shared around sketch calls, expiry
+// holds it exclusive while closing. A generation stays live for its
+// whole ring residency (R epochs), so late flushes from migrating
+// writers still land while their epoch is in the window.
+type generation[V, S, C any] struct {
+	epoch  int64
+	sk     core.EngineSketch[V, S, C]
+	mu     sync.RWMutex
+	closed bool
+}
+
+// winView is one immutable window state: the active epoch's
+// generation plus the cached merge of the sealed (non-active,
+// non-expired) generations' compacts, recomputed at every rotation.
+type winView[V, S, C any] struct {
+	active    *generation[V, S, C]
+	sealedAgg *C // nil before the first rotation
+}
+
+// Windowed is an epoch-ring sliding-window sketch over one engine:
+// create with New, ingest through Writer handles, advance epochs with
+// Rotate (or AutoRotate), query the window with QueryWindow, and Close
+// when done.
+type Windowed[V, S, C any] struct {
+	ring
+	eng  core.Engine[V, S, C]
+	gens []*generation[V, S, C] // oldest first; last is active; under mu
+
+	// view is the atomically published window state: the active
+	// generation together with the matching sealed aggregate, swapped
+	// as one pointer so a query racing a rotation always sees a
+	// consistent epoch set (never a pre-rotation aggregate with the
+	// post-rotation active sketch, which would drop a whole epoch).
+	view atomic.Pointer[winView[V, S, C]]
+	// published is the whole-window query snapshot refreshed by Rotate
+	// and Drain, for the strictly wait-free QueryWindowCached.
+	published atomic.Pointer[S]
+}
+
+// ring is the epoch-ring state shared by Windowed and Table:
+// configuration, executor ownership, the epoch counter, rotation
+// serialisation and the AutoRotate ticker.
+type ring struct {
+	cfg     Config
+	pool    *core.PropagatorPool
+	ownPool bool
+
+	// mu serialises Rotate/AutoRotate/Drain/Close; never held on the
+	// ingestion or query paths.
+	mu     sync.Mutex
+	closed bool
+	tick   *rotator
+	epoch  atomic.Int64
+	// rotate is the owner's Rotate method, driven by AutoRotate.
+	rotate func()
+}
+
+// init wires the ring: cfg must already carry defaults. fallback, when
+// non-nil and cfg.Pool is nil, is used as a shared (non-owned)
+// executor; otherwise a nil pool means the ring owns a fresh one.
+func (r *ring) init(cfg Config, fallback *core.PropagatorPool, rotate func()) {
+	r.cfg = cfg
+	r.rotate = rotate
+	r.pool = cfg.Pool
+	if r.pool == nil {
+		r.pool = fallback
+	}
+	if r.pool == nil {
+		r.pool = core.NewPropagatorPool(cfg.Propagators)
+		r.ownPool = true
+	}
+}
+
+// Epoch returns the current epoch number (0-based; incremented by each
+// rotation).
+func (r *ring) Epoch() int64 { return r.epoch.Load() }
+
+// Slots returns R, the ring size.
+func (r *ring) Slots() int { return r.cfg.Slots }
+
+// Width returns W, one epoch's duration.
+func (r *ring) Width() time.Duration { return r.cfg.Width }
+
+// Window returns the window span Slots·Width.
+func (r *ring) Window() time.Duration {
+	return time.Duration(r.cfg.Slots) * r.cfg.Width
+}
+
+// Pool returns the window's propagation executor.
+func (r *ring) Pool() *core.PropagatorPool { return r.pool }
+
+// AutoRotate starts a background rotator ticking every Width; it stops
+// when the window is closed. Call at most once.
+func (r *ring) AutoRotate() {
+	r.mu.Lock()
+	if r.tick != nil {
+		r.mu.Unlock()
+		panic("window: AutoRotate called twice")
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.tick = startRotator(r.cfg.Width, r.rotate)
+	r.mu.Unlock()
+}
+
+// rotator is the shared Width-ticker driving AutoRotate for Windowed
+// and Table; halt stops the goroutine and waits it out (nil-safe).
+type rotator struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startRotator(width time.Duration, rotate func()) *rotator {
+	r := &rotator{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(width)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				rotate()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+	return r
+}
+
+func (r *rotator) halt() {
+	if r == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+}
+
+// New builds an epoch-ring windowed sketch whose per-epoch sketches
+// come from the engine; Close it when done.
+func New[V, S, C any](eng core.Engine[V, S, C], cfg Config) *Windowed[V, S, C] {
+	w := &Windowed[V, S, C]{eng: eng}
+	w.ring.init(cfg.withDefaults(), nil, w.Rotate)
+	g := &generation[V, S, C]{epoch: 0, sk: eng.NewSketch(w.pool)}
+	w.gens = []*generation[V, S, C]{g}
+	w.view.Store(&winView[V, S, C]{active: g})
+	s := eng.QueryCompact(eng.NewAggregator().Result())
+	w.published.Store(&s)
+	return w
+}
+
+// Writer returns the i-th ingestion handle (0 <= i < the engine's
+// writer count). Each handle must be used by at most one goroutine at
+// a time.
+func (w *Windowed[V, S, C]) Writer(i int) *Writer[V, S, C] {
+	if i < 0 || i >= w.eng.NumWriters() {
+		panic(fmt.Sprintf("window: writer index %d out of range [0,%d)", i, w.eng.NumWriters()))
+	}
+	return &Writer[V, S, C]{w: w, id: i}
+}
+
+// RelaxationPerEpoch returns r = 2·N·b, the bound on updates a window
+// query may miss from each epoch it spans (Theorem 1 per slot).
+func (w *Windowed[V, S, C]) RelaxationPerEpoch() int { return w.eng.Relaxation() }
+
+// QueryWindow returns the query answer over the last Slots epochs
+// (active epoch included, expired epochs excluded). It merges the
+// cached sealed aggregate with a point-in-time compact of the active
+// epoch: it never blocks ingestion and is never blocked by it — the
+// only synchronisation is the active compact's brief serialisation
+// with the background propagator. Each spanned epoch may be missing up
+// to RelaxationPerEpoch() of its latest updates.
+func (w *Windowed[V, S, C]) QueryWindow() S {
+	return w.eng.QueryCompact(w.windowCompact())
+}
+
+// QueryWindowCached returns the window answer published by the last
+// Rotate or Drain: a single atomic read — strictly wait-free — at the
+// price of staleness up to one epoch (the active epoch's updates
+// appear only after it seals).
+func (w *Windowed[V, S, C]) QueryWindowCached() S { return *w.published.Load() }
+
+// WindowCompact returns a mergeable, serializable compact of the whole
+// window — the window counterpart of a sketch's Compact.
+func (w *Windowed[V, S, C]) WindowCompact() C { return w.windowCompact() }
+
+func (w *Windowed[V, S, C]) windowCompact() C {
+	v := w.view.Load()
+	agg := w.eng.NewAggregator()
+	if v.sealedAgg != nil {
+		_ = agg.Add(*v.sealedAgg) // same engine: compatible by construction
+	}
+	g := v.active
+	g.mu.RLock()
+	if !g.closed {
+		c := g.sk.Compact()
+		g.mu.RUnlock()
+		_ = agg.Add(c)
+	} else {
+		g.mu.RUnlock()
+	}
+	return agg.Result()
+}
+
+// Rotate advances the window by one epoch: a fresh sketch becomes the
+// active epoch, the epoch that fell off the ring is closed (its items
+// leave the window), and the sealed aggregate and published snapshot
+// are recomputed. Safe to call concurrently with ingestion and
+// queries.
+func (w *Windowed[V, S, C]) Rotate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	g := &generation[V, S, C]{
+		epoch: w.epoch.Add(1),
+		sk:    w.eng.NewSketch(w.pool),
+	}
+	w.gens = append(w.gens, g)
+	// Expire: generations older than the ring leave the window. The
+	// exclusive lock waits out in-flight writers and late flushes.
+	// (Writers keep targeting the outgoing active generation until the
+	// new view is published below; it is never the expiring one, since
+	// Slots >= 2.)
+	for len(w.gens) > w.cfg.Slots {
+		old := w.gens[0]
+		w.gens = w.gens[1:]
+		old.mu.Lock()
+		old.closed = true
+		old.sk.Close()
+		old.mu.Unlock()
+	}
+	// Recompute the sealed aggregate from fresh compacts of the
+	// surviving non-active generations: updates that straggled into a
+	// sealed epoch since the last rotation (late flushes, in-flight
+	// batches) are folded in here, keeping the per-epoch miss bounded
+	// by r rather than growing with time.
+	w.republishLocked()
+}
+
+// republishLocked rebuilds the sealed aggregate from fresh compacts of
+// the non-active generations and publishes the new view and cached
+// window snapshot in one store each. Caller holds w.mu; gens is
+// non-empty.
+func (w *Windowed[V, S, C]) republishLocked() {
+	agg := w.eng.NewAggregator()
+	for _, sg := range w.gens[:len(w.gens)-1] {
+		_ = agg.Add(sg.sk.Compact())
+	}
+	c := agg.Result()
+	w.view.Store(&winView[V, S, C]{active: w.gens[len(w.gens)-1], sealedAgg: &c})
+	s := w.eng.QueryCompact(c)
+	w.published.Store(&s)
+}
+
+// Drain flushes every writer slot of every in-window epoch and
+// refreshes the cached sealed aggregate, so queries reflect all prior
+// updates — including updates flushed into already-sealed epochs. All
+// writer handles must be quiescent, exactly as for Close.
+func (w *Windowed[V, S, C]) Drain() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	for _, g := range w.gens {
+		g.mu.RLock()
+		if !g.closed {
+			for i := 0; i < w.eng.NumWriters(); i++ {
+				g.sk.Flush(i)
+			}
+		}
+		g.mu.RUnlock()
+	}
+	w.republishLocked()
+}
+
+// Close stops rotation, closes every epoch sketch and, when owned, the
+// propagator pool. All writer handles must be quiescent. Idempotent.
+func (w *Windowed[V, S, C]) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	tick := w.tick
+	gens := w.gens
+	w.gens = nil
+	w.mu.Unlock()
+	tick.halt()
+	for _, g := range gens {
+		g.mu.Lock()
+		if !g.closed {
+			g.closed = true
+			g.sk.Close()
+		}
+		g.mu.Unlock()
+	}
+	if w.ownPool {
+		w.pool.Close()
+	}
+}
+
+// Writer is a single-goroutine window ingestion handle: handle i
+// drives writer slot i of the active epoch's sketch, migrating (with a
+// flush of the outgoing epoch's slot) on the first call after a
+// rotation.
+type Writer[V, S, C any] struct {
+	w   *Windowed[V, S, C]
+	id  int
+	gen *generation[V, S, C]
+}
+
+// rebind points the handle at the active generation, flushing this
+// handle's slot of the outgoing generation so its buffered updates
+// stay visible while that epoch remains in the window. The returned
+// generation is read-locked; the caller must unlock it.
+func (w *Writer[V, S, C]) rebind() *generation[V, S, C] {
+	g := w.w.view.Load().active
+	if old := w.gen; old != nil && old != g {
+		old.mu.RLock()
+		if !old.closed {
+			// Only this goroutine drives slot id, so the flush is within
+			// the framework's handle contract; if the epoch already
+			// expired its buffered tail is discarded with it.
+			old.sk.Flush(w.id)
+		}
+		old.mu.RUnlock()
+	}
+	w.gen = g
+	g.mu.RLock()
+	return g
+}
+
+// Update ingests one value into the current epoch.
+func (w *Writer[V, S, C]) Update(v V) {
+	g := w.rebind()
+	if !g.closed {
+		g.sk.Update(w.id, v)
+	}
+	g.mu.RUnlock()
+}
+
+// UpdateBatch ingests a slice of values into the current epoch through
+// the engine's fused batch pipeline.
+func (w *Writer[V, S, C]) UpdateBatch(vs []V) {
+	g := w.rebind()
+	if !g.closed {
+		g.sk.UpdateBatch(w.id, vs)
+	}
+	g.mu.RUnlock()
+}
+
+// Flush hands off this handle's buffered updates of the current epoch
+// and waits until they are queryable.
+func (w *Writer[V, S, C]) Flush() {
+	g := w.rebind()
+	if !g.closed {
+		g.sk.Flush(w.id)
+	}
+	g.mu.RUnlock()
+}

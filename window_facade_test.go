@@ -1,0 +1,156 @@
+package fcds_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	fcds "github.com/fcds/fcds"
+)
+
+// TestFacadeWindowedTheta drives the public windowed Θ sketch:
+// concurrent batch ingestion across explicit rotations, with the
+// expired epoch excluded from the window.
+func TestFacadeWindowedTheta(t *testing.T) {
+	w := fcds.NewWindowedTheta(fcds.WindowedThetaConfig{
+		Sketch: fcds.ConcurrentThetaConfig{K: 4096, Writers: 2, MaxError: 1},
+		Window: fcds.WindowConfig{Slots: 3, Width: time.Hour},
+	})
+	defer w.Close()
+
+	ingest := func(base uint64, n int) {
+		var wg sync.WaitGroup
+		for wi := 0; wi < 2; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				wr := w.Writer(wi)
+				batch := make([]uint64, 0, 128)
+				for i := wi; i < n; i += 2 {
+					batch = append(batch, base+uint64(i))
+					if len(batch) == cap(batch) {
+						wr.UpdateBatch(batch)
+						batch = batch[:0]
+					}
+				}
+				wr.UpdateBatch(batch)
+				wr.Flush()
+			}(wi)
+		}
+		wg.Wait()
+	}
+
+	ingest(0, 1000) // epoch 0
+	if got := w.QueryWindow(); got != 1000 {
+		t.Fatalf("epoch-0 window = %v, want 1000", got)
+	}
+	w.Rotate()
+	ingest(10_000, 500) // epoch 1
+	if got := w.QueryWindow(); got != 1500 {
+		t.Fatalf("two-epoch window = %v, want 1500", got)
+	}
+	w.Rotate()
+	w.Rotate() // epoch 0 (the 1000) expires
+	if got := w.QueryWindow(); got != 500 {
+		t.Fatalf("post-expiry window = %v, want 500", got)
+	}
+	if r := w.RelaxationPerEpoch(); r <= 0 {
+		t.Fatalf("relaxation per epoch = %d, want positive", r)
+	}
+}
+
+// TestFacadeWindowedThetaTable drives the public sliding-window keyed
+// table: per-key window queries across rotations, window rollup, and
+// the windowed snapshot round trip.
+func TestFacadeWindowedThetaTable(t *testing.T) {
+	wt := fcds.NewWindowedThetaTable(
+		fcds.ThetaTableConfig{
+			Table: fcds.TableConfig{Writers: 1, Shards: 16},
+			K:     1024, MaxError: 1,
+		},
+		fcds.WindowConfig{Slots: 4, Width: time.Hour},
+	)
+	defer wt.Close()
+	w := wt.Writer(0)
+
+	keys := make([]string, 300)
+	ids := make([]uint64, 300)
+	for i := range keys {
+		keys[i] = []string{"web", "mobile", "api"}[i%3]
+		ids[i] = uint64(i)
+	}
+	w.UpdateKeyedBatch(keys, ids)
+	wt.Drain()
+	if est, ok := wt.QueryWindow("web"); !ok || est != 100 {
+		t.Fatalf("web window = %v (ok=%v), want 100", est, ok)
+	}
+
+	// Rotate the ingestion epoch out of the window entirely.
+	for i := 0; i < 4; i++ {
+		wt.Rotate()
+	}
+	if est, ok := wt.QueryWindow("web"); ok {
+		t.Fatalf("web still in window after expiry: %v", est)
+	}
+
+	// Fresh epoch: new traffic, rollup over the window.
+	w.UpdateKeyedBatch(keys[:150], ids[:150])
+	wt.Drain()
+	snap, err := wt.WindowSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := fcds.UnmarshalThetaTableSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("window snapshot keys = %d, want 3", back.Len())
+	}
+	if c, ok := back.Get("web"); !ok || c.Estimate() != 50 {
+		t.Fatalf("window snapshot web = %v (ok=%v), want 50", c, ok)
+	}
+}
+
+// TestFacadeWindowedSharePool runs a windowed sketch, a windowed
+// table and a plain table on one externally owned pool.
+func TestFacadeWindowedSharePool(t *testing.T) {
+	pool := fcds.NewPropagatorPool(2)
+	defer pool.Close()
+
+	w := fcds.NewWindowedHLL(fcds.WindowedHLLConfig{
+		Sketch: fcds.ConcurrentHLLConfig{Precision: 10, Writers: 1},
+		Window: fcds.WindowConfig{Slots: 2, Width: time.Hour, Pool: pool},
+	})
+	wt := fcds.NewWindowedQuantilesTable(
+		fcds.QuantilesTableConfig{Table: fcds.TableConfig{Writers: 1, Shards: 8}},
+		fcds.WindowConfig{Slots: 2, Width: time.Hour, Pool: pool},
+	)
+	tab := fcds.NewThetaTable(fcds.ThetaTableConfig{
+		Table: fcds.TableConfig{Writers: 1, Shards: 8, Pool: pool},
+	})
+
+	hw, qw, tw := w.Writer(0), wt.Writer(0), tab.Writer(0)
+	for i := 0; i < 3000; i++ {
+		hw.Update(uint64(i))
+		qw.UpdateKeyed("lat", float64(i%100))
+		tw.UpdateKeyed("ids", uint64(i))
+	}
+	hw.Flush()
+	wt.Drain()
+	tab.Drain()
+
+	if est := w.QueryWindow(); est < 2700 || est > 3300 {
+		t.Errorf("windowed hll = %v, want ~3000", est)
+	}
+	if s, ok := wt.QueryWindow("lat"); !ok || s.Quantile(0.5) < 30 || s.Quantile(0.5) > 70 {
+		t.Errorf("windowed quantiles median off: ok=%v", ok)
+	}
+	w.Close()
+	wt.Close()
+	tab.Close()
+}
