@@ -51,6 +51,8 @@ func main() {
 		rep = batch(*full, *k)
 	case "table":
 		rep = tableExp(*full)
+	case "pool":
+		rep = poolExp(*full)
 	case "window":
 		rep = windowExp(*full)
 	case "figure1":
@@ -80,13 +82,15 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonPath != "" {
-		if rep == nil {
+		if rep == nil || len(rep.Results) == 0 {
+			// A trajectory file silently not written would make the next
+			// comparison read stale numbers as current; fail loudly.
 			fmt.Fprintf(os.Stderr,
-				"fcds-bench: warning: experiment %q defines no JSON report; -json %s not written\n",
+				"fcds-bench: experiment %q produced no JSON report; -json %s not written\n",
 				cmd, *jsonPath)
-		} else {
-			writeBenchJSON(*jsonPath, *rep)
+			os.Exit(1)
 		}
+		writeBenchJSON(*jsonPath, *rep)
 	}
 }
 
@@ -95,6 +99,7 @@ func usage() {
 experiments:
   batch            batched vs per-item ingestion throughput (the batch pipeline)
   table            keyed multi-tenant tables: zipfian keys, shared propagator pool
+  pool             propagator pool: throughput and steal counts vs worker count
   window           sliding-window keyed tables: zipfian keys, rotating epochs vs plain tables
   figure1          scalability: concurrent vs lock-based, update-only
   figure5a         accuracy pitchfork, no eager propagation (e=1.0)
@@ -114,6 +119,7 @@ func all(full bool, k int) {
 		func() { table1(full) },
 		func() { batch(full, k) },
 		func() { tableExp(full) },
+		func() { poolExp(full) },
 		func() { windowExp(full) },
 		func() { figure1(full) },
 		func() { figure5(full, 1.0, k) },
@@ -139,6 +145,9 @@ type benchRecord struct {
 	// count observed mid-run (pinning pool-not-per-key propagation).
 	Keys       int `json:"keys,omitempty"`
 	Goroutines int `json:"goroutines,omitempty"`
+	// Pool experiment: cross-queue steals observed during the best
+	// trial (the work-stealing half of the shard-affine scheduler).
+	Steals int64 `json:"steals,omitempty"`
 }
 
 // benchReport is the schema of the BENCH_*.json trajectory files: one
@@ -214,58 +223,96 @@ func batch(full bool, k int) *benchReport {
 }
 
 // tableExp: keyed multi-tenant Θ tables under a zipfian key draw —
-// throughput and goroutine count across key-space sizes, all key
-// sketches propagated by one shared pool.
+// throughput and goroutine count across key-space sizes and ingest
+// goroutine counts, all key sketches propagated by one shared pool.
+// The zipfian key/value streams are pregenerated outside the timed
+// section, so the curves measure table ingestion, not math.Log.
 func tableExp(full bool) *benchReport {
-	n := uint64(1 << 21)
-	trials := 2
-	keySpaces := []int{1_000, 100_000}
-	writerCounts := []int{1, 4}
+	n := uint64(1 << 22)
+	trials := 3
+	keySpaces := []int{1_000, 10_000, 100_000}
+	writerCounts := []int{1, 2, 4, 8}
 	if full {
 		n = 1 << 23
 		trials = 5
-		keySpaces = []int{1_000, 100_000, 1_000_000}
-		writerCounts = []int{1, 4, 8, 12}
+		keySpaces = []int{1_000, 10_000, 100_000, 1_000_000}
+		writerCounts = []int{1, 2, 4, 8, 12}
 	}
-	const chunk = 512
+	const chunk = 2048
 	fmt.Println("# Table: keyed Θ tables, zipfian keys (s=1.2), K=256 per key, shared propagator pool")
 	fmt.Println("curve\tthreads\tkeys\tgoroutines\tMops_sec")
 	rep := benchReport{
 		Experiment: "table", Unix: time.Now().Unix(),
 		GoMaxProcs: runtime.GOMAXPROCS(0), N: n, Trials: trials, K: 256,
 	}
+	// Interleave configurations within each trial round — and walk the
+	// configuration list in alternating (serpentine) order across
+	// rounds — so slow drifts of the host (thermal, noisy neighbours)
+	// hit every configuration evenly instead of systematically
+	// favouring whichever end of the sweep runs first.
+	type cfgKey = [2]int
+	var order []cfgKey
 	for _, keys := range keySpaces {
 		for _, writers := range writerCounts {
-			var best float64
-			var goroutines int
-			for trial := 0; trial < trials; trial++ {
-				mops, g := runTableTrial(n, keys, writers, chunk, uint64(trial))
-				if mops > best {
-					best = mops
-				}
-				goroutines = g
+			order = append(order, cfgKey{keys, writers})
+		}
+	}
+	best := make(map[cfgKey]float64)
+	gor := make(map[cfgKey]int)
+	for trial := 0; trial < trials; trial++ {
+		for i := range order {
+			k := order[i]
+			if trial%2 == 1 {
+				k = order[len(order)-1-i]
 			}
+			mops, g := runTableTrial(n, k[0], k[1], writerCounts[len(writerCounts)-1], chunk, uint64(trial))
+			if mops > best[k] {
+				best[k] = mops
+			}
+			gor[k] = g
+		}
+	}
+	for _, keys := range keySpaces {
+		for _, writers := range writerCounts {
+			k := [2]int{keys, writers}
 			curve := fmt.Sprintf("keys%d", keys)
-			fmt.Printf("%s\t%d\t%d\t%d\t%.2f\n", curve, writers, keys, goroutines, best)
+			fmt.Printf("%s\t%d\t%d\t%d\t%.2f\n", curve, writers, keys, gor[k], best[k])
 			rep.Results = append(rep.Results, benchRecord{
 				Curve: curve, Threads: writers, Chunk: chunk,
-				MopsSec: best, Keys: keys, Goroutines: goroutines,
+				MopsSec: best[k], Keys: keys, Goroutines: gor[k],
 			})
 		}
 	}
 	return &rep
 }
 
-// runTableTrial ingests n zipfian-keyed updates with the given writer
-// count and returns Mops/sec plus the goroutine count observed at the
-// end of ingestion (before Close), which stays O(GOMAXPROCS) however
-// many keys are live.
-func runTableTrial(n uint64, keys, writers, chunk int, seed uint64) (mops float64, goroutines int) {
+// runTableTrial ingests n zipfian-keyed updates from `writers` ingest
+// goroutines (goroutine g drives handle g of a table configured with
+// maxWriters handles, so the per-key structure and relaxation bound
+// are identical across every point of a curve — the sweep varies
+// parallelism, nothing else) and returns Mops/sec plus the goroutine
+// count observed at the end of ingestion (before Close), which stays
+// O(GOMAXPROCS) however many keys are live. Key and value streams are
+// generated before the clock starts.
+func runTableTrial(n uint64, keys, writers, maxWriters, chunk int, seed uint64) (mops float64, goroutines int) {
 	tab := fcds.NewThetaTableU64(fcds.ThetaTableU64Config{
-		Table: fcds.TableU64Config{Writers: writers, Shards: 1024},
+		Table: fcds.TableU64Config{Writers: maxWriters, Shards: 1024},
 	})
 	defer tab.Close()
 	parts := stream.Partition(n, writers)
+	allKs := make([][]uint64, writers)
+	allVs := make([][]uint64, writers)
+	for wi := 0; wi < writers; wi++ {
+		z := stream.NewZipf(uint64(keys), 1.2, seed*1000+uint64(wi)+1)
+		vals := stream.NewScrambled(parts[wi].Start)
+		ks := make([]uint64, parts[wi].Count)
+		vs := make([]uint64, parts[wi].Count)
+		for i := range ks {
+			ks[i] = z.Next()
+			vs[i] = vals.Next()
+		}
+		allKs[wi], allVs[wi] = ks, vs
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for wi := 0; wi < writers; wi++ {
@@ -273,20 +320,13 @@ func runTableTrial(n uint64, keys, writers, chunk int, seed uint64) (mops float6
 		go func(wi int) {
 			defer wg.Done()
 			w := tab.Writer(wi)
-			z := stream.NewZipf(uint64(keys), 1.2, seed*1000+uint64(wi)+1)
-			vals := stream.NewScrambled(parts[wi].Start)
-			ks := make([]uint64, chunk)
-			vs := make([]uint64, chunk)
-			for sent := uint64(0); sent < parts[wi].Count; sent += uint64(chunk) {
-				m := uint64(chunk)
-				if rem := parts[wi].Count - sent; rem < m {
-					m = rem
+			ks, vs := allKs[wi], allVs[wi]
+			for off := 0; off < len(ks); off += chunk {
+				end := off + chunk
+				if end > len(ks) {
+					end = len(ks)
 				}
-				for i := uint64(0); i < m; i++ {
-					ks[i] = z.Next()
-					vs[i] = vals.Next()
-				}
-				w.UpdateKeyedBatch(ks[:m], vs[:m])
+				w.UpdateKeyedBatch(ks[off:end], vs[off:end])
 			}
 		}(wi)
 	}
@@ -294,6 +334,103 @@ func runTableTrial(n uint64, keys, writers, chunk int, seed uint64) (mops float6
 	goroutines = runtime.NumGoroutine()
 	elapsed := time.Since(start)
 	return float64(n) / 1e6 / elapsed.Seconds(), goroutines
+}
+
+// poolExp: the propagator pool in isolation — many small sketches on
+// one shared pool, ingestion from a fixed set of goroutines, across
+// pool worker counts. Reports propagation-bound throughput and the
+// cross-queue steal count of the shard-affine scheduler (affine
+// submission keeps a sketch on one worker; steals kick in when a
+// worker backs up).
+func poolExp(full bool) *benchReport {
+	n := uint64(1 << 21)
+	trials := 3
+	workerCounts := []int{1, 2, 4, 8}
+	if full {
+		n = 1 << 23
+		trials = 5
+		workerCounts = []int{1, 2, 4, 8, 16}
+	}
+	const sketches = 64
+	const ingesters = 4
+	const chunk = 512
+	fmt.Println("# Pool: 64 pooled Θ sketches (K=256, b=4), 4 ingest goroutines, propagation throughput vs pool workers")
+	fmt.Println("curve\tworkers\tgoroutines\tsteals\tMops_sec")
+	rep := benchReport{
+		Experiment: "pool", Unix: time.Now().Unix(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), N: n, Trials: trials, K: 256,
+	}
+	best := make(map[int]float64)
+	steals := make(map[int]int64)
+	for trial := 0; trial < trials; trial++ {
+		for _, workers := range workerCounts {
+			mops, st := runPoolTrial(n, workers, sketches, ingesters, chunk, uint64(trial))
+			if mops > best[workers] {
+				best[workers] = mops
+				steals[workers] = st
+			}
+		}
+	}
+	for _, workers := range workerCounts {
+		fmt.Printf("sketches%d\t%d\t%d\t%d\t%.2f\n", sketches, workers, ingesters, steals[workers], best[workers])
+		rep.Results = append(rep.Results, benchRecord{
+			Curve: fmt.Sprintf("sketches%d", sketches), Threads: workers, Chunk: chunk,
+			MopsSec: best[workers], Goroutines: ingesters, Steals: steals[workers],
+		})
+	}
+	return &rep
+}
+
+// runPoolTrial drives `sketches` pooled concurrent Θ sketches from
+// `ingesters` goroutines (goroutine g owns writer slot g of every
+// sketch, rotating over its sketch subset batch by batch) and returns
+// Mops/sec plus the pool's cross-queue steal count for the run. The
+// tiny b keeps the workload handoff-dense, so the pool's scheduling —
+// not the sketch math — dominates.
+func runPoolTrial(n uint64, workers, sketches, ingesters, chunk int, seed uint64) (mops float64, steals int64) {
+	pool := fcds.NewPropagatorPool(workers)
+	defer pool.Close()
+	sks := make([]*fcds.ConcurrentTheta, sketches)
+	for i := range sks {
+		sks[i] = fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{
+			K: 256, Writers: ingesters, MaxError: 1, BufferSize: 4, Pool: pool,
+		})
+	}
+	defer func() {
+		for _, s := range sks {
+			s.Close()
+		}
+	}()
+	parts := stream.Partition(n, ingesters)
+	steals0 := pool.Steals()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := stream.NewScrambled(seed*1e9 + parts[g].Start)
+			vs := make([]uint64, chunk)
+			si := g
+			for sent := uint64(0); sent < parts[g].Count; sent += uint64(chunk) {
+				m := uint64(chunk)
+				if rem := parts[g].Count - sent; rem < m {
+					m = rem
+				}
+				for i := uint64(0); i < m; i++ {
+					vs[i] = vals.Next()
+				}
+				sks[si%sketches].Writer(g).UpdateUint64Batch(vs[:m])
+				si++
+			}
+			for i := 0; i < sketches; i++ {
+				sks[i].Writer(g).Flush()
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(n) / 1e6 / elapsed.Seconds(), pool.Steals() - steals0
 }
 
 // windowExp: sliding-window keyed Θ tables under the same zipfian draw
@@ -336,7 +473,7 @@ func windowExp(full bool) *benchReport {
 					bestW = mops
 				}
 				gor = g
-				if mops, _ := runTableTrial(n, keys, writers, chunk, uint64(trial)); mops > bestP {
+				if mops, _ := runTableTrial(n, keys, writers, writers, chunk, uint64(trial)); mops > bestP {
 					bestP = mops
 				}
 			}

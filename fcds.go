@@ -70,6 +70,36 @@
 // set of workers, GOMAXPROCS by default), so a million keys propagate
 // on a handful of goroutines.
 //
+// Propagation is shard-affine: every pool worker owns a private run
+// queue, and each sketch is pinned to a home worker at attach time —
+// keyed tables derive the assignment from the key hash, so one worker
+// always merges a given key's global sketch (it stays hot in that
+// worker's cache), and the same key in a rotated window epoch inherits
+// the same worker. Balance comes from bounded work stealing: an idle
+// worker steals one queued sketch at a time from a backed-up or
+// stalled sibling, and PropagatorPool.Stats exposes per-worker
+// depth/steal/run counters. Liveness never depends on a steal — every
+// submission leaves a wake token with the home worker.
+//
+// On top of the shard map, every table Writer keeps a small
+// direct-mapped key→entry cache, so repeat keys in a batch skip the
+// shard read-lock and map lookup. Coherence is one epoch stamp per
+// shard, bumped whenever a key leaves that shard's map (eviction, TTL
+// expiry, Close); a cached entry is used only after the stamp
+// re-validates under the entry's liveness lock, so an evicted key can
+// never be resurrected through a stale cache slot.
+//
+// Tables can also adapt per key: an optional HotKeyPolicy counts each
+// key's ingest volume and, past HotThreshold, rebuilds that key's
+// sketch through the engine's scale-up ladder — the old state is
+// captured as a compact and seeds the new, larger-configured sketch
+// (same home worker), so history and the Θ pre-filter survive the
+// rebuild. Θ and HLL grow the per-writer buffer b (handoffs halve;
+// the per-key relaxation r = 2·N·b doubles per step), quantiles also
+// grow k. Compacts leaving the table — snapshots, rollups, eviction
+// spills — are normalized back to the base parameter, so the FCTB
+// wire format and cross-process merges are unaffected.
+//
 //	t := fcds.NewThetaTable(fcds.ThetaTableConfig{
 //		Table: fcds.TableConfig{Writers: 4, MaxKeys: 1_000_000},
 //	})
@@ -192,8 +222,14 @@ type (
 // Propagation executor.
 type (
 	// PropagatorPool is a fixed pool of propagator goroutines shared
-	// by any number of concurrent sketches and tables.
+	// by any number of concurrent sketches and tables. Scheduling is
+	// shard-affine: each sketch has a home worker (keyed tables derive
+	// it from the key hash), with bounded work stealing for balance;
+	// Stats exposes per-worker depth/steal/run counters.
 	PropagatorPool = core.PropagatorPool
+	// PoolWorkerStats is one propagator worker's scheduling counters
+	// (see PropagatorPool.Stats).
+	PoolWorkerStats = core.WorkerStats
 )
 
 // Keyed sketch tables: one lightweight concurrent sketch per key, all
@@ -201,10 +237,16 @@ type (
 // U64 variants uint64 keys.
 type (
 	// TableConfig is the sketch-independent table configuration for
-	// string-keyed tables (writers, shards, pool, eviction policy).
+	// string-keyed tables (writers, shards, pool, eviction policy,
+	// hot-key promotion).
 	TableConfig = table.Config[string]
 	// TableU64Config is TableConfig for uint64-keyed tables.
 	TableU64Config = table.Config[uint64]
+	// HotKeyPolicy configures adaptive per-key sketches: keys whose
+	// ingest volume crosses HotThreshold are rebuilt through the
+	// engine's scale-up ladder (see the package docs' "Keyed tables"
+	// section for the accuracy/relaxation trade).
+	HotKeyPolicy = table.HotKeyPolicy
 
 	// ThetaTable maps string keys to concurrent Θ sketches (per-key
 	// unique counting).

@@ -23,13 +23,17 @@ func (l *batchCountLocal) UpdateSlice(us []int64) {
 }
 func (l *batchCountLocal) Reset() { l.n = 0 }
 
-func newBatchCounting(cfg Config) (*Sketch[int64, int64], *countGlobal, []*batchCountLocal) {
+// newBatchCounting returns the sketch, its global, and a pointer to
+// the list of locals created so far — locals are allocated lazily on
+// first buffered use, so the list must be read through the pointer
+// after the test has driven updates.
+func newBatchCounting(cfg Config) (*Sketch[int64, int64], *countGlobal, *[]*batchCountLocal) {
 	g := &countGlobal{}
 	g.hintVal.Store(1)
-	var locals []*batchCountLocal
+	locals := &[]*batchCountLocal{}
 	s := New[int64, int64](g, func() Local[int64] {
 		l := &batchCountLocal{}
-		locals = append(locals, l)
+		*locals = append(*locals, l)
 		return l
 	}, cfg)
 	return s, g, locals
@@ -71,7 +75,7 @@ func TestUpdateBatchUsesBatchLocal(t *testing.T) {
 	w.Flush()
 	s.Close()
 	items, slices := 0, 0
-	for _, l := range locals {
+	for _, l := range *locals {
 		items += l.itemCalls
 		slices += l.sliceCalls
 	}

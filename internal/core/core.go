@@ -111,6 +111,12 @@ type Config struct {
 	// dedicated single-worker pool — the paper's per-sketch propagator
 	// thread.
 	Pool *PropagatorPool
+	// AffinityKey pins the sketch to one of the pool's workers: equal
+	// nonzero keys always map to the same worker (keyed tables pass
+	// the key hash, so a key's sketch keeps its home worker across
+	// epoch rotations). Zero means no preference: the pool assigns a
+	// worker round-robin at attach time.
+	AffinityKey uint64
 }
 
 // MaxAdaptiveBuffer caps BufferAdaptor results so the relaxation bound
@@ -182,9 +188,28 @@ func EagerLimitFor(e float64) int {
 // and per-writer locals. Create with New, obtain writer handles with
 // Writer, query with Query, and Close when done.
 type Sketch[U any, S any] struct {
-	global  Global[U, S]
-	cfg     Config
+	global Global[U, S]
+	cfg    Config
+	// writers[i] is slot i's handle, created lazily on first Writer(i)
+	// call — keyed tables instantiate one sketch per key with N slots,
+	// and a key touched by only a few of the N table writers must not
+	// pay for the others' local buffers. Slot creation is safe under
+	// the handle contract (slot i is driven by one goroutine), and the
+	// propagator only ever dereferences slots whose ids were enqueued
+	// after creation; the Close drain skips nil slots.
 	writers []*Writer[U, S]
+	// mkMu serialises lazy slot creation: newLocal factories may share
+	// mutable state (e.g. a forked RNG oracle), so concurrent first
+	// calls for distinct slots must not run the factory in parallel.
+	mkMu sync.Mutex
+	// newLocal allocates a writer-local buffer sketch (retained for
+	// lazy slot creation).
+	newLocal func() Local[U]
+	// initialHint is the pre-filtering hint captured at New, used for
+	// every lazily created writer: reading a fresh hint at creation
+	// time would race the propagator's merges, and a stale hint is
+	// always safe (it only admits more).
+	initialHint uint64
 
 	// eager is true while the stream is short enough that updates go
 	// directly to the global sketch (§5.3). eagerMu serialises the
@@ -210,6 +235,8 @@ type Sketch[U any, S any] struct {
 	inflight atomic.Int64
 
 	pool *PropagatorPool
+	// affinity is the sketch's home worker in pool, fixed at attach.
+	affinity int
 	// ownPool is true when the sketch created its pool (the dedicated
 	// single-propagator default) and is responsible for closing it.
 	ownPool bool
@@ -244,29 +271,60 @@ func New[U any, S any](global Global[U, S], newLocal func() Local[U], cfg Config
 		s.pool = NewPropagatorPool(1)
 		s.ownPool = true
 	}
-	s.pool.sketches.Add(1)
+	s.affinity = s.pool.attach(cfg.AffinityKey)
 	s.eager.Store(cfg.EagerLimit > 0)
-	initialHint := nonzero(global.CalcHint())
+	s.newLocal = newLocal
+	s.initialHint = nonzero(global.CalcHint())
 	s.writers = make([]*Writer[U, S], cfg.Writers)
-	for i := range s.writers {
-		w := &Writer[U, S]{parent: s, id: i, b: cfg.BufferSize, hint: initialHint}
-		w.local[0] = newLocal()
-		if cfg.DoubleBuffering {
-			w.local[1] = newLocal()
-		}
-		w.prop.Store(initialHint)
-		s.writers[i] = w
-	}
 	return s
 }
 
-// Writer returns the i-th writer handle (0 <= i < Config.Writers).
-// Each handle must be used by at most one goroutine at a time.
+// Writer returns the i-th writer handle (0 <= i < Config.Writers),
+// creating it (and its local buffers) on first use. Each handle must
+// be used by at most one goroutine at a time; concurrent first calls
+// for distinct slots are safe (distinct slice elements).
 func (s *Sketch[U, S]) Writer(i int) *Writer[U, S] {
 	if i < 0 || i >= len(s.writers) {
 		panic(fmt.Sprintf("core: writer index %d out of range [0,%d)", i, len(s.writers)))
 	}
-	return s.writers[i]
+	if w := s.writers[i]; w != nil {
+		return w
+	}
+	s.mkMu.Lock()
+	defer s.mkMu.Unlock()
+	if w := s.writers[i]; w != nil {
+		return w
+	}
+	w := &Writer[U, S]{parent: s, id: i, b: s.cfg.BufferSize, hint: s.initialHint}
+	w.prop.Store(s.initialHint)
+	s.writers[i] = w
+	return w
+}
+
+// initLocals allocates the writer's first local buffer sketch on first
+// buffered use. Handles that never leave the eager phase — the long
+// tail of a keyed table's key population — never allocate locals at
+// all; the check is one nil test on the buffered paths. The standby
+// buffer (double buffering) is deferred further, to the first handoff:
+// a slot that buffers a few updates but never fills b pays for one
+// local, not two.
+func (w *Writer[U, S]) initLocals() {
+	p := w.parent
+	p.mkMu.Lock()
+	w.local[0] = p.newLocal()
+	p.mkMu.Unlock()
+}
+
+// ensureStandby allocates the double-buffering standby local on the
+// first handoff.
+func (w *Writer[U, S]) ensureStandby() {
+	if w.local[1] != nil {
+		return
+	}
+	p := w.parent
+	p.mkMu.Lock()
+	w.local[1] = p.newLocal()
+	p.mkMu.Unlock()
 }
 
 // NumWriters returns the configured writer count N.
@@ -319,7 +377,7 @@ func (s *Sketch[U, S]) Close() {
 			}
 		}
 	}
-	s.pool.sketches.Add(-1)
+	s.pool.detach()
 	s.scan() // final drain
 }
 
@@ -358,6 +416,9 @@ func (w *Writer[U, S]) Update(u U) {
 	if !p.global.ShouldAdd(w.hint, u) {
 		return
 	}
+	if w.local[0] == nil {
+		w.initLocals()
+	}
 	w.local[w.cur].Update(u)
 	w.counter++
 	if w.counter == w.b {
@@ -393,6 +454,9 @@ func (w *Writer[U, S]) updateBatch(us []U, filter bool) {
 	}
 	if len(us) == 0 {
 		return
+	}
+	if w.local[0] == nil {
+		w.initLocals()
 	}
 	local := w.local[w.cur]
 	bulk, isBulk := local.(BatchLocal[U])
@@ -498,6 +562,7 @@ func (s *Sketch[U, S]) eagerUpdateBatch(us []U) []U {
 func (w *Writer[U, S]) handoff() {
 	p := w.parent
 	if p.cfg.DoubleBuffering {
+		w.ensureStandby()
 		// Wait until the previous propagation completed (line 125).
 		w.waitPropNonzero()
 		w.hint = w.prop.Load() // line 127: piggybacked hint
@@ -578,7 +643,7 @@ func (s *Sketch[U, S]) signalHandoff(id int) {
 	s.inflight.Add(1)
 	s.pending <- id
 	if s.scheduled.CompareAndSwap(false, true) {
-		s.pool.submit(s)
+		s.pool.submit(s, s.affinity)
 	}
 }
 
@@ -611,7 +676,7 @@ func (s *Sketch[U, S]) runPropagation() {
 	// Re-check after clearing the flag: a writer that enqueued between
 	// the drain and the Store saw scheduled == true and did not submit.
 	if len(s.pending) != 0 && s.scheduled.CompareAndSwap(false, true) {
-		s.pool.submit(s)
+		s.pool.submit(s, s.affinity)
 	}
 }
 
@@ -638,10 +703,13 @@ func (s *Sketch[U, S]) merge(w *Writer[U, S]) {
 // scan performs one pass over all writer slots, merging every
 // handed-off buffer. Only the Close drain uses it, to catch a writer
 // that stored prop = 0 but had not yet enqueued when Close fired.
+// Slots never handed out are nil and skipped.
 func (s *Sketch[U, S]) scan() {
 	s.fullScans.Add(1)
 	for _, w := range s.writers {
-		s.merge(w)
+		if w != nil {
+			s.merge(w)
+		}
 	}
 }
 

@@ -100,8 +100,15 @@ type EngineSketch[V, S, C any] interface {
 type Engine[V, S, C any] interface {
 	CompactCodec[C]
 	// NewSketch creates one live concurrent sketch attached to the given
-	// propagation executor.
+	// propagation executor (no affinity preference: the pool assigns a
+	// home worker round-robin).
 	NewSketch(pool *PropagatorPool) EngineSketch[V, S, C]
+	// NewSketchAffine is NewSketch with a stable worker-affinity key:
+	// equal nonzero keys always land on the same pool worker, so a
+	// recreated sketch (same table key in a later epoch, a promoted hot
+	// key) keeps its home worker and its global sketch stays hot in one
+	// worker's cache. Zero behaves like NewSketch.
+	NewSketchAffine(pool *PropagatorPool, affinityKey uint64) EngineSketch[V, S, C]
 	// NewAggregator returns a fresh many-compact merger.
 	NewAggregator() Aggregator[C]
 	// QueryCompact answers the family's query from a compact alone —
@@ -112,4 +119,31 @@ type Engine[V, S, C any] interface {
 	// Relaxation is the per-sketch bound r = 2·N·b on updates a query
 	// of one NewSketch sketch may miss (Theorem 1).
 	Relaxation() int
+}
+
+// ScalableEngine is an optional Engine capability: deriving a variant
+// of the same family, seed and writer count with the next-larger
+// per-sketch configuration. It is the seam adaptive per-key policies
+// hang on — a keyed table promotes a hot key by rebuilding its sketch
+// through the scaled engine and folding the old state back in via the
+// family's compact-merge path.
+//
+// Each family scales what its merge semantics allow: Θ and quantiles
+// double the accuracy parameter and the local buffer size b (their
+// compact merges are defined across parameters); HLL doubles only b
+// (register merges require equal precision). Scaling b raises that
+// sketch's relaxation bound r = 2·N·b proportionally.
+type ScalableEngine[V, S, C any] interface {
+	Engine[V, S, C]
+	// ScaleUp returns the next-larger engine, or ok=false when every
+	// scalable parameter is already at its cap.
+	ScaleUp() (eng Engine[V, S, C], ok bool)
+	// NewSketchSeeded is NewSketchAffine preloaded with a compact: the
+	// sketch starts from the compact's state (sample set, registers,
+	// filter hint) instead of empty, so a promoted rebuild keeps both
+	// its history and its earned pre-filtering strength — a Θ sketch
+	// rebuilt empty would admit everything until its Θ re-tightened.
+	// Seeding happens before the sketch is exposed to any writer or
+	// propagator, so it needs no synchronisation.
+	NewSketchSeeded(pool *PropagatorPool, affinityKey uint64, from C) EngineSketch[V, S, C]
 }

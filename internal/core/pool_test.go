@@ -163,6 +163,66 @@ func TestPoolFullScanOnlyOnClose(t *testing.T) {
 	}
 }
 
+// TestPoolAffinityStable pins the attach contract: equal nonzero
+// affinity keys map to the same home worker (key mod workers), and
+// zero keys round-robin over all workers.
+func TestPoolAffinityStable(t *testing.T) {
+	pool := NewPropagatorPool(4)
+	defer pool.Close()
+	for _, key := range []uint64{1, 5, 7, 123} {
+		a, _ := newPooledCounting(pool, Config{Writers: 1, BufferSize: 2, DoubleBuffering: true, AffinityKey: key})
+		b, _ := newPooledCounting(pool, Config{Writers: 1, BufferSize: 2, DoubleBuffering: true, AffinityKey: key})
+		if a.affinity != b.affinity {
+			t.Errorf("key %d: affinities %d vs %d, want equal", key, a.affinity, b.affinity)
+		}
+		if want := int(key % 4); a.affinity != want {
+			t.Errorf("key %d: affinity %d, want %d", key, a.affinity, want)
+		}
+		a.Close()
+		b.Close()
+	}
+	seen := make(map[int]bool)
+	var auto []*Sketch[int64, int64]
+	for i := 0; i < 8; i++ {
+		s, _ := newPooledCounting(pool, Config{Writers: 1, BufferSize: 2, DoubleBuffering: true})
+		seen[s.affinity] = true
+		auto = append(auto, s)
+	}
+	if len(seen) != 4 {
+		t.Errorf("round-robin attach covered %d of 4 workers", len(seen))
+	}
+	for _, s := range auto {
+		s.Close()
+	}
+}
+
+// noopTask is an inert propagable for queue mechanics tests.
+type noopTask struct{}
+
+func (noopTask) runPropagation() {}
+
+// TestPoolWorkerQueueShrinksAfterBurst pins the compaction satellite:
+// a run queue that absorbed a large burst drops its backing array when
+// it drains, so idle pools do not pin burst-sized slices.
+func TestPoolWorkerQueueShrinksAfterBurst(t *testing.T) {
+	var w poolWorker
+	const burst = 4 * maxIdleCap
+	for i := 0; i < burst; i++ {
+		w.runq = append(w.runq, noopTask{})
+	}
+	for i := 0; i < burst; i++ {
+		if w.pop() == nil {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+	}
+	if w.pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+	if c := cap(w.runq); c > maxIdleCap {
+		t.Errorf("retained capacity %d after burst drain, want <= %d", c, maxIdleCap)
+	}
+}
+
 // TestPoolHotSketchDoesNotStarveSiblings drives one multi-writer
 // sketch hard on a single-worker pool while a sibling flushes; the
 // sibling must make progress in bounded time because a sketch's drain

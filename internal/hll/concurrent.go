@@ -76,6 +76,19 @@ func (g *GlobalSketch) Compact() *Sketch {
 	return g.h.Clone()
 }
 
+// Absorb folds a sequential sketch into the global (register-wise max;
+// precision and seed must match). Intended for sketch construction,
+// before any writer or propagator runs.
+func (g *GlobalSketch) Absorb(from *Sketch) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.h.Merge(from); err != nil {
+		return err
+	}
+	g.publish()
+	return nil
+}
+
 // Snapshot implements core.Global.
 func (g *GlobalSketch) Snapshot() float64 { return math.Float64frombits(g.est.Load()) }
 
@@ -106,6 +119,9 @@ type ConcurrentConfig struct {
 	// Pool, when non-nil, attaches the sketch to a shared propagation
 	// executor instead of a dedicated propagator goroutine.
 	Pool *core.PropagatorPool
+	// AffinityKey pins the sketch to one pool worker (equal nonzero
+	// keys share a worker); 0 lets the pool assign round-robin.
+	AffinityKey uint64
 }
 
 func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
@@ -130,14 +146,28 @@ type Concurrent struct {
 
 // NewConcurrent builds a concurrent HLL sketch; Close when done.
 func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
+	c, _ := NewConcurrentFrom(cfg, nil)
+	return c
+}
+
+// NewConcurrentFrom builds a concurrent HLL sketch whose global
+// registers are preloaded from a sequential sketch (nil means empty) —
+// the hot-key promotion rebuild path. Precision and seed must match.
+func NewConcurrentFrom(cfg ConcurrentConfig, from *Sketch) (*Concurrent, error) {
 	cfg = cfg.withDefaults()
 	global := NewGlobal(cfg.Precision, cfg.Seed)
+	if from != nil {
+		if err := global.Absorb(from); err != nil {
+			return nil, err
+		}
+	}
 	coreCfg := core.Config{
 		Writers:         cfg.Writers,
 		BufferSize:      cfg.BufferSize,
 		EagerLimit:      cfg.EagerLimit,
 		DoubleBuffering: true,
 		Pool:            cfg.Pool,
+		AffinityKey:     cfg.AffinityKey,
 	}
 	newLocal := func() core.Local[uint64] {
 		return localHLL{s: NewSeeded(cfg.Precision, cfg.Seed)}
@@ -146,7 +176,7 @@ func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
 		sk:     core.New[uint64, float64](global, newLocal, coreCfg),
 		global: global,
 		cfg:    cfg,
-	}
+	}, nil
 }
 
 // Writer returns the i-th writer handle (single-goroutine use).

@@ -47,18 +47,65 @@ func (e *Engine) Relaxation() int { return 2 * e.cfg.Writers * e.cfg.BufferSize 
 
 // NewSketch implements core.Engine.
 func (e *Engine) NewSketch(pool *core.PropagatorPool) core.EngineSketch[uint64, float64, *Sketch] {
+	return e.NewSketchAffine(pool, 0)
+}
+
+// NewSketchAffine implements core.Engine: NewSketch pinned to the pool
+// worker the affinity key maps to.
+func (e *Engine) NewSketchAffine(pool *core.PropagatorPool, affinityKey uint64) core.EngineSketch[uint64, float64, *Sketch] {
 	return &engineSketch{
 		eng:  e,
 		pool: pool,
-		c:    e.newConcurrent(pool),
+		aff:  affinityKey,
+		c:    e.newConcurrent(pool, affinityKey),
 		ws:   make([]*ConcurrentWriter, e.cfg.Writers),
 	}
 }
 
-func (e *Engine) newConcurrent(pool *core.PropagatorPool) *Concurrent {
+func (e *Engine) newConcurrent(pool *core.PropagatorPool, affinityKey uint64) *Concurrent {
 	cfg := e.cfg
 	cfg.Pool = pool
+	cfg.AffinityKey = affinityKey
 	return NewConcurrent(cfg)
+}
+
+// NewSketchSeeded implements core.ScalableEngine: the new sketch's
+// registers start from the compact (register-wise max; the promotion
+// ladder preserves precision and seed, so the merge cannot fail — a
+// foreign compact falls back to an empty sketch).
+func (e *Engine) NewSketchSeeded(pool *core.PropagatorPool, affinityKey uint64, from *Sketch) core.EngineSketch[uint64, float64, *Sketch] {
+	cfg := e.cfg
+	cfg.Pool = pool
+	cfg.AffinityKey = affinityKey
+	c, err := NewConcurrentFrom(cfg, from)
+	if err != nil {
+		c = NewConcurrent(cfg)
+	}
+	return &engineSketch{
+		eng:  e,
+		pool: pool,
+		aff:  affinityKey,
+		c:    c,
+		ws:   make([]*ConcurrentWriter, e.cfg.Writers),
+	}
+}
+
+// maxScaledBuffer caps hot-key buffer growth (see theta's counterpart).
+const maxScaledBuffer = 1 << 14
+
+// ScaleUp implements core.ScalableEngine. HLL register merges require
+// equal precision, so only the local buffer b doubles (halving handoff
+// frequency for hot keys; r = 2·N·b doubles); precision is fixed. The
+// eager phase is disabled — a promoted key is past the small-stream
+// regime by construction.
+func (e *Engine) ScaleUp() (core.Engine[uint64, float64, *Sketch], bool) {
+	cfg := e.cfg
+	if cfg.BufferSize >= maxScaledBuffer {
+		return nil, false
+	}
+	cfg.BufferSize *= 2
+	cfg.EagerLimit = -1
+	return NewEngine(cfg), true
 }
 
 // NewAggregator implements core.Engine: one accumulating sketch with
@@ -96,6 +143,7 @@ func (a *mergeAggregator) Result() *Sketch     { return a.s }
 type engineSketch struct {
 	eng  *Engine
 	pool *core.PropagatorPool
+	aff  uint64
 	c    *Concurrent
 	ws   []*ConcurrentWriter
 }
@@ -117,12 +165,20 @@ func (s *engineSketch) Flush(i int) {
 }
 func (s *engineSketch) Query() float64   { return s.c.Estimate() }
 func (s *engineSketch) Compact() *Sketch { return s.c.Compact() }
-func (s *engineSketch) Close()           { s.c.Close() }
+
+// Close releases the sketch graph (see the Θ counterpart).
+func (s *engineSketch) Close() {
+	if s.c != nil {
+		s.c.Close()
+		s.c = nil
+		s.ws = nil
+	}
+}
 
 // Reset implements core.EngineSketch; caller holds Close-level
 // exclusivity.
 func (s *engineSketch) Reset() {
 	s.c.Close()
-	s.c = s.eng.newConcurrent(s.pool)
+	s.c = s.eng.newConcurrent(s.pool, s.aff)
 	clear(s.ws)
 }

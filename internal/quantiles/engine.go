@@ -35,18 +35,71 @@ func (e *Engine) Relaxation() int { return 2 * e.cfg.Writers * e.cfg.BufferSize 
 
 // NewSketch implements core.Engine.
 func (e *Engine) NewSketch(pool *core.PropagatorPool) core.EngineSketch[float64, *Snapshot, *Sketch] {
+	return e.NewSketchAffine(pool, 0)
+}
+
+// NewSketchAffine implements core.Engine: NewSketch pinned to the pool
+// worker the affinity key maps to.
+func (e *Engine) NewSketchAffine(pool *core.PropagatorPool, affinityKey uint64) core.EngineSketch[float64, *Snapshot, *Sketch] {
 	return &engineSketch{
 		eng:  e,
 		pool: pool,
-		c:    e.newConcurrent(pool),
+		aff:  affinityKey,
+		c:    e.newConcurrent(pool, affinityKey),
 		ws:   make([]*ConcurrentWriter, e.cfg.Writers),
 	}
 }
 
-func (e *Engine) newConcurrent(pool *core.PropagatorPool) *Concurrent {
+func (e *Engine) newConcurrent(pool *core.PropagatorPool, affinityKey uint64) *Concurrent {
 	cfg := e.cfg
 	cfg.Pool = pool
+	cfg.AffinityKey = affinityKey
 	return NewConcurrent(cfg)
+}
+
+// NewSketchSeeded implements core.ScalableEngine: the new sketch's
+// global starts from the compact (weighted samples merge across k), so
+// a promoted hot key keeps its history.
+func (e *Engine) NewSketchSeeded(pool *core.PropagatorPool, affinityKey uint64, from *Sketch) core.EngineSketch[float64, *Snapshot, *Sketch] {
+	cfg := e.cfg
+	cfg.Pool = pool
+	cfg.AffinityKey = affinityKey
+	return &engineSketch{
+		eng:  e,
+		pool: pool,
+		aff:  affinityKey,
+		c:    NewConcurrentFrom(cfg, from),
+		ws:   make([]*ConcurrentWriter, e.cfg.Writers),
+	}
+}
+
+// Promotion caps (see theta's counterparts).
+const (
+	maxScaledK      = 1 << 12
+	maxScaledBuffer = 1 << 14
+)
+
+// ScaleUp implements core.ScalableEngine: doubles k (rank error
+// shrinks) and the local buffer b (r = 2·N·b doubles), and disables
+// the eager phase — a promoted key is past the small-stream regime by
+// construction. Quantiles sketches merge across k (snapshot replay),
+// so scaled sketches stay mergeable with base ones.
+func (e *Engine) ScaleUp() (core.Engine[float64, *Snapshot, *Sketch], bool) {
+	cfg := e.cfg
+	grown := false
+	if cfg.K < maxScaledK {
+		cfg.K *= 2
+		grown = true
+	}
+	if cfg.BufferSize < maxScaledBuffer {
+		cfg.BufferSize *= 2
+		grown = true
+	}
+	if !grown {
+		return nil, false
+	}
+	cfg.EagerLimit = -1
+	return NewEngine(cfg), true
 }
 
 // NewAggregator implements core.Engine: one accumulating sketch.
@@ -85,6 +138,7 @@ func (a *mergeAggregator) Result() *Sketch { return a.s }
 type engineSketch struct {
 	eng  *Engine
 	pool *core.PropagatorPool
+	aff  uint64
 	c    *Concurrent
 	ws   []*ConcurrentWriter
 }
@@ -110,12 +164,20 @@ func (s *engineSketch) Flush(i int) {
 }
 func (s *engineSketch) Query() *Snapshot { return s.c.Snapshot() }
 func (s *engineSketch) Compact() *Sketch { return s.c.Compact() }
-func (s *engineSketch) Close()           { s.c.Close() }
+
+// Close releases the sketch graph (see the Θ counterpart).
+func (s *engineSketch) Close() {
+	if s.c != nil {
+		s.c.Close()
+		s.c = nil
+		s.ws = nil
+	}
+}
 
 // Reset implements core.EngineSketch; caller holds Close-level
 // exclusivity.
 func (s *engineSketch) Reset() {
 	s.c.Close()
-	s.c = s.eng.newConcurrent(s.pool)
+	s.c = s.eng.newConcurrent(s.pool, s.aff)
 	clear(s.ws)
 }

@@ -54,6 +54,10 @@ func (st *SketchTable[K, V, S, C]) Keys() int { return st.t.Keys() }
 // Evictions returns the number of keys evicted so far.
 func (st *SketchTable[K, V, S, C]) Evictions() int64 { return st.t.Evictions() }
 
+// Promotions returns the number of hot-key promotions performed (0
+// unless a HotKeyPolicy is configured).
+func (st *SketchTable[K, V, S, C]) Promotions() int64 { return st.t.Promotions() }
+
 // Pool returns the table's propagation executor.
 func (st *SketchTable[K, V, S, C]) Pool() *core.PropagatorPool { return st.t.Pool() }
 

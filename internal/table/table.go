@@ -10,17 +10,33 @@
 // millions of keys. Instead every per-key sketch attaches to the
 // table's pool: writers hand off filled buffers exactly as in
 // Algorithm 2, and a fixed set of pool workers drains whichever
-// sketches have outstanding handoffs.
+// sketches have outstanding handoffs. Attachment is shard-affine: the
+// key hash doubles as the sketch's pool-affinity key, so one worker
+// always merges a given key's global sketch (it stays hot in that
+// worker's cache) and a key recreated in a later epoch of a windowed
+// table inherits the same home worker.
 //
 // Layout: keys hash into power-of-two shards. Each shard holds a
 // lock-guarded map; sketches are created lazily on first update. The
 // shard lock protects only map membership — never sketch state — so
 // per-key queries are a brief read-lock plus the framework's wait-free
 // atomic snapshot read, and batch ingestion touches each shard lock
-// once per batch. Size-cap and TTL eviction spill evicted keys as
-// compact serialized snapshots through the OnEvict callback, and whole
-// tables serialize to a binary snapshot that merges with snapshots
-// from other processes for distributed aggregation.
+// once per batch. On top of that, each Writer keeps a small
+// direct-mapped key→entry cache so repeat keys skip the shard lock and
+// map lookup entirely; coherence is one epoch stamp per shard, bumped
+// whenever a key leaves the shard's map, so a cached entry is used only
+// after re-validating the stamp under the entry's liveness lock — an
+// evicted key can never be resurrected through a stale cache slot.
+// Size-cap and TTL eviction spill evicted keys as compact serialized
+// snapshots through the OnEvict callback, and whole tables serialize to
+// a binary snapshot that merges with snapshots from other processes for
+// distributed aggregation.
+//
+// A HotKeyPolicy adds adaptive per-key configurations: keys whose
+// ingest volume crosses a threshold are rebuilt through the engine's
+// ScaleUp ladder (larger accuracy parameter and/or local buffers), with
+// the pre-promotion state preserved as a compact and folded back into
+// every query and snapshot via the family's compact-merge path.
 package table
 
 import (
@@ -41,6 +57,36 @@ type Key interface {
 // shardSeed hashes keys to shards; distinct from sketch seeds so key
 // placement does not correlate with Θ-space sampling.
 const shardSeed uint64 = 0x7ab1e5eed
+
+// HotKeyPolicy enables adaptive per-key configurations: the table
+// counts each key's ingested updates and, when a key's count crosses
+// HotThreshold, rebuilds that key's sketch through the engine's
+// ScaleUp ladder — snapshotting the current state as a compact and
+// creating a sketch with the scaled configuration, seeded from that
+// compact via the family's compact-merge path (same pool worker:
+// affinity is key-derived), so the live sketch keeps the key's full
+// history and, for Θ, its earned pre-filtering strength.
+//
+// What scales is family-dependent (see core.ScalableEngine): Θ doubles
+// the local buffer size b (handoffs halve); quantiles double the
+// accuracy parameter k and b; HLL doubles only b. The scaled engines
+// skip the eager phase — a key only promotes after a volume threshold,
+// far past the small-stream regime. Growing b doubles that key's
+// relaxation bound r = 2·N·b per promotion — hot keys trade staleness
+// headroom (still bounded, still per key) for fewer handoffs. Compacts
+// leaving the table are normalized back to the base parameter, so
+// snapshot wire compatibility and cross-table merges are unaffected.
+type HotKeyPolicy struct {
+	// HotThreshold is the per-key ingested-update count that triggers
+	// a promotion; the counter resets on promotion, so a key that
+	// stays hot climbs one ladder step per threshold crossing. <= 0
+	// disables the policy.
+	HotThreshold int64
+	// MaxPromotions caps how many times one key may be promoted
+	// (ladder depth). 0 means 3. The ladder also ends where the
+	// engine's ScaleUp reports its cap.
+	MaxPromotions int
+}
 
 // Config carries the sketch-independent table configuration. The zero
 // value is usable: 1 writer, 256 shards, GOMAXPROCS propagators, no
@@ -75,6 +121,10 @@ type Config[K Key] struct {
 	// outside all table locks; implementations may be slow but must
 	// not call back into the evicting table's write path.
 	OnEvict func(key K, snapshot []byte)
+	// HotKeys, when non-nil with HotThreshold > 0, promotes hot keys
+	// to scaled-up per-key sketches. Ignored when the table's engine
+	// does not implement core.ScalableEngine.
+	HotKeys *HotKeyPolicy
 }
 
 func (c Config[K]) withDefaults() Config[K] {
@@ -90,21 +140,42 @@ func (c Config[K]) withDefaults() Config[K] {
 	return c
 }
 
-// entry is one live key. mu serialises sketch liveness: updaters hold
-// it shared for the duration of their sketch calls, evictors hold it
-// exclusive while draining and closing the sketch. touched is the
-// UnixNano of the last update, for TTL/LRU eviction.
+// entry is one live key. mu serialises sketch liveness and identity:
+// updaters hold it shared for the duration of their sketch calls,
+// evictors hold it exclusive while draining and closing the sketch,
+// and hot-key promotion holds it exclusive while swapping sk for a
+// scaled-up rebuild. touched is the UnixNano of the last update, for
+// TTL/LRU eviction; hits counts ingested updates since creation or the
+// last promotion.
 type entry[V, S, C any] struct {
 	mu      sync.RWMutex
 	sk      core.EngineSketch[V, S, C]
 	touched atomic.Int64
+	// dead is set (under mu exclusive) once finalize or Close has
+	// closed sk; a deferred promotion that lost the race to an
+	// eviction must not rebuild the closed sketch (the rebuilt sketch
+	// would be unreachable and never closed — a pool-attachment leak).
+	dead bool
+
+	// Hot-key promotion state. level counts promotions (atomic: read
+	// on the unlocked counting path); eng is the engine that built sk
+	// (the ladder engine after promotion; guarded by mu). Promotion
+	// rebuilds sk seeded from its own compact, so the live sketch
+	// always carries the key's full history.
+	hits  atomic.Int64
+	level atomic.Int32
+	eng   core.Engine[V, S, C]
 }
 
 // shard is one power-of-two slice of the key space. mu protects m
-// (membership only, never sketch state).
+// (membership only, never sketch state). epoch counts map removals —
+// the coherence stamp for per-writer entry caches: any eviction,
+// expiry or close that deletes a key bumps it, invalidating every
+// cached entry of this shard at its next validation.
 type shard[K Key, V, S, C any] struct {
-	mu sync.RWMutex
-	m  map[K]*entry[V, S, C]
+	mu    sync.RWMutex
+	m     map[K]*entry[V, S, C]
+	epoch atomic.Uint64
 }
 
 // Table is the generic keyed sketch table; the exported ThetaTable /
@@ -122,9 +193,16 @@ type Table[K Key, V, S, C any] struct {
 	// perShardCap is ceil(MaxKeys/Shards), 0 when uncapped.
 	perShardCap int
 
-	keys      atomic.Int64
-	evictions atomic.Int64
-	closed    atomic.Bool
+	// hot is the active hot-key policy (nil when disabled or the
+	// engine is not scalable); ladder[i] is the engine for promotion
+	// level i+1, built once at construction.
+	hot    *HotKeyPolicy
+	ladder []core.ScalableEngine[V, S, C]
+
+	keys       atomic.Int64
+	evictions  atomic.Int64
+	promotions atomic.Int64
+	closed     atomic.Bool
 
 	// now is the eviction clock (UnixNano); tests override it.
 	now func() int64
@@ -150,22 +228,58 @@ func newTable[K Key, V, S, C any](cfg Config[K], eng core.Engine[V, S, C]) *Tabl
 	for i := range t.shards {
 		t.shards[i].m = make(map[K]*entry[V, S, C])
 	}
+	if cfg.HotKeys != nil && cfg.HotKeys.HotThreshold > 0 {
+		if se, ok := any(eng).(core.ScalableEngine[V, S, C]); ok {
+			depth := cfg.HotKeys.MaxPromotions
+			if depth <= 0 {
+				depth = 3
+			}
+			for i := 0; i < depth; i++ {
+				next, ok := se.ScaleUp()
+				if !ok {
+					break
+				}
+				// Ladder engines must be scalable themselves: the
+				// promotion rebuild seeds the new sketch through them.
+				nse, ok := any(next).(core.ScalableEngine[V, S, C])
+				if !ok {
+					break
+				}
+				t.ladder = append(t.ladder, nse)
+				se = nse
+			}
+			if len(t.ladder) > 0 {
+				t.hot = cfg.HotKeys
+			}
+		}
+	}
 	return t
 }
 
-// shardIndex places a key. The any-boxing compiles to a type switch on
-// the instantiation's shape and does not escape.
-func shardIndex[K Key](k K, mask uint64) uint64 {
+// keyHash returns the shard-placement hash of a key; the low bits pick
+// the shard, the whole word indexes the writer entry caches and pins
+// the key's sketch to a pool worker. The any-boxing compiles to a type
+// switch on the instantiation's shape and does not escape.
+func keyHash[K Key](k K) uint64 {
 	switch v := any(k).(type) {
 	case string:
 		h, _ := hash.Sum128String(v, shardSeed)
-		return h & mask
+		return h
 	case uint64:
 		h, _ := hash.SumUint64(v, shardSeed)
-		return h & mask
+		return h
 	default:
 		panic("table: unsupported key type")
 	}
+}
+
+// affinityKeyOf maps a key hash to a nonzero pool-affinity key (the
+// pool reserves 0 for "no preference").
+func affinityKeyOf(h uint64) uint64 {
+	if h == 0 {
+		return shardSeed
+	}
+	return h
 }
 
 // Pool returns the table's propagation executor.
@@ -177,8 +291,16 @@ func (t *Table[K, V, S, C]) Keys() int { return int(t.keys.Load()) }
 // Evictions returns the number of keys evicted so far.
 func (t *Table[K, V, S, C]) Evictions() int64 { return t.evictions.Load() }
 
+// Promotions returns the number of hot-key promotions performed.
+func (t *Table[K, V, S, C]) Promotions() int64 { return t.promotions.Load() }
+
 // NumWriters returns the configured writer-handle count N.
 func (t *Table[K, V, S, C]) NumWriters() int { return t.cfg.Writers }
+
+// writerCacheSize is the per-writer direct-mapped entry-cache size (a
+// power of two). 512 slots cover the hot set of a zipfian key draw at
+// a few KB per writer.
+const writerCacheSize = 512
 
 // Writer returns the i-th writer handle (0 <= i < Config.Writers).
 // Each handle must be used by at most one goroutine at a time.
@@ -191,14 +313,22 @@ func (t *Table[K, V, S, C]) Writer(i int) *Writer[K, V, S, C] {
 		id:          i,
 		gidx:        make(map[K]int),
 		shardGroups: make([][]int, t.cfg.Shards),
+		ckeys:       make([]K, writerCacheSize),
+		centries:    make([]*entry[V, S, C], writerCacheSize),
+		chashes:     make([]uint64, writerCacheSize),
+		cepochs:     make([]uint64, writerCacheSize),
 	}
 }
 
 // query returns the wait-free per-key snapshot. The shard read-lock
 // guards only map membership; the snapshot itself is the framework's
 // single atomic read and is never blocked by ingestion or propagation.
+// With a hot-key policy the entry lock is additionally held shared, to
+// pin the sketch identity against a racing promotion — a promoted
+// key's live sketch carries its full history (the rebuild is seeded
+// from the old compact), so the query is still one snapshot read.
 func (t *Table[K, V, S, C]) query(k K) (S, bool) {
-	sh := &t.shards[shardIndex(k, t.mask)]
+	sh := &t.shards[keyHash(k)&t.mask]
 	sh.mu.RLock()
 	e := sh.m[k]
 	if e == nil {
@@ -206,22 +336,55 @@ func (t *Table[K, V, S, C]) query(k K) (S, bool) {
 		var zero S
 		return zero, false
 	}
-	s := e.sk.Query()
+	if t.hot == nil {
+		s := e.sk.Query()
+		sh.mu.RUnlock()
+		return s, true
+	}
+	e.mu.RLock()
 	sh.mu.RUnlock()
+	s := e.sk.Query()
+	e.mu.RUnlock()
 	return s, true
+}
+
+// compactOf returns the entry's full-history compact, normalized to
+// the table's base parameter when the entry was promoted to a
+// different one — every compact leaving the table (per-key compacts,
+// table snapshots, rollups, eviction spills) is base-compatible
+// regardless of promotion level, keeping the FCTB wire format and
+// cross-table merges unchanged. Caller must hold e.mu (shared or
+// exclusive).
+func (t *Table[K, V, S, C]) compactOf(e *entry[V, S, C]) C {
+	c := e.sk.Compact()
+	if e.eng.Param() == t.eng.Param() {
+		return c
+	}
+	norm := t.eng.NewAggregator()
+	_ = norm.Add(c)
+	return norm.Result()
 }
 
 // compactKey returns a serializable compact snapshot of one live key.
 func (t *Table[K, V, S, C]) compactKey(k K) (C, bool) {
-	sh := &t.shards[shardIndex(k, t.mask)]
+	sh := &t.shards[keyHash(k)&t.mask]
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	e := sh.m[k]
 	if e == nil {
+		sh.mu.RUnlock()
 		var zero C
 		return zero, false
 	}
-	return e.sk.Compact(), true
+	if t.hot == nil {
+		c := e.sk.Compact()
+		sh.mu.RUnlock()
+		return c, true
+	}
+	e.mu.RLock()
+	sh.mu.RUnlock()
+	c := t.compactOf(e)
+	e.mu.RUnlock()
+	return c, true
 }
 
 // forEachCompact visits a compact snapshot of every live key. Snapshots
@@ -233,7 +396,14 @@ func (t *Table[K, V, S, C]) forEachCompact(fn func(k K, c C)) {
 		sh := &t.shards[i]
 		sh.mu.RLock()
 		for k, e := range sh.m {
-			fn(k, e.sk.Compact())
+			if t.hot == nil {
+				fn(k, e.sk.Compact())
+				continue
+			}
+			e.mu.RLock()
+			c := t.compactOf(e)
+			e.mu.RUnlock()
+			fn(k, c)
 		}
 		sh.mu.RUnlock()
 	}
@@ -241,33 +411,41 @@ func (t *Table[K, V, S, C]) forEachCompact(fn func(k K, c C)) {
 
 // getOrCreate resolves the entry for a key, creating it lazily, and
 // returns it with its liveness lock held shared (the caller must
-// release it after the sketch call). Lock coupling with the shard lock
-// guarantees an evictor cannot close the sketch in between.
-func (t *Table[K, V, S, C]) getOrCreate(sh *shard[K, V, S, C], k K) *entry[V, S, C] {
+// release it after the sketch call) plus the shard epoch observed
+// while the entry was provably in the map — the stamp a writer cache
+// slot needs. Lock coupling with the shard lock guarantees an evictor
+// cannot close the sketch in between.
+func (t *Table[K, V, S, C]) getOrCreate(sh *shard[K, V, S, C], k K, h uint64) (*entry[V, S, C], uint64) {
 	sh.mu.RLock()
 	if e := sh.m[k]; e != nil {
+		ep := sh.epoch.Load()
 		e.mu.RLock()
 		sh.mu.RUnlock()
-		return e
+		return e, ep
 	}
 	sh.mu.RUnlock()
 	sh.mu.Lock()
 	e := sh.m[k]
 	if e == nil {
-		e = t.newEntry()
+		e = t.newEntry(h)
 		sh.m[k] = e
 		t.keys.Add(1)
 	}
+	ep := sh.epoch.Load()
 	e.mu.RLock()
 	sh.mu.Unlock()
-	return e
+	return e, ep
 }
 
-// newEntry creates a live entry. touched starts at now, not zero — a
+// newEntry creates a live entry whose sketch is pinned to the pool
+// worker the key hash maps to. touched starts at now, not zero — a
 // zero timestamp would make a just-created key the LRU victim and
 // invert the eviction order.
-func (t *Table[K, V, S, C]) newEntry() *entry[V, S, C] {
-	e := &entry[V, S, C]{sk: t.eng.NewSketch(t.pool)}
+func (t *Table[K, V, S, C]) newEntry(h uint64) *entry[V, S, C] {
+	e := &entry[V, S, C]{
+		sk:  t.eng.NewSketchAffine(t.pool, affinityKeyOf(h)),
+		eng: t.eng,
+	}
 	e.touched.Store(t.now())
 	return e
 }
@@ -315,6 +493,12 @@ func (t *Table[K, V, S, C]) maybeEvictCap(si uint64) {
 		t.keys.Add(-1)
 		victims = append(victims, victim{oldestK, oldest})
 	}
+	if len(victims) > 0 {
+		// Invalidate writer caches before any victim is finalized: a
+		// cached hit re-validates this stamp under the entry lock, so
+		// after the bump no writer can start using a victim.
+		sh.epoch.Add(1)
+	}
 	sh.mu.Unlock()
 	for _, v := range victims {
 		t.finalize(v.k, v.e, true)
@@ -336,13 +520,18 @@ func (t *Table[K, V, S, C]) EvictExpired() int {
 	var victims []victim
 	for i := range t.shards {
 		sh := &t.shards[i]
+		removed := false
 		sh.mu.Lock()
 		for k, e := range sh.m {
 			if e.touched.Load() < cutoff {
 				delete(sh.m, k)
 				t.keys.Add(-1)
 				victims = append(victims, victim{k, e})
+				removed = true
 			}
+		}
+		if removed {
+			sh.epoch.Add(1)
 		}
 		sh.mu.Unlock()
 	}
@@ -364,16 +553,56 @@ func (t *Table[K, V, S, C]) finalize(k K, e *entry[V, S, C], spill bool) {
 	}
 	var data []byte
 	if spill && t.cfg.OnEvict != nil {
-		if b, err := t.eng.MarshalCompact(e.sk.Compact()); err == nil {
+		if b, err := t.eng.MarshalCompact(t.compactOf(e)); err == nil {
 			data = b
 		}
 	}
 	e.sk.Close()
+	e.dead = true
 	e.mu.Unlock()
 	t.evictions.Add(1)
 	if spill && t.cfg.OnEvict != nil {
 		t.cfg.OnEvict(k, data)
 	}
+}
+
+// promote rebuilds a hot entry's sketch through the next ladder
+// engine: flush every slot (exclusive access makes this safe, as in
+// finalize), capture the full history as a compact, close the old
+// sketch and start the scaled one — seeded from that compact, on the
+// same pool worker — in its place. Callers must hold no table or
+// entry locks; an entry already evicted (dead) is left untouched.
+func (t *Table[K, V, S, C]) promote(e *entry[V, S, C], h uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lvl := int(e.level.Load())
+	if e.dead || lvl >= len(t.ladder) || e.hits.Load() < t.hot.HotThreshold {
+		return
+	}
+	for i := 0; i < t.cfg.Writers; i++ {
+		e.sk.Flush(i)
+	}
+	c := e.sk.Compact()
+	e.sk.Close()
+	next := t.ladder[lvl]
+	e.sk = next.NewSketchSeeded(t.pool, affinityKeyOf(h), c)
+	e.eng = next
+	e.level.Store(int32(lvl + 1))
+	e.hits.Store(0)
+	t.promotions.Add(1)
+}
+
+// noteHot credits n ingested updates to the entry and reports whether
+// the caller should promote it (the counter just crossed the
+// threshold and the ladder has a next step). Safe without locks.
+func (t *Table[K, V, S, C]) noteHot(e *entry[V, S, C], n int) bool {
+	if t.hot == nil {
+		return false
+	}
+	after := e.hits.Add(int64(n))
+	return after >= t.hot.HotThreshold &&
+		after-int64(n) < t.hot.HotThreshold &&
+		int(e.level.Load()) < len(t.ladder)
 }
 
 // Drain flushes every writer slot of every live key so queries and
@@ -405,6 +634,7 @@ func (t *Table[K, V, S, C]) Close() {
 		sh.mu.Lock()
 		m := sh.m
 		sh.m = make(map[K]*entry[V, S, C])
+		sh.epoch.Add(1)
 		sh.mu.Unlock()
 		for _, e := range m {
 			e.mu.Lock()
@@ -412,6 +642,7 @@ func (t *Table[K, V, S, C]) Close() {
 				e.sk.Flush(w)
 			}
 			e.sk.Close()
+			e.dead = true
 			e.mu.Unlock()
 			t.keys.Add(-1)
 		}
@@ -426,32 +657,137 @@ func (t *Table[K, V, S, C]) Close() {
 // scratch is retained across calls, so steady-state keyed batches
 // allocate only when a batch introduces new distinct keys or values
 // outgrow their run buffers.
+//
+// Each writer owns a direct-mapped key→entry cache: a repeat key
+// resolves its entry from the cache and re-validates the shard's
+// eviction epoch under the entry's liveness lock, skipping the shard
+// read-lock and map lookup of the slow path. A slot whose stamp went
+// stale (any key left that shard's map since the slot was filled) is
+// dropped and resolved through the shard map again, so an evicted
+// key's entry is never written through the cache.
 type Writer[K Key, V, S, C any] struct {
 	t  *Table[K, V, S, C]
 	id int
 
-	// gidx maps a batch's distinct keys to group indices; gkeys/gvals
-	// are the parallel key and value-run storage, entries the resolved
-	// per-group entries. shardGroups buckets group indices by shard
-	// (len = Shards) and shardOrder lists touched shards.
+	// gidx maps a batch's distinct keys to group indices; gkeys/ghash/
+	// gvals are the parallel key, key-hash and value-run storage, and
+	// entries the resolved per-group entries. shardGroups buckets
+	// group indices by shard (len = Shards) and shardOrder lists
+	// touched shards.
 	gidx        map[K]int
 	gkeys       []K
+	ghash       []uint64
 	gvals       [][]V
 	entries     []*entry[V, S, C]
+	gepochs     []uint64
 	shardGroups [][]int
 	shardOrder  []int
 	missing     []int
+	creating    []int
+
+	// The direct-mapped entry cache, indexed by key hash. A slot is
+	// (key, hash, entry, shard-epoch stamp); centries[j] == nil means
+	// empty. chits/cmisses count lookups (single-goroutine, like the
+	// writer itself).
+	ckeys    []K
+	centries []*entry[V, S, C]
+	chashes  []uint64
+	cepochs  []uint64
+	chits    int64
+	cmisses  int64
+
+	// hotPending collects entries whose promotion threshold a batch
+	// crossed; promotions run after every entry lock of the batch is
+	// released (promotion takes the entry lock exclusively).
+	hotPending []hotRef[V, S, C]
+}
+
+// hotRef is one deferred hot-key promotion.
+type hotRef[V, S, C any] struct {
+	e *entry[V, S, C]
+	h uint64
+}
+
+// cacheLookup resolves a key through the writer's entry cache. On a
+// hit it returns the entry with its liveness lock held shared and the
+// shard epoch re-validated — the entry is live and in the map. On any
+// miss (empty slot, different key, stale stamp) it returns nil; stale
+// slots are cleared. Callers must hold no other locks (the single-key
+// update path).
+func (w *Writer[K, V, S, C]) cacheLookup(k K, h uint64, sh *shard[K, V, S, C]) *entry[V, S, C] {
+	j := h & (writerCacheSize - 1)
+	e := w.centries[j]
+	if e == nil || w.chashes[j] != h || w.ckeys[j] != k {
+		w.cmisses++
+		return nil
+	}
+	e.mu.RLock()
+	if sh.epoch.Load() != w.cepochs[j] {
+		// A key left this shard since the slot was filled: the cached
+		// entry may be the one evicted. Drop the slot and resolve
+		// through the map.
+		e.mu.RUnlock()
+		w.centries[j] = nil
+		w.cmisses++
+		return nil
+	}
+	w.chits++
+	return e
+}
+
+// cacheProbe is the lock-free half of cacheLookup, used by the batch
+// path: it returns the cached entry candidate and its stamp without
+// acquiring any lock; the batch's apply round re-validates the stamp
+// under the entry lock just before use.
+func (w *Writer[K, V, S, C]) cacheProbe(k K, h uint64) (*entry[V, S, C], uint64) {
+	j := h & (writerCacheSize - 1)
+	e := w.centries[j]
+	if e == nil || w.chashes[j] != h || w.ckeys[j] != k {
+		w.cmisses++
+		return nil, 0
+	}
+	w.chits++
+	return e, w.cepochs[j]
+}
+
+// CacheStats returns the writer's entry-cache hit/miss counters. Like
+// every Writer method, single-goroutine use.
+func (w *Writer[K, V, S, C]) CacheStats() (hits, misses int64) { return w.chits, w.cmisses }
+
+// cacheStore fills the cache slot for a key resolved through the slow
+// path. epoch must have been loaded while the entry was provably in
+// the shard map (under the shard lock).
+func (w *Writer[K, V, S, C]) cacheStore(k K, h uint64, e *entry[V, S, C], epoch uint64) {
+	j := h & (writerCacheSize - 1)
+	w.ckeys[j] = k
+	w.chashes[j] = h
+	w.centries[j] = e
+	w.cepochs[j] = epoch
 }
 
 // UpdateKeyed processes one (key, value) update.
 func (w *Writer[K, V, S, C]) UpdateKeyed(k K, v V) {
 	t := w.t
-	si := shardIndex(k, t.mask)
-	e := t.getOrCreate(&t.shards[si], k)
+	h := keyHash(k)
+	si := h & t.mask
+	sh := &t.shards[si]
+	e := w.cacheLookup(k, h, sh)
+	created := e == nil
+	if created {
+		var ep uint64
+		e, ep = t.getOrCreate(sh, k, h)
+		w.cacheStore(k, h, e, ep)
+	}
 	e.sk.Update(w.id, v)
 	e.touched.Store(t.now())
+	hot := t.noteHot(e, 1)
 	e.mu.RUnlock()
-	t.maybeEvictCap(si)
+	if hot {
+		t.promote(e, h)
+	}
+	if created {
+		t.maybeEvictCap(si)
+	}
 }
 
 // UpdateKeyedBatch processes parallel slices of keys and values: values
@@ -517,11 +853,14 @@ func (w *Writer[K, V, S, C]) group(k K) int {
 		gi = len(w.gkeys)
 		w.gidx[k] = gi
 		w.gkeys = append(w.gkeys, k)
+		h := keyHash(k)
+		w.ghash = append(w.ghash, h)
 		if len(w.gvals) <= gi {
 			w.gvals = append(w.gvals, nil)
 			w.entries = append(w.entries, nil)
+			w.gepochs = append(w.gepochs, 0)
 		}
-		si := shardIndex(k, w.t.mask)
+		si := h & w.t.mask
 		if len(w.shardGroups[si]) == 0 {
 			w.shardOrder = append(w.shardOrder, int(si))
 		}
@@ -533,65 +872,121 @@ func (w *Writer[K, V, S, C]) group(k K) int {
 // apply drains the grouped runs into the per-key sketches (pass 2 of
 // the grouped ingestion), leaving the grouping scratch empty. hashed
 // selects the pre-hashed ingestion path.
+//
+// Locking discipline: the resolve rounds record (entry, shard-epoch
+// stamp) pairs without holding any entry lock, and the apply round
+// locks exactly one entry at a time, re-validating its stamp before
+// use (the cache-hit protocol, applied uniformly). No entry lock is
+// ever held while a shard lock is acquired and no two entry locks are
+// held together — which is what lets hot-key promotion take entry
+// locks exclusively while the entry is still mapped, without forming
+// a reader/writer lock cycle against concurrent batches and queries.
 func (w *Writer[K, V, S, C]) apply(hashed bool) {
 	t := w.t
 	now := t.now()
-	// Pass 2: per shard — resolve entries (one shard-lock round), apply
-	// each key's run, then enforce the shard's key cap.
 	for _, si := range w.shardOrder {
 		sh := &t.shards[si]
 		groups := w.shardGroups[si]
 		w.missing = w.missing[:0]
-		sh.mu.RLock()
+		created := false
+		// Round 0: writer entry cache — lock-free candidate probes.
 		for _, gi := range groups {
-			if e := sh.m[w.gkeys[gi]]; e != nil {
-				e.mu.RLock()
+			if e, ep := w.cacheProbe(w.gkeys[gi], w.ghash[gi]); e != nil {
 				w.entries[gi] = e
+				w.gepochs[gi] = ep
 			} else {
 				w.missing = append(w.missing, gi)
 			}
 		}
-		sh.mu.RUnlock()
 		if len(w.missing) > 0 {
-			sh.mu.Lock()
+			// Round 1: resolve cache misses through the shard map under
+			// the read lock, collecting absent keys.
+			w.creating = w.creating[:0]
+			sh.mu.RLock()
+			ep := sh.epoch.Load()
 			for _, gi := range w.missing {
-				k := w.gkeys[gi]
-				e := sh.m[k]
-				if e == nil {
-					e = t.newEntry()
-					sh.m[k] = e
-					t.keys.Add(1)
+				if e := sh.m[w.gkeys[gi]]; e != nil {
+					w.entries[gi] = e
+					w.gepochs[gi] = ep
+					w.cacheStore(w.gkeys[gi], w.ghash[gi], e, ep)
+				} else {
+					w.creating = append(w.creating, gi)
 				}
-				e.mu.RLock()
-				w.entries[gi] = e
 			}
-			sh.mu.Unlock()
+			sh.mu.RUnlock()
+			if len(w.creating) > 0 {
+				// Round 2: create absent keys under the write lock.
+				created = true
+				sh.mu.Lock()
+				epw := sh.epoch.Load()
+				for _, gi := range w.creating {
+					k := w.gkeys[gi]
+					e := sh.m[k]
+					if e == nil {
+						e = t.newEntry(w.ghash[gi])
+						sh.m[k] = e
+						t.keys.Add(1)
+					}
+					w.entries[gi] = e
+					w.gepochs[gi] = epw
+					w.cacheStore(k, w.ghash[gi], e, epw)
+				}
+				sh.mu.Unlock()
+			}
 		}
+		// Round 3: apply each run under its entry's lock alone.
 		for _, gi := range groups {
 			e := w.entries[gi]
+			e.mu.RLock()
+			if sh.epoch.Load() != w.gepochs[gi] {
+				// A key left this shard between resolve and use; the
+				// entry may be the one evicted. Re-resolve through the
+				// map (creating a fresh incarnation if needed) — no
+				// other lock is held here, so getOrCreate's coupling
+				// is safe.
+				e.mu.RUnlock()
+				var ep uint64
+				e, ep = t.getOrCreate(sh, w.gkeys[gi], w.ghash[gi])
+				w.cacheStore(w.gkeys[gi], w.ghash[gi], e, ep)
+				created = true
+			}
+			run := w.gvals[gi]
 			if hashed {
-				e.sk.UpdateHashedBatch(w.id, w.gvals[gi])
+				e.sk.UpdateHashedBatch(w.id, run)
 			} else {
-				e.sk.UpdateBatch(w.id, w.gvals[gi])
+				e.sk.UpdateBatch(w.id, run)
 			}
 			e.touched.Store(now)
+			if t.noteHot(e, len(run)) {
+				w.hotPending = append(w.hotPending, hotRef[V, S, C]{e: e, h: w.ghash[gi]})
+			}
 			e.mu.RUnlock()
 			w.entries[gi] = nil
 			w.gvals[gi] = w.gvals[gi][:0]
-			delete(w.gidx, w.gkeys[gi])
 		}
 		w.shardGroups[si] = w.shardGroups[si][:0]
-		t.maybeEvictCap(uint64(si))
+		if created {
+			t.maybeEvictCap(uint64(si))
+		}
 	}
+	clear(w.gidx) // one bulk reset beats a delete per distinct key
 	w.gkeys = w.gkeys[:0]
+	w.ghash = w.ghash[:0]
 	w.shardOrder = w.shardOrder[:0]
+	// Promote after the batch's own entry locks are all released;
+	// promote itself takes each entry's lock exclusively, one at a
+	// time, holding nothing else.
+	for _, p := range w.hotPending {
+		t.promote(p.e, p.h)
+	}
+	w.hotPending = w.hotPending[:0]
 }
 
 // FlushKey hands off this writer's buffered updates for one key and
 // waits until they are folded into the key's global sketch.
 func (w *Writer[K, V, S, C]) FlushKey(k K) {
 	t := w.t
-	sh := &t.shards[shardIndex(k, t.mask)]
+	sh := &t.shards[keyHash(k)&t.mask]
 	sh.mu.RLock()
 	e := sh.m[k]
 	if e == nil {

@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/fcds/fcds/internal/core"
 	"github.com/fcds/fcds/internal/hash"
@@ -19,7 +20,12 @@ type ThetaConfig[K Key] struct {
 	// against the paper's standalone default of 4096.
 	K int
 	// MaxError is e, the per-key tolerated relaxation error; it sizes
-	// the eager cutoff 2/e² exactly as for a standalone sketch.
+	// the eager cutoff 2/e² exactly as for a standalone sketch. The
+	// default is the per-key sketch's own RSE 1/sqrt(K-2) (6.3% at the
+	// default K=256), never below 0.04: a relaxation-error target
+	// tighter than the sketch's inherent error would only lengthen the
+	// serialised (mutex-guarded) per-key eager phase, which multi-
+	// writer ingest pays for directly.
 	MaxError float64
 	// BufferSize is b, each writer slot's local buffer per key; the
 	// per-key relaxation is r = 2·N·b. Default 8 (the error-derived
@@ -43,7 +49,10 @@ func (c ThetaConfig[K]) withDefaults() ThetaConfig[K] {
 		panic(fmt.Sprintf("table: ThetaConfig.K must be a power of two >= 16, got %d", c.K))
 	}
 	if c.MaxError == 0 {
-		c.MaxError = 0.04
+		c.MaxError = 1 / math.Sqrt(float64(c.K-2))
+		if c.MaxError < 0.04 {
+			c.MaxError = 0.04
+		}
 	}
 	if c.BufferSize == 0 {
 		c.BufferSize = 8

@@ -68,6 +68,10 @@ type GlobalSketch struct {
 	mu sync.Mutex
 	// est holds math.Float64bits of the current estimate.
 	est atomic.Uint64
+	// theta is Θ republished at every merge/eager update: the fresh
+	// pre-filtering hint the batch paths read once per batch (0 means
+	// "not yet published" and maps to MaxThetaValue).
+	theta atomic.Uint64
 	// noFilter disables hint-based pre-filtering (ablation only: it
 	// forces every hash through the local buffers, §5.2 measures the
 	// filtering as "instrumental for performance").
@@ -109,6 +113,23 @@ func (g *GlobalSketch) UpdateDirect(h uint64) {
 	g.mu.Unlock()
 }
 
+// AbsorbCompact preloads the global with a compact's sample set and Θ
+// (see QuickSelect.AbsorbCompact). Intended for sketch construction,
+// before any writer or propagator runs; the lock still guards against
+// misuse. Backends without Θ-absorption (KMV) replay the hashes only.
+func (g *GlobalSketch) AbsorbCompact(c *Compact) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var err error
+	if ab, ok := g.qs.(interface{ AbsorbCompact(*Compact) error }); ok {
+		err = ab.AbsorbCompact(c)
+	} else {
+		c.ForEachHash(g.qs.UpdateHash)
+	}
+	g.publish()
+	return err
+}
+
 // Compact returns an immutable point-in-time snapshot of the full
 // sample set, serialised against concurrent merges. Unlike Snapshot
 // (the wait-free estimate read) it retains the hashes, so it can be
@@ -135,6 +156,17 @@ func (g *GlobalSketch) ShouldAdd(hint uint64, h uint64) bool {
 
 func (g *GlobalSketch) publish() {
 	g.est.Store(math.Float64bits(g.qs.Estimate()))
+	g.theta.Store(g.qs.Theta())
+}
+
+// PublishedTheta returns the last published Θ — the freshest valid
+// pre-filtering hint — falling back to MaxThetaValue before the first
+// publication.
+func (g *GlobalSketch) PublishedTheta() uint64 {
+	if t := g.theta.Load(); t != 0 {
+		return t
+	}
+	return hash.MaxThetaValue
 }
 
 // ConcurrentConfig configures a concurrent Θ sketch. Zero fields take
@@ -175,6 +207,9 @@ type ConcurrentConfig struct {
 	// executor instead of a dedicated propagator goroutine (keyed
 	// tables attach millions of sketches to one pool).
 	Pool *core.PropagatorPool
+	// AffinityKey pins the sketch to one pool worker (equal nonzero
+	// keys share a worker); 0 lets the pool assign round-robin.
+	AffinityKey uint64
 }
 
 func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
@@ -205,6 +240,19 @@ type Concurrent struct {
 
 // NewConcurrent builds a concurrent Θ sketch; Close it when done.
 func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
+	c, _ := newConcurrentSeeded(cfg, nil)
+	return c
+}
+
+// NewConcurrentFrom builds a concurrent Θ sketch whose global state is
+// preloaded from a compact (sample set and Θ, see AbsorbCompact), so
+// writers pre-filter with the inherited Θ from the first update. The
+// compact's seed must match cfg's.
+func NewConcurrentFrom(cfg ConcurrentConfig, from *Compact) (*Concurrent, error) {
+	return newConcurrentSeeded(cfg, from)
+}
+
+func newConcurrentSeeded(cfg ConcurrentConfig, from *Compact) (*Concurrent, error) {
 	cfg = cfg.withDefaults()
 	var global *GlobalSketch
 	if cfg.UseKMV {
@@ -213,12 +261,20 @@ func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
 		global = NewGlobal(cfg.K, cfg.Seed)
 	}
 	global.noFilter = cfg.DisableFiltering
+	if from != nil {
+		// Absorb before core.New so the framework captures the
+		// inherited Θ as every writer's initial pre-filtering hint.
+		if err := global.AbsorbCompact(from); err != nil {
+			return nil, err
+		}
+	}
 	coreCfg := core.Config{
 		Writers:         cfg.Writers,
 		BufferSize:      cfg.BufferSize,
 		EagerLimit:      cfg.EagerLimit,
 		DoubleBuffering: !cfg.DisableDoubleBuffering,
 		Pool:            cfg.Pool,
+		AffinityKey:     cfg.AffinityKey,
 	}
 	if cfg.AdaptiveBuffering {
 		// In exact mode (hint Θ = 1) keep the conservative b; once in
@@ -241,7 +297,7 @@ func NewConcurrent(cfg ConcurrentConfig) *Concurrent {
 		sk:     core.New[uint64, float64](global, newLocal, coreCfg),
 		global: global,
 		cfg:    cfg,
-	}
+	}, nil
 }
 
 // Writer returns the i-th writer handle; each handle may be used by at
@@ -250,6 +306,7 @@ func (c *Concurrent) Writer(i int) *ConcurrentWriter {
 	return &ConcurrentWriter{
 		w:        c.sk.Writer(i),
 		seed:     c.cfg.Seed,
+		global:   c.global,
 		noFilter: c.cfg.DisableFiltering,
 	}
 }
@@ -293,6 +350,9 @@ func (c *Concurrent) Close() { c.sk.Close() }
 type ConcurrentWriter struct {
 	w    *core.Writer[uint64, float64]
 	seed uint64
+	// global lets the batch paths read the freshly published Θ once
+	// per batch (see filterHint).
+	global *GlobalSketch
 	// scratch holds the surviving hashes of a batch between the
 	// hash+filter pass and the framework handoff; it is reused across
 	// calls so steady-state batch ingestion is allocation-free.
@@ -328,7 +388,19 @@ func (w *ConcurrentWriter) filterHint() uint64 {
 	if w.noFilter {
 		return hash.MaxThetaValue
 	}
-	return w.w.Hint()
+	// Prefer the globally published Θ over the piggybacked hint: the
+	// piggyback refreshes only on this writer's own handoffs, so with
+	// N writers it lags the stream N× further — a batch filtered with
+	// it admits items a fresh Θ already excludes, and that wasted
+	// buffer and merge traffic grows with the writer count. One atomic
+	// load per batch (not per item) keeps the paper's cache-friendly
+	// design; Θ only decreases, so the fresher hint filters strictly
+	// more and remains a valid static shouldAdd threshold.
+	h := w.w.Hint()
+	if g := w.global.PublishedTheta(); g < h {
+		h = g
+	}
+	return h
 }
 
 // UpdateUint64Batch processes a slice of uint64 items: hashing and Θ

@@ -45,18 +45,73 @@ func (e *Engine) Relaxation() int { return 2 * e.cfg.Writers * e.cfg.BufferSize 
 
 // NewSketch implements core.Engine.
 func (e *Engine) NewSketch(pool *core.PropagatorPool) core.EngineSketch[uint64, float64, *Compact] {
+	return e.NewSketchAffine(pool, 0)
+}
+
+// NewSketchAffine implements core.Engine: NewSketch pinned to the pool
+// worker the affinity key maps to.
+func (e *Engine) NewSketchAffine(pool *core.PropagatorPool, affinityKey uint64) core.EngineSketch[uint64, float64, *Compact] {
 	return &engineSketch{
 		eng:  e,
 		pool: pool,
-		c:    e.newConcurrent(pool),
+		aff:  affinityKey,
+		c:    e.newConcurrent(pool, affinityKey),
 		ws:   make([]*ConcurrentWriter, e.cfg.Writers),
 	}
 }
 
-func (e *Engine) newConcurrent(pool *core.PropagatorPool) *Concurrent {
+func (e *Engine) newConcurrent(pool *core.PropagatorPool, affinityKey uint64) *Concurrent {
 	cfg := e.cfg
 	cfg.Pool = pool
+	cfg.AffinityKey = affinityKey
 	return NewConcurrent(cfg)
+}
+
+// NewSketchSeeded implements core.ScalableEngine: the new sketch's
+// global starts from the compact — sample set and Θ — so a promoted
+// hot key keeps its history and its pre-filtering strength. A compact
+// with a foreign seed (impossible within one engine family) falls back
+// to an empty sketch.
+func (e *Engine) NewSketchSeeded(pool *core.PropagatorPool, affinityKey uint64, from *Compact) core.EngineSketch[uint64, float64, *Compact] {
+	cfg := e.cfg
+	cfg.Pool = pool
+	cfg.AffinityKey = affinityKey
+	c, err := NewConcurrentFrom(cfg, from)
+	if err != nil {
+		c = NewConcurrent(cfg)
+	}
+	return &engineSketch{
+		eng:  e,
+		pool: pool,
+		aff:  affinityKey,
+		c:    c,
+		ws:   make([]*ConcurrentWriter, e.cfg.Writers),
+	}
+}
+
+// maxScaledBuffer caps hot-key buffer growth: past this, handoffs are
+// no longer the bottleneck and r = 2·N·b staleness keeps doubling for
+// nothing.
+const maxScaledBuffer = 1 << 10
+
+// ScaleUp implements core.ScalableEngine: doubles the local buffer b —
+// handoffs (and the writer's propagation round-trip waits) halve,
+// while the per-sketch relaxation r = 2·N·b doubles — and disables the
+// eager phase: a key only reaches a promotion after a volume threshold
+// of updates, far past the small-stream regime the eager phase exists
+// for, and rebuilding into a fresh eager phase would re-serialise its
+// writers for no accuracy gain. k is left unchanged: growing it would
+// weaken the Θ pre-filter (admitting ~2× buffered updates per
+// doubling), cancelling the handoff win — accuracy-directed scaling
+// belongs to an explicit larger-K table config, not the hot-key path.
+func (e *Engine) ScaleUp() (core.Engine[uint64, float64, *Compact], bool) {
+	cfg := e.cfg
+	if cfg.BufferSize >= maxScaledBuffer {
+		return nil, false
+	}
+	cfg.BufferSize *= 2
+	cfg.EagerLimit = -1
+	return NewEngine(cfg), true
 }
 
 // NewAggregator implements core.Engine: a Union accumulator.
@@ -97,6 +152,7 @@ func (a *unionAggregator) Result() *Compact     { return a.u.Result() }
 type engineSketch struct {
 	eng  *Engine
 	pool *core.PropagatorPool
+	aff  uint64
 	c    *Concurrent
 	ws   []*ConcurrentWriter
 }
@@ -118,13 +174,25 @@ func (s *engineSketch) Flush(i int) {
 }
 func (s *engineSketch) Query() float64    { return s.c.Estimate() }
 func (s *engineSketch) Compact() *Compact { return s.c.Compact() }
-func (s *engineSketch) Close()            { s.c.Close() }
+
+// Close drops the concurrent sketch after closing it: writer entry
+// caches may keep a reference to an evicted table entry (and through
+// it, this adapter) until the slot is overwritten, and releasing the
+// sketch graph here bounds that retention to the adapter stub. Any
+// use after Close is a contract violation and now fails loudly.
+func (s *engineSketch) Close() {
+	if s.c != nil {
+		s.c.Close()
+		s.c = nil
+		s.ws = nil
+	}
+}
 
 // Reset implements core.EngineSketch: equivalent to Close followed by a
 // fresh sketch on the same executor. The caller must hold the same
 // exclusivity as for Close.
 func (s *engineSketch) Reset() {
 	s.c.Close()
-	s.c = s.eng.newConcurrent(s.pool)
+	s.c = s.eng.newConcurrent(s.pool, s.aff)
 	clear(s.ws)
 }

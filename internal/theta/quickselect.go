@@ -163,3 +163,30 @@ func (s *QuickSelect) Compact() *Compact {
 	hashes := s.table.appendAll(make([]uint64, 0, s.table.count))
 	return newCompactFromUnsorted(hashes, s.theta, s.seed)
 }
+
+// AbsorbCompact folds a compact's full state into the sketch: its
+// sample set AND its Θ. Unlike Merge (which replays only the hashes),
+// the resulting Θ is min(s.Θ, c.Θ), so a sketch seeded from a compact
+// filters exactly as hard as the sketch the compact was taken from —
+// the hot-key promotion path relies on this to rebuild without losing
+// pre-filtering strength. Seeds must match.
+func (s *QuickSelect) AbsorbCompact(c *Compact) error {
+	if c.Seed() != s.seed {
+		return ErrSeedMismatch
+	}
+	if t := c.Theta(); t < s.theta {
+		s.theta = t
+		if s.table.count > 0 {
+			// Discard retained hashes invalidated by the lower Θ.
+			s.scratch = s.table.appendAll(s.scratch[:0])
+			s.table.reset()
+			for _, h := range s.scratch {
+				if h < t {
+					s.table.insert(h)
+				}
+			}
+		}
+	}
+	c.ForEachHash(s.UpdateHash)
+	return nil
+}

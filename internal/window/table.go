@@ -33,6 +33,12 @@ import (
 // epoch's width must exceed the duration of any single ingestion call,
 // so that by the time a table two rotations old is drained and closed,
 // no writer can still be inside it.
+//
+// Propagation affinity is inherited across rotations: the keyed table
+// derives each sketch's pool-worker assignment from the key hash, so
+// key k's sketch in the epoch-N table lands on the same propagator
+// worker as k's sketch in every other epoch — rotation never
+// reshuffles the worker an active key's merges run on.
 type Table[K table.Key, V, S, C any] struct {
 	ring
 	eng  core.Engine[V, S, C]

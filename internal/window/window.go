@@ -99,8 +99,13 @@ type winView[V, S, C any] struct {
 // when done.
 type Windowed[V, S, C any] struct {
 	ring
-	eng  core.Engine[V, S, C]
-	gens []*generation[V, S, C] // oldest first; last is active; under mu
+	eng core.Engine[V, S, C]
+	// affKey pins every epoch's sketch to one pool worker: rotation
+	// creates the new epoch's sketch with the same affinity key, so the
+	// window inherits its home worker instead of reshuffling each epoch
+	// (the global sketch's cache line stays hot across rotations).
+	affKey uint64
+	gens   []*generation[V, S, C] // oldest first; last is active; under mu
 
 	// view is the atomically published window state: the active
 	// generation together with the matching sealed aggregate, swapped
@@ -219,7 +224,8 @@ func (r *rotator) halt() {
 func New[V, S, C any](eng core.Engine[V, S, C], cfg Config) *Windowed[V, S, C] {
 	w := &Windowed[V, S, C]{eng: eng}
 	w.ring.init(cfg.withDefaults(), nil, w.Rotate)
-	g := &generation[V, S, C]{epoch: 0, sk: eng.NewSketch(w.pool)}
+	w.affKey = w.pool.AffinityToken()
+	g := &generation[V, S, C]{epoch: 0, sk: eng.NewSketchAffine(w.pool, w.affKey)}
 	w.gens = []*generation[V, S, C]{g}
 	w.view.Store(&winView[V, S, C]{active: g})
 	s := eng.QueryCompact(eng.NewAggregator().Result())
@@ -293,7 +299,7 @@ func (w *Windowed[V, S, C]) Rotate() {
 	}
 	g := &generation[V, S, C]{
 		epoch: w.epoch.Add(1),
-		sk:    w.eng.NewSketch(w.pool),
+		sk:    w.eng.NewSketchAffine(w.pool, w.affKey),
 	}
 	w.gens = append(w.gens, g)
 	// Expire: generations older than the ring leave the window. The
