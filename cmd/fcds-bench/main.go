@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,16 @@ import (
 	"github.com/fcds/fcds/internal/stream"
 )
 
+// scale selects an experiment's parameter tier: the default finishes
+// in minutes, -full is paper-scale (hours), -smoke is a CI-sized run
+// that keeps every curve and configuration of the default tier but
+// shrinks stream sizes and trial counts — so a smoke report is
+// point-for-point comparable (same curve/threads set) with a committed
+// default-tier BENCH_*.json, which is what the -check gate relies on.
+type scale struct {
+	full, smoke bool
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -38,48 +49,81 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	full := fs.Bool("full", false, "paper-scale parameters (much slower)")
+	smoke := fs.Bool("smoke", false, "CI-sized run: same curves, tiny streams (overrides -full)")
 	k := fs.Int("k", 4096, "global sketch nominal entries")
 	jsonPath := fs.String("json", "", "also write results as JSON to this file (BENCH_*.json trajectory)")
+	checkPath := fs.String("check", "", "compare this run's JSON report against a committed BENCH_*.json and fail on schema drift")
+	timeout := fs.Duration("timeout", 20*time.Minute, "abort the run (exit 1) if the experiment exceeds this; 0 disables")
 	_ = fs.Parse(os.Args[2:])
+	sc := scale{full: *full && !*smoke, smoke: *smoke}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// Every experiment returns its JSON report (nil when the experiment
-	// defines none); -json is honoured uniformly here rather than
-	// inside each experiment.
+	// defines none); -json and -check are honoured uniformly here
+	// rather than inside each experiment. The experiment runs under a
+	// watchdog: a hung run fails with a diagnostic instead of stalling
+	// the CI job until the job-level timeout reaps it.
+	done := make(chan *benchReport, 1)
+	go func() {
+		var rep *benchReport
+		switch cmd {
+		case "batch":
+			rep = batch(ctx, sc, *k)
+		case "table":
+			rep = tableExp(ctx, sc)
+		case "pool":
+			rep = poolExp(ctx, sc)
+		case "window":
+			rep = windowExp(ctx, sc)
+		case "serve":
+			rep = serveExp(ctx, sc)
+		case "figure1":
+			figure1(sc.full)
+		case "figure5a":
+			figure5(sc.full, 1.0, *k)
+		case "figure5b":
+			figure5(sc.full, 0.04, *k)
+		case "figure6":
+			figure6(sc.full, *k)
+		case "figure7":
+			figure7(sc.full, *k)
+		case "figure8":
+			figure8(sc.full, *k)
+		case "table1":
+			table1(sc.full)
+		case "table2":
+			table2(sc.full)
+		case "quantiles-error":
+			quantilesError(sc.full)
+		case "sketches":
+			sketches(sc.full)
+		case "all":
+			all(ctx, sc, *k)
+		default:
+			usage()
+			os.Exit(2)
+		}
+		done <- rep
+	}()
 	var rep *benchReport
-	switch cmd {
-	case "batch":
-		rep = batch(*full, *k)
-	case "table":
-		rep = tableExp(*full)
-	case "pool":
-		rep = poolExp(*full)
-	case "window":
-		rep = windowExp(*full)
-	case "figure1":
-		figure1(*full)
-	case "figure5a":
-		figure5(*full, 1.0, *k)
-	case "figure5b":
-		figure5(*full, 0.04, *k)
-	case "figure6":
-		figure6(*full, *k)
-	case "figure7":
-		figure7(*full, *k)
-	case "figure8":
-		figure8(*full, *k)
-	case "table1":
-		table1(*full)
-	case "table2":
-		table2(*full)
-	case "quantiles-error":
-		quantilesError(*full)
-	case "sketches":
-		sketches(*full)
-	case "all":
-		all(*full, *k)
-	default:
-		usage()
-		os.Exit(2)
+	select {
+	case rep = <-done:
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "fcds-bench: experiment %q did not finish within %s: %v\n",
+			cmd, *timeout, ctx.Err())
+		os.Exit(1)
+	}
+	if err := ctx.Err(); err != nil {
+		// A cooperative cancellation mid-run returned a partial report;
+		// never emit or gate on partial numbers.
+		fmt.Fprintf(os.Stderr, "fcds-bench: experiment %q aborted: %v\n", cmd, err)
+		os.Exit(1)
 	}
 	if *jsonPath != "" {
 		if rep == nil || len(rep.Results) == 0 {
@@ -92,15 +136,30 @@ func main() {
 		}
 		writeBenchJSON(*jsonPath, *rep)
 	}
+	if *checkPath != "" {
+		if rep == nil || len(rep.Results) == 0 {
+			fmt.Fprintf(os.Stderr,
+				"fcds-bench: experiment %q produced no JSON report to check against %s\n",
+				cmd, *checkPath)
+			os.Exit(1)
+		}
+		if err := checkReport(*rep, *checkPath); err != nil {
+			fmt.Fprintf(os.Stderr, "fcds-bench: check against %s FAILED:\n%v\n", *checkPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fcds-bench: check ok: %s matches this run's %d points\n",
+			*checkPath, len(rep.Results))
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fcds-bench <experiment> [-full] [-k N] [-json FILE]
+	fmt.Fprintln(os.Stderr, `usage: fcds-bench <experiment> [-full|-smoke] [-k N] [-json FILE] [-check FILE] [-timeout D]
 experiments:
   batch            batched vs per-item ingestion throughput (the batch pipeline)
   table            keyed multi-tenant tables: zipfian keys, shared propagator pool
   pool             propagator pool: throughput and steal counts vs worker count
   window           sliding-window keyed tables: zipfian keys, rotating epochs vs plain tables
+  serve            network ingest server: loopback throughput vs connection count
   figure1          scalability: concurrent vs lock-based, update-only
   figure5a         accuracy pitchfork, no eager propagation (e=1.0)
   figure5b         accuracy pitchfork, eager propagation (e=0.04)
@@ -114,22 +173,26 @@ experiments:
   all              run everything (scaled)`)
 }
 
-func all(full bool, k int) {
+func all(ctx context.Context, sc scale, k int) {
 	for _, f := range []func(){
-		func() { table1(full) },
-		func() { batch(full, k) },
-		func() { tableExp(full) },
-		func() { poolExp(full) },
-		func() { windowExp(full) },
-		func() { figure1(full) },
-		func() { figure5(full, 1.0, k) },
-		func() { figure5(full, 0.04, k) },
-		func() { figure6(full, k) },
-		func() { figure7(full, k) },
-		func() { figure8(full, k) },
-		func() { table2(full) },
-		func() { quantilesError(full) },
+		func() { table1(sc.full) },
+		func() { batch(ctx, sc, k) },
+		func() { tableExp(ctx, sc) },
+		func() { poolExp(ctx, sc) },
+		func() { windowExp(ctx, sc) },
+		func() { serveExp(ctx, sc) },
+		func() { figure1(sc.full) },
+		func() { figure5(sc.full, 1.0, k) },
+		func() { figure5(sc.full, 0.04, k) },
+		func() { figure6(sc.full, k) },
+		func() { figure7(sc.full, k) },
+		func() { figure8(sc.full, k) },
+		func() { table2(sc.full) },
+		func() { quantilesError(sc.full) },
 	} {
+		if ctx.Err() != nil {
+			return
+		}
 		f()
 		fmt.Println()
 	}
@@ -180,15 +243,19 @@ func writeBenchJSON(path string, rep benchReport) {
 
 // batch: the batched ingestion pipeline vs the per-item path, across
 // writer counts and chunk sizes.
-func batch(full bool, k int) *benchReport {
+func batch(ctx context.Context, sc scale, k int) *benchReport {
 	n := uint64(1 << 21)
 	trials := 3
 	writers := []int{1, 2, 4}
 	chunks := []int{64, 256, 4096}
-	if full {
+	if sc.full {
 		n = 1 << 24
 		trials = 16
 		writers = []int{1, 2, 4, 8, 12}
+	}
+	if sc.smoke {
+		n = 1 << 17
+		trials = 1
 	}
 	fmt.Printf("# Batch pipeline: batched vs per-item ingestion, k=%d, e=1.0, b=64\n", k)
 	fmt.Println("curve\tthreads\tchunk\tMops_sec")
@@ -197,6 +264,9 @@ func batch(full bool, k int) *benchReport {
 		GoMaxProcs: runtime.GOMAXPROCS(0), N: n, Trials: trials, K: k,
 	}
 	profile := func(curve string, chunk int, build func(th int) characterization.Runner) {
+		if ctx.Err() != nil {
+			return
+		}
 		pts := characterization.ScalabilityProfile(characterization.ScalabilityConfig{
 			Threads: writers, N: n, Trials: trials, Build: build,
 		})
@@ -227,16 +297,20 @@ func batch(full bool, k int) *benchReport {
 // goroutine counts, all key sketches propagated by one shared pool.
 // The zipfian key/value streams are pregenerated outside the timed
 // section, so the curves measure table ingestion, not math.Log.
-func tableExp(full bool) *benchReport {
+func tableExp(ctx context.Context, sc scale) *benchReport {
 	n := uint64(1 << 22)
 	trials := 3
 	keySpaces := []int{1_000, 10_000, 100_000}
 	writerCounts := []int{1, 2, 4, 8}
-	if full {
+	if sc.full {
 		n = 1 << 23
 		trials = 5
 		keySpaces = []int{1_000, 10_000, 100_000, 1_000_000}
 		writerCounts = []int{1, 2, 4, 8, 12}
+	}
+	if sc.smoke {
+		n = 1 << 18
+		trials = 1
 	}
 	const chunk = 2048
 	fmt.Println("# Table: keyed Θ tables, zipfian keys (s=1.2), K=256 per key, shared propagator pool")
@@ -261,6 +335,9 @@ func tableExp(full bool) *benchReport {
 	gor := make(map[cfgKey]int)
 	for trial := 0; trial < trials; trial++ {
 		for i := range order {
+			if ctx.Err() != nil {
+				return nil
+			}
 			k := order[i]
 			if trial%2 == 1 {
 				k = order[len(order)-1-i]
@@ -342,14 +419,18 @@ func runTableTrial(n uint64, keys, writers, maxWriters, chunk int, seed uint64) 
 // cross-queue steal count of the shard-affine scheduler (affine
 // submission keeps a sketch on one worker; steals kick in when a
 // worker backs up).
-func poolExp(full bool) *benchReport {
+func poolExp(ctx context.Context, sc scale) *benchReport {
 	n := uint64(1 << 21)
 	trials := 3
 	workerCounts := []int{1, 2, 4, 8}
-	if full {
+	if sc.full {
 		n = 1 << 23
 		trials = 5
 		workerCounts = []int{1, 2, 4, 8, 16}
+	}
+	if sc.smoke {
+		n = 1 << 18
+		trials = 1
 	}
 	const sketches = 64
 	const ingesters = 4
@@ -364,6 +445,9 @@ func poolExp(full bool) *benchReport {
 	steals := make(map[int]int64)
 	for trial := 0; trial < trials; trial++ {
 		for _, workers := range workerCounts {
+			if ctx.Err() != nil {
+				return nil
+			}
 			mops, st := runPoolTrial(n, workers, sketches, ingesters, chunk, uint64(trial))
 			if mops > best[workers] {
 				best[workers] = mops
@@ -437,16 +521,20 @@ func runPoolTrial(n uint64, workers, sketches, ingesters, chunk int, seed uint64
 // as the table experiment, rotating through 16 epochs per trial, with
 // the plain (non-windowed) keyed table as the in-run baseline — the
 // epoch-ring overhead is the gap between the two curves.
-func windowExp(full bool) *benchReport {
+func windowExp(ctx context.Context, sc scale) *benchReport {
 	n := uint64(1 << 21)
 	trials := 2
 	keySpaces := []int{1_000, 100_000}
 	writerCounts := []int{1, 4}
-	if full {
+	if sc.full {
 		n = 1 << 23
 		trials = 5
 		keySpaces = []int{1_000, 100_000, 1_000_000}
 		writerCounts = []int{1, 4, 8, 12}
+	}
+	if sc.smoke {
+		n = 1 << 17
+		trials = 1
 	}
 	const chunk = 512
 	const rotations = 16
@@ -468,6 +556,9 @@ func windowExp(full bool) *benchReport {
 			var bestW, bestP float64
 			var gor int
 			for trial := 0; trial < trials; trial++ {
+				if ctx.Err() != nil {
+					return nil
+				}
 				mops, g := runWindowTrial(n, keys, writers, chunk, rotations, uint64(trial))
 				if mops > bestW {
 					bestW = mops
@@ -531,6 +622,202 @@ func runWindowTrial(n uint64, keys, writers, chunk, rotations int, seed uint64) 
 	goroutines = runtime.NumGoroutine()
 	elapsed := time.Since(start)
 	return float64(n) / 1e6 / elapsed.Seconds(), goroutines
+}
+
+// serveExp: the network ingest server over loopback TCP — keyed Θ
+// ingest throughput vs client connection count. Each connection runs
+// the client's batched asynchronous ingest path (pipelined acks) into
+// one shared uint64-keyed table; the curve exposes the wire+framing
+// overhead against the in-process `table` experiment and how it
+// amortises across connections.
+func serveExp(ctx context.Context, sc scale) *benchReport {
+	n := uint64(1 << 20)
+	trials := 3
+	connCounts := []int{1, 2, 4, 8}
+	if sc.full {
+		n = 1 << 22
+		trials = 5
+	}
+	if sc.smoke {
+		n = 1 << 16
+		trials = 1
+	}
+	const keys = 10_000
+	const chunk = 2048
+	fmt.Println("# Serve: loopback network ingest, keyed Θ table (K=256), zipfian keys (s=1.2), batched client pipeline")
+	fmt.Println("curve\tconns\tkeys\tMops_sec")
+	rep := benchReport{
+		Experiment: "serve", Unix: time.Now().Unix(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), N: n, Trials: trials, K: 256,
+	}
+	best := make(map[int]float64)
+	for trial := 0; trial < trials; trial++ {
+		for _, conns := range connCounts {
+			if ctx.Err() != nil {
+				return nil
+			}
+			mops, err := runServeTrial(n, conns, keys, chunk, uint64(trial))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fcds-bench: serve:", err)
+				os.Exit(1)
+			}
+			if mops > best[conns] {
+				best[conns] = mops
+			}
+		}
+	}
+	for _, conns := range connCounts {
+		fmt.Printf("conns\t%d\t%d\t%.2f\n", conns, keys, best[conns])
+		rep.Results = append(rep.Results, benchRecord{
+			Curve: "conns", Threads: conns, Chunk: chunk,
+			MopsSec: best[conns], Keys: keys,
+		})
+	}
+	return &rep
+}
+
+// runServeTrial stands up a loopback ingest server over one keyed Θ
+// table and drives n zipfian-keyed updates through `conns` client
+// connections (pregenerated streams; the clock covers dial-to-flush).
+func runServeTrial(n uint64, conns, keys, chunk int, seed uint64) (float64, error) {
+	tab := fcds.NewThetaTableU64(fcds.ThetaTableU64Config{
+		Table: fcds.TableU64Config{Writers: conns, Shards: 1024},
+	})
+	defer tab.Close()
+	srv, err := fcds.Serve("127.0.0.1:0", fcds.IngestServerConfig{})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	if err := fcds.RegisterThetaTableU64(srv, "bench", tab); err != nil {
+		return 0, err
+	}
+	addr := srv.Addr().String()
+
+	parts := stream.Partition(n, conns)
+	allKs := make([][]uint64, conns)
+	allVs := make([][]uint64, conns)
+	for ci := 0; ci < conns; ci++ {
+		z := stream.NewZipf(uint64(keys), 1.2, seed*1000+uint64(ci)+1)
+		vals := stream.NewScrambled(parts[ci].Start)
+		ks := make([]uint64, parts[ci].Count)
+		vs := make([]uint64, parts[ci].Count)
+		for i := range ks {
+			ks[i] = z.Next()
+			vs[i] = vals.Next()
+		}
+		allKs[ci], allVs[ci] = ks, vs
+	}
+
+	errs := make(chan error, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := fcds.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			ks, vs := allKs[ci], allVs[ci]
+			for off := 0; off < len(ks); off += chunk {
+				end := min(off+chunk, len(ks))
+				if err := c.IngestU64("bench", ks[off:end], vs[off:end]); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				errs <- err
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(n) / 1e6 / elapsed.Seconds(), nil
+}
+
+// checkReport is the bench-JSON regression gate: it compares this
+// run's report against a committed BENCH_*.json and fails on schema
+// drift (experiment renamed, curve/threads point set changed), missing
+// required fields, or zero-throughput points on either side — so CI
+// catches both a broken emitter and a stale committed trajectory
+// before a human compares numbers point for point.
+func checkReport(fresh benchReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed benchReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("committed file is not a bench report: %w", err)
+	}
+	validate := func(who string, rep benchReport) error {
+		if rep.Experiment == "" || rep.GoMaxProcs <= 0 || rep.N == 0 || rep.Trials <= 0 {
+			return fmt.Errorf("%s report missing required fields (experiment=%q gomaxprocs=%d n=%d trials=%d)",
+				who, rep.Experiment, rep.GoMaxProcs, rep.N, rep.Trials)
+		}
+		if len(rep.Results) == 0 {
+			return fmt.Errorf("%s report has no results", who)
+		}
+		for _, r := range rep.Results {
+			if r.Curve == "" || r.Threads <= 0 {
+				return fmt.Errorf("%s report has a malformed point %+v", who, r)
+			}
+			if r.MopsSec <= 0 {
+				return fmt.Errorf("%s report has zero ops at curve %q threads %d", who, r.Curve, r.Threads)
+			}
+		}
+		return nil
+	}
+	if err := validate("fresh", fresh); err != nil {
+		return err
+	}
+	if err := validate("committed", committed); err != nil {
+		return err
+	}
+	if fresh.Experiment != committed.Experiment {
+		return fmt.Errorf("experiment drift: fresh %q, committed %q", fresh.Experiment, committed.Experiment)
+	}
+	type point struct {
+		curve   string
+		threads int
+	}
+	set := func(rep benchReport) map[point]bool {
+		m := make(map[point]bool, len(rep.Results))
+		for _, r := range rep.Results {
+			m[point{r.Curve, r.Threads}] = true
+		}
+		return m
+	}
+	fs, cs := set(fresh), set(committed)
+	var drift []string
+	for p := range fs {
+		if !cs[p] {
+			drift = append(drift, fmt.Sprintf("point %s/%d produced by this build is missing from %s", p.curve, p.threads, path))
+		}
+	}
+	for p := range cs {
+		if !fs[p] {
+			drift = append(drift, fmt.Sprintf("point %s/%d in %s is no longer produced by this build", p.curve, p.threads, path))
+		}
+	}
+	if len(drift) > 0 {
+		msg := drift[0]
+		for _, d := range drift[1:] {
+			msg += "\n" + d
+		}
+		return fmt.Errorf("curve drift:\n%s", msg)
+	}
+	return nil
 }
 
 // figure1: scalability of concurrent vs lock-based Θ sketch, b=1.

@@ -1,0 +1,244 @@
+// Command fcds-serve runs an fcds network ingest node: it listens for
+// the keyed-batch wire protocol (see the fcds package documentation's
+// "Network ingestion and snapshot shipping" section), terminates
+// batches into in-memory keyed sketch tables, and answers per-key
+// queries, rollups, snapshot pulls and snapshot pushes.
+//
+// With -push, the node also acts as an aggregation edge: on every
+// -push-every tick it captures each table's merged snapshot and ships
+// it to the upstream node, which merges it into its own tables — chain
+// two fcds-serve processes and you have the paper's distributed-
+// aggregation fabric on real sockets.
+//
+// Usage:
+//
+//	fcds-serve [-addr :9700] [-tables events=theta/str,lat=quantiles/str]
+//	           [-writers N] [-param K] [-max-keys N] [-ttl D]
+//	           [-push host:9700 -push-every 5s] [-stats-every D] [-v]
+//
+// Table specs are name=family/keytype with family one of theta,
+// quantiles, hll and keytype one of str, u64. SIGINT/SIGTERM shut the
+// node down gracefully: in-flight frames drain, one final push runs
+// (when configured), and the tables close.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	fcds "github.com/fcds/fcds"
+)
+
+type tableSpec struct {
+	name, family, keyType string
+}
+
+func parseSpecs(s string) ([]tableSpec, error) {
+	var specs []tableSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("table spec %q: want name=family/keytype", part)
+		}
+		family, keyType, ok := strings.Cut(rest, "/")
+		if !ok {
+			keyType = "str"
+		}
+		switch family {
+		case "theta", "quantiles", "hll":
+		default:
+			return nil, fmt.Errorf("table spec %q: unknown family %q", part, family)
+		}
+		switch keyType {
+		case "str", "u64":
+		default:
+			return nil, fmt.Errorf("table spec %q: unknown key type %q", part, keyType)
+		}
+		specs = append(specs, tableSpec{name: name, family: family, keyType: keyType})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no tables configured")
+	}
+	return specs, nil
+}
+
+// node is one running table: its registration plus the hooks the push
+// loop and shutdown need.
+type node struct {
+	spec     tableSpec
+	snapshot func() ([]byte, error)
+	keys     func() int
+	close    func()
+}
+
+func main() {
+	addr := flag.String("addr", ":9700", "listen address")
+	tables := flag.String("tables", "events=theta/str", "comma-separated table specs: name=family/keytype (family: theta|quantiles|hll, keytype: str|u64)")
+	writers := flag.Int("writers", 4, "writer handles per table (N of the per-key relaxation bound)")
+	param := flag.Int("param", 0, "per-key sketch parameter: K for theta/quantiles, precision for hll (0 = family default)")
+	maxKeys := flag.Int("max-keys", 0, "live-key cap per table (0 = unlimited; LRU eviction past it)")
+	ttl := flag.Duration("ttl", 0, "evict keys idle longer than this (0 = never)")
+	push := flag.String("push", "", "upstream fcds-serve address to ship snapshots to")
+	pushEvery := flag.Duration("push-every", 10*time.Second, "snapshot shipping interval (with -push)")
+	statsEvery := flag.Duration("stats-every", 0, "log server stats at this interval (0 = never)")
+	verbose := flag.Bool("v", false, "log connection-level diagnostics")
+	flag.Parse()
+
+	lg := log.New(os.Stderr, "fcds-serve: ", log.LstdFlags)
+	specs, err := parseSpecs(*tables)
+	if err != nil {
+		lg.Fatal(err)
+	}
+
+	cfg := fcds.IngestServerConfig{}
+	if *verbose {
+		cfg.Logf = lg.Printf
+	}
+	srv, err := fcds.Serve(*addr, cfg)
+	if err != nil {
+		lg.Fatal(err)
+	}
+
+	pool := fcds.NewPropagatorPool(0) // one executor for every table
+	defer pool.Close()
+	nodes := make([]*node, 0, len(specs))
+	for _, spec := range specs {
+		n, err := register(srv, spec, *writers, *param, *maxKeys, *ttl, pool)
+		if err != nil {
+			lg.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		lg.Printf("serving table %s (%s, %s keys)", spec.name, spec.family, spec.keyType)
+	}
+	lg.Printf("listening on %s", srv.Addr())
+
+	// Snapshot shipping: one upstream connection, re-dialled on error.
+	pushDone := make(chan struct{})
+	pushStop := make(chan struct{})
+	if *push != "" {
+		go func() {
+			defer close(pushDone)
+			ticker := time.NewTicker(*pushEvery)
+			defer ticker.Stop()
+			var up *fcds.IngestClient
+			defer func() {
+				if up != nil {
+					up.Close()
+				}
+			}()
+			ship := func() {
+				if up == nil {
+					var err error
+					if up, err = fcds.Dial(*push); err != nil {
+						lg.Printf("push: dial %s: %v", *push, err)
+						return
+					}
+				}
+				for _, n := range nodes {
+					blob, err := n.snapshot()
+					if err != nil {
+						lg.Printf("push: snapshot %s: %v", n.spec.name, err)
+						continue
+					}
+					if err := up.PushSnapshot(n.spec.name, blob); err != nil {
+						lg.Printf("push: ship %s: %v", n.spec.name, err)
+						up.Close()
+						up = nil
+						return
+					}
+				}
+			}
+			for {
+				select {
+				case <-ticker.C:
+					ship()
+				case <-pushStop:
+					ship() // final flush so shutdown loses nothing
+					return
+				}
+			}
+		}()
+	} else {
+		close(pushDone)
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := srv.Stats()
+				lg.Printf("stats: conns=%d keys=%d frames=%d items=%d snapshots=%d errors=%d",
+					st.Conns, st.Keys, st.Frames, st.Items, st.Snapshots, st.Errors)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	lg.Printf("%s: draining", got)
+	srv.Close() // stop accepting, drain in-flight frames
+	if *push != "" {
+		close(pushStop)
+	}
+	<-pushDone
+	for _, n := range nodes {
+		n.close()
+	}
+	st := srv.Stats()
+	lg.Printf("done: served %d conns, %d frames, %d items", st.ConnsTotal, st.Frames, st.Items)
+}
+
+// register builds the table a spec describes, registers it, and
+// returns its lifecycle hooks.
+func register(srv *fcds.IngestServer, spec tableSpec, writers, param, maxKeys int, ttl time.Duration, pool *fcds.PropagatorPool) (*node, error) {
+	strCfg := fcds.TableConfig{Writers: writers, MaxKeys: maxKeys, TTL: ttl, Pool: pool}
+	u64Cfg := fcds.TableU64Config{Writers: writers, MaxKeys: maxKeys, TTL: ttl, Pool: pool}
+	n := &node{spec: spec}
+	var err error
+	switch spec.family + "/" + spec.keyType {
+	case "theta/str":
+		t := fcds.NewThetaTable(fcds.ThetaTableConfig{Table: strCfg, K: param})
+		n.keys, n.close = t.Keys, t.Close
+		err = fcds.RegisterThetaTable(srv, spec.name, t)
+	case "theta/u64":
+		t := fcds.NewThetaTableU64(fcds.ThetaTableU64Config{Table: u64Cfg, K: param})
+		n.keys, n.close = t.Keys, t.Close
+		err = fcds.RegisterThetaTableU64(srv, spec.name, t)
+	case "quantiles/str":
+		t := fcds.NewQuantilesTable(fcds.QuantilesTableConfig{Table: strCfg, K: param})
+		n.keys, n.close = t.Keys, t.Close
+		err = fcds.RegisterQuantilesTable(srv, spec.name, t)
+	case "quantiles/u64":
+		t := fcds.NewQuantilesTableU64(fcds.QuantilesTableU64Config{Table: u64Cfg, K: param})
+		n.keys, n.close = t.Keys, t.Close
+		err = fcds.RegisterQuantilesTableU64(srv, spec.name, t)
+	case "hll/str":
+		t := fcds.NewHLLTable(fcds.HLLTableConfig{Table: strCfg, Precision: uint8(param)})
+		n.keys, n.close = t.Keys, t.Close
+		err = fcds.RegisterHLLTable(srv, spec.name, t)
+	case "hll/u64":
+		t := fcds.NewHLLTableU64(fcds.HLLTableU64Config{Table: u64Cfg, Precision: uint8(param)})
+		n.keys, n.close = t.Keys, t.Close
+		err = fcds.RegisterHLLTableU64(srv, spec.name, t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Ship through the server's own snapshot path: it quiesces the
+	// server's writer slots, drains the table (a plain SnapshotBinary
+	// would miss up to r acked-but-buffered updates per key) and folds
+	// in any snapshots this node has itself received — so a mid-tier
+	// node forwards downstream data instead of dropping it.
+	n.snapshot = func() ([]byte, error) { return srv.SnapshotTable(spec.name) }
+	return n, nil
+}

@@ -72,3 +72,87 @@ func ExampleNewHLLSketch() {
 	fmt.Printf("%.0f\n", h.Estimate())
 	// Output: 97
 }
+
+// ExampleServe runs the two-node distributed-aggregation pipeline on
+// loopback sockets: an edge node ingests keyed batches over the wire
+// protocol, ships its table snapshot to an aggregator node, and the
+// aggregator's merged answers cover both nodes' streams exactly (the
+// streams here are small enough for the per-key exact mode).
+func ExampleServe() {
+	newNode := func() (*fcds.IngestServer, *fcds.ThetaTable) {
+		t := fcds.NewThetaTable(fcds.ThetaTableConfig{
+			Table: fcds.TableConfig{Writers: 2},
+			K:     2048,
+		})
+		s, err := fcds.Serve("127.0.0.1:0", fcds.IngestServerConfig{})
+		if err != nil {
+			panic(err)
+		}
+		if err := fcds.RegisterThetaTable(s, "events", t); err != nil {
+			panic(err)
+		}
+		return s, t
+	}
+	edgeSrv, edgeTab := newNode()
+	defer edgeTab.Close()
+	defer edgeSrv.Close()
+	aggSrv, aggTab := newNode()
+	defer aggTab.Close()
+	defer aggSrv.Close()
+
+	// The edge sees users 0..499 of tenant "eu", the aggregator sees
+	// the overlapping 250..749 — the union holds 750 distinct users.
+	ingest := func(addr string, lo, hi uint64) {
+		c, err := fcds.Dial(addr)
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		keys := make([]string, 0, hi-lo)
+		users := make([]uint64, 0, hi-lo)
+		for u := lo; u < hi; u++ {
+			keys = append(keys, "eu")
+			users = append(users, u)
+		}
+		if err := c.Ingest("events", keys, users); err != nil {
+			panic(err)
+		}
+		if err := c.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	ingest(edgeSrv.Addr().String(), 0, 500)
+	ingest(aggSrv.Addr().String(), 250, 750)
+
+	// Ship the edge snapshot to the aggregator and query the union.
+	c, err := fcds.Dial(edgeSrv.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	blob, err := c.PullSnapshot("events")
+	if err != nil {
+		panic(err)
+	}
+	a, err := fcds.Dial(aggSrv.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	defer a.Close()
+	if err := a.PushSnapshot("events", blob); err != nil {
+		panic(err)
+	}
+	if _, err := a.PullSnapshot("events"); err != nil { // drain local keys
+		panic(err)
+	}
+	_, qblob, _, err := a.QueryCompact("events", "eu")
+	if err != nil {
+		panic(err)
+	}
+	merged, err := fcds.UnmarshalThetaCompact(qblob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f\n", merged.Estimate())
+	// Output: 750
+}

@@ -1,0 +1,151 @@
+// Distributed runs the two-node aggregation pipeline on real sockets:
+// an *edge* node ingests keyed traffic over the wire protocol, and an
+// *aggregator* node receives the edge's table snapshot and merges it
+// with its own locally-served traffic — per-tenant queries and the
+// all-tenants rollup on the aggregator then answer over the union of
+// both nodes' streams.
+//
+// This is the same topology `fcds-serve -push` runs across machines;
+// here both nodes live in one process so the demo is self-contained.
+//
+// Run: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fcds "github.com/fcds/fcds"
+	"github.com/fcds/fcds/internal/stream"
+)
+
+const (
+	tenants   = 200
+	batches   = 150
+	batchSize = 512
+)
+
+func tenantName(id uint64) string { return fmt.Sprintf("tenant-%03d", id) }
+
+// node is one fcds ingest endpoint with a Θ table behind it.
+type node struct {
+	srv *fcds.IngestServer
+	tab *fcds.ThetaTable
+}
+
+func startNode() *node {
+	tab := fcds.NewThetaTable(fcds.ThetaTableConfig{
+		Table: fcds.TableConfig{Writers: 2},
+		K:     4096,
+	})
+	srv, err := fcds.Serve("127.0.0.1:0", fcds.IngestServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fcds.RegisterThetaTable(srv, "events", tab); err != nil {
+		log.Fatal(err)
+	}
+	return &node{srv: srv, tab: tab}
+}
+
+func (n *node) stop() {
+	n.srv.Close()
+	n.tab.Close()
+}
+
+// ingest drives zipfian per-tenant traffic into a node over the wire.
+func ingest(addr string, seed uint64) {
+	c, err := fcds.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	keys := make([]string, batchSize)
+	users := make([]uint64, batchSize)
+	tenantDraw := stream.NewZipf(tenants, 1.2, seed)
+	userDraw := stream.NewScrambled(seed << 40)
+	for b := 0; b < batches; b++ {
+		for i := range keys {
+			keys[i] = tenantName(tenantDraw.Next())
+			users[i] = userDraw.Next()
+		}
+		if err := c.Ingest("events", keys, users); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	edge := startNode()
+	defer edge.stop()
+	agg := startNode()
+	defer agg.stop()
+	edgeAddr := edge.srv.Addr().String()
+	aggAddr := agg.srv.Addr().String()
+	fmt.Printf("edge node on %s, aggregator on %s\n", edgeAddr, aggAddr)
+
+	// Disjoint user populations: the edge sees one half of the traffic,
+	// the aggregator serves the other half directly.
+	ingest(edgeAddr, 1)
+	ingest(aggAddr, 2)
+
+	// Ship the edge's snapshot upstream (what `fcds-serve -push` does
+	// on a timer): pull the edge's merged FCTB blob, push it into the
+	// aggregator, where it merges per key with the live table.
+	ec, err := fcds.Dial(edgeAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ec.Close()
+	blob, err := ec.PullSnapshot("events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ac, err := fcds.Dial(aggAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ac.Close()
+	if err := ac.PushSnapshot("events", blob); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shipped edge snapshot: %d bytes, %d tenants on the edge\n",
+		len(blob), edge.tab.Keys())
+
+	// The aggregator now answers over both nodes' streams.
+	if _, err := ac.PullSnapshot("events"); err != nil { // drain local keys too
+		log.Fatal(err)
+	}
+	for _, tenant := range []string{tenantName(0), tenantName(1), tenantName(7)} {
+		kind, qblob, found, err := ac.QueryCompact("events", tenant)
+		if err != nil || !found || kind != 1 {
+			log.Fatalf("query %s: found=%v kind=%d err=%v", tenant, found, kind, err)
+		}
+		c, err := fcds.UnmarshalThetaCompact(qblob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: ~%.0f unique users across both nodes (95%%: %.0f–%.0f)\n",
+			tenant, c.Estimate(), c.LowerBound(2), c.UpperBound(2))
+	}
+	_, rblob, err := ac.Rollup("events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ru, err := fcds.UnmarshalThetaCompact(rblob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all tenants, both nodes: ~%.0f unique users (true %d)\n",
+		ru.Estimate(), 2*batches*batchSize)
+
+	h, err := ac.Health()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggregator health: %d tenants, %d frames, %d items, %d snapshot(s) received\n",
+		h.Keys, h.Frames, h.Items, h.Snapshots)
+}

@@ -148,6 +148,56 @@
 // QueryWindowCached is a single atomic read (strictly wait-free) that
 // refreshes once per rotation.
 //
+// # Network ingestion and snapshot shipping
+//
+// Everything above lives in one process; the ingest server moves it
+// across machines. Serve starts a TCP endpoint that terminates keyed
+// batches from the wire straight into a registered table's
+// UpdateKeyedBatch path, and Dial returns a client whose ingest calls
+// batch into a buffered writer with pipelined acknowledgements —
+// errors surface at Flush, throughput is one syscall per burst.
+//
+//	srv, _ := fcds.Serve(":9700", fcds.IngestServerConfig{})
+//	fcds.RegisterThetaTable(srv, "events", t) // srv owns t's writers
+//	...
+//	c, _ := fcds.Dial("edge-1:9700")
+//	c.Ingest("events", tenants, userIDs) // async, batched
+//	c.Flush()                            // wait + collect errors
+//
+// The protocol is binary frames, each a fixed 8-byte header — payload
+// length (uint32 LE), protocol version, frame type, two reserved
+// zero bytes — followed by the payload:
+//
+//	frame               payload
+//	HELLO               max/negotiated protocol version (1 byte)
+//	KEYED_BATCH         table, key type, count, keys, 8-byte values
+//	KEYED_STRING_BATCH  table, key type, count, keys, string items
+//	SNAPSHOT_PUSH       table, FCTB snapshot blob
+//	SNAPSHOT_PULL       table → merged FCTB snapshot blob
+//	QUERY               table, key type, key → found, kind, compact
+//	ROLLUP              table → kind, all-keys merged compact
+//	HEALTH              (empty) → server counters
+//	OK / VALUE / ERR    responses (ERR: code + message)
+//
+// The first frame of a connection must be HELLO: the client offers its
+// highest version, the server answers with the minimum of the two, and
+// every later frame carries the negotiated version. Each request frame
+// receives exactly one response frame in request order (which is what
+// makes client pipelining a FIFO, with no request ids on the wire).
+// Failed requests are answered with an ERR frame carrying a numeric
+// code and message; framing and version violations close the
+// connection. See internal/server/wire for the full layout.
+//
+// Snapshot shipping composes with the table snapshots above into the
+// distributed-aggregation path: an edge node serves its tables,
+// periodically pulls its own merged snapshot (or lets a pipeline pull
+// it remotely) and pushes the FCTB blob to an aggregator node, which
+// merges every received snapshot with its own live keys — queries and
+// rollups on the aggregator answer over the union. cmd/fcds-serve
+// wraps all of this in a binary (-push ships snapshots upstream on a
+// timer), and examples/distributed runs a two-node pipeline end to
+// end.
+//
 // Sequential sketches (theta KMV/QuickSelect with set operations,
 // quantiles, HLL) and the lock-based baseline used in the paper's
 // evaluation are exposed as well. The cmd/fcds-bench binary
@@ -155,10 +205,14 @@
 package fcds
 
 import (
+	"net"
+
 	"github.com/fcds/fcds/internal/core"
 	"github.com/fcds/fcds/internal/hll"
 	"github.com/fcds/fcds/internal/lockbased"
 	"github.com/fcds/fcds/internal/quantiles"
+	"github.com/fcds/fcds/internal/server"
+	"github.com/fcds/fcds/internal/server/client"
 	"github.com/fcds/fcds/internal/table"
 	"github.com/fcds/fcds/internal/theta"
 	"github.com/fcds/fcds/internal/window"
@@ -410,6 +464,93 @@ func NewWindowedQuantilesTable(tableCfg QuantilesTableConfig, windowCfg WindowCo
 func NewWindowedHLLTable(tableCfg HLLTableConfig, windowCfg WindowConfig) *WindowedHLLTable {
 	tcfg, eng := tableCfg.Engine()
 	return window.NewTable[string, uint64, float64, *hll.Sketch](tcfg, eng, windowCfg)
+}
+
+// Network ingestion: the wire server and client (see the package
+// documentation's "Network ingestion and snapshot shipping" section
+// for the protocol).
+type (
+	// IngestServer is a TCP endpoint terminating the keyed-batch wire
+	// protocol into registered tables, with snapshot push/pull for
+	// distributed aggregation. Register tables, then Serve; Close
+	// drains in-flight frames.
+	IngestServer = server.Server
+	// IngestServerConfig configures an IngestServer; the zero value is
+	// usable.
+	IngestServerConfig = server.Config
+	// IngestServerStats is the server's counter snapshot.
+	IngestServerStats = server.Stats
+	// IngestClient is one client connection: asynchronous batched
+	// ingest calls (errors surface at Flush) and synchronous
+	// query/snapshot calls.
+	IngestClient = client.Client
+	// IngestHealth is the server health report (the HEALTH frame).
+	IngestHealth = client.Health
+	// IngestServerError is a request failure the server reported
+	// through an error frame.
+	IngestServerError = client.ServerError
+)
+
+// Serve starts an ingest server listening on addr, accepting in the
+// background, and returns it; register tables before clients connect.
+// Close the server (it drains in-flight frames) before closing the
+// registered tables.
+func Serve(addr string, cfg IngestServerConfig) (*IngestServer, error) {
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.Bind(ln) // Addr() is valid as soon as Serve returns
+	go func() {
+		// A fatal accept error (fd exhaustion, listener teardown) stops
+		// new connections while existing ones keep serving — surface it
+		// instead of letting the listener die silently.
+		if err := s.Serve(ln); err != nil && cfg.Logf != nil {
+			cfg.Logf("fcds: accept loop failed: %v", err)
+		}
+	}()
+	return s, nil
+}
+
+// Dial connects to an ingest server and negotiates the protocol
+// version; Close the client when done.
+func Dial(addr string) (*IngestClient, error) { return client.Dial(addr) }
+
+// RegisterThetaTable serves a string-keyed Θ table under name. The
+// server becomes the table's sole writer (it owns every writer
+// handle); local queries, rollups and snapshots remain safe.
+func RegisterThetaTable(s *IngestServer, name string, t *ThetaTable) error {
+	return server.RegisterTheta(s, name, t)
+}
+
+// RegisterThetaTableU64 serves a uint64-keyed Θ table under name; see
+// RegisterThetaTable for the writer-ownership contract.
+func RegisterThetaTableU64(s *IngestServer, name string, t *ThetaTableU64) error {
+	return server.RegisterTheta(s, name, t)
+}
+
+// RegisterQuantilesTable serves a string-keyed quantiles table under
+// name; see RegisterThetaTable for the writer-ownership contract.
+func RegisterQuantilesTable(s *IngestServer, name string, t *QuantilesTable) error {
+	return server.RegisterQuantiles(s, name, t)
+}
+
+// RegisterQuantilesTableU64 serves a uint64-keyed quantiles table
+// under name.
+func RegisterQuantilesTableU64(s *IngestServer, name string, t *QuantilesTableU64) error {
+	return server.RegisterQuantiles(s, name, t)
+}
+
+// RegisterHLLTable serves a string-keyed HLL table under name; see
+// RegisterThetaTable for the writer-ownership contract.
+func RegisterHLLTable(s *IngestServer, name string, t *HLLTable) error {
+	return server.RegisterHLL(s, name, t)
+}
+
+// RegisterHLLTableU64 serves a uint64-keyed HLL table under name.
+func RegisterHLLTableU64(s *IngestServer, name string, t *HLLTableU64) error {
+	return server.RegisterHLL(s, name, t)
 }
 
 // NewPropagatorPool starts a shared propagation executor with the

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"unsafe"
+
+	"github.com/fcds/fcds/internal/core"
+	"github.com/fcds/fcds/internal/hll"
+	"github.com/fcds/fcds/internal/quantiles"
+	"github.com/fcds/fcds/internal/server/wire"
+	"github.com/fcds/fcds/internal/table"
+	"github.com/fcds/fcds/internal/theta"
+)
+
+// reqError is a request-scoped failure: it becomes one FrameErr
+// response and the connection keeps serving (unlike framing errors,
+// which are fatal to the connection).
+type reqError struct {
+	code uint64
+	msg  string
+}
+
+func (e *reqError) Error() string { return e.msg }
+
+func errBadPayload(format string, args ...any) *reqError {
+	return &reqError{code: wire.ErrCodeBadPayload, msg: fmt.Sprintf(format, args...)}
+}
+
+// backend is one registered table as the connection loop sees it: the
+// family- and key-type-erased surface the frame handlers dispatch to.
+type backend interface {
+	kind() byte
+	keyType() byte
+	liveKeys() int
+	// ingest parses a keyed batch payload (after the table name) and
+	// feeds it to the table through writer slot `slot % writers`. It
+	// returns the number of items ingested.
+	ingest(slot uint64, r *wire.Reader, stringItems bool) (int, error)
+	// queryCompact parses a key and appends the response value payload
+	// (found byte, kind byte, compact blob) to dst.
+	queryCompact(r *wire.Reader, dst []byte) ([]byte, error)
+	// rollupAppend appends (kind byte, rollup compact blob) to dst. The
+	// rollup merges every live key with every received remote snapshot.
+	rollupAppend(dst []byte) ([]byte, error)
+	// mergeSnapshot folds one serialized FCTB snapshot into the
+	// backend's remote aggregate.
+	mergeSnapshot(blob []byte) error
+	// snapshotAppend drains the table and appends the full merged
+	// snapshot (live + remote) as an FCTB blob to dst.
+	snapshotAppend(dst []byte) ([]byte, error)
+}
+
+// batchScratch is the reusable decode target for one ingest frame —
+// pooled per backend so concurrent connections never share slices and
+// the steady state allocates nothing (string keys excepted: the table
+// retains them, so they must be copied off the read buffer).
+type batchScratch[K table.Key, V any] struct {
+	keys []K
+	vals []V
+}
+
+// tableBackend adapts one generic SketchTable to the backend surface.
+// The server owns the table's writer handles: each connection is
+// pinned to writer slot connSeq % NumWriters, and a mutex per slot
+// serialises the connections that share one (the table's writer
+// contract is single-goroutine per handle). Registered tables must not
+// be written by anyone but the server (queries and snapshots from the
+// embedding process stay safe).
+type tableBackend[K table.Key, V, S, C any] struct {
+	st  *table.SketchTable[K, V, S, C]
+	kt  byte
+	eng core.Engine[V, S, C]
+	// hashItem maps a string item into the family's hash space (the
+	// KEYED_STRING_BATCH path); nil when the family has no string items
+	// (quantiles).
+	hashItem  func(string) V
+	decodeVal func(uint64) V
+	unmarshal func([]byte) (*table.TableSnapshot[K, C], error)
+
+	writers []*table.Writer[K, V, S, C]
+	wmu     []sync.Mutex
+
+	// remote accumulates snapshots received via SNAPSHOT_PUSH, merged
+	// per key; rollups, queries and pulls fold it in.
+	rmu    sync.Mutex
+	remote *table.TableSnapshot[K, C]
+
+	scratch sync.Pool
+}
+
+func newTableBackend[K table.Key, V, S, C any](
+	st *table.SketchTable[K, V, S, C],
+	hashItem func(string) V,
+	decodeVal func(uint64) V,
+	unmarshal func([]byte) (*table.TableSnapshot[K, C], error),
+) *tableBackend[K, V, S, C] {
+	b := &tableBackend[K, V, S, C]{
+		st:        st,
+		kt:        keyTypeOf[K](),
+		eng:       st.Engine(),
+		hashItem:  hashItem,
+		decodeVal: decodeVal,
+		unmarshal: unmarshal,
+		writers:   make([]*table.Writer[K, V, S, C], st.NumWriters()),
+		wmu:       make([]sync.Mutex, st.NumWriters()),
+		remote:    table.NewTableSnapshot[K](st.Engine()),
+	}
+	for i := range b.writers {
+		b.writers[i] = st.Writer(i)
+	}
+	b.scratch.New = func() any { return &batchScratch[K, V]{} }
+	return b
+}
+
+func keyTypeOf[K table.Key]() byte {
+	var zero K
+	if _, ok := any(zero).(string); ok {
+		return wire.KeyTypeString
+	}
+	return wire.KeyTypeUint64
+}
+
+// readKey decodes one wire key of type K. String keys are copied out of
+// the read buffer (the table retains them in its shard maps).
+func readKey[K table.Key](r *wire.Reader) K {
+	var zero K
+	if _, ok := any(zero).(string); ok {
+		return any(r.String()).(K)
+	}
+	return any(r.Uint64()).(K)
+}
+
+func (b *tableBackend[K, V, S, C]) kind() byte    { return b.eng.Kind() }
+func (b *tableBackend[K, V, S, C]) keyType() byte { return b.kt }
+func (b *tableBackend[K, V, S, C]) liveKeys() int { return b.st.Keys() }
+
+// viewString aliases a transient byte slice as a string for hashing —
+// never retained (the table's string *items* are hashed, not stored).
+func viewString(bs []byte) string {
+	if len(bs) == 0 {
+		return ""
+	}
+	return unsafe.String(&bs[0], len(bs))
+}
+
+func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringItems bool) (int, error) {
+	if kt := r.Byte(); r.Err == nil && kt != b.kt {
+		return 0, errBadPayload("key type %d, table wants %d", kt, b.kt)
+	}
+	count := int(r.Uvarint())
+	if r.Err != nil {
+		return 0, errBadPayload("truncated batch header")
+	}
+	// Bound count by the smallest possible wire encoding of one entry
+	// (uint64 keys/values are 8 fixed bytes, strings at least a 1-byte
+	// length prefix), so a corrupt count cannot size the scratch far
+	// beyond the bytes actually present — without this, one 16 MiB
+	// frame claiming millions of entries would allocate hundreds of MB
+	// before the decode loop ever noticed the truncation.
+	minEntry := 2 // string key + string item lower bound
+	if b.kt == wire.KeyTypeUint64 {
+		minEntry += 7
+	}
+	if !stringItems {
+		minEntry += 7
+	}
+	if count > r.Remaining()/minEntry {
+		return 0, errBadPayload("batch count %d exceeds payload", count)
+	}
+	if stringItems && b.hashItem == nil {
+		return 0, &reqError{code: wire.ErrCodeUnsupported, msg: "table family has no string-item ingestion"}
+	}
+
+	sc := b.scratch.Get().(*batchScratch[K, V])
+	defer b.scratch.Put(sc)
+	if cap(sc.keys) < count {
+		sc.keys = make([]K, count)
+		sc.vals = make([]V, count)
+	}
+	keys, vals := sc.keys[:count], sc.vals[:count]
+	for i := range keys {
+		keys[i] = readKey[K](r)
+	}
+	if stringItems {
+		for i := range vals {
+			vals[i] = b.hashItem(viewString(r.StringView()))
+		}
+	} else {
+		for i := range vals {
+			vals[i] = b.decodeVal(r.Uint64())
+		}
+	}
+	if r.Err != nil {
+		return 0, errBadPayload("truncated batch body")
+	}
+	if r.Remaining() != 0 {
+		return 0, errBadPayload("%d trailing bytes after batch", r.Remaining())
+	}
+
+	wi := int(slot % uint64(len(b.writers)))
+	b.wmu[wi].Lock()
+	if stringItems {
+		// Items were hashed into the family's space in the decode pass,
+		// exactly like the table's own keyed string-batch path.
+		b.writers[wi].UpdateKeyedHashedBatch(keys, vals)
+	} else {
+		b.writers[wi].UpdateKeyedBatch(keys, vals)
+	}
+	b.wmu[wi].Unlock()
+	return count, nil
+}
+
+func (b *tableBackend[K, V, S, C]) queryCompact(r *wire.Reader, dst []byte) ([]byte, error) {
+	if kt := r.Byte(); r.Err == nil && kt != b.kt {
+		return dst, errBadPayload("key type %d, table wants %d", kt, b.kt)
+	}
+	k := readKey[K](r)
+	if r.Err != nil || r.Remaining() != 0 {
+		return dst, errBadPayload("malformed query key")
+	}
+	c, ok := b.st.CompactKey(k)
+	b.rmu.Lock()
+	rc, rok := b.remote.Get(k)
+	b.rmu.Unlock()
+	switch {
+	case ok && rok:
+		merged, err := b.eng.MergeCompact(c, rc)
+		if err != nil {
+			return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
+		}
+		c = merged
+	case rok:
+		c, ok = rc, true
+	case !ok:
+		return append(dst, 0), nil // not found
+	}
+	blob, err := b.eng.MarshalCompact(c)
+	if err != nil {
+		return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
+	}
+	dst = append(dst, 1, b.eng.Kind())
+	return append(dst, blob...), nil
+}
+
+func (b *tableBackend[K, V, S, C]) rollupAppend(dst []byte) ([]byte, error) {
+	agg := b.eng.NewAggregator()
+	if err := agg.Add(b.st.Rollup()); err != nil {
+		return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
+	}
+	var mergeErr error
+	b.rmu.Lock()
+	b.remote.ForEach(func(_ K, c C) {
+		if mergeErr == nil {
+			mergeErr = agg.Add(c)
+		}
+	})
+	b.rmu.Unlock()
+	if mergeErr != nil {
+		return dst, &reqError{code: wire.ErrCodeInternal, msg: mergeErr.Error()}
+	}
+	blob, err := b.eng.MarshalCompact(agg.Result())
+	if err != nil {
+		return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
+	}
+	dst = append(dst, b.eng.Kind())
+	return append(dst, blob...), nil
+}
+
+func (b *tableBackend[K, V, S, C]) mergeSnapshot(blob []byte) error {
+	snap, err := b.unmarshal(blob)
+	if err != nil {
+		return errBadPayload("snapshot: %v", err)
+	}
+	b.rmu.Lock()
+	err = b.remote.Merge(snap)
+	b.rmu.Unlock()
+	if err != nil {
+		return &reqError{code: wire.ErrCodeBadPayload, msg: err.Error()}
+	}
+	return nil
+}
+
+// snapshotAppend quiesces every server writer slot, drains the table so
+// all buffered updates are visible, and serializes the live table
+// merged with the remote aggregate.
+func (b *tableBackend[K, V, S, C]) snapshotAppend(dst []byte) ([]byte, error) {
+	for i := range b.wmu {
+		b.wmu[i].Lock()
+	}
+	b.st.Drain()
+	snap := b.st.Snapshot()
+	for i := len(b.wmu) - 1; i >= 0; i-- {
+		b.wmu[i].Unlock()
+	}
+	b.rmu.Lock()
+	err := snap.Merge(b.remote)
+	b.rmu.Unlock()
+	if err != nil {
+		return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
+	}
+	out, err := snap.AppendBinary(dst)
+	if err != nil {
+		return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
+	}
+	return out, nil
+}
+
+func identityVal(v uint64) uint64 { return v }
+
+func math64frombits(v uint64) float64 { return math.Float64frombits(v) }
+
+// stringHasher is the engine surface the string-item ingest path needs;
+// the Θ and HLL engines implement it, quantiles does not.
+type stringHasher interface{ HashString(string) uint64 }
+
+// RegisterTheta registers a keyed Θ table under name. The server
+// becomes the table's sole writer (it owns every writer handle);
+// queries, rollups and snapshots from the embedding process remain
+// safe concurrently.
+func RegisterTheta[K table.Key](s *Server, name string, t *table.ThetaTable[K]) error {
+	hasher := any(t.Engine()).(stringHasher)
+	return s.register(name, newTableBackend[K, uint64, float64, *theta.Compact](
+		&t.SketchTable, hasher.HashString, identityVal, table.UnmarshalThetaSnapshot[K]))
+}
+
+// RegisterHLL registers a keyed HLL table under name; see RegisterTheta
+// for the writer-ownership contract.
+func RegisterHLL[K table.Key](s *Server, name string, t *table.HLLTable[K]) error {
+	hasher := any(t.Engine()).(stringHasher)
+	return s.register(name, newTableBackend[K, uint64, float64, *hll.Sketch](
+		&t.SketchTable, hasher.HashString, identityVal, table.UnmarshalHLLSnapshot[K]))
+}
+
+// RegisterQuantiles registers a keyed quantiles table under name (no
+// string-item ingestion: quantiles samples are float64 wire values);
+// see RegisterTheta for the writer-ownership contract.
+func RegisterQuantiles[K table.Key](s *Server, name string, t *table.QuantilesTable[K]) error {
+	return s.register(name, newTableBackend[K, float64, *quantiles.Snapshot, *quantiles.Sketch](
+		&t.SketchTable, nil, math64frombits, table.UnmarshalQuantilesSnapshot[K]))
+}

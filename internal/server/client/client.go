@@ -1,0 +1,531 @@
+// Package client implements the fcds ingest-protocol client: a
+// connection to one fcds ingest server with batching writes and
+// pipelined responses.
+//
+// Ingest calls (Ingest*, the keyed-batch frames) are asynchronous:
+// they append a frame to a buffered writer and return without waiting
+// — the server's in-order acknowledgements are consumed by a
+// background reader goroutine, and the first server-side failure is
+// latched and surfaced by the next Flush (or Close). Query-shaped
+// calls (QueryCompact, Rollup, PullSnapshot, PushSnapshot, Health) are
+// synchronous: they flush the write buffer and wait for their
+// response, which the in-order response contract matches to them
+// without request ids.
+//
+// A Client is safe for concurrent use; ingest frames from concurrent
+// goroutines are serialized at the write buffer.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/fcds/fcds/internal/server/wire"
+)
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("client: connection closed")
+
+// ServerError is a failure the server reported through an error frame.
+type ServerError struct {
+	// Code is one of the wire.ErrCode* values.
+	Code uint64
+	// Msg is the server's human-readable diagnostic.
+	Msg string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server error %d: %s", e.Code, e.Msg)
+}
+
+// Health is the server's counter snapshot, as reported by the HEALTH
+// frame.
+type Health struct {
+	// Version is the server's protocol version.
+	Version byte
+	// Tables and Keys describe the registered tables.
+	Tables, Keys int
+	// Conns is the server's open-connection count.
+	Conns int
+	// Frames, Items, Snapshots and Errors are the server's lifetime
+	// request, ingested-update, merged-snapshot and error counts.
+	Frames, Items, Snapshots, Errors uint64
+}
+
+// response is one server frame delivered to a waiting operation.
+type response struct {
+	typ     byte
+	payload []byte // copied out of the read buffer
+	err     error  // transport failure (connection-fatal)
+}
+
+// Client is one connection to an fcds ingest server.
+type Client struct {
+	nc       net.Conn
+	version  byte
+	maxFrame int
+
+	// wmu guards the write path: the buffered writer, the frame
+	// assembly scratch, and enqueueing onto the pending queue (the
+	// enqueue must be ordered identically to the writes).
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc []byte
+
+	// pmu guards the pending-response FIFO and the latched errors.
+	pmu      sync.Mutex
+	drained  *sync.Cond // signalled when pending goes empty or fatal
+	pending  []chan response
+	npending int
+	asyncErr error // first error frame matched to an async op
+	fatal    error // transport failure; the client is dead
+	closed   bool
+}
+
+// Option configures Dial/New.
+type Option func(*Client)
+
+// WithMaxFrame bounds response payload sizes (default
+// wire.DefaultMaxFrame).
+func WithMaxFrame(n int) Option {
+	return func(c *Client) { c.maxFrame = n }
+}
+
+// Dial connects to an fcds ingest server and negotiates the protocol
+// version.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := New(nc, opts...)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// New wraps an established connection (any net.Conn — tests use
+// in-memory pipes) and negotiates the protocol version.
+func New(nc net.Conn, opts ...Option) (*Client, error) {
+	c := &Client{
+		nc:       nc,
+		bw:       bufio.NewWriterSize(nc, 64<<10),
+		maxFrame: wire.DefaultMaxFrame,
+	}
+	c.drained = sync.NewCond(&c.pmu)
+	for _, o := range opts {
+		o(c)
+	}
+	go c.readLoop()
+	resp, err := c.roundTrip(wire.Version, wire.FrameHello, func(dst []byte) []byte {
+		return append(dst, wire.Version)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: version negotiation: %w", err)
+	}
+	if resp.typ != wire.FrameHello || len(resp.payload) != 1 || resp.payload[0] == 0 {
+		return nil, fmt.Errorf("client: bad HELLO response (type 0x%02x)", resp.typ)
+	}
+	c.version = resp.payload[0]
+	return c, nil
+}
+
+// Version returns the negotiated protocol version.
+func (c *Client) Version() byte { return c.version }
+
+// readLoop consumes response frames and delivers them, in order, to
+// the pending-operation FIFO.
+func (c *Client) readLoop() {
+	var rbuf []byte
+	for {
+		_, typ, payload, err := wire.ReadFrame(c.nc, &rbuf, c.maxFrame)
+		c.pmu.Lock()
+		if err != nil {
+			if c.fatal == nil {
+				if c.closed {
+					c.fatal = ErrClosed
+				} else {
+					c.fatal = fmt.Errorf("client: read: %w", err)
+				}
+			}
+			for _, ch := range c.pending {
+				if ch != nil {
+					ch <- response{err: c.fatal}
+				}
+			}
+			c.pending = nil
+			c.npending = 0
+			c.drained.Broadcast()
+			c.pmu.Unlock()
+			return
+		}
+		if len(c.pending) == 0 {
+			c.fatal = fmt.Errorf("client: unsolicited frame 0x%02x", typ)
+			c.drained.Broadcast()
+			c.pmu.Unlock()
+			c.nc.Close()
+			return
+		}
+		ch := c.pending[0]
+		c.pending = c.pending[1:]
+		c.npending--
+		if ch == nil {
+			// Asynchronous ingest acknowledgement: only failures matter.
+			if typ == wire.FrameErr && c.asyncErr == nil {
+				c.asyncErr = parseServerError(payload)
+			}
+		}
+		if c.npending == 0 {
+			c.drained.Broadcast()
+		}
+		c.pmu.Unlock()
+		if ch != nil {
+			p := make([]byte, len(payload))
+			copy(p, payload)
+			ch <- response{typ: typ, payload: p}
+		}
+	}
+}
+
+func parseServerError(payload []byte) error {
+	code, msg, err := wire.ParseErrPayload(payload)
+	if err != nil {
+		return fmt.Errorf("client: malformed error frame: %w", err)
+	}
+	return &ServerError{Code: code, Msg: msg}
+}
+
+// send assembles one frame under the write lock and enqueues its
+// pending slot (nil ch = asynchronous). build writes the payload into
+// the reusable scratch.
+func (c *Client) send(version, typ byte, ch chan response, build func(dst []byte) []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.pmu.Lock()
+	if c.fatal != nil {
+		err := c.fatal
+		c.pmu.Unlock()
+		return err
+	}
+	if c.closed {
+		c.pmu.Unlock()
+		return ErrClosed
+	}
+	c.pmu.Unlock()
+
+	c.enc = build(c.enc[:0])
+	// Enqueue before writing: the response cannot arrive before the
+	// frame bytes leave, and the reader must find the slot when it
+	// does. fatal is re-checked under the same lock — if the read loop
+	// died while the frame was being built, an enqueued slot would
+	// never be delivered and a sync caller would block forever.
+	c.pmu.Lock()
+	if c.fatal != nil {
+		err := c.fatal
+		c.pmu.Unlock()
+		return err
+	}
+	c.pending = append(c.pending, ch)
+	c.npending++
+	c.pmu.Unlock()
+	if err := wire.WriteFrame(c.bw, version, typ, c.enc); err != nil {
+		return err
+	}
+	return nil
+}
+
+// roundTrip sends one frame and waits for its in-order response.
+func (c *Client) roundTrip(version, typ byte, build func(dst []byte) []byte) (response, error) {
+	ch := make(chan response, 1)
+	if err := c.send(version, typ, ch, build); err != nil {
+		return response{}, err
+	}
+	c.wmu.Lock()
+	err := c.bw.Flush()
+	c.wmu.Unlock()
+	if err != nil {
+		return response{}, err
+	}
+	resp := <-ch
+	if resp.err != nil {
+		return response{}, resp.err
+	}
+	if resp.typ == wire.FrameErr {
+		return response{}, parseServerError(resp.payload)
+	}
+	return resp, nil
+}
+
+// Flush writes out every buffered frame and waits until the server has
+// acknowledged all outstanding operations, returning the first
+// asynchronous ingest error (if any) exactly once.
+func (c *Client) Flush() error {
+	c.wmu.Lock()
+	err := c.bw.Flush()
+	c.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	for c.npending > 0 && c.fatal == nil {
+		c.drained.Wait()
+	}
+	if c.fatal != nil {
+		return c.fatal
+	}
+	err = c.asyncErr
+	c.asyncErr = nil
+	return err
+}
+
+// Close flushes, waits for outstanding acknowledgements, and closes
+// the connection. The flush error (or first latched ingest error) is
+// returned.
+func (c *Client) Close() error {
+	err := c.Flush()
+	c.pmu.Lock()
+	c.closed = true
+	c.pmu.Unlock()
+	if cerr := c.nc.Close(); err == nil && cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+		err = cerr
+	}
+	return err
+}
+
+// --- ingest (asynchronous, batched) ---
+
+func appendBatchHeader(dst []byte, tbl string, keyType byte, n int) []byte {
+	dst = wire.AppendString(dst, tbl)
+	dst = append(dst, keyType)
+	return wire.AppendUvarint(dst, uint64(n))
+}
+
+// IngestU64 streams a keyed batch (uint64 keys, uint64 items) into the
+// named Θ or HLL table. Asynchronous: errors surface at Flush.
+func (c *Client) IngestU64(tbl string, keys, vals []uint64) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("client: keys/vals length mismatch %d != %d", len(keys), len(vals))
+	}
+	return c.send(c.version, wire.FrameKeyedBatch, nil, func(dst []byte) []byte {
+		dst = appendBatchHeader(dst, tbl, wire.KeyTypeUint64, len(keys))
+		for _, k := range keys {
+			dst = wire.AppendUint64(dst, k)
+		}
+		for _, v := range vals {
+			dst = wire.AppendUint64(dst, v)
+		}
+		return dst
+	})
+}
+
+// Ingest streams a keyed batch (string keys, uint64 items) into the
+// named Θ or HLL table. Asynchronous: errors surface at Flush.
+func (c *Client) Ingest(tbl string, keys []string, vals []uint64) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("client: keys/vals length mismatch %d != %d", len(keys), len(vals))
+	}
+	return c.send(c.version, wire.FrameKeyedBatch, nil, func(dst []byte) []byte {
+		dst = appendBatchHeader(dst, tbl, wire.KeyTypeString, len(keys))
+		for _, k := range keys {
+			dst = wire.AppendString(dst, k)
+		}
+		for _, v := range vals {
+			dst = wire.AppendUint64(dst, v)
+		}
+		return dst
+	})
+}
+
+// IngestFloat streams a keyed batch (string keys, float64 samples)
+// into the named quantiles table. Asynchronous: errors surface at
+// Flush.
+func (c *Client) IngestFloat(tbl string, keys []string, vals []float64) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("client: keys/vals length mismatch %d != %d", len(keys), len(vals))
+	}
+	return c.send(c.version, wire.FrameKeyedBatch, nil, func(dst []byte) []byte {
+		dst = appendBatchHeader(dst, tbl, wire.KeyTypeString, len(keys))
+		for _, k := range keys {
+			dst = wire.AppendString(dst, k)
+		}
+		for _, v := range vals {
+			dst = wire.AppendFloat64(dst, v)
+		}
+		return dst
+	})
+}
+
+// IngestFloatU64 is IngestFloat with uint64 keys.
+func (c *Client) IngestFloatU64(tbl string, keys []uint64, vals []float64) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("client: keys/vals length mismatch %d != %d", len(keys), len(vals))
+	}
+	return c.send(c.version, wire.FrameKeyedBatch, nil, func(dst []byte) []byte {
+		dst = appendBatchHeader(dst, tbl, wire.KeyTypeUint64, len(keys))
+		for _, k := range keys {
+			dst = wire.AppendUint64(dst, k)
+		}
+		for _, v := range vals {
+			dst = wire.AppendFloat64(dst, v)
+		}
+		return dst
+	})
+}
+
+// IngestStrings streams a keyed batch of string items (string keys)
+// into the named Θ or HLL table; the server hashes the items.
+// Asynchronous: errors surface at Flush.
+func (c *Client) IngestStrings(tbl string, keys []string, items []string) error {
+	if len(keys) != len(items) {
+		return fmt.Errorf("client: keys/items length mismatch %d != %d", len(keys), len(items))
+	}
+	return c.send(c.version, wire.FrameKeyedStringBatch, nil, func(dst []byte) []byte {
+		dst = appendBatchHeader(dst, tbl, wire.KeyTypeString, len(keys))
+		for _, k := range keys {
+			dst = wire.AppendString(dst, k)
+		}
+		for _, it := range items {
+			dst = wire.AppendString(dst, it)
+		}
+		return dst
+	})
+}
+
+// IngestStringsU64 is IngestStrings with uint64 keys.
+func (c *Client) IngestStringsU64(tbl string, keys []uint64, items []string) error {
+	if len(keys) != len(items) {
+		return fmt.Errorf("client: keys/items length mismatch %d != %d", len(keys), len(items))
+	}
+	return c.send(c.version, wire.FrameKeyedStringBatch, nil, func(dst []byte) []byte {
+		dst = appendBatchHeader(dst, tbl, wire.KeyTypeUint64, len(keys))
+		for _, k := range keys {
+			dst = wire.AppendUint64(dst, k)
+		}
+		for _, it := range items {
+			dst = wire.AppendString(dst, it)
+		}
+		return dst
+	})
+}
+
+// --- snapshot shipping ---
+
+// PushSnapshot ships a serialized FCTB table snapshot to the server,
+// which merges it into the named table's remote aggregate.
+// Synchronous: the server's acknowledgement (or failure) is returned.
+func (c *Client) PushSnapshot(tbl string, blob []byte) error {
+	_, err := c.roundTrip(c.version, wire.FrameSnapshotPush, func(dst []byte) []byte {
+		dst = wire.AppendString(dst, tbl)
+		return append(dst, blob...)
+	})
+	return err
+}
+
+// PullSnapshot fetches the named table's full merged snapshot (live
+// keys merged with every snapshot the server has received) as a
+// serialized FCTB blob, ready for Unmarshal*Snapshot or a PushSnapshot
+// to another node.
+func (c *Client) PullSnapshot(tbl string) ([]byte, error) {
+	resp, err := c.roundTrip(c.version, wire.FrameSnapshotPull, func(dst []byte) []byte {
+		return wire.AppendString(dst, tbl)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.payload, nil
+}
+
+// --- queries ---
+
+func parseQueryValue(payload []byte) (kind byte, blob []byte, found bool, err error) {
+	r := wire.Reader{Buf: payload}
+	if r.Byte() == 0 {
+		if r.Err != nil || r.Remaining() != 0 {
+			return 0, nil, false, errors.New("client: malformed query response")
+		}
+		return 0, nil, false, nil
+	}
+	kind = r.Byte()
+	blob = r.Rest()
+	if r.Err != nil {
+		return 0, nil, false, errors.New("client: malformed query response")
+	}
+	return kind, blob, true, nil
+}
+
+// QueryCompact fetches one string key's compact sketch — the live
+// sketch merged with any snapshot state the server received for that
+// key. found is false when the key is unknown on the server. The blob
+// parses with the family's compact unmarshaller (kind identifies it).
+func (c *Client) QueryCompact(tbl string, key string) (kind byte, blob []byte, found bool, err error) {
+	resp, err := c.roundTrip(c.version, wire.FrameQuery, func(dst []byte) []byte {
+		dst = wire.AppendString(dst, tbl)
+		dst = append(dst, wire.KeyTypeString)
+		return wire.AppendString(dst, key)
+	})
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return parseQueryValue(resp.payload)
+}
+
+// QueryCompactU64 is QueryCompact with a uint64 key.
+func (c *Client) QueryCompactU64(tbl string, key uint64) (kind byte, blob []byte, found bool, err error) {
+	resp, err := c.roundTrip(c.version, wire.FrameQuery, func(dst []byte) []byte {
+		dst = wire.AppendString(dst, tbl)
+		dst = append(dst, wire.KeyTypeUint64)
+		return wire.AppendUint64(dst, key)
+	})
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return parseQueryValue(resp.payload)
+}
+
+// Rollup fetches the named table's all-keys merged compact (live keys
+// plus received snapshots); the blob parses with the family's compact
+// unmarshaller.
+func (c *Client) Rollup(tbl string) (kind byte, blob []byte, err error) {
+	resp, err := c.roundTrip(c.version, wire.FrameRollup, func(dst []byte) []byte {
+		return wire.AppendString(dst, tbl)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	r := wire.Reader{Buf: resp.payload}
+	kind = r.Byte()
+	blob = r.Rest()
+	if r.Err != nil {
+		return 0, nil, errors.New("client: malformed rollup response")
+	}
+	return kind, blob, nil
+}
+
+// Health fetches the server's counter snapshot.
+func (c *Client) Health() (Health, error) {
+	resp, err := c.roundTrip(c.version, wire.FrameHealth, func(dst []byte) []byte { return dst })
+	if err != nil {
+		return Health{}, err
+	}
+	r := wire.Reader{Buf: resp.payload}
+	h := Health{
+		Version:   r.Byte(),
+		Tables:    int(r.Uvarint()),
+		Keys:      int(r.Uvarint()),
+		Conns:     int(r.Uvarint()),
+		Frames:    r.Uvarint(),
+		Items:     r.Uvarint(),
+		Snapshots: r.Uvarint(),
+		Errors:    r.Uvarint(),
+	}
+	if r.Err != nil {
+		return Health{}, errors.New("client: malformed health response")
+	}
+	return h, nil
+}

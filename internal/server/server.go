@@ -1,0 +1,457 @@
+// Package server implements the fcds network ingest server: a TCP
+// endpoint speaking the length-prefixed binary protocol of
+// internal/server/wire, terminating keyed-batch frames straight into
+// the registered tables' UpdateKeyedBatch path and shipping FCTB table
+// snapshots between nodes (push and pull) — the distributed-
+// aggregation fabric the mergeable-sketch design exists for.
+//
+// One goroutine serves each connection: frames are read into a
+// per-connection reusable buffer, decoded with an allocation-free
+// cursor into pooled batch scratch, and fed to the table through a
+// connection-pinned writer slot, so the steady-state ingest path
+// allocates nothing (string keys excepted — the table retains those).
+// Responses are written through a buffered writer that flushes only
+// when the connection's pipelined input is exhausted, so a client
+// streaming batches pays one syscall per burst, not per frame.
+//
+// Shutdown is drain-based: Close stops the accept loop, then
+// interrupts every connection's next blocking read; a frame already
+// received keeps its in-flight processing, writes its response, and
+// only then does the connection close.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fcds/fcds/internal/server/wire"
+)
+
+// Config configures a Server. The zero value is usable.
+type Config struct {
+	// MaxFrame bounds one frame's payload size in bytes (<= 0 means
+	// wire.DefaultMaxFrame). Oversized frames fail the connection.
+	MaxFrame int
+	// Logf, when non-nil, receives connection-level diagnostics
+	// (accept errors, protocol violations). Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// Tables is the number of registered tables; Keys sums their live
+	// key counts.
+	Tables, Keys int
+	// Conns is the number of currently open connections; ConnsTotal
+	// counts every connection ever accepted.
+	Conns, ConnsTotal int64
+	// Frames counts request frames processed, Items keyed updates
+	// ingested, Snapshots remote snapshots merged, Errors error frames
+	// returned.
+	Frames, Items, Snapshots, Errors int64
+}
+
+// Server is a network ingest endpoint for registered keyed tables.
+// Register tables (RegisterTheta, ...), then Serve a listener (or
+// ListenAndServe); Close drains and stops it. The server owns every
+// registered table's writer handles — see RegisterTheta.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	tables map[string]backend
+	conns  map[net.Conn]struct{}
+	ln     net.Listener
+
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	connSeq atomic.Uint64
+
+	frames    atomic.Int64
+	items     atomic.Int64
+	snapshots atomic.Int64
+	errs      atomic.Int64
+	connsOpen atomic.Int64
+	connsSeen atomic.Int64
+}
+
+// New returns an idle server; register tables and then Serve it.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:    cfg,
+		tables: make(map[string]backend),
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// register binds a backend to a table name (the family Register*
+// functions are the public surface).
+func (s *Server) register(name string, b backend) error {
+	if name == "" {
+		return errors.New("server: empty table name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return fmt.Errorf("server: table %q already registered", name)
+	}
+	s.tables[name] = b
+	return nil
+}
+
+func (s *Server) lookup(name string) (backend, bool) {
+	s.mu.Lock()
+	b, ok := s.tables[name]
+	s.mu.Unlock()
+	return b, ok
+}
+
+// SnapshotTable captures the named table's full merged snapshot — the
+// same bytes a SNAPSHOT_PULL returns: writer slots quiesced, table
+// drained, every received remote snapshot merged in. This is the
+// in-process hook for embedders shipping snapshots on their own
+// schedule (fcds-serve's -push loop), safe while the server is
+// serving and after Close.
+func (s *Server) SnapshotTable(name string) ([]byte, error) {
+	b, ok := s.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown table %q", name)
+	}
+	return b.snapshotAppend(nil)
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	tables := len(s.tables)
+	keys := 0
+	for _, b := range s.tables {
+		keys += b.liveKeys()
+	}
+	s.mu.Unlock()
+	return Stats{
+		Tables: tables, Keys: keys,
+		Conns: s.connsOpen.Load(), ConnsTotal: s.connsSeen.Load(),
+		Frames: s.frames.Load(), Items: s.items.Load(),
+		Snapshots: s.snapshots.Load(), Errors: s.errs.Load(),
+	}
+}
+
+// ListenAndServe listens on addr (TCP) and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Bind records ln as the server's listener so Addr reports it;
+// Serve(ln) binds implicitly, but a caller starting Serve in a
+// goroutine (fcds.Serve) binds first so Addr is immediately usable
+// with ":0" listeners.
+func (s *Server) Bind(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+}
+
+// Serve accepts connections on ln until Close; it returns nil after a
+// graceful Close, or the first fatal accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.Bind(ln)
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		// Registration re-checks closed under the same lock Close uses
+		// to interrupt connections: either this conn is registered
+		// before Close scans s.conns (and gets interrupted and awaited),
+		// or it observes closed and dies here — it can never slip
+		// between Close's interrupt scan and wg.Wait.
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.connsOpen.Add(1)
+		s.connsSeen.Add(1)
+		seq := s.connSeq.Add(1) - 1
+		go s.serveConn(nc, seq)
+	}
+}
+
+// Addr returns the listener address (useful with ":0" listeners), or
+// nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close drains and stops the server: the accept loop ends, every
+// connection finishes the frame it is processing (a blocked read is
+// interrupted), responses are flushed, and all connection goroutines
+// have exited when Close returns. Registered tables are not closed —
+// they belong to the caller.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.done)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for nc := range s.conns {
+		// Interrupt the connection's next (or current) blocking read;
+		// frames already received keep processing and respond first.
+		nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// connState is one connection's reusable I/O state.
+type connState struct {
+	rbuf []byte // frame read buffer (payloads alias it)
+	wbuf []byte // response payload assembly buffer
+}
+
+// serveConn runs one connection's frame loop. seq pins the connection
+// to writer slot seq%N of every table it touches.
+func (s *Server) serveConn(nc net.Conn, seq uint64) {
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		s.connsOpen.Add(-1)
+		s.wg.Done()
+	}()
+
+	cs := &connState{}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	negotiated := byte(0) // no HELLO yet
+
+	fail := func(code uint64, msg string) {
+		// Fatal protocol error: best-effort error frame, then close.
+		s.errs.Add(1)
+		cs.wbuf = wire.AppendErrPayload(cs.wbuf[:0], code, msg)
+		ver := negotiated
+		if ver == 0 {
+			ver = wire.Version
+		}
+		_ = wire.WriteFrame(bw, ver, wire.FrameErr, cs.wbuf)
+		_ = bw.Flush()
+	}
+
+	for {
+		ver, typ, payload, err := wire.ReadFrame(br, &cs.rbuf, s.cfg.MaxFrame)
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+				errors.Is(err, net.ErrClosed), errors.Is(err, os.ErrDeadlineExceeded):
+				// Client went away or shutdown interrupted the read.
+			default:
+				s.logf("server: %s: read: %v", nc.RemoteAddr(), err)
+				fail(wire.ErrCodeBadFrame, err.Error())
+			}
+			_ = bw.Flush()
+			return
+		}
+
+		if negotiated == 0 {
+			// The first frame must negotiate a version.
+			if typ != wire.FrameHello || len(payload) != 1 {
+				fail(wire.ErrCodeBadFrame, "expected HELLO as first frame")
+				return
+			}
+			negotiated = min(payload[0], wire.Version)
+			if negotiated == 0 {
+				fail(wire.ErrCodeVersion, "no common protocol version")
+				return
+			}
+			cs.wbuf = append(cs.wbuf[:0], negotiated)
+			if err := wire.WriteFrame(bw, negotiated, wire.FrameHello, cs.wbuf); err != nil {
+				return
+			}
+			if br.Buffered() == 0 {
+				if bw.Flush() != nil {
+					return
+				}
+			}
+			continue
+		}
+		if ver != negotiated {
+			fail(wire.ErrCodeVersion, fmt.Sprintf("frame version %d, negotiated %d", ver, negotiated))
+			return
+		}
+
+		s.frames.Add(1)
+		respType, respPayload, reqErr := s.handle(cs, seq, typ, payload)
+		if reqErr != nil {
+			s.errs.Add(1)
+			var re *reqError
+			code := wire.ErrCodeInternal
+			if errors.As(reqErr, &re) {
+				code = re.code
+			}
+			respType = wire.FrameErr
+			respPayload = wire.AppendErrPayload(cs.wbuf[:0], code, reqErr.Error())
+		}
+		if err := wire.WriteFrame(bw, negotiated, respType, respPayload); err != nil {
+			return
+		}
+		// Flush only when the pipelined input is exhausted: bursts of
+		// batches cost one write syscall, and the final response is
+		// never stuck behind an empty read.
+		if br.Buffered() == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+		select {
+		case <-s.done:
+			_ = bw.Flush()
+			return
+		default:
+		}
+	}
+}
+
+// handle dispatches one request frame and returns the response frame.
+// The response payload may alias cs.wbuf (written out before the next
+// read reuses it).
+func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (byte, []byte, error) {
+	r := wire.Reader{Buf: payload}
+	switch typ {
+	case wire.FrameHello:
+		// Renegotiation mid-stream is a protocol violation, but harmless:
+		// answer with the already-negotiated version.
+		return wire.FrameErr, nil, errBadPayload("duplicate HELLO")
+
+	case wire.FrameKeyedBatch, wire.FrameKeyedStringBatch:
+		b, err := s.namedBackend(&r)
+		if err != nil {
+			return 0, nil, err
+		}
+		n, err := b.ingest(seq, &r, typ == wire.FrameKeyedStringBatch)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.items.Add(int64(n))
+		return wire.FrameOK, nil, nil
+
+	case wire.FrameSnapshotPush:
+		b, err := s.namedBackend(&r)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := b.mergeSnapshot(r.Rest()); err != nil {
+			return 0, nil, err
+		}
+		s.snapshots.Add(1)
+		return wire.FrameOK, nil, nil
+
+	case wire.FrameSnapshotPull:
+		b, err := s.namedBackend(&r)
+		if err != nil {
+			return 0, nil, err
+		}
+		if r.Remaining() != 0 {
+			return 0, nil, errBadPayload("trailing bytes after table name")
+		}
+		out, err := b.snapshotAppend(cs.wbuf[:0])
+		if err != nil {
+			return 0, nil, err
+		}
+		cs.wbuf = out
+		return wire.FrameValue, out, nil
+
+	case wire.FrameQuery:
+		b, err := s.namedBackend(&r)
+		if err != nil {
+			return 0, nil, err
+		}
+		out, err := b.queryCompact(&r, cs.wbuf[:0])
+		if err != nil {
+			return 0, nil, err
+		}
+		cs.wbuf = out
+		return wire.FrameValue, out, nil
+
+	case wire.FrameRollup:
+		b, err := s.namedBackend(&r)
+		if err != nil {
+			return 0, nil, err
+		}
+		if r.Remaining() != 0 {
+			return 0, nil, errBadPayload("trailing bytes after table name")
+		}
+		out, err := b.rollupAppend(cs.wbuf[:0])
+		if err != nil {
+			return 0, nil, err
+		}
+		cs.wbuf = out
+		return wire.FrameValue, out, nil
+
+	case wire.FrameHealth:
+		st := s.Stats()
+		out := cs.wbuf[:0]
+		out = append(out, wire.Version)
+		out = wire.AppendUvarint(out, uint64(st.Tables))
+		out = wire.AppendUvarint(out, uint64(st.Keys))
+		out = wire.AppendUvarint(out, uint64(st.Conns))
+		out = wire.AppendUvarint(out, uint64(st.Frames))
+		out = wire.AppendUvarint(out, uint64(st.Items))
+		out = wire.AppendUvarint(out, uint64(st.Snapshots))
+		out = wire.AppendUvarint(out, uint64(st.Errors))
+		cs.wbuf = out
+		return wire.FrameValue, out, nil
+
+	default:
+		return 0, nil, errBadPayload("unknown frame type 0x%02x", typ)
+	}
+}
+
+// namedBackend reads the leading table name and resolves it.
+func (s *Server) namedBackend(r *wire.Reader) (backend, error) {
+	name := viewString(r.StringView())
+	if r.Err != nil {
+		return nil, errBadPayload("truncated table name")
+	}
+	b, ok := s.lookup(name)
+	if !ok {
+		return nil, &reqError{code: wire.ErrCodeUnknownTable, msg: fmt.Sprintf("unknown table %q", name)}
+	}
+	return b, nil
+}

@@ -1,0 +1,331 @@
+package server_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"github.com/fcds/fcds/internal/server"
+	"github.com/fcds/fcds/internal/server/client"
+	"github.com/fcds/fcds/internal/server/wire"
+	"github.com/fcds/fcds/internal/table"
+	"github.com/fcds/fcds/internal/theta"
+)
+
+// startServer spins up a server on a loopback listener and returns it
+// with its address; cleanup closes it.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve(ln) }()
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+func newThetaTable(t *testing.T, writers int) *table.ThetaTable[string] {
+	t.Helper()
+	tab := table.NewTheta(table.ThetaConfig[string]{
+		Table: table.Config[string]{Writers: writers, Shards: 16},
+		K:     2048, MaxError: 1,
+	})
+	t.Cleanup(tab.Close)
+	return tab
+}
+
+// TestServerIngestQueryRollup drives the whole request surface over one
+// connection: keyed batches, string-item batches, per-key queries,
+// rollup and health.
+func TestServerIngestQueryRollup(t *testing.T) {
+	tab := newThetaTable(t, 2)
+	s, addr := startServer(t, server.Config{})
+	if err := server.RegisterTheta(s, "ev", tab); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != wire.Version {
+		t.Fatalf("negotiated version %d", c.Version())
+	}
+
+	// 3 keys, disjoint items; key "a" additionally gets string items.
+	keys := []string{"a", "b", "c", "a", "b", "c"}
+	vals := []uint64{1, 2, 3, 4, 5, 6}
+	for i := 0; i < 50; i++ {
+		for j := range vals {
+			vals[j] += 100
+		}
+		if err := c.Ingest("ev", keys, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.IngestStrings("ev", []string{"a", "a"}, []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	// Per-key queries are relaxed (they may miss updates buffered in
+	// writer slots); a snapshot pull drains the table, so everything
+	// ingested above is visible and the assertions below are exact.
+	if _, err := c.PullSnapshot("ev"); err != nil {
+		t.Fatal(err)
+	}
+
+	kind, blob, found, err := c.QueryCompact("ev", "a")
+	if err != nil || !found {
+		t.Fatalf("query a: found=%v err=%v", found, err)
+	}
+	if kind != 1 {
+		t.Fatalf("query kind = %d, want KindTheta", kind)
+	}
+	ca, err := theta.UnmarshalCompact(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ca.Estimate(); got != 102 { // 50 batches × 2 items + 2 string items
+		t.Fatalf("key a estimate = %v, want 102", got)
+	}
+	if _, _, found, err := c.QueryCompact("ev", "nope"); err != nil || found {
+		t.Fatalf("missing key: found=%v err=%v", found, err)
+	}
+
+	kind, blob, err = c.Rollup("ev")
+	if err != nil || kind != 1 {
+		t.Fatalf("rollup: kind=%d err=%v", kind, err)
+	}
+	ru, err := theta.UnmarshalCompact(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ru.Estimate(); got != 302 { // 300 distinct uint64 items + 2 strings
+		t.Fatalf("rollup estimate = %v, want 302", got)
+	}
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tables != 1 || h.Keys != 3 || h.Items != 302 || h.Errors != 0 {
+		t.Fatalf("health = %+v", h)
+	}
+
+	// The in-process snapshot hook (the fcds-serve push path) returns
+	// the same drained, merged image as a wire pull — including after
+	// Close, which is when the final shutdown push runs.
+	checkSnap := func(when string) {
+		blob, err := s.SnapshotTable("ev")
+		if err != nil {
+			t.Fatalf("SnapshotTable %s: %v", when, err)
+		}
+		snap, err := table.UnmarshalThetaSnapshot[string](blob)
+		if err != nil {
+			t.Fatalf("SnapshotTable %s: parse: %v", when, err)
+		}
+		if snap.Len() != 3 {
+			t.Fatalf("SnapshotTable %s: %d keys, want 3", when, snap.Len())
+		}
+		ca, ok := snap.Get("a")
+		if !ok || ca.Estimate() != 102 {
+			t.Fatalf("SnapshotTable %s: key a = %v (ok=%v), want 102", when, ca, ok)
+		}
+	}
+	checkSnap("live")
+	if _, err := s.SnapshotTable("missing"); err == nil {
+		t.Fatal("SnapshotTable on unknown table succeeded")
+	}
+	c.Close()
+	s.Close()
+	checkSnap("after Close")
+}
+
+// TestServerErrors pins the per-request error paths: unknown table,
+// key-type mismatch, unsupported family operation — all as typed
+// server errors on a connection that stays usable.
+func TestServerErrors(t *testing.T) {
+	tab := newThetaTable(t, 1)
+	qt := table.NewQuantiles(table.QuantilesConfig[string]{
+		Table: table.Config[string]{Writers: 1, Shards: 16},
+	})
+	t.Cleanup(qt.Close)
+
+	s, addr := startServer(t, server.Config{})
+	if err := server.RegisterTheta(s, "ev", tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.RegisterQuantiles(s, "lat", qt); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate registration fails.
+	if err := server.RegisterTheta(s, "ev", tab); err == nil {
+		t.Fatal("duplicate register succeeded")
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	expectCode := func(err error, code uint64, what string) {
+		t.Helper()
+		var se *client.ServerError
+		if !errors.As(err, &se) || se.Code != code {
+			t.Fatalf("%s: err=%v, want server code %d", what, err, code)
+		}
+	}
+
+	_, _, err = c.Rollup("missing")
+	expectCode(err, wire.ErrCodeUnknownTable, "unknown table")
+
+	// uint64 keys into a string-keyed table.
+	if err := c.IngestU64("ev", []uint64{1}, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	expectCode(c.Flush(), wire.ErrCodeBadPayload, "key type mismatch")
+
+	// String items into a quantiles table.
+	if err := c.IngestStrings("lat", []string{"k"}, []string{"v"}); err != nil {
+		t.Fatal(err)
+	}
+	expectCode(c.Flush(), wire.ErrCodeUnsupported, "string items on quantiles")
+
+	// The connection survives request errors.
+	if err := c.Ingest("ev", []string{"k"}, []uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("post-error ingest: %v", err)
+	}
+	if _, _, found, err := c.QueryCompact("ev", "k"); err != nil || !found {
+		t.Fatalf("post-error query: found=%v err=%v", found, err)
+	}
+
+	// Errors were counted.
+	if st := s.Stats(); st.Errors != 3 {
+		t.Fatalf("stats errors = %d, want 3", st.Errors)
+	}
+}
+
+// TestServerQuantiles covers the float-value wire path end to end.
+func TestServerQuantiles(t *testing.T) {
+	qt := table.NewQuantiles(table.QuantilesConfig[string]{
+		Table: table.Config[string]{Writers: 1, Shards: 16},
+		K:     128,
+	})
+	t.Cleanup(qt.Close)
+	s, addr := startServer(t, server.Config{})
+	if err := server.RegisterQuantiles(s, "lat", qt); err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	keys := make([]string, 500)
+	vals := make([]float64, 500)
+	for i := range keys {
+		keys[i] = "api"
+		vals[i] = float64(i)
+	}
+	if err := c.IngestFloat("lat", keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PullSnapshot("lat"); err != nil { // drain: exact N below
+		t.Fatal(err)
+	}
+	_, blob, found, err := c.QueryCompact("lat", "api")
+	if err != nil || !found {
+		t.Fatalf("query: found=%v err=%v", found, err)
+	}
+	sk, err := qt.Engine().UnmarshalCompact(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Snapshot().N(); got != 500 {
+		t.Fatalf("sample count over the wire = %d, want 500", got)
+	}
+}
+
+// TestServerRejectsGarbage pins the fatal paths: a first frame that is
+// not HELLO, and a frame version the server never negotiated.
+func TestServerRejectsGarbage(t *testing.T) {
+	s, addr := startServer(t, server.Config{})
+	_ = s
+
+	// Not-HELLO first frame: server answers ERR and closes.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteFrame(nc, wire.Version, wire.FrameHealth, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	_, typ, payload, err := wire.ReadFrame(nc, &buf, 0)
+	if err != nil || typ != wire.FrameErr {
+		t.Fatalf("first response: typ=%#x err=%v", typ, err)
+	}
+	code, _, err := wire.ParseErrPayload(payload)
+	if err != nil || code != wire.ErrCodeBadFrame {
+		t.Fatalf("error code = %d (%v), want ErrCodeBadFrame", code, err)
+	}
+	if _, _, _, err := wire.ReadFrame(nc, &buf, 0); err == nil {
+		t.Fatal("connection stayed open after fatal error")
+	}
+
+	// Wrong version after negotiation.
+	nc2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	if err := wire.WriteFrame(nc2, wire.Version, wire.FrameHello, []byte{wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	if _, typ, _, err = wire.ReadFrame(nc2, &buf, 0); err != nil || typ != wire.FrameHello {
+		t.Fatalf("hello response: typ=%#x err=%v", typ, err)
+	}
+	if err := wire.WriteFrame(nc2, 99, wire.FrameHealth, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, typ, payload, err = wire.ReadFrame(nc2, &buf, 0)
+	if err != nil || typ != wire.FrameErr {
+		t.Fatalf("version-mismatch response: typ=%#x err=%v", typ, err)
+	}
+	if code, _, _ := wire.ParseErrPayload(payload); code != wire.ErrCodeVersion {
+		t.Fatalf("error code = %d, want ErrCodeVersion", code)
+	}
+}
+
+// TestClientDownshift pins negotiation: a client offering a version
+// beyond the server's settles on the server's.
+func TestClientDownshift(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteFrame(nc, 7, wire.FrameHello, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	_, typ, payload, err := wire.ReadFrame(nc, &buf, 0)
+	if err != nil || typ != wire.FrameHello || len(payload) != 1 || payload[0] != wire.Version {
+		t.Fatalf("downshift: typ=%#x payload=% x err=%v", typ, payload, err)
+	}
+}

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameRoundTrip pins the header layout byte for byte and the
+// read/write round trip, including buffer reuse across frames.
+func TestFrameRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	payloads := [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{0xab}, 3000),
+		[]byte("tail"),
+	}
+	for i, p := range payloads {
+		if err := WriteFrame(&out, Version, byte(0x10+i), p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// Header layout of the first frame.
+	raw := out.Bytes()
+	if got := int(raw[0]) | int(raw[1])<<8 | int(raw[2])<<16 | int(raw[3])<<24; got != 5 {
+		t.Fatalf("length field = %d, want 5", got)
+	}
+	if raw[4] != Version || raw[5] != 0x10 || raw[6] != 0 || raw[7] != 0 {
+		t.Fatalf("header bytes = % x", raw[4:8])
+	}
+
+	var buf []byte
+	for i, want := range payloads {
+		ver, typ, payload, err := ReadFrame(&out, &buf, 0)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if ver != Version || typ != byte(0x10+i) || !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: ver=%d typ=%#x payload %d bytes", i, ver, typ, len(payload))
+		}
+	}
+	if _, _, _, err := ReadFrame(&out, &buf, 0); err != io.EOF {
+		t.Fatalf("read past end: %v, want EOF", err)
+	}
+}
+
+// TestFrameLimits pins oversized-frame and reserved-byte rejection.
+func TestFrameLimits(t *testing.T) {
+	var out bytes.Buffer
+	if err := WriteFrame(&out, Version, FrameHealth, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	if _, _, _, err := ReadFrame(bytes.NewReader(out.Bytes()), &buf, 64); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v, want ErrFrameTooLarge", err)
+	}
+
+	raw := append([]byte{}, out.Bytes()...)
+	raw[6] = 1 // reserved byte must be zero
+	if _, _, _, err := ReadFrame(bytes.NewReader(raw), &buf, 0); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("reserved byte set: %v, want ErrBadHeader", err)
+	}
+
+	// Truncated payload.
+	trunc := out.Bytes()[:HeaderSize+10]
+	if _, _, _, err := ReadFrame(bytes.NewReader(trunc), &buf, 0); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("truncated payload: %v, want ErrShortPayload", err)
+	}
+}
+
+// TestReaderCursor pins the payload cursor: typed reads, the latched
+// error, and that post-error reads return zero values.
+func TestReaderCursor(t *testing.T) {
+	var p []byte
+	p = AppendUvarint(p, 300)
+	p = AppendString(p, "abc")
+	p = AppendUint64(p, 0xdeadbeef)
+	p = AppendFloat64(p, 3.5)
+
+	r := Reader{Buf: p}
+	if v := r.Uvarint(); v != 300 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if s := r.String(); s != "abc" {
+		t.Fatalf("string = %q", s)
+	}
+	if v := r.Uint64(); v != 0xdeadbeef {
+		t.Fatalf("uint64 = %#x", v)
+	}
+	if f := r.Float64(); f != 3.5 {
+		t.Fatalf("float64 = %v", f)
+	}
+	if r.Err != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err, r.Remaining())
+	}
+	// Reading past the end latches the error and stays latched.
+	if v := r.Uint64(); v != 0 || r.Err == nil {
+		t.Fatalf("past-end read: v=%d err=%v", v, r.Err)
+	}
+	if s := r.String(); s != "" {
+		t.Fatalf("post-error read = %q, want zero value", s)
+	}
+}
+
+// TestErrPayload pins the error-frame payload round trip.
+func TestErrPayload(t *testing.T) {
+	p := AppendErrPayload(nil, ErrCodeUnknownTable, "no such table")
+	code, msg, err := ParseErrPayload(p)
+	if err != nil || code != ErrCodeUnknownTable || msg != "no such table" {
+		t.Fatalf("parse = (%d, %q, %v)", code, msg, err)
+	}
+	if _, _, err := ParseErrPayload([]byte{0x80}); err == nil {
+		t.Fatal("malformed error payload parsed")
+	}
+}

@@ -84,6 +84,14 @@ func (st *SketchTable[K, V, S, C]) SnapshotBinary() ([]byte, error) {
 	return st.Snapshot().MarshalBinary()
 }
 
+// SnapshotAppend captures the table and serializes it into dst,
+// returning the extended slice — the streaming variant of
+// SnapshotBinary for callers shipping periodic snapshots through a
+// reusable buffer (the network server's snapshot-pull path).
+func (st *SketchTable[K, V, S, C]) SnapshotAppend(dst []byte) ([]byte, error) {
+	return st.Snapshot().AppendBinary(dst)
+}
+
 // Close drains and closes every per-key sketch and the owned pool.
 func (st *SketchTable[K, V, S, C]) Close() { st.t.Close() }
 

@@ -153,17 +153,28 @@ func (s *TableSnapshot[K, C]) Merge(other *TableSnapshot[K, C]) error {
 
 // MarshalBinary serializes the snapshot.
 func (s *TableSnapshot[K, C]) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, snapHeaderSize, snapHeaderSize+32*len(s.entries))
-	copy(buf[0:4], snapMagic)
-	buf[4] = snapVersion
-	buf[5] = s.codec.Kind()
-	buf[6] = keyTypeOf[K]()
-	binary.LittleEndian.PutUint32(buf[8:12], s.codec.Param())
-	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(s.entries)))
+	return s.AppendBinary(make([]byte, 0, snapHeaderSize+32*len(s.entries)))
+}
+
+// AppendBinary serializes the snapshot into dst and returns the
+// extended slice — the streaming hook for callers that ship snapshots
+// over reusable buffers (the network server's per-connection write
+// scratch) instead of allocating a fresh image per capture. On error,
+// dst is returned unextended.
+func (s *TableSnapshot[K, C]) AppendBinary(dst []byte) ([]byte, error) {
+	start := len(dst)
+	var hdr [snapHeaderSize]byte
+	copy(hdr[0:4], snapMagic)
+	hdr[4] = snapVersion
+	hdr[5] = s.codec.Kind()
+	hdr[6] = keyTypeOf[K]()
+	binary.LittleEndian.PutUint32(hdr[8:12], s.codec.Param())
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(s.entries)))
+	buf := append(dst, hdr[:]...)
 	for k, c := range s.entries {
 		blob, err := s.codec.MarshalCompact(c)
 		if err != nil {
-			return nil, err
+			return dst[:start], err
 		}
 		buf = appendKey(buf, k)
 		buf = binary.AppendUvarint(buf, uint64(len(blob)))
