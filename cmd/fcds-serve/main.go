@@ -5,8 +5,10 @@
 // queries, rollups, snapshot pulls and snapshot pushes.
 //
 // With -push, the node also acts as an aggregation edge: on every
-// -push-every tick it captures each table's merged snapshot and ships
-// it to the upstream node, which merges it into its own tables — chain
+// -push-every tick it captures each table's merged cumulative snapshot
+// and ships it to the upstream node tagged with this node's source id,
+// so the upstream replaces the previous ship instead of re-merging it
+// (re-merging would double-count quantiles samples every tick) — chain
 // two fcds-serve processes and you have the paper's distributed-
 // aggregation fabric on real sockets.
 //
@@ -14,7 +16,8 @@
 //
 //	fcds-serve [-addr :9700] [-tables events=theta/str,lat=quantiles/str]
 //	           [-writers N] [-param K] [-max-keys N] [-ttl D]
-//	           [-push host:9700 -push-every 5s] [-stats-every D] [-v]
+//	           [-push host:9700 -push-every 5s -push-source id]
+//	           [-stats-every D] [-v]
 //
 // Table specs are name=family/keytype with family one of theta,
 // quantiles, hll and keytype one of str, u64. SIGINT/SIGTERM shut the
@@ -90,6 +93,7 @@ func main() {
 	ttl := flag.Duration("ttl", 0, "evict keys idle longer than this (0 = never)")
 	push := flag.String("push", "", "upstream fcds-serve address to ship snapshots to")
 	pushEvery := flag.Duration("push-every", 10*time.Second, "snapshot shipping interval (with -push)")
+	pushSource := flag.String("push-source", "", "source id for pushed snapshots (default host/pid); the upstream replaces this source's previous snapshot on every push")
 	statsEvery := flag.Duration("stats-every", 0, "log server stats at this interval (0 = never)")
 	verbose := flag.Bool("v", false, "log connection-level diagnostics")
 	flag.Parse()
@@ -104,11 +108,10 @@ func main() {
 	if *verbose {
 		cfg.Logf = lg.Printf
 	}
-	srv, err := fcds.Serve(*addr, cfg)
-	if err != nil {
-		lg.Fatal(err)
-	}
-
+	// Register every table before the port opens: a client that
+	// connects the moment the listener is up (a supervisor-restarted
+	// pipeline) must never see unknown-table errors.
+	srv := fcds.NewIngestServer(cfg)
 	pool := fcds.NewPropagatorPool(0) // one executor for every table
 	defer pool.Close()
 	nodes := make([]*node, 0, len(specs))
@@ -120,9 +123,25 @@ func main() {
 		nodes = append(nodes, n)
 		lg.Printf("serving table %s (%s, %s keys)", spec.name, spec.family, spec.keyType)
 	}
+	if err := srv.Start(*addr); err != nil {
+		lg.Fatal(err)
+	}
 	lg.Printf("listening on %s", srv.Addr())
 
 	// Snapshot shipping: one upstream connection, re-dialled on error.
+	// Every push carries the full cumulative snapshot tagged with a
+	// stable source id, so the upstream replaces this node's previous
+	// ship instead of merging it — re-merging each tick would re-count
+	// every previously shipped sample in non-idempotent families
+	// (quantiles). The id must survive re-dials and stay unique among
+	// pushers; host/pid does both.
+	if *pushSource == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "fcds"
+		}
+		*pushSource = fmt.Sprintf("%s/%d", host, os.Getpid())
+	}
 	pushDone := make(chan struct{})
 	pushStop := make(chan struct{})
 	if *push != "" {
@@ -150,7 +169,7 @@ func main() {
 						lg.Printf("push: snapshot %s: %v", n.spec.name, err)
 						continue
 					}
-					if err := up.PushSnapshot(n.spec.name, blob); err != nil {
+					if err := up.PushSnapshotFrom(n.spec.name, *pushSource, blob); err != nil {
 						lg.Printf("push: ship %s: %v", n.spec.name, err)
 						up.Close()
 						up = nil

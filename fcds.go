@@ -172,7 +172,7 @@
 //	HELLO               max/negotiated protocol version (1 byte)
 //	KEYED_BATCH         table, key type, count, keys, 8-byte values
 //	KEYED_STRING_BATCH  table, key type, count, keys, string items
-//	SNAPSHOT_PUSH       table, FCTB snapshot blob
+//	SNAPSHOT_PUSH       table, source id, FCTB snapshot blob
 //	SNAPSHOT_PULL       table → merged FCTB snapshot blob
 //	QUERY               table, key type, key → found, kind, compact
 //	ROLLUP              table → kind, all-keys merged compact
@@ -192,9 +192,14 @@
 // distributed-aggregation path: an edge node serves its tables,
 // periodically pulls its own merged snapshot (or lets a pipeline pull
 // it remotely) and pushes the FCTB blob to an aggregator node, which
-// merges every received snapshot with its own live keys — queries and
-// rollups on the aggregator answer over the union. cmd/fcds-serve
-// wraps all of this in a binary (-push ships snapshots upstream on a
+// folds every received snapshot in with its own live keys — queries
+// and rollups on the aggregator answer over the union. A push carries
+// a source id that picks the fold: an empty id merges into a shared
+// aggregate (one-shot and delta ships), a named id replaces that
+// source's previous snapshot, which keeps periodic cumulative ships
+// correct for every family — re-merging a quantiles snapshot each
+// tick would re-count all of its samples. cmd/fcds-serve wraps all of
+// this in a binary (-push ships source-tagged snapshots upstream on a
 // timer), and examples/distributed runs a two-node pipeline end to
 // end.
 //
@@ -205,8 +210,6 @@
 package fcds
 
 import (
-	"net"
-
 	"github.com/fcds/fcds/internal/core"
 	"github.com/fcds/fcds/internal/hll"
 	"github.com/fcds/fcds/internal/lockbased"
@@ -491,25 +494,22 @@ type (
 	IngestServerError = client.ServerError
 )
 
+// NewIngestServer returns an idle ingest server: register tables,
+// then Start it (or Serve a listener). Registering before the
+// listener opens means the first connections can never race
+// registration and see unknown-table errors.
+func NewIngestServer(cfg IngestServerConfig) *IngestServer { return server.New(cfg) }
+
 // Serve starts an ingest server listening on addr, accepting in the
-// background, and returns it; register tables before clients connect.
+// background, and returns it; register tables before clients connect
+// (or use NewIngestServer + Start to register before the port opens).
 // Close the server (it drains in-flight frames) before closing the
 // registered tables.
 func Serve(addr string, cfg IngestServerConfig) (*IngestServer, error) {
 	s := server.New(cfg)
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
+	if err := s.Start(addr); err != nil {
 		return nil, err
 	}
-	s.Bind(ln) // Addr() is valid as soon as Serve returns
-	go func() {
-		// A fatal accept error (fd exhaustion, listener teardown) stops
-		// new connections while existing ones keep serving — surface it
-		// instead of letting the listener die silently.
-		if err := s.Serve(ln); err != nil && cfg.Logf != nil {
-			cfg.Logf("fcds: accept loop failed: %v", err)
-		}
-	}()
 	return s, nil
 }
 

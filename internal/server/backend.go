@@ -45,8 +45,10 @@ type backend interface {
 	// rollup merges every live key with every received remote snapshot.
 	rollupAppend(dst []byte) ([]byte, error)
 	// mergeSnapshot folds one serialized FCTB snapshot into the
-	// backend's remote aggregate.
-	mergeSnapshot(blob []byte) error
+	// backend's remote state: a named source replaces its previous
+	// snapshot, an empty source merges into the shared aggregate (see
+	// wire.FrameSnapshotPush).
+	mergeSnapshot(source string, blob []byte) error
 	// snapshotAppend drains the table and appends the full merged
 	// snapshot (live + remote) as an FCTB blob to dst.
 	snapshotAppend(dst []byte) ([]byte, error)
@@ -78,14 +80,28 @@ type tableBackend[K table.Key, V, S, C any] struct {
 	hashItem  func(string) V
 	decodeVal func(uint64) V
 	unmarshal func([]byte) (*table.TableSnapshot[K, C], error)
+	// validateCompact, when non-nil, vets each compact of a pushed
+	// snapshot for constraints the snapshot header cannot express
+	// (hash seeds); it runs before any state changes, so a bad push is
+	// rejected whole instead of being stored where it would poison
+	// every later query, rollup and pull.
+	validateCompact func(C) error
 
 	writers []*table.Writer[K, V, S, C]
 	wmu     []sync.Mutex
 
-	// remote accumulates snapshots received via SNAPSHOT_PUSH, merged
-	// per key; rollups, queries and pulls fold it in.
-	rmu    sync.Mutex
-	remote *table.TableSnapshot[K, C]
+	// Remote state received via SNAPSHOT_PUSH; rollups, queries and
+	// pulls fold it in. Anonymous pushes merge into remote; pushes
+	// carrying a source id replace that source's slot in remotes, so a
+	// node re-shipping its full cumulative snapshot every tick counts
+	// once, not once per tick.
+	rmu     sync.Mutex
+	remote  *table.TableSnapshot[K, C]
+	remotes map[string]*table.TableSnapshot[K, C]
+	// remoteOrder tracks named-source insertion order: when remotes
+	// reaches maxSnapshotSources, the oldest source is folded into the
+	// shared aggregate to free its slot.
+	remoteOrder []string
 
 	scratch sync.Pool
 }
@@ -95,17 +111,20 @@ func newTableBackend[K table.Key, V, S, C any](
 	hashItem func(string) V,
 	decodeVal func(uint64) V,
 	unmarshal func([]byte) (*table.TableSnapshot[K, C], error),
+	validateCompact func(C) error,
 ) *tableBackend[K, V, S, C] {
 	b := &tableBackend[K, V, S, C]{
-		st:        st,
-		kt:        keyTypeOf[K](),
-		eng:       st.Engine(),
-		hashItem:  hashItem,
-		decodeVal: decodeVal,
-		unmarshal: unmarshal,
-		writers:   make([]*table.Writer[K, V, S, C], st.NumWriters()),
-		wmu:       make([]sync.Mutex, st.NumWriters()),
-		remote:    table.NewTableSnapshot[K](st.Engine()),
+		st:              st,
+		kt:              keyTypeOf[K](),
+		eng:             st.Engine(),
+		hashItem:        hashItem,
+		decodeVal:       decodeVal,
+		unmarshal:       unmarshal,
+		validateCompact: validateCompact,
+		writers:         make([]*table.Writer[K, V, S, C], st.NumWriters()),
+		wmu:             make([]sync.Mutex, st.NumWriters()),
+		remote:          table.NewTableSnapshot[K](st.Engine()),
+		remotes:         make(map[string]*table.TableSnapshot[K, C]),
 	}
 	for i := range b.writers {
 		b.writers[i] = st.Writer(i)
@@ -149,7 +168,7 @@ func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringIte
 	if kt := r.Byte(); r.Err == nil && kt != b.kt {
 		return 0, errBadPayload("key type %d, table wants %d", kt, b.kt)
 	}
-	count := int(r.Uvarint())
+	count64 := r.Uvarint()
 	if r.Err != nil {
 		return 0, errBadPayload("truncated batch header")
 	}
@@ -158,7 +177,10 @@ func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringIte
 	// length prefix), so a corrupt count cannot size the scratch far
 	// beyond the bytes actually present — without this, one 16 MiB
 	// frame claiming millions of entries would allocate hundreds of MB
-	// before the decode loop ever noticed the truncation.
+	// before the decode loop ever noticed the truncation. The bound is
+	// checked before the uint64 narrows to int: a count >= 2^63 would
+	// convert negative and sail past an int comparison straight into a
+	// slice-bounds panic.
 	minEntry := 2 // string key + string item lower bound
 	if b.kt == wire.KeyTypeUint64 {
 		minEntry += 7
@@ -166,9 +188,10 @@ func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringIte
 	if !stringItems {
 		minEntry += 7
 	}
-	if count > r.Remaining()/minEntry {
-		return 0, errBadPayload("batch count %d exceeds payload", count)
+	if count64 > uint64(r.Remaining()/minEntry) {
+		return 0, errBadPayload("batch count %d exceeds payload", count64)
 	}
+	count := int(count64)
 	if stringItems && b.hashItem == nil {
 		return 0, &reqError{code: wire.ErrCodeUnsupported, msg: "table family has no string-item ingestion"}
 	}
@@ -199,8 +222,13 @@ func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringIte
 		return 0, errBadPayload("%d trailing bytes after batch", r.Remaining())
 	}
 
+	// Deferred unlock: a panic inside the table's update path unwinds
+	// through serveConn's recover, and a bare Unlock would leave the
+	// slot wedged for every future connection pinned to it (and for
+	// snapshotAppend, which locks all slots).
 	wi := int(slot % uint64(len(b.writers)))
 	b.wmu[wi].Lock()
+	defer b.wmu[wi].Unlock()
 	if stringItems {
 		// Items were hashed into the family's space in the decode pass,
 		// exactly like the table's own keyed string-batch path.
@@ -208,7 +236,6 @@ func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringIte
 	} else {
 		b.writers[wi].UpdateKeyedBatch(keys, vals)
 	}
-	b.wmu[wi].Unlock()
 	return count, nil
 }
 
@@ -221,19 +248,30 @@ func (b *tableBackend[K, V, S, C]) queryCompact(r *wire.Reader, dst []byte) ([]b
 		return dst, errBadPayload("malformed query key")
 	}
 	c, ok := b.st.CompactKey(k)
-	b.rmu.Lock()
-	rc, rok := b.remote.Get(k)
-	b.rmu.Unlock()
-	switch {
-	case ok && rok:
-		merged, err := b.eng.MergeCompact(c, rc)
-		if err != nil {
-			return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
-		}
-		c = merged
-	case rok:
-		c, ok = rc, true
-	case !ok:
+	err := func() error {
+		b.rmu.Lock()
+		defer b.rmu.Unlock()
+		return b.eachRemote(func(snap *table.TableSnapshot[K, C]) error {
+			rc, rok := snap.Get(k)
+			if !rok {
+				return nil
+			}
+			if !ok {
+				c, ok = rc, true
+				return nil
+			}
+			merged, err := b.eng.MergeCompact(c, rc)
+			if err != nil {
+				return err
+			}
+			c = merged
+			return nil
+		})
+	}()
+	if err != nil {
+		return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
+	}
+	if !ok {
 		return append(dst, 0), nil // not found
 	}
 	blob, err := b.eng.MarshalCompact(c)
@@ -250,13 +288,18 @@ func (b *tableBackend[K, V, S, C]) rollupAppend(dst []byte) ([]byte, error) {
 		return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
 	}
 	var mergeErr error
-	b.rmu.Lock()
-	b.remote.ForEach(func(_ K, c C) {
-		if mergeErr == nil {
-			mergeErr = agg.Add(c)
-		}
-	})
-	b.rmu.Unlock()
+	func() {
+		b.rmu.Lock()
+		defer b.rmu.Unlock()
+		_ = b.eachRemote(func(snap *table.TableSnapshot[K, C]) error {
+			snap.ForEach(func(_ K, c C) {
+				if mergeErr == nil {
+					mergeErr = agg.Add(c)
+				}
+			})
+			return mergeErr
+		})
+	}()
 	if mergeErr != nil {
 		return dst, &reqError{code: wire.ErrCodeInternal, msg: mergeErr.Error()}
 	}
@@ -268,17 +311,87 @@ func (b *tableBackend[K, V, S, C]) rollupAppend(dst []byte) ([]byte, error) {
 	return append(dst, blob...), nil
 }
 
-func (b *tableBackend[K, V, S, C]) mergeSnapshot(blob []byte) error {
+// eachRemote visits the anonymous aggregate and every per-source
+// snapshot, stopping at the first error. Callers hold b.rmu.
+func (b *tableBackend[K, V, S, C]) eachRemote(fn func(*table.TableSnapshot[K, C]) error) error {
+	if err := fn(b.remote); err != nil {
+		return err
+	}
+	for _, snap := range b.remotes {
+		if err := fn(snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxSnapshotSources bounds the per-table named-source map: past it,
+// admitting a new source folds the oldest source's snapshot into the
+// shared aggregate and frees its slot. Without a bound, a client
+// looping over fresh source ids (or an edge crash-looping under the
+// default host/pid id) would grow server memory one retained snapshot
+// per push; with it, memory and per-request fold cost stay bounded,
+// data is never dropped, and the push pipeline never bricks. The one
+// caveat: a demoted source that later resumes pushing under its old
+// id re-counts its folded data in non-idempotent families — reachable
+// only with more than maxSnapshotSources simultaneously live pushers.
+const maxSnapshotSources = 1024
+
+func (b *tableBackend[K, V, S, C]) mergeSnapshot(source string, blob []byte) error {
 	snap, err := b.unmarshal(blob)
 	if err != nil {
 		return errBadPayload("snapshot: %v", err)
 	}
-	b.rmu.Lock()
-	err = b.remote.Merge(snap)
-	b.rmu.Unlock()
-	if err != nil {
+	// Vet the whole snapshot before any state changes: the header
+	// check (kind/param via CompatibleWith) plus per-compact
+	// constraints it cannot express — a Θ/HLL snapshot hashed under a
+	// different seed would otherwise be ACKed and then fail every
+	// later query, rollup and pull it participates in.
+	if err := b.remote.CompatibleWith(snap); err != nil {
 		return &reqError{code: wire.ErrCodeBadPayload, msg: err.Error()}
 	}
+	if b.validateCompact != nil {
+		var verr error
+		snap.ForEach(func(_ K, c C) {
+			if verr == nil {
+				verr = b.validateCompact(c)
+			}
+		})
+		if verr != nil {
+			return errBadPayload("snapshot: %v", verr)
+		}
+	}
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	if source == "" {
+		if err := b.remote.Merge(snap); err != nil {
+			return &reqError{code: wire.ErrCodeBadPayload, msg: err.Error()}
+		}
+		return nil
+	}
+	// Replace, don't merge: a named source ships its full cumulative
+	// snapshot each tick, and merging would re-count every previously
+	// shipped sample in non-idempotent families (quantiles). A source
+	// that dies keeps its last snapshot deliberately — it holds data
+	// its successor (a restarted edge starts from an empty table,
+	// under a fresh default source id) no longer has, so evicting it
+	// would silently lose that data from rollups.
+	if _, exists := b.remotes[source]; !exists {
+		for len(b.remotes) >= maxSnapshotSources && len(b.remoteOrder) > 0 {
+			oldest := b.remoteOrder[0]
+			b.remoteOrder = b.remoteOrder[1:]
+			if old, ok := b.remotes[oldest]; ok {
+				if err := b.remote.Merge(old); err != nil {
+					// Cannot happen for snapshots that passed admission
+					// validation, but never drop data silently.
+					return &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
+				}
+				delete(b.remotes, oldest)
+			}
+		}
+		b.remoteOrder = append(b.remoteOrder, source)
+	}
+	b.remotes[source] = snap
 	return nil
 }
 
@@ -286,17 +399,23 @@ func (b *tableBackend[K, V, S, C]) mergeSnapshot(blob []byte) error {
 // all buffered updates are visible, and serializes the live table
 // merged with the remote aggregate.
 func (b *tableBackend[K, V, S, C]) snapshotAppend(dst []byte) ([]byte, error) {
-	for i := range b.wmu {
-		b.wmu[i].Lock()
-	}
-	b.st.Drain()
-	snap := b.st.Snapshot()
-	for i := len(b.wmu) - 1; i >= 0; i-- {
-		b.wmu[i].Unlock()
-	}
-	b.rmu.Lock()
-	err := snap.Merge(b.remote)
-	b.rmu.Unlock()
+	snap := func() *table.TableSnapshot[K, C] {
+		for i := range b.wmu {
+			b.wmu[i].Lock()
+		}
+		defer func() {
+			for i := len(b.wmu) - 1; i >= 0; i-- {
+				b.wmu[i].Unlock()
+			}
+		}()
+		b.st.Drain()
+		return b.st.Snapshot()
+	}()
+	err := func() error {
+		b.rmu.Lock()
+		defer b.rmu.Unlock()
+		return b.eachRemote(snap.Merge)
+	}()
 	if err != nil {
 		return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
 	}
@@ -315,28 +434,47 @@ func math64frombits(v uint64) float64 { return math.Float64frombits(v) }
 // the Θ and HLL engines implement it, quantiles does not.
 type stringHasher interface{ HashString(string) uint64 }
 
+// seeded is the engine surface the snapshot-push seed check needs.
+type seeded interface{ Seed() uint64 }
+
+// seedValidator vets one pushed compact's hash seed against the
+// table's — the one incompatibility the snapshot header cannot carry.
+func seedValidator[C seeded](want uint64) func(C) error {
+	return func(c C) error {
+		if got := c.Seed(); got != want {
+			return fmt.Errorf("compact hash seed %#x, table uses %#x", got, want)
+		}
+		return nil
+	}
+}
+
 // RegisterTheta registers a keyed Θ table under name. The server
 // becomes the table's sole writer (it owns every writer handle);
 // queries, rollups and snapshots from the embedding process remain
 // safe concurrently.
 func RegisterTheta[K table.Key](s *Server, name string, t *table.ThetaTable[K]) error {
 	hasher := any(t.Engine()).(stringHasher)
+	seed := any(t.Engine()).(seeded).Seed()
 	return s.register(name, newTableBackend[K, uint64, float64, *theta.Compact](
-		&t.SketchTable, hasher.HashString, identityVal, table.UnmarshalThetaSnapshot[K]))
+		&t.SketchTable, hasher.HashString, identityVal, table.UnmarshalThetaSnapshot[K],
+		seedValidator[*theta.Compact](seed)))
 }
 
 // RegisterHLL registers a keyed HLL table under name; see RegisterTheta
 // for the writer-ownership contract.
 func RegisterHLL[K table.Key](s *Server, name string, t *table.HLLTable[K]) error {
 	hasher := any(t.Engine()).(stringHasher)
+	seed := any(t.Engine()).(seeded).Seed()
 	return s.register(name, newTableBackend[K, uint64, float64, *hll.Sketch](
-		&t.SketchTable, hasher.HashString, identityVal, table.UnmarshalHLLSnapshot[K]))
+		&t.SketchTable, hasher.HashString, identityVal, table.UnmarshalHLLSnapshot[K],
+		seedValidator[*hll.Sketch](seed)))
 }
 
 // RegisterQuantiles registers a keyed quantiles table under name (no
-// string-item ingestion: quantiles samples are float64 wire values);
-// see RegisterTheta for the writer-ownership contract.
+// string-item ingestion: quantiles samples are float64 wire values;
+// no seed check: quantiles values are not hashed); see RegisterTheta
+// for the writer-ownership contract.
 func RegisterQuantiles[K table.Key](s *Server, name string, t *table.QuantilesTable[K]) error {
 	return s.register(name, newTableBackend[K, float64, *quantiles.Snapshot, *quantiles.Sketch](
-		&t.SketchTable, nil, math64frombits, table.UnmarshalQuantilesSnapshot[K]))
+		&t.SketchTable, nil, math64frombits, table.UnmarshalQuantilesSnapshot[K], nil))
 }

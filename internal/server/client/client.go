@@ -234,9 +234,50 @@ func (c *Client) send(version, typ byte, ch chan response, build func(dst []byte
 	c.npending++
 	c.pmu.Unlock()
 	if err := wire.WriteFrame(c.bw, version, typ, c.enc); err != nil {
+		// The buffered write failed, so the server may have seen a
+		// partial frame and will never answer this slot. Remove it
+		// (still the tail — wmu is held, so nothing enqueued after us)
+		// and latch the failure: leaving the slot would desync the
+		// in-order response FIFO and deliver later responses to the
+		// wrong operations.
+		err = fmt.Errorf("client: write: %w", err)
+		c.pmu.Lock()
+		if n := len(c.pending); n > 0 {
+			c.pending = c.pending[:n-1]
+			c.npending--
+		}
+		if c.fatal == nil {
+			c.fatal = err
+		}
+		c.drained.Broadcast()
+		c.pmu.Unlock()
+		c.nc.Close() // wake the read loop so it fails waiters out
 		return err
 	}
 	return nil
+}
+
+// flushWrites flushes the buffered writer; a failure is
+// connection-fatal (the server may have seen a partial frame), so it
+// latches c.fatal and closes the connection — the read loop then fails
+// every pending slot out, instead of leaving waiters blocked on
+// responses that can never arrive.
+func (c *Client) flushWrites() error {
+	c.wmu.Lock()
+	err := c.bw.Flush()
+	c.wmu.Unlock()
+	if err == nil {
+		return nil
+	}
+	err = fmt.Errorf("client: write: %w", err)
+	c.pmu.Lock()
+	if c.fatal == nil {
+		c.fatal = err
+	}
+	c.drained.Broadcast()
+	c.pmu.Unlock()
+	c.nc.Close()
+	return err
 }
 
 // roundTrip sends one frame and waits for its in-order response.
@@ -245,10 +286,7 @@ func (c *Client) roundTrip(version, typ byte, build func(dst []byte) []byte) (re
 	if err := c.send(version, typ, ch, build); err != nil {
 		return response{}, err
 	}
-	c.wmu.Lock()
-	err := c.bw.Flush()
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.flushWrites(); err != nil {
 		return response{}, err
 	}
 	resp := <-ch
@@ -265,10 +303,7 @@ func (c *Client) roundTrip(version, typ byte, build func(dst []byte) []byte) (re
 // acknowledged all outstanding operations, returning the first
 // asynchronous ingest error (if any) exactly once.
 func (c *Client) Flush() error {
-	c.wmu.Lock()
-	err := c.bw.Flush()
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.flushWrites(); err != nil {
 		return err
 	}
 	c.pmu.Lock()
@@ -279,7 +314,7 @@ func (c *Client) Flush() error {
 	if c.fatal != nil {
 		return c.fatal
 	}
-	err = c.asyncErr
+	err := c.asyncErr
 	c.asyncErr = nil
 	return err
 }
@@ -417,11 +452,25 @@ func (c *Client) IngestStringsU64(tbl string, keys []uint64, items []string) err
 // --- snapshot shipping ---
 
 // PushSnapshot ships a serialized FCTB table snapshot to the server,
-// which merges it into the named table's remote aggregate.
+// which merges it into the named table's shared remote aggregate.
 // Synchronous: the server's acknowledgement (or failure) is returned.
+// Merge semantics suit one-shot or delta ships; a pusher that
+// repeatedly ships its full cumulative snapshot must use
+// PushSnapshotFrom so re-ships replace instead of re-counting.
 func (c *Client) PushSnapshot(tbl string, blob []byte) error {
+	return c.PushSnapshotFrom(tbl, "", blob)
+}
+
+// PushSnapshotFrom ships a snapshot tagged with a source id: the
+// server replaces the previous snapshot it holds for that source
+// rather than merging, so periodic cumulative ships stay correct for
+// every family (a re-merged quantiles snapshot would re-count all its
+// samples each tick). Distinct sources still aggregate. An empty
+// source is PushSnapshot's merge semantics.
+func (c *Client) PushSnapshotFrom(tbl, source string, blob []byte) error {
 	_, err := c.roundTrip(c.version, wire.FrameSnapshotPush, func(dst []byte) []byte {
 		dst = wire.AppendString(dst, tbl)
+		dst = wire.AppendString(dst, source)
 		return append(dst, blob...)
 	})
 	return err

@@ -171,18 +171,56 @@ func (s *Server) Bind(ln net.Listener) {
 	s.mu.Unlock()
 }
 
+// Start listens on addr (TCP) and accepts in the background; Addr is
+// valid as soon as Start returns. Register tables before Start so the
+// first connections can never race registration and see unknown-table
+// errors. A fatal accept error stops new connections while existing
+// ones keep serving — it is surfaced through Config.Logf.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.Bind(ln)
+	go func() {
+		if err := s.Serve(ln); err != nil {
+			s.logf("server: accept loop failed: %v", err)
+		}
+	}()
+	return nil
+}
+
 // Serve accepts connections on ln until Close; it returns nil after a
-// graceful Close, or the first fatal accept error.
+// graceful Close, or the first fatal accept error. Transient accept
+// failures (fd exhaustion, aborted handshakes) are retried with
+// backoff instead of killing the listener.
 func (s *Server) Serve(ln net.Listener) error {
 	s.Bind(ln)
+	var backoff time.Duration
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			if s.closed.Load() {
 				return nil
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				s.logf("server: accept: %v; retrying in %v", err, backoff)
+				select {
+				case <-time.After(backoff):
+					continue
+				case <-s.done:
+					return nil
+				}
+			}
 			return err
 		}
+		backoff = 0
 		// Registration re-checks closed under the same lock Close uses
 		// to interrupt connections: either this conn is registered
 		// before Close scans s.conns (and gets interrupted and awaited),
@@ -229,15 +267,26 @@ func (s *Server) Close() error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	now := time.Now()
 	for nc := range s.conns {
 		// Interrupt the connection's next (or current) blocking read;
 		// frames already received keep processing and respond first.
-		nc.SetReadDeadline(time.Now())
+		nc.SetReadDeadline(now)
+		// Bound the response writes too: a peer that stopped reading
+		// (full TCP window) would otherwise block a connection goroutine
+		// in Flush forever and hang the wg.Wait below. The grace keeps
+		// the drain contract — in-flight responses normally flush in
+		// well under it.
+		nc.SetWriteDeadline(now.Add(closeWriteGrace))
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
 }
+
+// closeWriteGrace bounds how long a draining connection may spend
+// writing its final responses after Close before its writes are cut.
+const closeWriteGrace = 5 * time.Second
 
 // connState is one connection's reusable I/O state.
 type connState struct {
@@ -249,6 +298,13 @@ type connState struct {
 // to writer slot seq%N of every table it touches.
 func (s *Server) serveConn(nc net.Conn, seq uint64) {
 	defer func() {
+		// Last-resort guard: a decode or handler bug costs this
+		// connection, not the process (defense in depth behind the
+		// payload validation; backend lock sections unlock via defer,
+		// so the unwind releases them before this recover runs).
+		if p := recover(); p != nil {
+			s.logf("server: %s: panic serving connection: %v", nc.RemoteAddr(), p)
+		}
 		nc.Close()
 		s.mu.Lock()
 		delete(s.conns, nc)
@@ -355,8 +411,8 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 	r := wire.Reader{Buf: payload}
 	switch typ {
 	case wire.FrameHello:
-		// Renegotiation mid-stream is a protocol violation, but harmless:
-		// answer with the already-negotiated version.
+		// Renegotiation mid-stream is a protocol violation: answered
+		// with an ERR frame, though the connection stays usable.
 		return wire.FrameErr, nil, errBadPayload("duplicate HELLO")
 
 	case wire.FrameKeyedBatch, wire.FrameKeyedStringBatch:
@@ -376,7 +432,14 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		if err != nil {
 			return 0, nil, err
 		}
-		if err := b.mergeSnapshot(r.Rest()); err != nil {
+		// The source id is copied (r.String), not viewed: named sources
+		// key the backend's per-source snapshot map, which outlives the
+		// connection's read buffer.
+		source := r.String()
+		if r.Err != nil {
+			return 0, nil, errBadPayload("truncated snapshot source")
+		}
+		if err := b.mergeSnapshot(source, r.Rest()); err != nil {
 			return 0, nil, err
 		}
 		s.snapshots.Add(1)

@@ -2,9 +2,11 @@ package server_test
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"testing"
 
+	"github.com/fcds/fcds/internal/quantiles"
 	"github.com/fcds/fcds/internal/server"
 	"github.com/fcds/fcds/internal/server/client"
 	"github.com/fcds/fcds/internal/server/wire"
@@ -308,6 +310,249 @@ func TestServerRejectsGarbage(t *testing.T) {
 	}
 	if code, _, _ := wire.ParseErrPayload(payload); code != wire.ErrCodeVersion {
 		t.Fatalf("error code = %d, want ErrCodeVersion", code)
+	}
+}
+
+// TestServerSurvivesHugeBatchCount pins the count-overflow guard: a
+// KEYED_BATCH claiming >= 2^63 entries used to convert to a negative
+// int, bypass the payload bound and panic the whole process slicing
+// the scratch. It must instead earn an ERR frame on a connection (and
+// server) that keeps working.
+func TestServerSurvivesHugeBatchCount(t *testing.T) {
+	tab := newThetaTable(t, 1)
+	s, addr := startServer(t, server.Config{})
+	if err := server.RegisterTheta(s, "ev", tab); err != nil {
+		t.Fatal(err)
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteFrame(nc, wire.Version, wire.FrameHello, []byte{wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	if _, typ, _, err := wire.ReadFrame(nc, &buf, 0); err != nil || typ != wire.FrameHello {
+		t.Fatalf("hello: typ=%#x err=%v", typ, err)
+	}
+
+	payload := wire.AppendString(nil, "ev")
+	payload = append(payload, wire.KeyTypeString)
+	payload = wire.AppendUvarint(payload, 1<<63) // negative as int
+	if err := wire.WriteFrame(nc, wire.Version, wire.FrameKeyedBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	_, typ, resp, err := wire.ReadFrame(nc, &buf, 0)
+	if err != nil || typ != wire.FrameErr {
+		t.Fatalf("huge-count response: typ=%#x err=%v", typ, err)
+	}
+	if code, _, _ := wire.ParseErrPayload(resp); code != wire.ErrCodeBadPayload {
+		t.Fatalf("error code = %d, want ErrCodeBadPayload", code)
+	}
+
+	// The connection and the server survived.
+	if err := wire.WriteFrame(nc, wire.Version, wire.FrameHealth, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, typ, _, err := wire.ReadFrame(nc, &buf, 0); err != nil || typ != wire.FrameValue {
+		t.Fatalf("post-error health: typ=%#x err=%v", typ, err)
+	}
+}
+
+// TestSnapshotPushSourceReplace pins the per-source replace contract:
+// a node re-shipping its full cumulative snapshot under one source id
+// counts once no matter how many times it ships (the -push loop),
+// anonymous pushes keep merge semantics, and distinct sources
+// aggregate.
+func TestSnapshotPushSourceReplace(t *testing.T) {
+	const n = 500
+	newQT := func() *table.QuantilesTable[string] {
+		qt := table.NewQuantiles(table.QuantilesConfig[string]{
+			Table: table.Config[string]{Writers: 1, Shards: 16},
+			K:     128,
+		})
+		t.Cleanup(qt.Close)
+		return qt
+	}
+	s, addr := startServer(t, server.Config{})
+	if err := server.RegisterQuantiles(s, "lat", newQT()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Build a snapshot blob with n samples under one key.
+	src := newQT()
+	w := src.Writer(0)
+	keys := make([]string, n)
+	vals := make([]float64, n)
+	for i := range keys {
+		keys[i], vals[i] = "api", float64(i)
+	}
+	w.UpdateKeyedBatch(keys, vals)
+	src.Drain()
+	blob, err := src.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sampleCount := func(what string) uint64 {
+		t.Helper()
+		_, qblob, found, err := c.QueryCompact("lat", "api")
+		if err != nil || !found {
+			t.Fatalf("%s: query: found=%v err=%v", what, found, err)
+		}
+		sk, err := quantiles.Unmarshal(qblob)
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		return sk.Snapshot().N()
+	}
+
+	// Cumulative re-ships from one source replace: still n after three.
+	for i := 0; i < 3; i++ {
+		if err := c.PushSnapshotFrom("lat", "edge-1", blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sampleCount("same source"); got != n {
+		t.Fatalf("after 3 pushes from one source: n = %d, want %d", got, n)
+	}
+
+	// A second source aggregates with the first.
+	if err := c.PushSnapshotFrom("lat", "edge-2", blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := sampleCount("second source"); got != 2*n {
+		t.Fatalf("two sources: n = %d, want %d", got, 2*n)
+	}
+
+	// Anonymous pushes merge — each one counts.
+	for i := 0; i < 2; i++ {
+		if err := c.PushSnapshot("lat", blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sampleCount("anonymous"); got != 4*n {
+		t.Fatalf("after 2 anonymous pushes: n = %d, want %d", got, 4*n)
+	}
+
+	// The pulled (and shipped-downstream) snapshot folds all of it.
+	pulled, err := c.PullSnapshot("lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := table.UnmarshalQuantilesSnapshot[string](pulled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, ok := snap.Get("api")
+	if !ok {
+		t.Fatal("pulled snapshot: key api missing")
+	}
+	if got := sk.Snapshot().N(); got != 4*n {
+		t.Fatalf("pulled snapshot: n = %d, want %d", got, 4*n)
+	}
+}
+
+// TestSnapshotPushSourceCapFolds pins the named-source bound: pushing
+// from more distinct sources than maxSnapshotSources (1024) must keep
+// succeeding — the oldest sources fold into the shared aggregate — and
+// no shipped data may be lost on the way.
+func TestSnapshotPushSourceCapFolds(t *testing.T) {
+	tab := newThetaTable(t, 1)
+	s, addr := startServer(t, server.Config{})
+	if err := server.RegisterTheta(s, "ev", tab); err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Each source ships the cumulative snapshot of one growing table —
+	// Θ merges are idempotent, so folds and replaces both preserve the
+	// full item set and the final rollup pins losslessness exactly.
+	src := newThetaTable(t, 1)
+	w := src.Writer(0)
+	const sources = 1030 // past the 1024 cap
+	for i := 0; i < sources; i++ {
+		w.UpdateKeyedBatch([]string{"k"}, []uint64{uint64(i)})
+		src.Drain()
+		blob, err := src.Snapshot().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PushSnapshotFrom("ev", fmt.Sprintf("src-%04d", i), blob); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	_, rblob, err := c.Rollup("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := theta.UnmarshalCompact(rblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ru.Estimate(); got != sources {
+		t.Fatalf("rollup estimate = %v, want %d (data lost across the cap fold)", got, sources)
+	}
+}
+
+// TestSnapshotPushSeedMismatchRejected pins the pre-merge seed check:
+// a Θ snapshot hashed under a foreign seed must be rejected at push
+// time with a payload error — not ACKed and stored where it would
+// poison every later query, rollup and pull.
+func TestSnapshotPushSeedMismatchRejected(t *testing.T) {
+	tab := newThetaTable(t, 1) // default seed
+	s, addr := startServer(t, server.Config{})
+	if err := server.RegisterTheta(s, "ev", tab); err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	foreign := table.NewTheta(table.ThetaConfig[string]{
+		Table: table.Config[string]{Writers: 1, Shards: 16},
+		K:     2048, MaxError: 1, Seed: 0xfeedbeef,
+	})
+	t.Cleanup(foreign.Close)
+	foreign.Writer(0).UpdateKeyedBatch([]string{"a", "a"}, []uint64{1, 2})
+	foreign.Drain()
+	blob, err := foreign.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var se *client.ServerError
+	for _, source := range []string{"", "edge-1"} { // merge and replace paths
+		err := c.PushSnapshotFrom("ev", source, blob)
+		if !errors.As(err, &se) || se.Code != wire.ErrCodeBadPayload {
+			t.Fatalf("push (source %q): err=%v, want ErrCodeBadPayload", source, err)
+		}
+	}
+
+	// Nothing was stored: ingest + rollup still work over the wire.
+	if err := c.Ingest("ev", []string{"a"}, []uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PullSnapshot("ev"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Rollup("ev"); err != nil {
+		t.Fatalf("rollup after rejected push: %v", err)
 	}
 }
 

@@ -70,8 +70,15 @@ const (
 	// FrameKeyedStringBatch ingests parallel (key, string item) slices
 	// into a named Θ or HLL table (items are hashed server-side).
 	FrameKeyedStringBatch byte = 0x03
-	// FrameSnapshotPush ships an FCTB table snapshot to be merged into
-	// the named table's remote aggregate: table name, then the blob.
+	// FrameSnapshotPush ships an FCTB table snapshot into the named
+	// table's remote state: table name, source id, then the blob. A
+	// non-empty source id REPLACES that source's previously pushed
+	// snapshot — the contract for nodes that periodically ship their
+	// full cumulative snapshot (fcds-serve -push), where re-merging
+	// every tick would double-count non-idempotent families
+	// (quantiles re-counts samples; Θ/HLL merges are idempotent). An
+	// empty source id merges into a shared aggregate: one-shot ships
+	// and delta-shipping pushers.
 	FrameSnapshotPush byte = 0x04
 	// FrameSnapshotPull requests the named table's full merged snapshot
 	// (live table + every received remote snapshot) as an FCTB blob.
@@ -140,14 +147,18 @@ func ReadFrame(r io.Reader, buf *[]byte, maxFrame int) (version, typ byte, paylo
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, nil, err
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	// Bound the length while still unsigned: converting to int first
+	// would wrap lengths >= 2^31 negative on 32-bit platforms, slip past
+	// the maxFrame check, and panic slicing the buffer.
+	n32 := binary.LittleEndian.Uint32(hdr[0:4])
 	version, typ = hdr[4], hdr[5]
 	if hdr[6] != 0 || hdr[7] != 0 {
 		return version, typ, nil, ErrBadHeader
 	}
-	if n > maxFrame {
-		return version, typ, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	if uint64(n32) > uint64(maxFrame) {
+		return version, typ, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n32, maxFrame)
 	}
+	n := int(n32)
 	if cap(*buf) < n {
 		*buf = make([]byte, n, n+n/2)
 	}

@@ -129,13 +129,25 @@ func (s *TableSnapshot[K, C]) ForEach(fn func(k K, c C)) {
 // this; Merge is the checked path for foreign snapshots).
 func (s *TableSnapshot[K, C]) Set(k K, c C) { s.entries[k] = c }
 
+// CompatibleWith reports whether other's sketches could merge into s:
+// both must come from tables with the same sketch kind and parameter.
+// This is Merge's precondition as a standalone check, for holders of
+// foreign snapshots (the network server's per-source slots) that
+// validate without paying for a merge.
+func (s *TableSnapshot[K, C]) CompatibleWith(other *TableSnapshot[K, C]) error {
+	if s.codec.Kind() != other.codec.Kind() || s.codec.Param() != other.codec.Param() {
+		return fmt.Errorf("%w: kind %d/param %d vs kind %d/param %d",
+			ErrSnapIncompatible, s.codec.Kind(), s.codec.Param(), other.codec.Kind(), other.codec.Param())
+	}
+	return nil
+}
+
 // Merge folds other into s: keys present in both are merged sketch-
 // wise, keys only in other are copied. Both snapshots must come from
 // tables with the same sketch kind and parameter.
 func (s *TableSnapshot[K, C]) Merge(other *TableSnapshot[K, C]) error {
-	if s.codec.Kind() != other.codec.Kind() || s.codec.Param() != other.codec.Param() {
-		return fmt.Errorf("%w: kind %d/param %d vs kind %d/param %d",
-			ErrSnapIncompatible, s.codec.Kind(), s.codec.Param(), other.codec.Kind(), other.codec.Param())
+	if err := s.CompatibleWith(other); err != nil {
+		return err
 	}
 	for k, oc := range other.entries {
 		if mine, ok := s.entries[k]; ok {
