@@ -1,0 +1,197 @@
+//go:build smoke
+
+// The smoke tag keeps this out of the ordinary test run: it builds the
+// real binary and drives two fcds-serve processes over loopback TCP,
+// SIGKILLs the aggregator mid-run and asserts the restart recovers —
+// the one failure mode the in-process synctest suite cannot produce
+// (an actual dead process, an actual checkpoint directory handoff).
+//
+//	go test -tags smoke -run CrashRestart ./cmd/fcds-serve/
+package main
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/fcds/fcds/internal/quantiles"
+	"github.com/fcds/fcds/internal/server/client"
+)
+
+// reservePort grabs a free loopback port. Racy by nature (the port is
+// released before the server binds it), which is fine for a smoke
+// test.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+type procLog struct{ t *testing.T; name string }
+
+func (w procLog) Write(p []byte) (int, error) {
+	w.t.Logf("[%s] %s", w.name, p)
+	return len(p), nil
+}
+
+func TestCrashRestartSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "fcds-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	aggAddr := reservePort(t)
+	edgeAddr := reservePort(t)
+	ckpt := t.TempDir()
+
+	startAgg := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-addr", aggAddr,
+			"-tables", "lat=quantiles/str",
+			"-checkpoint-dir", ckpt,
+			"-checkpoint-every", "200ms",
+			"-v")
+		cmd.Stderr = procLog{t, "agg"}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	agg := startAgg()
+	defer func() { _ = agg.Process.Kill() }()
+
+	edge := exec.Command(bin,
+		"-addr", edgeAddr,
+		"-tables", "lat=quantiles/str",
+		"-push", aggAddr,
+		"-push-every", "150ms",
+		"-push-source", "edge-smoke",
+		"-dial-timeout", "2s",
+		"-v")
+	edge.Stderr = procLog{t, "edge"}
+	if err := edge.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = edge.Process.Kill() }()
+
+	dialRetry := func(addr string) *client.Client {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			c, err := client.Dial(addr, client.WithDialTimeout(time.Second))
+			if err == nil {
+				return c
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("dial %s: %v", addr, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	ingestFloats := func(c *client.Client, lo, hi int) {
+		t.Helper()
+		keys := make([]string, 0, hi-lo)
+		vals := make([]float64, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			keys = append(keys, "api")
+			vals = append(vals, float64(v))
+		}
+		if err := c.IngestFloat("lat", keys, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitN := func(want uint64, timeout time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(timeout)
+		var last uint64
+		for {
+			// Redial each probe: the aggregator restarts mid-test.
+			if c, err := client.Dial(aggAddr, client.WithDialTimeout(time.Second)); err == nil {
+				if _, blob, err := c.Rollup("lat"); err == nil {
+					if sk, err := quantiles.Unmarshal(blob); err == nil {
+						last = sk.Snapshot().N()
+					}
+				}
+				c.Close()
+			}
+			if last == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("aggregator N = %d, want %d", last, want)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// 1000 samples through the edge; the push loop ships them upstream.
+	ec := dialRetry(edgeAddr)
+	defer ec.Close()
+	ingestFloats(ec, 0, 1000)
+	waitN(1000, 20*time.Second)
+
+	// 200 samples straight into the aggregator: these live only in its
+	// memory and its checkpoints — the edge knows nothing about them,
+	// so only checkpoint recovery can bring them back after the kill.
+	ac := dialRetry(aggAddr)
+	ingestFloats(ac, 100_000, 100_200)
+	ac.Close()
+	waitN(1200, 10*time.Second)
+	time.Sleep(600 * time.Millisecond) // > 2 checkpoint intervals: the 1200 are on disk
+
+	// SIGKILL: no drain, no final checkpoint, no goodbye.
+	if err := agg.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = agg.Wait()
+
+	// The edge keeps aggregating while its upstream is gone; the
+	// reconnecting shipper queues the cumulative snapshot.
+	ingestFloats(ec, 2000, 2500)
+
+	// Restart the aggregator on the same checkpoint directory: it must
+	// recover the 200 direct samples from disk, and the edge's
+	// re-shipped cumulative snapshot (1500 samples) must REPLACE the
+	// restored edge state, not merge with it.
+	agg = startAgg()
+	defer func() { _ = agg.Process.Kill() }()
+	waitN(1700, 30*time.Second)
+
+	// Graceful shutdown still works after all that.
+	if err := edge.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(edge, 15*time.Second); err != nil {
+		t.Fatalf("edge shutdown: %v", err)
+	}
+	if err := agg.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(agg, 15*time.Second); err != nil {
+		t.Fatalf("aggregator shutdown: %v", err)
+	}
+}
+
+// waitExit waits for a process to exit cleanly, with a deadline.
+func waitExit(cmd *exec.Cmd, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		_ = cmd.Process.Signal(os.Kill)
+		return <-done
+	}
+}

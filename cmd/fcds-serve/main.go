@@ -6,28 +6,43 @@
 //
 // With -push, the node also acts as an aggregation edge: on every
 // -push-every tick it captures each table's merged cumulative snapshot
-// and ships it to the upstream node tagged with this node's source id,
-// so the upstream replaces the previous ship instead of re-merging it
-// (re-merging would double-count quantiles samples every tick) — chain
-// two fcds-serve processes and you have the paper's distributed-
+// and ships it to the upstream node(s) tagged with this node's source
+// id, so an upstream replaces the previous ship instead of re-merging
+// it (re-merging would double-count quantiles samples every tick) —
+// chain two fcds-serve processes and you have the paper's distributed-
 // aggregation fabric on real sockets.
+//
+// Shipping is fault tolerant: -push takes a comma-separated upstream
+// list, each upstream gets its own reconnecting client (exponential
+// backoff + jitter, bounded latest-per-table outbox), and a dead
+// upstream never stalls a healthy one. With -checkpoint-dir the node
+// also checkpoints every table's aggregated state to disk on a timer
+// (atomic, fsync'd, CRC-checked files) and recovers it on boot before
+// the port opens, so an aggregator restart loses at most one
+// checkpoint interval of direct ingest — pushed per-source snapshots
+// heal entirely when their pushers reconnect. See the fcds package
+// documentation's "Failure semantics" section.
 //
 // Usage:
 //
 //	fcds-serve [-addr :9700] [-tables events=theta/str,lat=quantiles/str]
 //	           [-writers N] [-param K] [-max-keys N] [-ttl D]
-//	           [-push host:9700 -push-every 5s -push-source id]
+//	           [-push a:9700,b:9700 -push-every 5s -push-source id]
+//	           [-checkpoint-dir DIR -checkpoint-every 30s]
+//	           [-idle-timeout 5m] [-dial-timeout 10s]
 //	           [-stats-every D] [-v]
 //
 // Table specs are name=family/keytype with family one of theta,
 // quantiles, hll and keytype one of str, u64. SIGINT/SIGTERM shut the
 // node down gracefully: in-flight frames drain, one final push runs
-// (when configured), and the tables close.
+// and drains per upstream (when configured), a final checkpoint is
+// written (when configured), and the tables close.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"log"
 	"os"
 	"os/signal"
@@ -91,10 +106,14 @@ func main() {
 	param := flag.Int("param", 0, "per-key sketch parameter: K for theta/quantiles, precision for hll (0 = family default)")
 	maxKeys := flag.Int("max-keys", 0, "live-key cap per table (0 = unlimited; LRU eviction past it)")
 	ttl := flag.Duration("ttl", 0, "evict keys idle longer than this (0 = never)")
-	push := flag.String("push", "", "upstream fcds-serve address to ship snapshots to")
+	push := flag.String("push", "", "comma-separated upstream fcds-serve addresses to ship snapshots to (each gets an independent reconnect loop)")
 	pushEvery := flag.Duration("push-every", 10*time.Second, "snapshot shipping interval (with -push)")
-	pushSource := flag.String("push-source", "", "source id for pushed snapshots (default host/pid); the upstream replaces this source's previous snapshot on every push")
-	statsEvery := flag.Duration("stats-every", 0, "log server stats at this interval (0 = never)")
+	pushSource := flag.String("push-source", "", "source id for pushed snapshots (default host/pid); upstreams replace this source's previous snapshot on every push")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for durable table checkpoints (restored on boot before the port opens; empty = no checkpointing)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval (with -checkpoint-dir)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 = never)")
+	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "bound on upstream connect + HELLO (0 = none)")
+	statsEvery := flag.Duration("stats-every", 0, "log server and per-upstream push stats at this interval (0 = never)")
 	verbose := flag.Bool("v", false, "log connection-level diagnostics")
 	flag.Parse()
 
@@ -104,7 +123,7 @@ func main() {
 		lg.Fatal(err)
 	}
 
-	cfg := fcds.IngestServerConfig{}
+	cfg := fcds.IngestServerConfig{IdleTimeout: *idleTimeout}
 	if *verbose {
 		cfg.Logf = lg.Printf
 	}
@@ -123,18 +142,32 @@ func main() {
 		nodes = append(nodes, n)
 		lg.Printf("serving table %s (%s, %s keys)", spec.name, spec.family, spec.keyType)
 	}
+	// Recover the previous run's checkpoints before the port opens, so
+	// the first query after a restart already answers over everything
+	// the crashed process had checkpointed.
+	if *ckptDir != "" {
+		st, err := srv.RestoreCheckpoints(*ckptDir)
+		if err != nil {
+			lg.Fatalf("checkpoint restore: %v", err)
+		}
+		if st.Tables > 0 || st.Skipped > 0 {
+			lg.Printf("restored %d table checkpoint(s) (%d bytes, %d skipped) from %s",
+				st.Tables, st.Bytes, st.Skipped, *ckptDir)
+		}
+	}
 	if err := srv.Start(*addr); err != nil {
 		lg.Fatal(err)
 	}
 	lg.Printf("listening on %s", srv.Addr())
 
-	// Snapshot shipping: one upstream connection, re-dialled on error.
-	// Every push carries the full cumulative snapshot tagged with a
-	// stable source id, so the upstream replaces this node's previous
-	// ship instead of merging it — re-merging each tick would re-count
-	// every previously shipped sample in non-idempotent families
-	// (quantiles). The id must survive re-dials and stay unique among
-	// pushers; host/pid does both.
+	// Snapshot shipping: every push carries the full cumulative
+	// snapshot tagged with a stable source id, so upstreams replace
+	// this node's previous ship instead of merging it — re-merging each
+	// tick would re-count every previously shipped sample in
+	// non-idempotent families (quantiles). The id must survive
+	// reconnects and stay unique among pushers (including this node's
+	// own previous incarnation, whose retained snapshots a restart must
+	// not clobber with an initially empty table); host/pid does both.
 	if *pushSource == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -142,38 +175,60 @@ func main() {
 		}
 		*pushSource = fmt.Sprintf("%s/%d", host, os.Getpid())
 	}
+	// One reconnecting client per upstream: outage handling (backoff,
+	// outbox coalescing, redelivery) is per upstream by construction, so
+	// replicating to a dead aggregator never stalls a live one.
+	type upstream struct {
+		addr string
+		rel  *fcds.ReliableIngestClient
+	}
+	var upstreams []upstream
+	if *push != "" {
+		for i, addr := range strings.Split(*push, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			seed := uint64(crc32.ChecksumIEEE([]byte(*pushSource))) + uint64(i)<<32
+			rel, err := fcds.DialReliable(addr, fcds.ReliableIngestConfig{
+				Seed: seed,
+				OnState: func(addr string) func(s fcds.IngestConnState, err error) {
+					return func(s fcds.IngestConnState, err error) {
+						if err != nil {
+							lg.Printf("push %s: %s (%v)", addr, s, err)
+						} else if *verbose {
+							lg.Printf("push %s: %s", addr, s)
+						}
+					}
+				}(addr),
+			}, *dialTimeout)
+			if err != nil {
+				lg.Fatalf("push %s: %v", addr, err)
+			}
+			upstreams = append(upstreams, upstream{addr: addr, rel: rel})
+		}
+	}
 	pushDone := make(chan struct{})
 	pushStop := make(chan struct{})
-	if *push != "" {
+	if len(upstreams) > 0 {
 		go func() {
 			defer close(pushDone)
 			ticker := time.NewTicker(*pushEvery)
 			defer ticker.Stop()
-			var up *fcds.IngestClient
-			defer func() {
-				if up != nil {
-					up.Close()
-				}
-			}()
 			ship := func() {
-				if up == nil {
-					var err error
-					if up, err = fcds.Dial(*push); err != nil {
-						lg.Printf("push: dial %s: %v", *push, err)
-						return
-					}
-				}
 				for _, n := range nodes {
+					// One capture per table per tick, fanned out to every
+					// upstream (Reliable retains the blob without
+					// modifying it, so sharing is safe).
 					blob, err := n.snapshot()
 					if err != nil {
 						lg.Printf("push: snapshot %s: %v", n.spec.name, err)
 						continue
 					}
-					if err := up.PushSnapshotFrom(n.spec.name, *pushSource, blob); err != nil {
-						lg.Printf("push: ship %s: %v", n.spec.name, err)
-						up.Close()
-						up = nil
-						return
+					for _, up := range upstreams {
+						if err := up.rel.ShipSnapshot(n.spec.name, *pushSource, blob); err != nil {
+							lg.Printf("push %s: ship %s: %v", up.addr, n.spec.name, err)
+						}
 					}
 				}
 			}
@@ -182,7 +237,7 @@ func main() {
 				case <-ticker.C:
 					ship()
 				case <-pushStop:
-					ship() // final flush so shutdown loses nothing
+					ship() // final capture so shutdown loses nothing
 					return
 				}
 			}
@@ -191,12 +246,50 @@ func main() {
 		close(pushDone)
 	}
 
+	if *ckptEvery <= 0 {
+		*ckptEvery = 30 * time.Second
+	}
+	ckptDone := make(chan struct{})
+	ckptStop := make(chan struct{})
+	if *ckptDir != "" {
+		go func() {
+			defer close(ckptDone)
+			ticker := time.NewTicker(*ckptEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if _, err := srv.WriteCheckpoints(*ckptDir); err != nil {
+						lg.Printf("checkpoint: %v", err)
+					}
+				case <-ckptStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(ckptDone)
+	}
+
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := srv.Stats()
-				lg.Printf("stats: conns=%d keys=%d frames=%d items=%d snapshots=%d errors=%d",
-					st.Conns, st.Keys, st.Frames, st.Items, st.Snapshots, st.Errors)
+				age := "-"
+				if d, ok := srv.CheckpointAge(); ok {
+					age = d.Truncate(time.Millisecond).String()
+				}
+				lg.Printf("stats: conns=%d keys=%d frames=%d items=%d snapshots=%d errors=%d checkpoint_age=%s",
+					st.Conns, st.Keys, st.Frames, st.Items, st.Snapshots, st.Errors, age)
+				for _, up := range upstreams {
+					ps := up.rel.Stats()
+					lag := "-"
+					if !ps.LastDelivery.IsZero() {
+						lag = time.Since(ps.LastDelivery).Truncate(time.Millisecond).String()
+					}
+					lg.Printf("push %s: state=%s queued=%d delivered=%d dropped=%d dials=%d failures=%d lag=%s",
+						up.addr, ps.State, ps.Queued, ps.Delivered, ps.Dropped, ps.Dials, ps.Failures, lag)
+				}
 			}
 		}()
 	}
@@ -206,10 +299,27 @@ func main() {
 	got := <-sig
 	lg.Printf("%s: draining", got)
 	srv.Close() // stop accepting, drain in-flight frames
-	if *push != "" {
+	if len(upstreams) > 0 {
 		close(pushStop)
 	}
 	<-pushDone
+	for _, up := range upstreams {
+		// Deliver what is still queued (reconnecting if an upstream just
+		// restarted), bounded so a dead upstream cannot wedge shutdown.
+		if err := up.rel.Drain(15 * time.Second); err != nil {
+			lg.Printf("push %s: %v", up.addr, err)
+		}
+		up.rel.Close()
+	}
+	if *ckptDir != "" {
+		close(ckptStop)
+		<-ckptDone
+		// Final checkpoint after the drain: everything in-flight frames
+		// ingested during shutdown makes it to disk.
+		if _, err := srv.WriteCheckpoints(*ckptDir); err != nil {
+			lg.Printf("checkpoint: %v", err)
+		}
+	}
 	for _, n := range nodes {
 		n.close()
 	}

@@ -174,9 +174,10 @@
 //	KEYED_STRING_BATCH  table, key type, count, keys, string items
 //	SNAPSHOT_PUSH       table, source id, FCTB snapshot blob
 //	SNAPSHOT_PULL       table → merged FCTB snapshot blob
+//	WINDOW_SNAPSHOT     table, source id, epoch, FCTB snapshot blob
 //	QUERY               table, key type, key → found, kind, compact
 //	ROLLUP              table → kind, all-keys merged compact
-//	HEALTH              (empty) → server counters
+//	HEALTH              (empty) → server counters + checkpoint age
 //	OK / VALUE / ERR    responses (ERR: code + message)
 //
 // The first frame of a connection must be HELLO: the client offers its
@@ -198,10 +199,54 @@
 // aggregate (one-shot and delta ships), a named id replaces that
 // source's previous snapshot, which keeps periodic cumulative ships
 // correct for every family — re-merging a quantiles snapshot each
-// tick would re-count all of its samples. cmd/fcds-serve wraps all of
-// this in a binary (-push ships source-tagged snapshots upstream on a
-// timer), and examples/distributed runs a two-node pipeline end to
+// tick would re-count all of its samples. Windowed tables ship their
+// sealed-epoch state with WINDOW_SNAPSHOT, which adds a per-source
+// rotation epoch: the receiver applies a ship only when its epoch is
+// >= the last applied one, so retries are idempotent and reordered
+// stale windows never roll newer state back. cmd/fcds-serve wraps all
+// of this in a binary (-push ships source-tagged snapshots upstream on
+// a timer), and examples/distributed runs a two-node pipeline end to
 // end.
+//
+// # Failure semantics
+//
+// The pipeline survives the two crash shapes a fan-in tree meets, with
+// bounded, well-defined loss in each:
+//
+// Edge crash. An edge's in-memory tables die with it. Everything the
+// edge shipped upstream before the crash survives: the aggregator
+// deliberately retains a dead source's last snapshot (its replacement
+// never arrives, so evicting it would silently drop that data from
+// rollups). A restarted edge begins empty under a FRESH source id (the
+// default host/pid id changes across restarts), so its new cumulative
+// snapshots aggregate alongside the old retained one instead of
+// replacing it. Lost: only updates the edge ingested after its last
+// successful ship — at most one push interval's worth.
+//
+// Upstream outage. DialReliable returns a reconnecting client: ships
+// enqueue into a bounded in-memory outbox that coalesces to the
+// LATEST snapshot per (table, source) — exactly the server's replace
+// semantics, so coalescing drops nothing a delivery would have kept —
+// while the connection retries with exponential backoff + jitter.
+// Replace semantics also make redelivery after an ambiguous
+// mid-flight failure idempotent. The outbox holds one entry per
+// (table, source) pair, bounded by ReliableIngestConfig.MaxOutbox
+// (default 256 pairs): past the bound the oldest pair's pending ship
+// is evicted and counted in Stats().Dropped, and the pair's next
+// cumulative ship re-covers its data.
+//
+// Aggregator crash. An aggregator checkpoints every table's state —
+// named-source snapshots plus the anonymous aggregate with the live
+// table folded in — to per-table FCCK files (atomic rename, fsync'd,
+// CRC-checked) via WriteCheckpoints, and recovers them on boot with
+// RestoreCheckpoints before the port opens. Reconnecting pushers then
+// simply replace their restored snapshots on the next ship. Lost: only
+// direct wire ingest (KEYED_BATCH) and anonymous merges that arrived
+// after the last checkpoint — at most one checkpoint interval's worth;
+// per-source pushed state heals entirely on the pushers' next ships.
+// The HEALTH frame reports the checkpoint's age so monitors can bound
+// this staleness window; fcds-serve enables checkpointing with
+// -checkpoint-dir.
 //
 // Sequential sketches (theta KMV/QuickSelect with set operations,
 // quantiles, HLL) and the lock-based baseline used in the paper's
@@ -210,6 +255,8 @@
 package fcds
 
 import (
+	"time"
+
 	"github.com/fcds/fcds/internal/core"
 	"github.com/fcds/fcds/internal/hll"
 	"github.com/fcds/fcds/internal/lockbased"
@@ -492,6 +539,28 @@ type (
 	// IngestServerError is a request failure the server reported
 	// through an error frame.
 	IngestServerError = client.ServerError
+	// ReliableIngestClient is a reconnecting snapshot shipper:
+	// exponential backoff + jitter, connection-state callbacks, and a
+	// bounded outbox that coalesces to the latest snapshot per
+	// (table, source) while the upstream is down. See the package
+	// documentation's "Failure semantics" section.
+	ReliableIngestClient = client.Reliable
+	// ReliableIngestConfig configures a ReliableIngestClient.
+	ReliableIngestConfig = client.ReliableConfig
+	// ReliableIngestStats is a ReliableIngestClient counter snapshot.
+	ReliableIngestStats = client.ReliableStats
+	// IngestConnState is a reliable connection's lifecycle state.
+	IngestConnState = client.ConnState
+	// IngestCheckpointStats reports one checkpoint write/restore pass.
+	IngestCheckpointStats = server.CheckpointStats
+)
+
+// Reliable connection lifecycle states (IngestConnState).
+const (
+	IngestDisconnected = client.StateDisconnected
+	IngestConnecting   = client.StateConnecting
+	IngestConnected    = client.StateConnected
+	IngestClosed       = client.StateClosed
 )
 
 // NewIngestServer returns an idle ingest server: register tables,
@@ -516,6 +585,30 @@ func Serve(addr string, cfg IngestServerConfig) (*IngestServer, error) {
 // Dial connects to an ingest server and negotiates the protocol
 // version; Close the client when done.
 func Dial(addr string) (*IngestClient, error) { return client.Dial(addr) }
+
+// DialTimeout is Dial with an establishment bound: the TCP connect and
+// the HELLO exchange each must complete within d, so a black-holed
+// upstream fails fast instead of hanging the caller. The bound lifts
+// once the connection is established.
+func DialTimeout(addr string, d time.Duration) (*IngestClient, error) {
+	return client.Dial(addr, client.WithDialTimeout(d))
+}
+
+// DialReliable returns a reconnecting snapshot shipper bound to addr:
+// Ship* calls enqueue and return immediately, a background goroutine
+// dials (bounded by dialTimeout when > 0), delivers, and on failure
+// retries with exponential backoff + jitter while the outbox coalesces
+// to the latest snapshot per (table, source). Fan-out replication runs
+// one ReliableIngestClient per upstream — their reconnect loops are
+// independent, so a dead upstream cannot stall a healthy one. Drain
+// flushes before shutdown; Close discards what is still queued.
+func DialReliable(addr string, cfg ReliableIngestConfig, dialTimeout time.Duration) (*ReliableIngestClient, error) {
+	var opts []client.Option
+	if dialTimeout > 0 {
+		opts = append(opts, client.WithDialTimeout(dialTimeout))
+	}
+	return client.DialReliable(addr, cfg, opts...)
+}
 
 // RegisterThetaTable serves a string-keyed Θ table under name. The
 // server becomes the table's sole writer (it owns every writer

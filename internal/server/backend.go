@@ -49,9 +49,20 @@ type backend interface {
 	// snapshot, an empty source merges into the shared aggregate (see
 	// wire.FrameSnapshotPush).
 	mergeSnapshot(source string, blob []byte) error
+	// mergeWindowSnapshot replaces a named source's snapshot when epoch
+	// is >= the last epoch applied from that source; a stale epoch is
+	// ignored (applied = false) so retried and reordered window ships
+	// are idempotent (see wire.FrameWindowSnapshot).
+	mergeWindowSnapshot(source string, epoch uint64, blob []byte) (applied bool, err error)
 	// snapshotAppend drains the table and appends the full merged
 	// snapshot (live + remote) as an FCTB blob to dst.
 	snapshotAppend(dst []byte) ([]byte, error)
+	// checkpointBody appends the backend's durable state to dst: the
+	// live table merged with the anonymous remote aggregate as one FCTB
+	// blob, then every named source's snapshot with its window epoch.
+	// restoreBody parses it back (into a freshly registered backend).
+	checkpointBody(dst []byte) ([]byte, error)
+	restoreBody(body []byte) error
 }
 
 // batchScratch is the reusable decode target for one ingest frame —
@@ -102,6 +113,11 @@ type tableBackend[K table.Key, V, S, C any] struct {
 	// reaches maxSnapshotSources, the oldest source is folded into the
 	// shared aggregate to free its slot.
 	remoteOrder []string
+	// remoteEpochs records the highest window epoch applied per source
+	// (WINDOW_SNAPSHOT pushes only): a push with a lower epoch is a
+	// retry or a reordered stale ship and is ignored. Sources that only
+	// ever push cumulative snapshots have no entry.
+	remoteEpochs map[string]uint64
 
 	scratch sync.Pool
 }
@@ -125,6 +141,7 @@ func newTableBackend[K table.Key, V, S, C any](
 		wmu:             make([]sync.Mutex, st.NumWriters()),
 		remote:          table.NewTableSnapshot[K](st.Engine()),
 		remotes:         make(map[string]*table.TableSnapshot[K, C]),
+		remoteEpochs:    make(map[string]uint64),
 	}
 	for i := range b.writers {
 		b.writers[i] = st.Writer(i)
@@ -337,18 +354,18 @@ func (b *tableBackend[K, V, S, C]) eachRemote(fn func(*table.TableSnapshot[K, C]
 // only with more than maxSnapshotSources simultaneously live pushers.
 const maxSnapshotSources = 1024
 
-func (b *tableBackend[K, V, S, C]) mergeSnapshot(source string, blob []byte) error {
+// admitSnapshot parses and vets one pushed snapshot before any state
+// changes: the header check (kind/param via CompatibleWith) plus
+// per-compact constraints the header cannot express — a Θ/HLL snapshot
+// hashed under a different seed would otherwise be ACKed and then fail
+// every later query, rollup and pull it participates in.
+func (b *tableBackend[K, V, S, C]) admitSnapshot(blob []byte) (*table.TableSnapshot[K, C], error) {
 	snap, err := b.unmarshal(blob)
 	if err != nil {
-		return errBadPayload("snapshot: %v", err)
+		return nil, errBadPayload("snapshot: %v", err)
 	}
-	// Vet the whole snapshot before any state changes: the header
-	// check (kind/param via CompatibleWith) plus per-compact
-	// constraints it cannot express — a Θ/HLL snapshot hashed under a
-	// different seed would otherwise be ACKed and then fail every
-	// later query, rollup and pull it participates in.
 	if err := b.remote.CompatibleWith(snap); err != nil {
-		return &reqError{code: wire.ErrCodeBadPayload, msg: err.Error()}
+		return nil, &reqError{code: wire.ErrCodeBadPayload, msg: err.Error()}
 	}
 	if b.validateCompact != nil {
 		var verr error
@@ -358,8 +375,40 @@ func (b *tableBackend[K, V, S, C]) mergeSnapshot(source string, blob []byte) err
 			}
 		})
 		if verr != nil {
-			return errBadPayload("snapshot: %v", verr)
+			return nil, errBadPayload("snapshot: %v", verr)
 		}
+	}
+	return snap, nil
+}
+
+// storeSourceLocked replaces a named source's snapshot, admitting the
+// source into the bounded map first (folding the oldest source into
+// the shared aggregate past maxSnapshotSources). Callers hold b.rmu.
+func (b *tableBackend[K, V, S, C]) storeSourceLocked(source string, snap *table.TableSnapshot[K, C]) error {
+	if _, exists := b.remotes[source]; !exists {
+		for len(b.remotes) >= maxSnapshotSources && len(b.remoteOrder) > 0 {
+			oldest := b.remoteOrder[0]
+			b.remoteOrder = b.remoteOrder[1:]
+			if old, ok := b.remotes[oldest]; ok {
+				if err := b.remote.Merge(old); err != nil {
+					// Cannot happen for snapshots that passed admission
+					// validation, but never drop data silently.
+					return &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
+				}
+				delete(b.remotes, oldest)
+				delete(b.remoteEpochs, oldest)
+			}
+		}
+		b.remoteOrder = append(b.remoteOrder, source)
+	}
+	b.remotes[source] = snap
+	return nil
+}
+
+func (b *tableBackend[K, V, S, C]) mergeSnapshot(source string, blob []byte) error {
+	snap, err := b.admitSnapshot(blob)
+	if err != nil {
+		return err
 	}
 	b.rmu.Lock()
 	defer b.rmu.Unlock()
@@ -376,23 +425,28 @@ func (b *tableBackend[K, V, S, C]) mergeSnapshot(source string, blob []byte) err
 	// its successor (a restarted edge starts from an empty table,
 	// under a fresh default source id) no longer has, so evicting it
 	// would silently lose that data from rollups.
-	if _, exists := b.remotes[source]; !exists {
-		for len(b.remotes) >= maxSnapshotSources && len(b.remoteOrder) > 0 {
-			oldest := b.remoteOrder[0]
-			b.remoteOrder = b.remoteOrder[1:]
-			if old, ok := b.remotes[oldest]; ok {
-				if err := b.remote.Merge(old); err != nil {
-					// Cannot happen for snapshots that passed admission
-					// validation, but never drop data silently.
-					return &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
-				}
-				delete(b.remotes, oldest)
-			}
-		}
-		b.remoteOrder = append(b.remoteOrder, source)
+	return b.storeSourceLocked(source, snap)
+}
+
+func (b *tableBackend[K, V, S, C]) mergeWindowSnapshot(source string, epoch uint64, blob []byte) (bool, error) {
+	snap, err := b.admitSnapshot(blob)
+	if err != nil {
+		return false, err
 	}
-	b.remotes[source] = snap
-	return nil
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	// >= rather than >: the shipper snapshots its whole sliding window,
+	// which advances within one epoch as slots rotate, so an equal
+	// epoch is a newer capture of the same window and must win; only a
+	// strictly older epoch is a reordered or replayed stale ship.
+	if last, ok := b.remoteEpochs[source]; ok && epoch < last {
+		return false, nil
+	}
+	if err := b.storeSourceLocked(source, snap); err != nil {
+		return false, err
+	}
+	b.remoteEpochs[source] = epoch
+	return true, nil
 }
 
 // snapshotAppend quiesces every server writer slot, drains the table so
@@ -424,6 +478,125 @@ func (b *tableBackend[K, V, S, C]) snapshotAppend(dst []byte) ([]byte, error) {
 		return dst, &reqError{code: wire.ErrCodeInternal, msg: err.Error()}
 	}
 	return out, nil
+}
+
+// checkpointBody serializes the backend's durable state. Layout:
+//
+//	uvarint blob length + FCTB blob   — live table ⊎ anonymous aggregate
+//	uvarint source count
+//	per source (insertion order):
+//	  uvarint id length + id bytes
+//	  1 byte epoch-present flag, then uvarint window epoch if 1
+//	  uvarint blob length + FCTB blob — the source's retained snapshot
+//
+// The live table and the anonymous aggregate are folded into ONE blob
+// on purpose: restore merges that blob into the anonymous aggregate
+// (the restored process's live table starts empty), and keeping them
+// separate would double-count whichever keys appear in both. Named
+// sources stay separate so their replace semantics survive the restart
+// — a pusher that reconnects after the restore replaces its restored
+// snapshot exactly as it would have replaced the live one.
+func (b *tableBackend[K, V, S, C]) checkpointBody(dst []byte) ([]byte, error) {
+	live := func() *table.TableSnapshot[K, C] {
+		for i := range b.wmu {
+			b.wmu[i].Lock()
+		}
+		defer func() {
+			for i := len(b.wmu) - 1; i >= 0; i-- {
+				b.wmu[i].Unlock()
+			}
+		}()
+		b.st.Drain()
+		return b.st.Snapshot()
+	}()
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	if err := live.Merge(b.remote); err != nil {
+		return dst, err
+	}
+	blob, err := live.MarshalBinary()
+	if err != nil {
+		return dst, err
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(blob)))
+	dst = append(dst, blob...)
+	dst = wire.AppendUvarint(dst, uint64(len(b.remoteOrder)))
+	for _, source := range b.remoteOrder {
+		snap, ok := b.remotes[source]
+		if !ok {
+			continue // folded source still listed in order — cannot happen, but never write a dangling id
+		}
+		dst = wire.AppendString(dst, source)
+		if epoch, ok := b.remoteEpochs[source]; ok {
+			dst = append(dst, 1)
+			dst = wire.AppendUvarint(dst, epoch)
+		} else {
+			dst = append(dst, 0)
+		}
+		sblob, err := snap.MarshalBinary()
+		if err != nil {
+			return dst, err
+		}
+		dst = wire.AppendUvarint(dst, uint64(len(sblob)))
+		dst = append(dst, sblob...)
+	}
+	return dst, nil
+}
+
+// restoreBody parses a checkpointBody back into the backend's remote
+// state. Every blob passes the same admission validation a network
+// push would — a corrupt or foreign checkpoint is rejected whole
+// before any state changes, leaving the backend exactly as it was.
+func (b *tableBackend[K, V, S, C]) restoreBody(body []byte) error {
+	r := wire.Reader{Buf: body}
+	agg, err := b.admitSnapshot(r.Bytes(int(r.Uvarint())))
+	if err != nil {
+		return fmt.Errorf("checkpoint aggregate: %w", err)
+	}
+	n := r.Uvarint()
+	if r.Err != nil {
+		return fmt.Errorf("checkpoint: truncated body")
+	}
+	type restored struct {
+		source   string
+		snap     *table.TableSnapshot[K, C]
+		epoch    uint64
+		hasEpoch bool
+	}
+	sources := make([]restored, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rs restored
+		rs.source = r.String()
+		rs.hasEpoch = r.Byte() == 1
+		if rs.hasEpoch {
+			rs.epoch = r.Uvarint()
+		}
+		rs.snap, err = b.admitSnapshot(r.Bytes(int(r.Uvarint())))
+		if err != nil {
+			return fmt.Errorf("checkpoint source %q: %w", rs.source, err)
+		}
+		if rs.source == "" {
+			return fmt.Errorf("checkpoint: empty source id")
+		}
+		sources = append(sources, rs)
+	}
+	if r.Err != nil || r.Remaining() != 0 {
+		return fmt.Errorf("checkpoint: malformed body")
+	}
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	if err := b.remote.Merge(agg); err != nil {
+		return err
+	}
+	for _, rs := range sources {
+		if err := b.storeSourceLocked(rs.source, rs.snap); err != nil {
+			return err
+		}
+		if rs.hasEpoch {
+			b.remoteEpochs[rs.source] = rs.epoch
+		}
+	}
+	return nil
 }
 
 func identityVal(v uint64) uint64 { return v }

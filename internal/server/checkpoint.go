@@ -1,0 +1,250 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/fcds/fcds/internal/server/wire"
+)
+
+// Aggregator durability: WriteCheckpoints serializes every registered
+// table's remote state (named-source snapshots + anonymous aggregate,
+// with the live table folded in) to one file per table in a
+// checkpoint directory; RestoreCheckpoints loads them back on boot,
+// before the port opens. Together with per-source replace semantics
+// they make an aggregator restart lossless for everything pushed up
+// to the last checkpoint: pushers that outlived the crash simply
+// replace their restored snapshots on their next ship, and pushers
+// that died keep their last checkpointed contribution in rollups.
+//
+// File format (FCCK, little endian), version 1:
+//
+//	offset  size  field
+//	0       4     magic "FCCK"
+//	4       1     format version (1)
+//	5       3     reserved (0)
+//	8       8     written-at wall clock, unix nanoseconds (int64)
+//	16      ...   uvarint table-name length + name bytes
+//	...     ...   table body (see tableBackend.checkpointBody)
+//	end-4   4     CRC32 (IEEE) of every preceding byte
+//
+// Each file is written atomically — temp file in the same directory,
+// fsync, rename over the final name, fsync the directory — so a crash
+// mid-checkpoint leaves the previous complete checkpoint in place,
+// never a torn one. The CRC rejects files corrupted at rest.
+const (
+	ckptMagic      = "FCCK"
+	ckptVersion    = 1
+	ckptHeaderSize = 16
+	ckptSuffix     = ".fcck"
+)
+
+// CheckpointStats reports what one WriteCheckpoints or
+// RestoreCheckpoints pass covered.
+type CheckpointStats struct {
+	// Tables is the number of table checkpoint files written or
+	// restored; Bytes sums their sizes.
+	Tables int
+	Bytes  int64
+	// Skipped counts files RestoreCheckpoints ignored because no
+	// matching table is registered (always 0 for writes).
+	Skipped int
+}
+
+// WriteCheckpoints writes one checkpoint file per registered table
+// into dir (created if missing), atomically replacing the previous
+// ones. Safe to call while the server is serving — each table is
+// quiesced exactly as a SNAPSHOT_PULL would — and after Close (the
+// shutdown path checkpoints last so nothing ingested during the drain
+// is lost). The checkpoint timestamp HEALTH reports advances only
+// when every table was written.
+func (s *Server) WriteCheckpoints(dir string) (CheckpointStats, error) {
+	var st CheckpointStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return st, err
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	now := time.Now()
+	for _, name := range names {
+		b, ok := s.lookup(name)
+		if !ok {
+			continue
+		}
+		data := make([]byte, 0, 4<<10)
+		data = append(data, ckptMagic...)
+		data = append(data, ckptVersion, 0, 0, 0)
+		data = binary.LittleEndian.AppendUint64(data, uint64(now.UnixNano()))
+		data = wire.AppendString(data, name)
+		body, err := b.checkpointBody(data)
+		if err != nil {
+			return st, fmt.Errorf("server: checkpoint table %q: %w", name, err)
+		}
+		data = body
+		data = binary.LittleEndian.AppendUint32(data, crc32.ChecksumIEEE(data))
+		path := filepath.Join(dir, checkpointFileName(name))
+		if err := atomicWriteFile(path, data); err != nil {
+			return st, fmt.Errorf("server: checkpoint table %q: %w", name, err)
+		}
+		st.Tables++
+		st.Bytes += int64(len(data))
+	}
+	s.lastCheckpoint.Store(now.UnixNano())
+	return st, nil
+}
+
+// RestoreCheckpoints loads every checkpoint file in dir into the
+// matching registered tables' remote state. Call it after registering
+// tables and before Start/Serve, so the first connection after a
+// restart already sees the recovered state. A missing or empty
+// directory restores nothing and is not an error (first boot); a file
+// whose table is not registered is skipped with a log line (a config
+// that dropped a table must not brick the node); a corrupt file is an
+// error — restoring half a checkpoint silently would defeat the point.
+func (s *Server) RestoreCheckpoints(dir string) (CheckpointStats, error) {
+	var st CheckpointStats
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return st, err
+	}
+	var newest int64
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ckptSuffix) {
+			continue // temp files and strangers
+		}
+		path := filepath.Join(dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return st, err
+		}
+		name, ts, body, err := parseCheckpoint(data)
+		if err != nil {
+			return st, fmt.Errorf("server: checkpoint %s: %w", ent.Name(), err)
+		}
+		b, ok := s.lookup(name)
+		if !ok {
+			s.logf("server: checkpoint %s: table %q not registered, skipping", ent.Name(), name)
+			st.Skipped++
+			continue
+		}
+		if err := b.restoreBody(body); err != nil {
+			return st, fmt.Errorf("server: checkpoint %s: %w", ent.Name(), err)
+		}
+		st.Tables++
+		st.Bytes += int64(len(data))
+		if ts > newest {
+			newest = ts
+		}
+	}
+	if st.Tables > 0 {
+		// The restored state is as stale as the checkpoint that wrote
+		// it — report that age, not zero, so monitors see the true
+		// staleness window until the first post-restart checkpoint.
+		s.lastCheckpoint.Store(newest)
+	}
+	return st, nil
+}
+
+// CheckpointAge returns the time since the newest checkpoint this
+// server wrote or restored; ok is false when it never has.
+func (s *Server) CheckpointAge() (time.Duration, bool) {
+	ts := s.lastCheckpoint.Load()
+	if ts == 0 {
+		return 0, false
+	}
+	return time.Since(time.Unix(0, ts)), true
+}
+
+// parseCheckpoint validates an FCCK image and returns the embedded
+// table name, write timestamp and body.
+func parseCheckpoint(data []byte) (name string, ts int64, body []byte, err error) {
+	if len(data) < ckptHeaderSize+4 {
+		return "", 0, nil, fmt.Errorf("truncated (%d bytes)", len(data))
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(payload); got != want {
+		return "", 0, nil, fmt.Errorf("checksum mismatch (file %#x, computed %#x)", got, want)
+	}
+	if string(payload[0:4]) != ckptMagic {
+		return "", 0, nil, errors.New("bad magic")
+	}
+	if payload[4] != ckptVersion {
+		return "", 0, nil, fmt.Errorf("unsupported version %d", payload[4])
+	}
+	ts = int64(binary.LittleEndian.Uint64(payload[8:16]))
+	r := wire.Reader{Buf: payload[ckptHeaderSize:]}
+	name = r.String()
+	if r.Err != nil || name == "" {
+		return "", 0, nil, errors.New("malformed table name")
+	}
+	return name, ts, r.Rest(), nil
+}
+
+// checkpointFileName maps a table name to a stable file name: a
+// sanitized prefix for humans plus the name's CRC for uniqueness (two
+// tables whose names sanitize identically must not overwrite each
+// other's files). The authoritative name lives inside the file.
+func checkpointFileName(table string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, table)
+	const maxSafe = 64
+	if len(safe) > maxSafe {
+		safe = safe[:maxSafe]
+	}
+	return fmt.Sprintf("%s-%08x%s", safe, crc32.ChecksumIEEE([]byte(table)), ckptSuffix)
+}
+
+// atomicWriteFile writes data to path so that a crash at any point
+// leaves either the old complete file or the new complete file: write
+// to a temp file in the same directory, fsync it, rename it over
+// path, fsync the directory so the rename itself is durable.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

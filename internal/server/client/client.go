@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/fcds/fcds/internal/server/wire"
 )
@@ -53,6 +54,12 @@ type Health struct {
 	// Frames, Items, Snapshots and Errors are the server's lifetime
 	// request, ingested-update, merged-snapshot and error counts.
 	Frames, Items, Snapshots, Errors uint64
+	// CheckpointAge is the time since the server last wrote (or
+	// recovered) a durability checkpoint; zero when the server has
+	// never checkpointed. A monitoring client alerts on this growing
+	// past the configured checkpoint interval — it bounds how much
+	// aggregator state a crash right now would lose.
+	CheckpointAge time.Duration
 }
 
 // response is one server frame delivered to a waiting operation.
@@ -64,9 +71,10 @@ type response struct {
 
 // Client is one connection to an fcds ingest server.
 type Client struct {
-	nc       net.Conn
-	version  byte
-	maxFrame int
+	nc          net.Conn
+	version     byte
+	maxFrame    int
+	dialTimeout time.Duration
 
 	// wmu guards the write path: the buffered writer, the frame
 	// assembly scratch, and enqueueing onto the pending queue (the
@@ -94,10 +102,33 @@ func WithMaxFrame(n int) Option {
 	return func(c *Client) { c.maxFrame = n }
 }
 
+// WithDialTimeout bounds connection establishment: the TCP connect
+// (Dial only) and the HELLO exchange each must complete within d, so a
+// black-holed upstream (SYN swallowed by a firewall, or a peer that
+// accepts and then never answers) fails fast instead of hanging the
+// caller forever. Zero (the default) means no bound. The deadline is
+// lifted once the HELLO response arrives; established-connection
+// operations are unaffected.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
 // Dial connects to an fcds ingest server and negotiates the protocol
 // version.
 func Dial(addr string, opts ...Option) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+	// Peek at the options for the dial timeout: it must bound the TCP
+	// connect itself, which happens before there is a conn to wrap.
+	var probe Client
+	for _, o := range opts {
+		o(&probe)
+	}
+	var nc net.Conn
+	var err error
+	if probe.dialTimeout > 0 {
+		nc, err = net.DialTimeout("tcp", addr, probe.dialTimeout)
+	} else {
+		nc, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +152,11 @@ func New(nc net.Conn, opts ...Option) (*Client, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.dialTimeout > 0 {
+		// Bound the HELLO exchange; lifted again once negotiation
+		// succeeds so established-connection reads can block freely.
+		nc.SetDeadline(time.Now().Add(c.dialTimeout))
+	}
 	go c.readLoop()
 	resp, err := c.roundTrip(wire.Version, wire.FrameHello, func(dst []byte) []byte {
 		return append(dst, wire.Version)
@@ -130,6 +166,9 @@ func New(nc net.Conn, opts ...Option) (*Client, error) {
 	}
 	if resp.typ != wire.FrameHello || len(resp.payload) != 1 || resp.payload[0] == 0 {
 		return nil, fmt.Errorf("client: bad HELLO response (type 0x%02x)", resp.typ)
+	}
+	if c.dialTimeout > 0 {
+		nc.SetDeadline(time.Time{})
 	}
 	c.version = resp.payload[0]
 	return c, nil
@@ -476,6 +515,28 @@ func (c *Client) PushSnapshotFrom(tbl, source string, blob []byte) error {
 	return err
 }
 
+// PushWindowSnapshot ships a windowed table's sealed-epoch snapshot
+// (window.Table.WindowSnapshot serialized as FCTB) tagged with a
+// source id and the shipper's rotation epoch. The server replaces the
+// source's previous window snapshot only when epoch is >= the last
+// applied one, so retries and duplicate ships (a reconnecting client
+// re-delivering its outbox) are idempotent and stale reordered ships
+// are ignored rather than rolling the window back. The source must be
+// non-empty, and a restarted shipper (epoch counter back at zero) must
+// use a fresh source id.
+func (c *Client) PushWindowSnapshot(tbl, source string, epoch uint64, blob []byte) error {
+	if source == "" {
+		return errors.New("client: window snapshot requires a source id")
+	}
+	_, err := c.roundTrip(c.version, wire.FrameWindowSnapshot, func(dst []byte) []byte {
+		dst = wire.AppendString(dst, tbl)
+		dst = wire.AppendString(dst, source)
+		dst = wire.AppendUvarint(dst, epoch)
+		return append(dst, blob...)
+	})
+	return err
+}
+
 // PullSnapshot fetches the named table's full merged snapshot (live
 // keys merged with every snapshot the server has received) as a
 // serialized FCTB blob, ready for Unmarshal*Snapshot or a PushSnapshot
@@ -575,6 +636,15 @@ func (c *Client) Health() (Health, error) {
 	}
 	if r.Err != nil {
 		return Health{}, errors.New("client: malformed health response")
+	}
+	// Checkpoint age (milliseconds) trails the original fields so a
+	// newer client still parses an older server's HEALTH payload.
+	if r.Remaining() > 0 {
+		ms := r.Uvarint()
+		if r.Err != nil {
+			return Health{}, errors.New("client: malformed health response")
+		}
+		h.CheckpointAge = time.Duration(ms) * time.Millisecond
 	}
 	return h, nil
 }

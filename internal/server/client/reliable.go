@@ -1,0 +1,603 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/fcds/fcds/internal/server/wire"
+)
+
+// Reliable is a reconnecting snapshot shipper: it wraps a Client
+// factory (usually Dial) with exponential backoff + jitter, connection
+// state callbacks, and a bounded in-memory outbox, so an edge node
+// keeps aggregating while its upstream is down and delivers the moment
+// it comes back.
+//
+// The outbox coalesces: it holds at most one pending snapshot per
+// (table, source) pair, and a newer ship for the same pair replaces
+// the queued one. That is exactly the semantics the server applies on
+// arrival — a named SNAPSHOT_PUSH replaces that source's previous
+// snapshot — so dropping superseded outbox entries loses nothing: the
+// cumulative snapshot that would have been delivered is subsumed by
+// the newer one. The same replace semantics make redelivery after a
+// mid-flight connection failure idempotent, which is why Reliable can
+// blindly requeue an entry it cannot prove was applied.
+//
+// All network I/O happens on one background goroutine per Reliable;
+// Ship* calls only mutate the outbox and return immediately. A caller
+// fanning out to several upstreams runs one Reliable per upstream —
+// their reconnect loops are then independent by construction (a slow
+// or dead upstream cannot stall shipping to a healthy one).
+type Reliable struct {
+	cfg ReliableConfig
+
+	mu       sync.Mutex
+	queue    []*shipEntry           // FIFO of pending ships
+	index    map[shipKey]*shipEntry // latest queued entry per (table, source)
+	inflight bool                   // an entry is being delivered right now
+	closed   bool
+	state    ConnState
+	lastErr  error
+	cur      *Client // current connection, for Close to sever mid-delivery
+
+	delivered uint64
+	dropped   uint64
+	dials     uint64
+	failures  uint64
+	lastOK    time.Time
+
+	// wake nudges the run loop when work is enqueued; idle is closed
+	// whenever the outbox is empty with nothing in flight (Drain waits
+	// on it) and replaced when new work arrives.
+	wake       chan struct{}
+	stop       chan struct{}
+	done       chan struct{}
+	idle       chan struct{}
+	idleClosed bool
+}
+
+// ConnState is a Reliable connection's lifecycle state.
+type ConnState int32
+
+const (
+	// StateDisconnected: no usable connection (initial state, and
+	// after a dial or delivery failure, while backing off).
+	StateDisconnected ConnState = iota
+	// StateConnecting: a dial attempt is in progress.
+	StateConnecting
+	// StateConnected: the HELLO handshake completed; deliveries flow.
+	StateConnected
+	// StateClosed: Close was called; terminal.
+	StateClosed
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case StateDisconnected:
+		return "disconnected"
+	case StateConnecting:
+		return "connecting"
+	case StateConnected:
+		return "connected"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("ConnState(%d)", int32(s))
+	}
+}
+
+// ReliableConfig configures a Reliable. Dial is required; every other
+// field has a usable zero value.
+type ReliableConfig struct {
+	// Dial establishes one connection (including the HELLO exchange).
+	// NewReliable calls it from the background goroutine on every
+	// (re)connect attempt. Pair it with WithDialTimeout so a
+	// black-holed upstream fails the attempt instead of wedging the
+	// loop.
+	Dial func() (*Client, error)
+
+	// MinBackoff and MaxBackoff bound the exponential backoff between
+	// failed attempts: the delay starts at MinBackoff (default 100ms),
+	// doubles per consecutive failure, and caps at MaxBackoff (default
+	// 30s). A successful delivery resets it.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// JitterFrac spreads each backoff delay uniformly over
+	// [d, d*(1+JitterFrac)] so a fleet of edges revived by the same
+	// upstream restart does not reconnect in lockstep (default 0.2;
+	// negative disables jitter).
+	JitterFrac float64
+	// Seed seeds the jitter RNG (0 means 1). Deterministic on purpose:
+	// fault-injection tests pin exact backoff schedules. Processes
+	// wanting fleet-level spread seed from something process-unique
+	// (fcds-serve hashes its source id).
+	Seed uint64
+
+	// MaxOutbox bounds the outbox's distinct (table, source) entries
+	// (default 256). When a NEW pair arrives at the bound, the oldest
+	// queued entry is dropped and counted in Stats().Dropped —
+	// coalescing updates to an already-queued pair never drop.
+	MaxOutbox int
+
+	// OnState, when non-nil, is called from the background goroutine
+	// on every connection state transition; err carries the failure
+	// that caused a transition to StateDisconnected (nil otherwise).
+	// It must not call Drain or Close (deadlock); Ship* and Stats are
+	// fine.
+	OnState func(s ConnState, err error)
+}
+
+// ReliableStats is a point-in-time snapshot of a Reliable's counters.
+type ReliableStats struct {
+	// State is the connection's current lifecycle state.
+	State ConnState
+	// Queued counts outbox entries waiting for delivery (one per
+	// distinct table/source pair); Inflight reports whether one more
+	// is being delivered right now.
+	Queued   int
+	Inflight bool
+	// Delivered counts successfully acknowledged ships; Dropped counts
+	// outbox entries evicted at the MaxOutbox bound plus poison
+	// entries the server permanently rejected; Dials counts
+	// connection attempts; Failures counts dial and delivery failures.
+	Delivered, Dropped, Dials, Failures uint64
+	// LastError is the most recent dial or delivery failure (nil if
+	// none, or none since the counters were read); LastDelivery is
+	// when the last successful ship was acknowledged (zero if never).
+	LastError    error
+	LastDelivery time.Time
+}
+
+type shipKey struct{ table, source string }
+
+type shipEntry struct {
+	key    shipKey
+	window bool
+	epoch  uint64
+	blob   []byte
+}
+
+const (
+	defaultMinBackoff = 100 * time.Millisecond
+	defaultMaxBackoff = 30 * time.Second
+	defaultJitterFrac = 0.2
+	defaultMaxOutbox  = 256
+)
+
+// NewReliable starts a Reliable's background delivery goroutine. It
+// does not dial eagerly: the first connection attempt happens when the
+// first snapshot is shipped (an idle edge keeps no connection open).
+// Close releases the goroutine.
+func NewReliable(cfg ReliableConfig) (*Reliable, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("client: ReliableConfig.Dial is required")
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = defaultMinBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = defaultMaxBackoff
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		cfg.MaxBackoff = cfg.MinBackoff
+	}
+	if cfg.JitterFrac == 0 {
+		cfg.JitterFrac = defaultJitterFrac
+	}
+	if cfg.MaxOutbox <= 0 {
+		cfg.MaxOutbox = defaultMaxOutbox
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	r := &Reliable{
+		cfg:   cfg,
+		index: make(map[shipKey]*shipEntry),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		idle:  make(chan struct{}),
+	}
+	close(r.idle) // empty outbox: born drained
+	r.idleClosed = true
+	go r.run()
+	return r, nil
+}
+
+// DialReliable is NewReliable with cfg.Dial set to Dial(addr, opts...)
+// when nil — the common "reconnect to one address" shape.
+func DialReliable(addr string, cfg ReliableConfig, opts ...Option) (*Reliable, error) {
+	if cfg.Dial == nil {
+		cfg.Dial = func() (*Client, error) { return Dial(addr, opts...) }
+	}
+	return NewReliable(cfg)
+}
+
+// ShipSnapshot queues one cumulative FCTB snapshot for delivery as a
+// named SNAPSHOT_PUSH, replacing any queued-but-undelivered snapshot
+// for the same (table, source) pair — the newer cumulative snapshot
+// subsumes it. The source must be non-empty: anonymous pushes merge on
+// the server, so retrying one after an ambiguous failure could
+// double-count; replace semantics are what make reliable redelivery
+// safe. The blob is retained until delivered — callers must not
+// modify it afterwards.
+func (r *Reliable) ShipSnapshot(table, source string, blob []byte) error {
+	if source == "" {
+		return errors.New("client: reliable shipping requires a source id (anonymous pushes merge, so retries would double-count)")
+	}
+	return r.enqueue(&shipEntry{key: shipKey{table, source}, blob: blob})
+}
+
+// ShipWindowSnapshot queues a windowed table's sealed-epoch snapshot
+// (delivered as WINDOW_SNAPSHOT); see ShipSnapshot for the outbox
+// contract. Epochs must be monotone per source — the server ignores
+// stale ones.
+func (r *Reliable) ShipWindowSnapshot(table, source string, epoch uint64, blob []byte) error {
+	if source == "" {
+		return errors.New("client: reliable shipping requires a source id")
+	}
+	return r.enqueue(&shipEntry{key: shipKey{table, source}, window: true, epoch: epoch, blob: blob})
+}
+
+func (r *Reliable) enqueue(e *shipEntry) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if old, ok := r.index[e.key]; ok {
+		// Coalesce: overwrite the queued entry in place so it keeps its
+		// position in the FIFO.
+		*old = *e
+		r.mu.Unlock()
+		return nil
+	}
+	if len(r.queue) >= r.cfg.MaxOutbox {
+		// Bound the outbox: evict the oldest queued pair. Its data is
+		// not gone from the world — the shipper's next cumulative
+		// snapshot for that pair re-covers it — but this delivery is,
+		// so it is counted.
+		oldest := r.queue[0]
+		r.queue = r.queue[1:]
+		delete(r.index, oldest.key)
+		r.dropped++
+	}
+	r.queue = append(r.queue, e)
+	r.index[e.key] = e
+	if r.idleClosed {
+		r.idle = make(chan struct{})
+		r.idleClosed = false
+	}
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// markIdleLocked closes the idle channel when the outbox is fully
+// drained. Callers hold r.mu.
+func (r *Reliable) markIdleLocked() {
+	if len(r.queue) == 0 && !r.inflight && !r.idleClosed {
+		close(r.idle)
+		r.idleClosed = true
+	}
+}
+
+// setState records a transition and fires the callback (outside r.mu).
+func (r *Reliable) setState(s ConnState, err error) {
+	r.mu.Lock()
+	changed := r.state != s
+	r.state = s
+	if err != nil {
+		r.lastErr = err
+	}
+	cb := r.cfg.OnState
+	r.mu.Unlock()
+	if changed && cb != nil {
+		cb(s, err)
+	}
+}
+
+// run is the delivery loop: pop the oldest outbox entry, connect if
+// needed (with backoff), deliver, and on failure requeue the entry at
+// the front unless a newer ship for its pair has superseded it.
+func (r *Reliable) run() {
+	defer close(r.done)
+	rng := rand.New(rand.NewSource(int64(r.cfg.Seed)))
+	var cur *Client
+	var backoff time.Duration
+	defer func() {
+		if cur != nil {
+			cur.Close()
+		}
+	}()
+	for {
+		e := r.next()
+		if e == nil {
+			return // closed
+		}
+		if cur == nil {
+			if backoff > 0 && !r.sleep(withJitter(backoff, r.cfg.JitterFrac, rng)) {
+				r.abandon(e)
+				return
+			}
+			r.setState(StateConnecting, nil)
+			r.mu.Lock()
+			r.dials++
+			r.mu.Unlock()
+			c, err := r.cfg.Dial()
+			if err != nil {
+				r.mu.Lock()
+				r.failures++
+				r.mu.Unlock()
+				r.setState(StateDisconnected, err)
+				r.requeue(e, err)
+				backoff = nextBackoff(backoff, r.cfg)
+				continue
+			}
+			cur = c
+			r.mu.Lock()
+			r.cur = c
+			nowClosed := r.closed
+			r.mu.Unlock()
+			if nowClosed {
+				// Close raced the dial and could not sever this conn;
+				// sever it ourselves so the delivery below fails fast
+				// instead of wedging shutdown.
+				c.nc.Close()
+			}
+			r.setState(StateConnected, nil)
+		}
+		err := r.deliver(cur, e)
+		if err == nil {
+			backoff = 0
+			r.mu.Lock()
+			r.inflight = false
+			r.delivered++
+			r.lastOK = time.Now()
+			r.markIdleLocked()
+			r.mu.Unlock()
+			continue
+		}
+		r.mu.Lock()
+		r.failures++
+		r.mu.Unlock()
+		var se *ServerError
+		if errors.As(err, &se) && requestScoped(se.Code) {
+			// The server answered (the connection is fine) and rejected
+			// the request: retrying the same bytes would fail forever.
+			// Drop the poison entry so it cannot wedge the outbox; the
+			// rejection surfaces through Stats (Dropped, LastError).
+			r.mu.Lock()
+			r.inflight = false
+			r.dropped++
+			r.lastErr = err
+			r.markIdleLocked()
+			r.mu.Unlock()
+			continue
+		}
+		// Transport failure (or a fatal protocol error): the connection
+		// is unusable and the server may or may not have applied the
+		// entry. Replace semantics make redelivery safe, so requeue it
+		// at the front unless it was superseded meanwhile.
+		cur.Close()
+		cur = nil
+		r.mu.Lock()
+		r.cur = nil
+		r.mu.Unlock()
+		r.setState(StateDisconnected, err)
+		r.requeue(e, err)
+		backoff = nextBackoff(backoff, r.cfg)
+	}
+}
+
+// requestScoped reports whether a server error code condemns only the
+// one request (retrying the same bytes is pointless, but the session
+// stays usable) rather than the connection or the server's
+// availability. Unknown-table stays connection-scoped on purpose: it
+// is what an aggregator restarting with its tables not yet registered
+// returns, and the right response is to back off and retry, not drop.
+func requestScoped(code uint64) bool {
+	switch code {
+	case wire.ErrCodeBadPayload, wire.ErrCodeUnsupported:
+		return true
+	default:
+		return false
+	}
+}
+
+// next blocks until an entry is available and claims it, or returns
+// nil when the Reliable is closed (Close discards the queue; Drain is
+// the flush path).
+func (r *Reliable) next() *shipEntry {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return nil
+		}
+		if len(r.queue) > 0 {
+			e := r.queue[0]
+			r.queue = r.queue[1:]
+			delete(r.index, e.key)
+			r.inflight = true
+			r.mu.Unlock()
+			return e
+		}
+		r.mu.Unlock()
+		select {
+		case <-r.wake:
+		case <-r.stop:
+			return nil
+		}
+	}
+}
+
+// requeue puts a failed entry back at the front of the outbox — unless
+// a newer ship for its pair arrived during delivery, in which case the
+// newer cumulative snapshot supersedes it and the failed one is simply
+// forgotten (not a drop: its data is contained in the successor), or
+// the Reliable was closed (the queue is already discarded).
+func (r *Reliable) requeue(e *shipEntry, err error) {
+	r.mu.Lock()
+	r.inflight = false
+	r.lastErr = err
+	if _, superseded := r.index[e.key]; !superseded && !r.closed {
+		r.queue = append([]*shipEntry{e}, r.queue...)
+		r.index[e.key] = e
+	}
+	r.markIdleLocked()
+	r.mu.Unlock()
+}
+
+// abandon returns a claimed entry during shutdown.
+func (r *Reliable) abandon(e *shipEntry) {
+	r.mu.Lock()
+	r.inflight = false
+	if _, superseded := r.index[e.key]; !superseded && !r.closed {
+		r.queue = append([]*shipEntry{e}, r.queue...)
+		r.index[e.key] = e
+	}
+	r.markIdleLocked()
+	r.mu.Unlock()
+}
+
+// sleep waits d or until Close; it reports whether the full wait
+// elapsed.
+func (r *Reliable) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+func (r *Reliable) deliver(c *Client, e *shipEntry) error {
+	if e.window {
+		return c.PushWindowSnapshot(e.key.table, e.key.source, e.epoch, e.blob)
+	}
+	return c.PushSnapshotFrom(e.key.table, e.key.source, e.blob)
+}
+
+// nextBackoff doubles the delay, clamped to [MinBackoff, MaxBackoff].
+func nextBackoff(cur time.Duration, cfg ReliableConfig) time.Duration {
+	if cur <= 0 {
+		return cfg.MinBackoff
+	}
+	cur *= 2
+	if cur > cfg.MaxBackoff {
+		return cfg.MaxBackoff
+	}
+	return cur
+}
+
+// withJitter stretches d uniformly into [d, d*(1+frac)].
+func withJitter(d time.Duration, frac float64, rng *rand.Rand) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	return d + time.Duration(rng.Float64()*frac*float64(d))
+}
+
+// State returns the connection's current lifecycle state.
+func (r *Reliable) State() ConnState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Stats returns a snapshot of the Reliable's counters.
+func (r *Reliable) Stats() ReliableStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReliableStats{
+		State:        r.state,
+		Queued:       len(r.queue),
+		Inflight:     r.inflight,
+		Delivered:    r.delivered,
+		Dropped:      r.dropped,
+		Dials:        r.dials,
+		Failures:     r.failures,
+		LastError:    r.lastErr,
+		LastDelivery: r.lastOK,
+	}
+}
+
+// Drain blocks until every queued snapshot has been delivered (the
+// graceful-shutdown flush: ship the final snapshots, Drain, Close), or
+// until timeout. It returns nil on a full drain; the timeout error
+// reports how many entries remain. Draining can require reconnecting,
+// so pick a timeout larger than a few backoff steps.
+func (r *Reliable) Drain(timeout time.Duration) error {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	for {
+		r.mu.Lock()
+		if len(r.queue) == 0 && !r.inflight {
+			r.mu.Unlock()
+			return nil
+		}
+		if r.closed {
+			n := len(r.queue)
+			r.mu.Unlock()
+			return fmt.Errorf("client: reliable closed with %d snapshots undelivered", n)
+		}
+		idle := r.idle
+		r.mu.Unlock()
+		select {
+		case <-idle:
+		case <-t.C:
+			r.mu.Lock()
+			n := len(r.queue)
+			if r.inflight {
+				n++
+			}
+			err := r.lastErr
+			r.mu.Unlock()
+			if n == 0 {
+				return nil
+			}
+			return fmt.Errorf("client: drain timed out with %d snapshots undelivered (last error: %v)", n, err)
+		case <-r.stop:
+		}
+	}
+}
+
+// Close stops the delivery loop and releases its connection. Queued
+// snapshots that have not been delivered are discarded — call Drain
+// first for a graceful flush. Safe to call twice.
+func (r *Reliable) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return nil
+	}
+	r.closed = true
+	// Discard the queue so the loop exits instead of flushing: Drain
+	// is the explicit flush path.
+	for _, e := range r.queue {
+		delete(r.index, e.key)
+	}
+	r.queue = nil
+	r.markIdleLocked()
+	cur := r.cur
+	r.mu.Unlock()
+	close(r.stop)
+	if cur != nil {
+		// Sever the live connection so a delivery blocked on an
+		// unresponsive upstream unblocks instead of wedging Close.
+		cur.nc.Close()
+	}
+	<-r.done
+	r.setState(StateClosed, nil)
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package faultconn injects connection faults on a seeded,
+// reproducible schedule: a net.Conn / net.Listener wrapper that
+// severs, delays, or black-holes traffic so the fault-tolerance layer
+// (reconnecting clients, checkpoint recovery, idle timeouts) can be
+// driven through kill/reconnect/restart sequences deterministically —
+// in GOEXPERIMENT=synctest bubbles the injected delays ride virtual
+// time, so a test that exercises minutes of backoff runs in
+// microseconds and always sees the same schedule.
+//
+// Faults trigger per I/O operation (one Read or Write call counts as
+// one op). Deterministic triggers (SeverAfterOps, BlackholeAfterOps)
+// fire on exact op counts; probabilistic triggers (SeverProb,
+// DelayProb) draw from a per-connection rand seeded by Config.Seed and
+// the connection's accept index, so a given (seed, schedule) replays
+// identically.
+package faultconn
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config is one fault schedule, applied to every connection a wrapped
+// listener accepts (each with its own derived RNG).
+type Config struct {
+	// Seed derives every connection's fault RNG (0 means 1).
+	Seed uint64
+
+	// SeverAfterOps, when > 0, closes the connection permanently just
+	// before its Nth I/O operation. The op that trips it fails with a
+	// "fault injected" error; every later op fails too.
+	SeverAfterOps int
+	// SeverProb severs with this probability before each op (0 = never).
+	SeverProb float64
+
+	// DelayProb sleeps Delay before an op with this probability —
+	// network jank without connection loss.
+	DelayProb float64
+	Delay     time.Duration
+
+	// BlackholeAfterOps, when > 0, makes every op from the Nth on block
+	// until the connection is closed or its deadline expires — the
+	// half-open peer that idle timeouts and dial timeouts exist for.
+	BlackholeAfterOps int
+
+	// OnFault, when non-nil, observes each injected fault: the
+	// connection's accept index, the op kind ("read"/"write"), the op
+	// count, and what was injected ("sever"/"delay"/"blackhole").
+	OnFault func(conn int, op string, n int, fault string)
+}
+
+// ErrInjected is the failure surfaced by severed operations.
+type ErrInjected struct {
+	Conn int
+	Op   string
+	N    int
+}
+
+func (e *ErrInjected) Error() string {
+	return fmt.Sprintf("faultconn: injected sever on conn %d (%s op %d)", e.Conn, e.Op, e.N)
+}
+
+// Listener wraps an inner listener, applying the fault schedule to
+// every accepted connection.
+type Listener struct {
+	net.Listener
+	cfg Config
+	seq int
+	mu  sync.Mutex
+}
+
+// NewListener wraps ln.
+func NewListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Accept wraps the inner listener's next connection with the fault
+// schedule.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	id := l.seq
+	l.seq++
+	l.mu.Unlock()
+	return Wrap(nc, id, l.cfg), nil
+}
+
+// Conn is one fault-injected connection.
+type Conn struct {
+	net.Conn
+	cfg Config
+	id  int
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	ops       int
+	severed   bool
+	blackhole chan struct{} // closed by Close to release black-holed ops
+	bhClosed  bool
+}
+
+// Wrap applies a fault schedule to one connection; id seeds its RNG
+// (a listener uses the accept index; client-side wrappers pick their
+// own).
+func Wrap(nc net.Conn, id int, cfg Config) *Conn {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// Finalize the derived seed through splitmix64: math/rand's source
+	// correlates nearby seeds (adjacent accept indices would draw
+	// near-identical first faults), and an avalanching mix restores
+	// per-connection independence while staying fully deterministic.
+	return &Conn{
+		Conn:      nc,
+		cfg:       cfg,
+		id:        id,
+		rng:       rand.New(rand.NewSource(int64(splitmix64(seed + uint64(id)*0x9e3779b97f4a7c15)))),
+		blackhole: make(chan struct{}),
+	}
+}
+
+// splitmix64 is the finalizer step of the SplitMix64 generator — a
+// cheap avalanche so structured seed inputs produce unstructured
+// outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fault runs the schedule for one op: it returns a non-nil error when
+// the op must fail (sever), blocks when black-holed, and sleeps when
+// delayed.
+func (c *Conn) fault(op string) error {
+	c.mu.Lock()
+	if c.severed {
+		c.mu.Unlock()
+		return &ErrInjected{Conn: c.id, Op: op, N: c.ops}
+	}
+	c.ops++
+	n := c.ops
+	sever := (c.cfg.SeverAfterOps > 0 && n >= c.cfg.SeverAfterOps) ||
+		(c.cfg.SeverProb > 0 && c.rng.Float64() < c.cfg.SeverProb)
+	delay := !sever && c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb
+	blackhole := !sever && c.cfg.BlackholeAfterOps > 0 && n >= c.cfg.BlackholeAfterOps
+	if sever {
+		c.severed = true
+	}
+	bh := c.blackhole
+	c.mu.Unlock()
+
+	switch {
+	case sever:
+		c.notify(op, n, "sever")
+		c.Conn.Close() // the peer sees the break too, like a real sever
+		return &ErrInjected{Conn: c.id, Op: op, N: n}
+	case blackhole:
+		c.notify(op, n, "blackhole")
+		// The op hangs until Close — a half-open peer as seen from THIS
+		// side. (Deadlines set on the wrapped conn do not pierce the
+		// black hole; tests that need deadline-driven escape hang the
+		// PEER instead and let the deadline fire on a real blocked
+		// read.)
+		<-bh
+		return &ErrInjected{Conn: c.id, Op: op, N: n}
+	case delay:
+		c.notify(op, n, "delay")
+		time.Sleep(c.cfg.Delay)
+	}
+	return nil
+}
+
+func (c *Conn) notify(op string, n int, fault string) {
+	if c.cfg.OnFault != nil {
+		c.cfg.OnFault(c.id, op, n, fault)
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.fault("read"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.fault("write"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Close releases black-holed operations and closes the underlying
+// connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if !c.bhClosed {
+		close(c.blackhole)
+		c.bhClosed = true
+	}
+	c.mu.Unlock()
+	return c.Conn.Close()
+}

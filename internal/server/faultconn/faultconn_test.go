@@ -1,0 +1,127 @@
+package faultconn_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+
+	"github.com/fcds/fcds/internal/server/faultconn"
+)
+
+// drained returns one end of a pipe whose peer is continuously read,
+// so writes through the wrapper only block on injected faults.
+func drained(t *testing.T) net.Conn {
+	t.Helper()
+	a, b := net.Pipe()
+	go func() { _, _ = io.Copy(io.Discard, b) }()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a
+}
+
+// TestSeverAfterOpsExactSchedule: the Nth I/O op fails with
+// ErrInjected, every later op fails too, and the underlying
+// connection is really closed (the peer sees the break).
+func TestSeverAfterOpsExactSchedule(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	peerErr := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, b)
+		peerErr <- err
+	}()
+	fc := faultconn.Wrap(a, 0, faultconn.Config{SeverAfterOps: 3})
+	for op := 1; op <= 2; op++ {
+		if _, err := fc.Write([]byte("x")); err != nil {
+			t.Fatalf("op %d: %v (sever scheduled for op 3)", op, err)
+		}
+	}
+	var inj *faultconn.ErrInjected
+	if _, err := fc.Write([]byte("x")); !errors.As(err, &inj) {
+		t.Fatalf("op 3 = %v, want ErrInjected", err)
+	}
+	if inj.N != 3 || inj.Op != "write" {
+		t.Fatalf("injected fault = %+v, want write op 3", inj)
+	}
+	if _, err := fc.Write([]byte("x")); !errors.As(err, &inj) {
+		t.Fatalf("post-sever op = %v, want ErrInjected", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.As(err, &inj) {
+		t.Fatalf("post-sever read = %v, want ErrInjected", err)
+	}
+	// io.Copy on the peer returns (EOF yields a nil copy error) once
+	// the sever closed the underlying conn.
+	if err := <-peerErr; err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("peer copy ended with %v", err)
+	}
+}
+
+// TestProbabilisticScheduleReplays: the same (seed, conn id) draws the
+// same fault schedule — a failing fault-injection test reruns
+// identically.
+func TestProbabilisticScheduleReplays(t *testing.T) {
+	run := func() []int {
+		var faults []int
+		fc := faultconn.Wrap(drained(t), 5, faultconn.Config{
+			Seed:      99,
+			SeverProb: 0.02,
+			OnFault: func(conn int, op string, n int, fault string) {
+				faults = append(faults, n)
+			},
+		})
+		for i := 0; i < 1000; i++ {
+			if _, err := fc.Write([]byte("y")); err != nil {
+				break
+			}
+		}
+		return faults
+	}
+	first, second := run(), run()
+	if len(first) == 0 {
+		t.Fatal("sever probability never fired in 1000 ops")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("fault schedule not reproducible: %v vs %v", first, second)
+	}
+	// A different conn id draws a different schedule.
+	var other []int
+	fc := faultconn.Wrap(drained(t), 6, faultconn.Config{
+		Seed:      99,
+		SeverProb: 0.02,
+		OnFault:   func(_ int, _ string, n int, _ string) { other = append(other, n) },
+	})
+	for i := 0; i < 1000; i++ {
+		if _, err := fc.Write([]byte("y")); err != nil {
+			break
+		}
+	}
+	if reflect.DeepEqual(first, other) {
+		t.Fatalf("conn ids 5 and 6 drew identical schedules %v", first)
+	}
+}
+
+// TestBlackholeReleasedByClose: from BlackholeAfterOps on, ops hang
+// until Close — the half-open peer shape — and then surface
+// ErrInjected.
+func TestBlackholeReleasedByClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := faultconn.Wrap(a, 1, faultconn.Config{BlackholeAfterOps: 1})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("z"))
+		errCh <- err
+	}()
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var inj *faultconn.ErrInjected
+	if err := <-errCh; !errors.As(err, &inj) {
+		t.Fatalf("black-holed write = %v, want ErrInjected after Close", err)
+	}
+	// Close is idempotent (the release channel closes once).
+	if err := fc.Close(); err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatal(err)
+	}
+}

@@ -39,6 +39,15 @@ type Config struct {
 	// MaxFrame bounds one frame's payload size in bytes (<= 0 means
 	// wire.DefaultMaxFrame). Oversized frames fail the connection.
 	MaxFrame int
+	// IdleTimeout closes a connection whose next frame does not arrive
+	// within it, so half-open peers (an edge that lost power, a NAT
+	// entry that expired) cannot pin goroutines and writer slots
+	// forever. Zero (the default) keeps the historical behavior —
+	// reads block indefinitely; fcds-serve enables it. Clients that
+	// idle legitimately (a dashboard polling HEALTH slower than the
+	// timeout) reconnect on demand — the reconnecting Reliable client
+	// does this transparently.
+	IdleTimeout time.Duration
 	// Logf, when non-nil, receives connection-level diagnostics
 	// (accept errors, protocol violations). Nil means silent.
 	Logf func(format string, args ...any)
@@ -81,6 +90,11 @@ type Server struct {
 	errs      atomic.Int64
 	connsOpen atomic.Int64
 	connsSeen atomic.Int64
+
+	// lastCheckpoint is the unix-nano timestamp of the newest durable
+	// checkpoint this server wrote or recovered (0 = never); HEALTH
+	// reports its age so monitors can bound crash data loss.
+	lastCheckpoint atomic.Int64
 }
 
 // New returns an idle server; register tables and then Serve it.
@@ -330,9 +344,25 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 		_ = bw.Flush()
 	}
 
+	idle := s.cfg.IdleTimeout
 	for {
+		if idle > 0 {
+			// Bound the wait for the next frame. Close may run
+			// concurrently and set an immediate deadline to interrupt
+			// this read; re-checking closed AFTER arming ours guarantees
+			// the interrupt can never be overwritten by the idle
+			// deadline (whichever order the two SetReadDeadline calls
+			// land in, a closed server leaves the deadline immediate).
+			nc.SetReadDeadline(time.Now().Add(idle))
+			if s.closed.Load() {
+				nc.SetReadDeadline(time.Now())
+			}
+		}
 		ver, typ, payload, err := wire.ReadFrame(br, &cs.rbuf, s.cfg.MaxFrame)
 		if err != nil {
+			if idle > 0 && errors.Is(err, os.ErrDeadlineExceeded) && !s.closed.Load() {
+				s.logf("server: %s: closing idle connection (no frame in %v)", nc.RemoteAddr(), idle)
+			}
 			switch {
 			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
 				errors.Is(err, net.ErrClosed), errors.Is(err, os.ErrDeadlineExceeded):
@@ -445,6 +475,31 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		s.snapshots.Add(1)
 		return wire.FrameOK, nil, nil
 
+	case wire.FrameWindowSnapshot:
+		b, err := s.namedBackend(&r)
+		if err != nil {
+			return 0, nil, err
+		}
+		source := r.String()
+		epoch := r.Uvarint()
+		if r.Err != nil {
+			return 0, nil, errBadPayload("truncated window snapshot header")
+		}
+		if source == "" {
+			return 0, nil, errBadPayload("window snapshot requires a source id")
+		}
+		applied, err := b.mergeWindowSnapshot(source, epoch, r.Rest())
+		if err != nil {
+			return 0, nil, err
+		}
+		// A stale epoch answers OK without counting: the ship is a
+		// retry or reorder the receiver already covers — telling the
+		// pusher "failed" would only make it retry the same bytes.
+		if applied {
+			s.snapshots.Add(1)
+		}
+		return wire.FrameOK, nil, nil
+
 	case wire.FrameSnapshotPull:
 		b, err := s.namedBackend(&r)
 		if err != nil {
@@ -498,6 +553,15 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		out = wire.AppendUvarint(out, uint64(st.Items))
 		out = wire.AppendUvarint(out, uint64(st.Snapshots))
 		out = wire.AppendUvarint(out, uint64(st.Errors))
+		// Checkpoint age in milliseconds, clamped to >= 1 when a
+		// checkpoint exists so "has one, just now" is distinguishable
+		// from "never checkpointed" (0). Appended last: older clients
+		// that stop after Errors still parse the payload.
+		ageMS := uint64(0)
+		if age, ok := s.CheckpointAge(); ok {
+			ageMS = max(uint64(age/time.Millisecond), 1)
+		}
+		out = wire.AppendUvarint(out, ageMS)
 		cs.wbuf = out
 		return wire.FrameValue, out, nil
 

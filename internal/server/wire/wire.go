@@ -91,6 +91,19 @@ const (
 	FrameRollup byte = 0x07
 	// FrameHealth requests server counters (empty payload).
 	FrameHealth byte = 0x08
+	// FrameWindowSnapshot ships a windowed table's sealed-epoch FCTB
+	// snapshot: table name, source id (must be non-empty — window ships
+	// are inherently per-source), uvarint epoch, then the blob. The
+	// epoch is the shipper's rotation counter: the receiver replaces
+	// the source's previous window snapshot only when the epoch is >=
+	// the last one it applied from that source, so a retried or
+	// duplicated frame (a reconnecting client re-shipping its outbox)
+	// is idempotent and a reordered stale ship can never roll a newer
+	// window back. A restarted shipper's epoch counter resets to zero —
+	// it must ship under a fresh source id (the default host/pid id
+	// changes across restarts) or its pushes would be rejected as
+	// stale.
+	FrameWindowSnapshot byte = 0x09
 
 	// FrameOK acknowledges an ingest or push (empty payload).
 	FrameOK byte = 0x81
