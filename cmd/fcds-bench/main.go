@@ -211,6 +211,13 @@ type benchRecord struct {
 	// Pool experiment: cross-queue steals observed during the best
 	// trial (the work-stealing half of the shard-affine scheduler).
 	Steals int64 `json:"steals,omitempty"`
+	// Counters is the subsystem metrics-registry snapshot from the best
+	// trial (name{labels} -> value), attributing the point's throughput
+	// to pool/table/window/server internals: evictions, steals, writer
+	// cache hits, slot waits, and so on. Keys vary by experiment;
+	// encoding/json drops unknown fields on decode, so adding families
+	// never breaks -check against an older committed trajectory.
+	Counters map[string]float64 `json:"counters,omitempty"`
 }
 
 // benchReport is the schema of the BENCH_*.json trajectory files: one
@@ -333,6 +340,7 @@ func tableExp(ctx context.Context, sc scale) *benchReport {
 	}
 	best := make(map[cfgKey]float64)
 	gor := make(map[cfgKey]int)
+	ctrs := make(map[cfgKey]map[string]float64)
 	for trial := 0; trial < trials; trial++ {
 		for i := range order {
 			if ctx.Err() != nil {
@@ -342,9 +350,10 @@ func tableExp(ctx context.Context, sc scale) *benchReport {
 			if trial%2 == 1 {
 				k = order[len(order)-1-i]
 			}
-			mops, g := runTableTrial(n, k[0], k[1], writerCounts[len(writerCounts)-1], chunk, uint64(trial))
+			mops, g, vals := runTableTrial(n, k[0], k[1], writerCounts[len(writerCounts)-1], chunk, uint64(trial))
 			if mops > best[k] {
 				best[k] = mops
+				ctrs[k] = vals
 			}
 			gor[k] = g
 		}
@@ -357,6 +366,7 @@ func tableExp(ctx context.Context, sc scale) *benchReport {
 			rep.Results = append(rep.Results, benchRecord{
 				Curve: curve, Threads: writers, Chunk: chunk,
 				MopsSec: best[k], Keys: keys, Goroutines: gor[k],
+				Counters: ctrs[k],
 			})
 		}
 	}
@@ -370,12 +380,16 @@ func tableExp(ctx context.Context, sc scale) *benchReport {
 // parallelism, nothing else) and returns Mops/sec plus the goroutine
 // count observed at the end of ingestion (before Close), which stays
 // O(GOMAXPROCS) however many keys are live. Key and value streams are
-// generated before the clock starts.
-func runTableTrial(n uint64, keys, writers, maxWriters, chunk int, seed uint64) (mops float64, goroutines int) {
+// generated before the clock starts. The returned counters map is the
+// trial's table-subsystem registry snapshot (shard lookups, writer
+// cache hits, promotions, evictions) for bench attribution.
+func runTableTrial(n uint64, keys, writers, maxWriters, chunk int, seed uint64) (mops float64, goroutines int, counters map[string]float64) {
 	tab := fcds.NewThetaTableU64(fcds.ThetaTableU64Config{
 		Table: fcds.TableU64Config{Writers: maxWriters, Shards: 1024},
 	})
 	defer tab.Close()
+	reg := fcds.NewMetricsRegistry()
+	tab.RegisterMetrics(reg, "bench")
 	parts := stream.Partition(n, writers)
 	allKs := make([][]uint64, writers)
 	allVs := make([][]uint64, writers)
@@ -410,7 +424,7 @@ func runTableTrial(n uint64, keys, writers, maxWriters, chunk int, seed uint64) 
 	wg.Wait()
 	goroutines = runtime.NumGoroutine()
 	elapsed := time.Since(start)
-	return float64(n) / 1e6 / elapsed.Seconds(), goroutines
+	return float64(n) / 1e6 / elapsed.Seconds(), goroutines, reg.Values()
 }
 
 // poolExp: the propagator pool in isolation — many small sketches on
@@ -443,15 +457,17 @@ func poolExp(ctx context.Context, sc scale) *benchReport {
 	}
 	best := make(map[int]float64)
 	steals := make(map[int]int64)
+	ctrs := make(map[int]map[string]float64)
 	for trial := 0; trial < trials; trial++ {
 		for _, workers := range workerCounts {
 			if ctx.Err() != nil {
 				return nil
 			}
-			mops, st := runPoolTrial(n, workers, sketches, ingesters, chunk, uint64(trial))
+			mops, st, vals := runPoolTrial(n, workers, sketches, ingesters, chunk, uint64(trial))
 			if mops > best[workers] {
 				best[workers] = mops
 				steals[workers] = st
+				ctrs[workers] = vals
 			}
 		}
 	}
@@ -460,6 +476,7 @@ func poolExp(ctx context.Context, sc scale) *benchReport {
 		rep.Results = append(rep.Results, benchRecord{
 			Curve: fmt.Sprintf("sketches%d", sketches), Threads: workers, Chunk: chunk,
 			MopsSec: best[workers], Goroutines: ingesters, Steals: steals[workers],
+			Counters: ctrs[workers],
 		})
 	}
 	return &rep
@@ -470,10 +487,14 @@ func poolExp(ctx context.Context, sc scale) *benchReport {
 // sketch, rotating over its sketch subset batch by batch) and returns
 // Mops/sec plus the pool's cross-queue steal count for the run. The
 // tiny b keeps the workload handoff-dense, so the pool's scheduling —
-// not the sketch math — dominates.
-func runPoolTrial(n uint64, workers, sketches, ingesters, chunk int, seed uint64) (mops float64, steals int64) {
+// not the sketch math — dominates. The returned counters map is the
+// trial's pool-subsystem registry snapshot (per-worker runs, steals,
+// wake tokens, queue depths) for bench attribution.
+func runPoolTrial(n uint64, workers, sketches, ingesters, chunk int, seed uint64) (mops float64, steals int64, counters map[string]float64) {
 	pool := fcds.NewPropagatorPool(workers)
 	defer pool.Close()
+	reg := fcds.NewMetricsRegistry()
+	fcds.RegisterPoolMetrics(reg, pool)
 	sks := make([]*fcds.ConcurrentTheta, sketches)
 	for i := range sks {
 		sks[i] = fcds.NewConcurrentTheta(fcds.ConcurrentThetaConfig{
@@ -514,7 +535,7 @@ func runPoolTrial(n uint64, workers, sketches, ingesters, chunk int, seed uint64
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return float64(n) / 1e6 / elapsed.Seconds(), pool.Steals() - steals0
+	return float64(n) / 1e6 / elapsed.Seconds(), pool.Steals() - steals0, reg.Values()
 }
 
 // windowExp: sliding-window keyed Θ tables under the same zipfian draw
@@ -544,32 +565,36 @@ func windowExp(ctx context.Context, sc scale) *benchReport {
 		Experiment: "window", Unix: time.Now().Unix(),
 		GoMaxProcs: runtime.GOMAXPROCS(0), N: n, Trials: trials, K: 256,
 	}
-	record := func(curve string, writers, keys, goroutines int, mops float64) {
+	record := func(curve string, writers, keys, goroutines int, mops float64, counters map[string]float64) {
 		fmt.Printf("%s\t%d\t%d\t%d\t%.2f\n", curve, writers, keys, goroutines, mops)
 		rep.Results = append(rep.Results, benchRecord{
 			Curve: curve, Threads: writers, Chunk: chunk,
 			MopsSec: mops, Keys: keys, Goroutines: goroutines,
+			Counters: counters,
 		})
 	}
 	for _, keys := range keySpaces {
 		for _, writers := range writerCounts {
 			var bestW, bestP float64
 			var gor int
+			var ctrW, ctrP map[string]float64
 			for trial := 0; trial < trials; trial++ {
 				if ctx.Err() != nil {
 					return nil
 				}
-				mops, g := runWindowTrial(n, keys, writers, chunk, rotations, uint64(trial))
+				mops, g, vals := runWindowTrial(n, keys, writers, chunk, rotations, uint64(trial))
 				if mops > bestW {
 					bestW = mops
+					ctrW = vals
 				}
 				gor = g
-				if mops, _ := runTableTrial(n, keys, writers, writers, chunk, uint64(trial)); mops > bestP {
+				if mops, _, vals := runTableTrial(n, keys, writers, writers, chunk, uint64(trial)); mops > bestP {
 					bestP = mops
+					ctrP = vals
 				}
 			}
-			record(fmt.Sprintf("windowed-keys%d", keys), writers, keys, gor, bestW)
-			record(fmt.Sprintf("plain-keys%d", keys), writers, keys, 0, bestP)
+			record(fmt.Sprintf("windowed-keys%d", keys), writers, keys, gor, bestW, ctrW)
+			record(fmt.Sprintf("plain-keys%d", keys), writers, keys, 0, bestP, ctrP)
 		}
 	}
 	return &rep
@@ -579,8 +604,10 @@ func windowExp(ctx context.Context, sc scale) *benchReport {
 // windowed table; writer 0 rotates the ring `rotations` times evenly
 // through its share of the stream, so every trial exercises epoch
 // sealing (drain + snapshot-spill) while the other writers keep
-// ingesting.
-func runWindowTrial(n uint64, keys, writers, chunk, rotations int, seed uint64) (mops float64, goroutines int) {
+// ingesting. The returned counters map is the trial's window-subsystem
+// registry snapshot (epoch, rotations, sealed rebuilds, expiries) for
+// bench attribution.
+func runWindowTrial(n uint64, keys, writers, chunk, rotations int, seed uint64) (mops float64, goroutines int, counters map[string]float64) {
 	wt := fcds.NewWindowedThetaTableU64(
 		fcds.ThetaTableU64Config{
 			Table: fcds.TableU64Config{Writers: writers, Shards: 1024},
@@ -588,6 +615,8 @@ func runWindowTrial(n uint64, keys, writers, chunk, rotations int, seed uint64) 
 		fcds.WindowConfig{Slots: 6, Width: time.Hour},
 	)
 	defer wt.Close()
+	reg := fcds.NewMetricsRegistry()
+	wt.RegisterMetrics(reg, "bench")
 	parts := stream.Partition(n, writers)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -621,7 +650,7 @@ func runWindowTrial(n uint64, keys, writers, chunk, rotations int, seed uint64) 
 	wg.Wait()
 	goroutines = runtime.NumGoroutine()
 	elapsed := time.Since(start)
-	return float64(n) / 1e6 / elapsed.Seconds(), goroutines
+	return float64(n) / 1e6 / elapsed.Seconds(), goroutines, reg.Values()
 }
 
 // serveExp: the network ingest server over loopback TCP — keyed Θ
@@ -651,18 +680,20 @@ func serveExp(ctx context.Context, sc scale) *benchReport {
 		GoMaxProcs: runtime.GOMAXPROCS(0), N: n, Trials: trials, K: 256,
 	}
 	best := make(map[int]float64)
+	ctrs := make(map[int]map[string]float64)
 	for trial := 0; trial < trials; trial++ {
 		for _, conns := range connCounts {
 			if ctx.Err() != nil {
 				return nil
 			}
-			mops, err := runServeTrial(n, conns, keys, chunk, uint64(trial))
+			mops, vals, err := runServeTrial(n, conns, keys, chunk, uint64(trial))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "fcds-bench: serve:", err)
 				os.Exit(1)
 			}
 			if mops > best[conns] {
 				best[conns] = mops
+				ctrs[conns] = vals
 			}
 		}
 	}
@@ -671,6 +702,7 @@ func serveExp(ctx context.Context, sc scale) *benchReport {
 		rep.Results = append(rep.Results, benchRecord{
 			Curve: "conns", Threads: conns, Chunk: chunk,
 			MopsSec: best[conns], Keys: keys,
+			Counters: ctrs[conns],
 		})
 	}
 	return &rep
@@ -679,19 +711,25 @@ func serveExp(ctx context.Context, sc scale) *benchReport {
 // runServeTrial stands up a loopback ingest server over one keyed Θ
 // table and drives n zipfian-keyed updates through `conns` client
 // connections (pregenerated streams; the clock covers dial-to-flush).
-func runServeTrial(n uint64, conns, keys, chunk int, seed uint64) (float64, error) {
+// The returned counters map snapshots the server and table registries
+// after the flush (per-table frames/items/bytes, writer-slot waits,
+// connection totals) for bench attribution.
+func runServeTrial(n uint64, conns, keys, chunk int, seed uint64) (float64, map[string]float64, error) {
 	tab := fcds.NewThetaTableU64(fcds.ThetaTableU64Config{
 		Table: fcds.TableU64Config{Writers: conns, Shards: 1024},
 	})
 	defer tab.Close()
 	srv, err := fcds.Serve("127.0.0.1:0", fcds.IngestServerConfig{})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer srv.Close()
 	if err := fcds.RegisterThetaTableU64(srv, "bench", tab); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
+	reg := fcds.NewMetricsRegistry()
+	srv.RegisterMetrics(reg)
+	tab.RegisterMetrics(reg, "bench")
 	addr := srv.Addr().String()
 
 	parts := stream.Partition(n, conns)
@@ -739,10 +777,10 @@ func runServeTrial(n uint64, conns, keys, chunk int, seed uint64) (float64, erro
 	elapsed := time.Since(start)
 	select {
 	case err := <-errs:
-		return 0, err
+		return 0, nil, err
 	default:
 	}
-	return float64(n) / 1e6 / elapsed.Seconds(), nil
+	return float64(n) / 1e6 / elapsed.Seconds(), reg.Values(), nil
 }
 
 // checkReport is the bench-JSON regression gate: it compares this

@@ -30,20 +30,33 @@
 //	           [-push a:9700,b:9700 -push-every 5s -push-source id]
 //	           [-checkpoint-dir DIR -checkpoint-every 30s]
 //	           [-idle-timeout 5m] [-dial-timeout 10s]
-//	           [-stats-every D] [-v]
+//	           [-metrics-addr :9701] [-stats-every D] [-v]
 //
 // Table specs are name=family/keytype with family one of theta,
 // quantiles, hll and keytype one of str, u64. SIGINT/SIGTERM shut the
 // node down gracefully: in-flight frames drain, one final push runs
 // and drains per upstream (when configured), a final checkpoint is
 // written (when configured), and the tables close.
+//
+// Observability: every subsystem (pool, tables, server, checkpoints,
+// per-upstream shippers) registers into one metrics registry.
+// -metrics-addr starts an ops HTTP listener serving /metrics
+// (Prometheus text format) and /healthz (the HEALTH counters as JSON
+// with an explicit has_checkpoint field); -stats-every logs the same
+// registry as periodic dumps, so scrapes and logs share one
+// formatting path. See the fcds package documentation's
+// "Observability and operating fcds-serve" section for the metrics
+// worth alerting on.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/crc32"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -91,12 +104,13 @@ func parseSpecs(s string) ([]tableSpec, error) {
 }
 
 // node is one running table: its registration plus the hooks the push
-// loop and shutdown need.
+// loop, metrics registration and shutdown need.
 type node struct {
-	spec     tableSpec
-	snapshot func() ([]byte, error)
-	keys     func() int
-	close    func()
+	spec            tableSpec
+	snapshot        func() ([]byte, error)
+	keys            func() int
+	registerMetrics func(*fcds.MetricsRegistry)
+	close           func()
 }
 
 func main() {
@@ -113,7 +127,8 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval (with -checkpoint-dir)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 = never)")
 	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "bound on upstream connect + HELLO (0 = none)")
-	statsEvery := flag.Duration("stats-every", 0, "log server and per-upstream push stats at this interval (0 = never)")
+	metricsAddr := flag.String("metrics-addr", "", "ops HTTP listen address serving /metrics (Prometheus text) and /healthz (JSON); empty = disabled")
+	statsEvery := flag.Duration("stats-every", 0, "log a metrics-registry dump at this interval (0 = never)")
 	verbose := flag.Bool("v", false, "log connection-level diagnostics")
 	flag.Parse()
 
@@ -133,12 +148,18 @@ func main() {
 	srv := fcds.NewIngestServer(cfg)
 	pool := fcds.NewPropagatorPool(0) // one executor for every table
 	defer pool.Close()
+	// One registry for every subsystem: the /metrics endpoint, the
+	// -stats-every log dump and /healthz all read the same series.
+	reg := fcds.NewMetricsRegistry()
+	fcds.RegisterPoolMetrics(reg, pool)
+	srv.RegisterMetrics(reg)
 	nodes := make([]*node, 0, len(specs))
 	for _, spec := range specs {
 		n, err := register(srv, spec, *writers, *param, *maxKeys, *ttl, pool)
 		if err != nil {
 			lg.Fatal(err)
 		}
+		n.registerMetrics(reg)
 		nodes = append(nodes, n)
 		lg.Printf("serving table %s (%s, %s keys)", spec.name, spec.family, spec.keyType)
 	}
@@ -205,8 +226,41 @@ func main() {
 			if err != nil {
 				lg.Fatalf("push %s: %v", addr, err)
 			}
+			rel.RegisterMetrics(reg, addr)
 			upstreams = append(upstreams, upstream{addr: addr, rel: rel})
 		}
+	}
+
+	// Ops endpoint: /metrics in Prometheus text format, /healthz as the
+	// HEALTH counters in JSON. Separate listener from the ingest port —
+	// scrapers speak HTTP, ingest clients speak the binary protocol.
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", fcds.MetricsHandler(reg))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			st := srv.Stats()
+			age, hasCkpt := srv.CheckpointAge()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"tables":             st.Tables,
+				"keys":               st.Keys,
+				"conns":              st.Conns,
+				"conns_total":        st.ConnsTotal,
+				"frames":             st.Frames,
+				"items":              st.Items,
+				"snapshots":          st.Snapshots,
+				"errors":             st.Errors,
+				"has_checkpoint":     hasCkpt,
+				"checkpoint_age_sec": age.Seconds(),
+			})
+		})
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				lg.Printf("metrics: %v", err)
+			}
+		}()
+		lg.Printf("metrics on http://%s/metrics", *metricsAddr)
 	}
 	pushDone := make(chan struct{})
 	pushStop := make(chan struct{})
@@ -272,24 +326,18 @@ func main() {
 	}
 
 	if *statsEvery > 0 {
+		// The dump renders the same registry /metrics scrapes — server,
+		// pool, table, checkpoint and per-upstream series included — so
+		// the log path and the scrape path can never disagree.
 		go func() {
+			var buf bytes.Buffer
 			for range time.Tick(*statsEvery) {
-				st := srv.Stats()
-				age := "-"
-				if d, ok := srv.CheckpointAge(); ok {
-					age = d.Truncate(time.Millisecond).String()
+				buf.Reset()
+				if err := reg.WriteValues(&buf); err != nil {
+					lg.Printf("stats: %v", err)
+					continue
 				}
-				lg.Printf("stats: conns=%d keys=%d frames=%d items=%d snapshots=%d errors=%d checkpoint_age=%s",
-					st.Conns, st.Keys, st.Frames, st.Items, st.Snapshots, st.Errors, age)
-				for _, up := range upstreams {
-					ps := up.rel.Stats()
-					lag := "-"
-					if !ps.LastDelivery.IsZero() {
-						lag = time.Since(ps.LastDelivery).Truncate(time.Millisecond).String()
-					}
-					lg.Printf("push %s: state=%s queued=%d delivered=%d dropped=%d dials=%d failures=%d lag=%s",
-						up.addr, ps.State, ps.Queued, ps.Delivered, ps.Dropped, ps.Dials, ps.Failures, lag)
-				}
+				lg.Printf("stats:\n%s", bytes.TrimRight(buf.Bytes(), "\n"))
 			}
 		}()
 	}
@@ -338,26 +386,32 @@ func register(srv *fcds.IngestServer, spec tableSpec, writers, param, maxKeys in
 	case "theta/str":
 		t := fcds.NewThetaTable(fcds.ThetaTableConfig{Table: strCfg, K: param})
 		n.keys, n.close = t.Keys, t.Close
+		n.registerMetrics = func(reg *fcds.MetricsRegistry) { t.RegisterMetrics(reg, spec.name) }
 		err = fcds.RegisterThetaTable(srv, spec.name, t)
 	case "theta/u64":
 		t := fcds.NewThetaTableU64(fcds.ThetaTableU64Config{Table: u64Cfg, K: param})
 		n.keys, n.close = t.Keys, t.Close
+		n.registerMetrics = func(reg *fcds.MetricsRegistry) { t.RegisterMetrics(reg, spec.name) }
 		err = fcds.RegisterThetaTableU64(srv, spec.name, t)
 	case "quantiles/str":
 		t := fcds.NewQuantilesTable(fcds.QuantilesTableConfig{Table: strCfg, K: param})
 		n.keys, n.close = t.Keys, t.Close
+		n.registerMetrics = func(reg *fcds.MetricsRegistry) { t.RegisterMetrics(reg, spec.name) }
 		err = fcds.RegisterQuantilesTable(srv, spec.name, t)
 	case "quantiles/u64":
 		t := fcds.NewQuantilesTableU64(fcds.QuantilesTableU64Config{Table: u64Cfg, K: param})
 		n.keys, n.close = t.Keys, t.Close
+		n.registerMetrics = func(reg *fcds.MetricsRegistry) { t.RegisterMetrics(reg, spec.name) }
 		err = fcds.RegisterQuantilesTableU64(srv, spec.name, t)
 	case "hll/str":
 		t := fcds.NewHLLTable(fcds.HLLTableConfig{Table: strCfg, Precision: uint8(param)})
 		n.keys, n.close = t.Keys, t.Close
+		n.registerMetrics = func(reg *fcds.MetricsRegistry) { t.RegisterMetrics(reg, spec.name) }
 		err = fcds.RegisterHLLTable(srv, spec.name, t)
 	case "hll/u64":
 		t := fcds.NewHLLTableU64(fcds.HLLTableU64Config{Table: u64Cfg, Precision: uint8(param)})
 		n.keys, n.close = t.Keys, t.Close
+		n.registerMetrics = func(reg *fcds.MetricsRegistry) { t.RegisterMetrics(reg, spec.name) }
 		err = fcds.RegisterHLLTableU64(srv, spec.name, t)
 	}
 	if err != nil {

@@ -17,6 +17,10 @@
 // and — because named ships replace rather than merge — the rollup
 // lands exactly where it was before the crash.
 //
+// The coda assembles the observability registry by hand — the same
+// per-subsystem registrations `fcds-serve -metrics-addr` serves at
+// /metrics — and reads the pipeline's counters through it.
+//
 // Run: go run ./examples/distributed
 package main
 
@@ -248,4 +252,23 @@ func main() {
 	st := rel.Stats()
 	fmt.Printf("shipper: %d dial(s), %d failure(s), %d delivered, %d dropped\n",
 		st.Dials, st.Failures, st.Delivered, st.Dropped)
+
+	// --- Act 3: observability ------------------------------------------
+	//
+	// The registry fcds-serve exposes at -metrics-addr, assembled by
+	// hand: each subsystem registers func-backed series into one shared
+	// registry, so a scrape (or this Values call) reads the live
+	// counters without touching any hot path. Serving it over HTTP is
+	// one line: http.Handle("/metrics", fcds.MetricsHandler(reg)).
+	reg := fcds.NewMetricsRegistry()
+	srv2.RegisterMetrics(reg)
+	tab2.RegisterMetrics(reg, "events")
+	rel.RegisterMetrics(reg, aggAddr)
+	vals := reg.Values()
+	fmt.Printf("registry: %d live series; tables=%.0f, snapshots received=%.0f, shipper delivered=%.0f, backoff=%.0fs\n",
+		len(vals),
+		vals[`fcds_server_tables`],
+		vals[`fcds_server_snapshots_total`],
+		vals[fmt.Sprintf("fcds_client_delivered_total{upstream=%q}", aggAddr)],
+		vals[fmt.Sprintf("fcds_client_backoff_seconds{upstream=%q}", aggAddr)])
 }

@@ -248,6 +248,46 @@
 // this staleness window; fcds-serve enables checkpointing with
 // -checkpoint-dir.
 //
+// # Observability and operating fcds-serve
+//
+// Every subsystem exports its operational counters through a
+// zero-dependency metrics registry (NewMetricsRegistry): pool workers
+// (queue depth, runs, steals, wake tokens), tables (keys, evictions by
+// cause, hot-key promotions/demotions, writer-cache hit ratio),
+// windows (rotations, sealed rebuilds, expired epochs), the ingest
+// server (per-table frames/items/bytes/errors, writer-slot waits,
+// per-source snapshot-push lag, checkpoint age and write duration) and
+// the reliable shipper (outbox depth, coalesced ships, reconnect
+// backoff). Registration is collector-style: series are func-backed
+// reads of the subsystems' existing atomics, evaluated only at scrape
+// time, so the instrumented ingest paths keep their zero-allocation
+// budgets. One registry gathers everything and renders it three ways:
+// MetricsHandler serves Prometheus text format 0.0.4 over HTTP,
+// WriteValues dumps the same samples as log lines, and Values feeds
+// programmatic consumers (fcds-bench attaches counter snapshots to its
+// JSON points this way).
+//
+//	reg := fcds.NewMetricsRegistry()
+//	fcds.RegisterPoolMetrics(reg, pool)
+//	t.RegisterMetrics(reg, "events")       // any table or window
+//	srv.RegisterMetrics(reg)               // ingest server + checkpoints
+//	rel.RegisterMetrics(reg, "agg-1:9700") // each reliable shipper
+//	http.Handle("/metrics", fcds.MetricsHandler(reg))
+//
+// fcds-serve wires all of this up behind one flag: -metrics-addr
+// starts an ops HTTP listener serving /metrics (Prometheus text) and
+// /healthz (the HEALTH counters as JSON, with an explicit
+// has_checkpoint field so "never checkpointed" is distinguishable
+// from "just checkpointed"). The metrics worth alerting on:
+// fcds_server_checkpoint_age_seconds growing past -checkpoint-every
+// (crash-loss window widening), fcds_server_snapshot_push_age_seconds
+// per source (an edge stopped shipping), fcds_client_outbox_depth
+// sustained above zero (this node cannot reach its upstream), and
+// fcds_server_writer_slot_waits_total climbing (more connections than
+// writer slots — raise -writers). -stats-every logs the same registry
+// through WriteValues, so the log dump and the scrape endpoint can
+// never disagree.
+//
 // Sequential sketches (theta KMV/QuickSelect with set operations,
 // quantiles, HLL) and the lock-based baseline used in the paper's
 // evaluation are exposed as well. The cmd/fcds-bench binary
@@ -255,11 +295,13 @@
 package fcds
 
 import (
+	"net/http"
 	"time"
 
 	"github.com/fcds/fcds/internal/core"
 	"github.com/fcds/fcds/internal/hll"
 	"github.com/fcds/fcds/internal/lockbased"
+	"github.com/fcds/fcds/internal/metrics"
 	"github.com/fcds/fcds/internal/quantiles"
 	"github.com/fcds/fcds/internal/server"
 	"github.com/fcds/fcds/internal/server/client"
@@ -644,6 +686,40 @@ func RegisterHLLTable(s *IngestServer, name string, t *HLLTable) error {
 // RegisterHLLTableU64 serves a uint64-keyed HLL table under name.
 func RegisterHLLTableU64(s *IngestServer, name string, t *HLLTableU64) error {
 	return server.RegisterHLL(s, name, t)
+}
+
+// Observability: the metrics registry and its renderers (see the
+// package documentation's "Observability and operating fcds-serve"
+// section). Subsystems register through their own methods — Table
+// RegisterMetrics, windowed RegisterMetrics, IngestServer
+// RegisterMetrics, ReliableIngestClient RegisterMetrics — plus
+// RegisterPoolMetrics for a shared PropagatorPool; every series is
+// read at scrape time, off the ingest hot paths.
+type (
+	// MetricsRegistry is a lock-cheap registry of counters, gauges,
+	// histograms and func-backed series with Prometheus text
+	// exposition (WritePrometheus), log-dump rendering (WriteValues)
+	// and programmatic access (Values).
+	MetricsRegistry = metrics.Registry
+	// MetricsFamily is one gathered metric family: name, help, kind
+	// and current samples.
+	MetricsFamily = metrics.Family
+	// MetricsSample is one gathered series value.
+	MetricsSample = metrics.Sample
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricsHandler returns an http.Handler exposing the registry in
+// Prometheus text format (mount it at /metrics).
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return metrics.Handler(reg) }
+
+// RegisterPoolMetrics exports a PropagatorPool's scheduling counters
+// (workers, parked, steals, per-worker queue depth/runs/steals/wake
+// tokens) into reg.
+func RegisterPoolMetrics(reg *MetricsRegistry, p *PropagatorPool) {
+	core.RegisterPoolMetrics(reg, p)
 }
 
 // NewPropagatorPool starts a shared propagation executor with the

@@ -89,15 +89,18 @@ type poolWorker struct {
 	parked atomic.Bool
 
 	// stolen counts sketches this worker stole from siblings; runs
-	// counts propagation runs it executed (own + stolen).
+	// counts propagation runs it executed (own + stolen); wakes counts
+	// wake tokens deposited on this worker by submits and sibling
+	// nudges (park/unpark churn, distinct from runs).
 	stolen atomic.Int64
 	runs   atomic.Int64
+	wakes  atomic.Int64
 
 	// Pad the struct to a multiple of 128 bytes (two cache lines on
 	// common hardware) so adjacent workers' hot fields — this one's
 	// run counters, the next one's queue mutex — never share a line.
 	// The compile-time assertion below keeps the pad honest.
-	_ [56]byte
+	_ [48]byte
 }
 
 // Compile-time check that poolWorker fills whole 128-byte blocks (the
@@ -144,6 +147,10 @@ func (p *PropagatorPool) Sketches() int64 { return p.sketches.Load() }
 // run by a worker other than their home worker.
 func (p *PropagatorPool) Steals() int64 { return p.steals.Load() }
 
+// Parked returns the number of workers currently parked on their wake
+// channel.
+func (p *PropagatorPool) Parked() int { return int(p.parked.Load()) }
+
 // WorkerStats is one worker's scheduling counters.
 type WorkerStats struct {
 	// Depth is the current run-queue length (scheduled, not yet run).
@@ -152,6 +159,9 @@ type WorkerStats struct {
 	Stolen int64
 	// Runs counts propagation runs this worker executed.
 	Runs int64
+	// Wakes counts wake tokens deposited on this worker (submits to
+	// its queue plus sibling steal nudges).
+	Wakes int64
 }
 
 // Stats returns a snapshot of every worker's depth/steal/run counters,
@@ -163,7 +173,7 @@ func (p *PropagatorPool) Stats() []WorkerStats {
 		w.mu.Lock()
 		depth := len(w.runq) - w.head
 		w.mu.Unlock()
-		out[i] = WorkerStats{Depth: depth, Stolen: w.stolen.Load(), Runs: w.runs.Load()}
+		out[i] = WorkerStats{Depth: depth, Stolen: w.stolen.Load(), Runs: w.runs.Load(), Wakes: w.wakes.Load()}
 	}
 	return out
 }
@@ -219,6 +229,7 @@ func (p *PropagatorPool) submit(t propagable, worker int) {
 	w.mu.Unlock()
 	select {
 	case w.wake <- struct{}{}:
+		w.wakes.Add(1)
 	default:
 		// The home worker already holds a wake token and will keep
 		// popping until its queue is empty.
@@ -243,6 +254,7 @@ func (p *PropagatorPool) wakeSibling(home int) {
 			p.parked.Add(-1)
 			select {
 			case w.wake <- struct{}{}:
+				w.wakes.Add(1)
 			default:
 			}
 			return

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE preamble per
+// family followed by its samples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.GatherFamilies() {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.Samples {
+			writeSample(bw, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteValues renders the same samples as WritePrometheus without the
+// HELP/TYPE preamble. This is the periodic -stats-every log dump: the
+// values come through the exact gather path the /metrics endpoint
+// uses, so logs cannot drift from the scrape.
+func (r *Registry) WriteValues(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.GatherFamilies() {
+		for _, s := range f.Samples {
+			writeSample(bw, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(bw *bufio.Writer, s Sample) {
+	bw.WriteString(s.Name)
+	if s.Labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(s.Labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(s.Value))
+	bw.WriteByte('\n')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// Handler returns an http.Handler exposing the registry at /metrics in
+// Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

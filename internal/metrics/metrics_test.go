@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exposition format byte for byte:
+// HELP/TYPE preamble, label ordering (sorted at registration), label
+// value escaping, histogram bucket expansion with cumulative counts,
+// and integer-valued float rendering.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fcds_frames_total", "Frames handled.", "table", "hits", "kind", "keyed_batch")
+	c.Add(42)
+	g := r.Gauge("fcds_conns_open", "Open connections.")
+	g.Set(3)
+	// Label values exercising every escape: backslash, quote, newline.
+	e := r.Counter("fcds_errs_total", "Errors by source.", "src", "a\\b\"c\nd")
+	e.Inc()
+	h := r.Histogram("fcds_write_seconds", "Checkpoint write duration.", []float64{0.01, 0.5, 2})
+	h.Observe(0.004)
+	h.Observe(0.2)
+	h.Observe(0.2)
+	h.Observe(10)
+	// Labels passed out of order must render sorted.
+	r.Gauge("fcds_depth", "Queue depth.", "worker", "1", "pool", "p0").Set(7)
+	r.GaugeFunc("fcds_age_seconds", "An age.", func() float64 { return 1.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP fcds_frames_total Frames handled.
+# TYPE fcds_frames_total counter
+fcds_frames_total{kind="keyed_batch",table="hits"} 42
+# HELP fcds_conns_open Open connections.
+# TYPE fcds_conns_open gauge
+fcds_conns_open 3
+# HELP fcds_errs_total Errors by source.
+# TYPE fcds_errs_total counter
+fcds_errs_total{src="a\\b\"c\nd"} 1
+# HELP fcds_write_seconds Checkpoint write duration.
+# TYPE fcds_write_seconds histogram
+fcds_write_seconds_bucket{le="0.01"} 1
+fcds_write_seconds_bucket{le="0.5"} 3
+fcds_write_seconds_bucket{le="2"} 3
+fcds_write_seconds_bucket{le="+Inf"} 4
+fcds_write_seconds_sum 10.404
+fcds_write_seconds_count 4
+# HELP fcds_depth Queue depth.
+# TYPE fcds_depth gauge
+fcds_depth{pool="p0",worker="1"} 7
+# HELP fcds_age_seconds An age.
+# TYPE fcds_age_seconds gauge
+fcds_age_seconds 1.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// WriteValues must be the same samples minus preamble.
+	var v strings.Builder
+	if err := r.WriteValues(&v); err != nil {
+		t.Fatal(err)
+	}
+	var wantVals strings.Builder
+	for _, line := range strings.Split(want, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		wantVals.WriteString(line)
+		wantVals.WriteByte('\n')
+	}
+	if v.String() != wantVals.String() {
+		t.Errorf("WriteValues drifted from WritePrometheus:\n%s\nvs\n%s", v.String(), wantVals.String())
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "k", "v")
+	b := r.Counter("x_total", "x", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels must return the same cell")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("cells not shared")
+	}
+	c := r.Counter("x_total", "x", "k", "w")
+	if c == a {
+		t.Fatal("distinct labels must get distinct cells")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict must panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestValuesMap(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(5)
+	r.Gauge("b", "b", "k", "v").Set(-2)
+	m := r.Values()
+	if m["a_total"] != 5 || m[`b{k="v"}`] != -2 {
+		t.Fatalf("unexpected values map: %v", m)
+	}
+}
+
+// TestConcurrentRegistry hammers registration, updates and gathers
+// from many goroutines; run under -race this is the registry's
+// thread-safety proof.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "c", "g", fmt.Sprint(i%4))
+			g := r.Gauge("conc_gauge", "g", "g", fmt.Sprint(i%4))
+			h := r.Histogram("conc_hist", "h", []float64{1, 10}, "g", fmt.Sprint(i%4))
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Set(int64(j))
+				h.Observe(float64(j % 20))
+				if j%100 == 0 {
+					r.GaugeFunc("conc_fn", "f", func() float64 { return float64(j) }, "g", fmt.Sprint(i%4))
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += r.Counter("conc_total", "c", "g", fmt.Sprint(i)).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("lost updates: got %d want 8000", total)
+	}
+}
+
+// TestHistogramSumConcurrent verifies the CAS float sum doesn't lose
+// observations under contention.
+func TestHistogramSumConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hs", "h", []float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Fatalf("count=%d sum=%v, want 8000/8000", h.Count(), h.Sum())
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

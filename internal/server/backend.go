@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"github.com/fcds/fcds/internal/core"
@@ -34,6 +35,10 @@ type backend interface {
 	kind() byte
 	keyType() byte
 	liveKeys() int
+	// slotWaits counts ingest frames that found their connection-pinned
+	// writer slot held and had to block — the signal that more
+	// connections share a slot than the table has writers.
+	slotWaits() int64
 	// ingest parses a keyed batch payload (after the table name) and
 	// feeds it to the table through writer slot `slot % writers`. It
 	// returns the number of items ingested.
@@ -100,6 +105,8 @@ type tableBackend[K table.Key, V, S, C any] struct {
 
 	writers []*table.Writer[K, V, S, C]
 	wmu     []sync.Mutex
+	// waits counts ingest frames that contended for their writer slot.
+	waits atomic.Int64
 
 	// Remote state received via SNAPSHOT_PUSH; rollups, queries and
 	// pulls fold it in. Anonymous pushes merge into remote; pushes
@@ -168,9 +175,10 @@ func readKey[K table.Key](r *wire.Reader) K {
 	return any(r.Uint64()).(K)
 }
 
-func (b *tableBackend[K, V, S, C]) kind() byte    { return b.eng.Kind() }
-func (b *tableBackend[K, V, S, C]) keyType() byte { return b.kt }
-func (b *tableBackend[K, V, S, C]) liveKeys() int { return b.st.Keys() }
+func (b *tableBackend[K, V, S, C]) kind() byte       { return b.eng.Kind() }
+func (b *tableBackend[K, V, S, C]) keyType() byte    { return b.kt }
+func (b *tableBackend[K, V, S, C]) liveKeys() int    { return b.st.Keys() }
+func (b *tableBackend[K, V, S, C]) slotWaits() int64 { return b.waits.Load() }
 
 // viewString aliases a transient byte slice as a string for hashing —
 // never retained (the table's string *items* are hashed, not stored).
@@ -244,7 +252,13 @@ func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringIte
 	// slot wedged for every future connection pinned to it (and for
 	// snapshotAppend, which locks all slots).
 	wi := int(slot % uint64(len(b.writers)))
-	b.wmu[wi].Lock()
+	// TryLock first purely for the wait counter: contention here means
+	// more connections share this slot than the table has writers, the
+	// capacity signal fcds_server_writer_slot_waits_total exposes.
+	if !b.wmu[wi].TryLock() {
+		b.waits.Add(1)
+		b.wmu[wi].Lock()
+	}
 	defer b.wmu[wi].Unlock()
 	if stringItems {
 		// Items were hashed into the family's space in the decode pass,

@@ -102,6 +102,8 @@ func (s *Server) WriteCheckpoints(dir string) (CheckpointStats, error) {
 		st.Bytes += int64(len(data))
 	}
 	s.lastCheckpoint.Store(now.UnixNano())
+	s.checkpoints.Add(1)
+	s.checkpointDur.Store(int64(time.Since(now)))
 	return st, nil
 }
 

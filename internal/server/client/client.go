@@ -55,11 +55,17 @@ type Health struct {
 	// request, ingested-update, merged-snapshot and error counts.
 	Frames, Items, Snapshots, Errors uint64
 	// CheckpointAge is the time since the server last wrote (or
-	// recovered) a durability checkpoint; zero when the server has
-	// never checkpointed. A monitoring client alerts on this growing
-	// past the configured checkpoint interval — it bounds how much
-	// aggregator state a crash right now would lose.
+	// recovered) a durability checkpoint. A monitoring client alerts
+	// on this growing past the configured checkpoint interval — it
+	// bounds how much aggregator state a crash right now would lose.
+	// Check HasCheckpoint before trusting a zero age.
 	CheckpointAge time.Duration
+	// HasCheckpoint reports whether the server has ever checkpointed:
+	// CheckpointAge alone cannot distinguish "just checkpointed" from
+	// "never" once it rounds to zero. Servers that predate the flag
+	// omit it; it is then inferred from CheckpointAge != 0 (those
+	// servers clamp a real age to at least 1ms on the wire).
+	HasCheckpoint bool
 }
 
 // response is one server frame delivered to a waiting operation.
@@ -645,6 +651,16 @@ func (c *Client) Health() (Health, error) {
 			return Health{}, errors.New("client: malformed health response")
 		}
 		h.CheckpointAge = time.Duration(ms) * time.Millisecond
+		// Age-only servers clamp a real age to >= 1ms, so nonzero means
+		// a checkpoint exists; the explicit flag below overrides when
+		// the server is new enough to send it.
+		h.HasCheckpoint = ms > 0
+	}
+	if r.Remaining() > 0 {
+		h.HasCheckpoint = r.Byte() == 1
+		if r.Err != nil {
+			return Health{}, errors.New("client: malformed health response")
+		}
 	}
 	return h, nil
 }

@@ -1,0 +1,62 @@
+package client
+
+import (
+	"time"
+
+	"github.com/fcds/fcds/internal/metrics"
+)
+
+// RegisterMetrics exports the Reliable's shipping counters into reg,
+// labeled with the given upstream name (typically the dialed address).
+// Every series is func-backed through Stats(), so the delivery loop is
+// untouched. A process fanning out to several upstreams registers each
+// Reliable under its own upstream label in the same registry.
+//
+// Families: fcds_client_outbox_depth, fcds_client_inflight,
+// fcds_client_conn_state, fcds_client_backoff_seconds,
+// fcds_client_delivered_total, fcds_client_dropped_total,
+// fcds_client_coalesced_total, fcds_client_dials_total,
+// fcds_client_failures_total, fcds_client_last_delivery_age_seconds.
+func (r *Reliable) RegisterMetrics(reg *metrics.Registry, upstream string) {
+	reg.GaugeFunc("fcds_client_outbox_depth",
+		"Snapshots queued for delivery (one per distinct table/source pair). Alert on sustained growth: the upstream is down or too slow.",
+		func() float64 { return float64(r.Stats().Queued) }, "upstream", upstream)
+	reg.GaugeFunc("fcds_client_inflight",
+		"1 while a snapshot delivery is in progress, else 0.",
+		func() float64 {
+			if r.Stats().Inflight {
+				return 1
+			}
+			return 0
+		}, "upstream", upstream)
+	reg.GaugeFunc("fcds_client_conn_state",
+		"Connection lifecycle state: 0 disconnected, 1 connecting, 2 connected, 3 closed.",
+		func() float64 { return float64(r.State()) }, "upstream", upstream)
+	reg.GaugeFunc("fcds_client_backoff_seconds",
+		"Current reconnect backoff delay; 0 while deliveries flow.",
+		func() float64 { return r.Stats().Backoff.Seconds() }, "upstream", upstream)
+	reg.CounterFunc("fcds_client_delivered_total",
+		"Snapshots delivered and acknowledged.",
+		func() float64 { return float64(r.Stats().Delivered) }, "upstream", upstream)
+	reg.CounterFunc("fcds_client_dropped_total",
+		"Outbox entries evicted at the MaxOutbox bound plus poison entries the server permanently rejected.",
+		func() float64 { return float64(r.Stats().Dropped) }, "upstream", upstream)
+	reg.CounterFunc("fcds_client_coalesced_total",
+		"Ships that replaced a queued-but-undelivered entry for their table/source pair (subsumed by the newer snapshot, not lost).",
+		func() float64 { return float64(r.Stats().Coalesced) }, "upstream", upstream)
+	reg.CounterFunc("fcds_client_dials_total",
+		"Connection attempts.",
+		func() float64 { return float64(r.Stats().Dials) }, "upstream", upstream)
+	reg.CounterFunc("fcds_client_failures_total",
+		"Dial and delivery failures.",
+		func() float64 { return float64(r.Stats().Failures) }, "upstream", upstream)
+	reg.GaugeFunc("fcds_client_last_delivery_age_seconds",
+		"Seconds since the last acknowledged delivery; 0 until the first one.",
+		func() float64 {
+			last := r.Stats().LastDelivery
+			if last.IsZero() {
+				return 0
+			}
+			return time.Since(last).Seconds()
+		}, "upstream", upstream)
+}

@@ -45,9 +45,11 @@ type Reliable struct {
 
 	delivered uint64
 	dropped   uint64
+	coalesced uint64
 	dials     uint64
 	failures  uint64
 	lastOK    time.Time
+	backoff   time.Duration // current reconnect delay (0 = healthy)
 
 	// wake nudges the run loop when work is enqueued; idle is closed
 	// whenever the outbox is empty with nothing in flight (Drain waits
@@ -141,9 +143,14 @@ type ReliableStats struct {
 	Inflight bool
 	// Delivered counts successfully acknowledged ships; Dropped counts
 	// outbox entries evicted at the MaxOutbox bound plus poison
-	// entries the server permanently rejected; Dials counts
-	// connection attempts; Failures counts dial and delivery failures.
-	Delivered, Dropped, Dials, Failures uint64
+	// entries the server permanently rejected; Coalesced counts ships
+	// that replaced a queued-but-undelivered entry for their pair
+	// (subsumed, not lost); Dials counts connection attempts; Failures
+	// counts dial and delivery failures.
+	Delivered, Dropped, Coalesced, Dials, Failures uint64
+	// Backoff is the current reconnect delay: zero while deliveries
+	// flow, climbing toward MaxBackoff while the upstream stays down.
+	Backoff time.Duration
 	// LastError is the most recent dial or delivery failure (nil if
 	// none, or none since the counters were read); LastDelivery is
 	// when the last successful ship was acknowledged (zero if never).
@@ -252,6 +259,7 @@ func (r *Reliable) enqueue(e *shipEntry) error {
 		// Coalesce: overwrite the queued entry in place so it keeps its
 		// position in the FIFO.
 		*old = *e
+		r.coalesced++
 		r.mu.Unlock()
 		return nil
 	}
@@ -332,12 +340,13 @@ func (r *Reliable) run() {
 			r.mu.Unlock()
 			c, err := r.cfg.Dial()
 			if err != nil {
+				backoff = nextBackoff(backoff, r.cfg)
 				r.mu.Lock()
 				r.failures++
+				r.backoff = backoff
 				r.mu.Unlock()
 				r.setState(StateDisconnected, err)
 				r.requeue(e, err)
-				backoff = nextBackoff(backoff, r.cfg)
 				continue
 			}
 			cur = c
@@ -360,6 +369,7 @@ func (r *Reliable) run() {
 			r.inflight = false
 			r.delivered++
 			r.lastOK = time.Now()
+			r.backoff = 0
 			r.markIdleLocked()
 			r.mu.Unlock()
 			continue
@@ -387,12 +397,13 @@ func (r *Reliable) run() {
 		// at the front unless it was superseded meanwhile.
 		cur.Close()
 		cur = nil
+		backoff = nextBackoff(backoff, r.cfg)
 		r.mu.Lock()
 		r.cur = nil
+		r.backoff = backoff
 		r.mu.Unlock()
 		r.setState(StateDisconnected, err)
 		r.requeue(e, err)
-		backoff = nextBackoff(backoff, r.cfg)
 	}
 }
 
@@ -524,8 +535,10 @@ func (r *Reliable) Stats() ReliableStats {
 		Inflight:     r.inflight,
 		Delivered:    r.delivered,
 		Dropped:      r.dropped,
+		Coalesced:    r.coalesced,
 		Dials:        r.dials,
 		Failures:     r.failures,
+		Backoff:      r.backoff,
 		LastError:    r.lastErr,
 		LastDelivery: r.lastOK,
 	}

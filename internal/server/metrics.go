@@ -1,0 +1,144 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/fcds/fcds/internal/metrics"
+)
+
+// RegisterMetrics exports the server's operational counters into reg
+// and attaches the registry so tables registered (and snapshot sources
+// first seen) afterwards export their series too. Every series is
+// func-backed and read from the server's existing atomics at scrape
+// time; the connection frame loop pays nothing beyond its own counter
+// bumps. Call it once per registry — typically right after New.
+//
+// Global families: fcds_server_tables, fcds_server_live_keys,
+// fcds_server_connections_open, fcds_server_connections_total,
+// fcds_server_frames_total, fcds_server_items_total,
+// fcds_server_snapshots_total, fcds_server_errors_total, plus the
+// checkpoint group (fcds_server_has_checkpoint,
+// fcds_server_checkpoint_age_seconds, fcds_server_checkpoints_total,
+// fcds_server_checkpoint_write_seconds). Per table (label "table"):
+// fcds_server_table_keys, fcds_server_table_frames_total,
+// fcds_server_table_items_total, fcds_server_table_bytes_total,
+// fcds_server_table_errors_total, fcds_server_writer_slot_waits_total.
+// Per accepted named push (labels "table", "source"):
+// fcds_server_snapshot_push_age_seconds.
+func (s *Server) RegisterMetrics(reg *metrics.Registry) {
+	s.metricsMu.Lock()
+	s.metricsReg = reg
+	pushes := make(map[pushKey]*atomic.Int64, len(s.pushTimes))
+	for k, cell := range s.pushTimes {
+		pushes[k] = cell
+	}
+	s.metricsMu.Unlock()
+
+	reg.GaugeFunc("fcds_server_tables",
+		"Registered tables.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.tables))
+		})
+	reg.GaugeFunc("fcds_server_live_keys",
+		"Live keys summed over every registered table.",
+		func() float64 { return float64(s.Stats().Keys) })
+	reg.GaugeFunc("fcds_server_connections_open",
+		"Currently open client connections.",
+		func() float64 { return float64(s.connsOpen.Load()) })
+	reg.CounterFunc("fcds_server_connections_total",
+		"Client connections ever accepted.",
+		func() float64 { return float64(s.connsSeen.Load()) })
+	reg.CounterFunc("fcds_server_frames_total",
+		"Request frames processed (all tables and table-less frames).",
+		func() float64 { return float64(s.frames.Load()) })
+	reg.CounterFunc("fcds_server_items_total",
+		"Keyed updates ingested.",
+		func() float64 { return float64(s.items.Load()) })
+	reg.CounterFunc("fcds_server_snapshots_total",
+		"Remote snapshots merged (stale window re-ships excluded).",
+		func() float64 { return float64(s.snapshots.Load()) })
+	reg.CounterFunc("fcds_server_errors_total",
+		"Error frames returned.",
+		func() float64 { return float64(s.errs.Load()) })
+
+	reg.GaugeFunc("fcds_server_has_checkpoint",
+		"1 when the server has ever written or restored a durability checkpoint, else 0.",
+		func() float64 {
+			if _, ok := s.CheckpointAge(); ok {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("fcds_server_checkpoint_age_seconds",
+		"Seconds since the newest checkpoint was written or restored; 0 until the first one (check fcds_server_has_checkpoint). Alert when this grows past the checkpoint interval: it bounds aggregator state a crash would lose.",
+		func() float64 {
+			age, ok := s.CheckpointAge()
+			if !ok {
+				return 0
+			}
+			return age.Seconds()
+		})
+	reg.CounterFunc("fcds_server_checkpoints_total",
+		"Completed checkpoint write passes.",
+		func() float64 { return float64(s.checkpoints.Load()) })
+	reg.GaugeFunc("fcds_server_checkpoint_write_seconds",
+		"Wall time of the last checkpoint write pass.",
+		func() float64 { return time.Duration(s.checkpointDur.Load()).Seconds() })
+
+	s.mu.Lock()
+	type reginfo struct {
+		name string
+		b    backend
+		tc   *tableCounters
+	}
+	infos := make([]reginfo, 0, len(s.tables))
+	for name, b := range s.tables {
+		infos = append(infos, reginfo{name, b, s.tstats[name]})
+	}
+	s.mu.Unlock()
+	for _, ri := range infos {
+		s.registerTableMetrics(reg, ri.name, ri.b, ri.tc)
+	}
+	for k, cell := range pushes {
+		registerPushLag(reg, k, cell)
+	}
+}
+
+// registerTableMetrics exports one registered table's server-side
+// series; called from register (registry already attached) or
+// RegisterMetrics (tables registered first).
+func (s *Server) registerTableMetrics(reg *metrics.Registry, name string, b backend, tc *tableCounters) {
+	reg.GaugeFunc("fcds_server_table_keys",
+		"Live keys per registered table.",
+		func() float64 { return float64(b.liveKeys()) }, "table", name)
+	reg.CounterFunc("fcds_server_table_frames_total",
+		"Request frames resolved to this table.",
+		func() float64 { return float64(tc.frames.Load()) }, "table", name)
+	reg.CounterFunc("fcds_server_table_items_total",
+		"Keyed updates ingested into this table.",
+		func() float64 { return float64(tc.items.Load()) }, "table", name)
+	reg.CounterFunc("fcds_server_table_bytes_total",
+		"Request payload bytes of frames resolved to this table.",
+		func() float64 { return float64(tc.bytes.Load()) }, "table", name)
+	reg.CounterFunc("fcds_server_table_errors_total",
+		"Error frames returned for requests resolved to this table.",
+		func() float64 { return float64(tc.errs.Load()) }, "table", name)
+	reg.CounterFunc("fcds_server_writer_slot_waits_total",
+		"Ingest frames that blocked on a contended writer slot (more connections share a slot than the table has writers).",
+		func() float64 { return float64(b.slotWaits()) }, "table", name)
+}
+
+// registerPushLag exports one (table, source) pair's push-lag gauge:
+// seconds since that source's last accepted snapshot push. An edge that
+// stops shipping shows up as this gauge climbing while its last
+// snapshot is still counted in rollups.
+func registerPushLag(reg *metrics.Registry, k pushKey, last *atomic.Int64) {
+	reg.GaugeFunc("fcds_server_snapshot_push_age_seconds",
+		"Seconds since the named source's last accepted snapshot push to this table.",
+		func() float64 {
+			return time.Duration(time.Now().UnixNano() - last.Load()).Seconds()
+		}, "table", k.table, "source", k.source)
+}

@@ -27,10 +27,12 @@ import (
 	"io"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/fcds/fcds/internal/metrics"
 	"github.com/fcds/fcds/internal/server/wire"
 )
 
@@ -76,6 +78,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	tables map[string]backend
+	tstats map[string]*tableCounters
 	conns  map[net.Conn]struct{}
 	ln     net.Listener
 
@@ -95,15 +98,37 @@ type Server struct {
 	// checkpoint this server wrote or recovered (0 = never); HEALTH
 	// reports its age so monitors can bound crash data loss.
 	lastCheckpoint atomic.Int64
+	// checkpoints counts completed WriteCheckpoints passes;
+	// checkpointDur is the last pass's wall time in nanoseconds.
+	checkpoints   atomic.Int64
+	checkpointDur atomic.Int64
+
+	// metricsMu guards the attached registry and the per-(table,source)
+	// push timestamps behind the snapshot-push lag gauges.
+	metricsMu  sync.Mutex
+	metricsReg *metrics.Registry
+	pushTimes  map[pushKey]*atomic.Int64
 }
+
+// tableCounters attributes the server's frame traffic to one registered
+// table; cells are bumped on the connection goroutines and read by the
+// metrics registry at scrape time.
+type tableCounters struct {
+	frames, items, bytes, errs atomic.Int64
+}
+
+// pushKey identifies one snapshot-pushing source on one table.
+type pushKey struct{ table, source string }
 
 // New returns an idle server; register tables and then Serve it.
 func New(cfg Config) *Server {
 	return &Server{
-		cfg:    cfg,
-		tables: make(map[string]backend),
-		conns:  make(map[net.Conn]struct{}),
-		done:   make(chan struct{}),
+		cfg:       cfg,
+		tables:    make(map[string]backend),
+		tstats:    make(map[string]*tableCounters),
+		conns:     make(map[net.Conn]struct{}),
+		done:      make(chan struct{}),
+		pushTimes: make(map[pushKey]*atomic.Int64),
 	}
 }
 
@@ -119,12 +144,24 @@ func (s *Server) register(name string, b backend) error {
 	if name == "" {
 		return errors.New("server: empty table name")
 	}
+	tc := &tableCounters{}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.tables[name]; dup {
+		s.mu.Unlock()
 		return fmt.Errorf("server: table %q already registered", name)
 	}
 	s.tables[name] = b
+	s.tstats[name] = tc
+	s.mu.Unlock()
+	// Export the table's series immediately when a registry is already
+	// attached (tables registered before RegisterMetrics are picked up
+	// there instead). Outside s.mu: the registry takes its own lock.
+	s.metricsMu.Lock()
+	reg := s.metricsReg
+	s.metricsMu.Unlock()
+	if reg != nil {
+		s.registerTableMetrics(reg, name, b, tc)
+	}
 	return nil
 }
 
@@ -133,6 +170,15 @@ func (s *Server) lookup(name string) (backend, bool) {
 	b, ok := s.tables[name]
 	s.mu.Unlock()
 	return b, ok
+}
+
+// lookupCounters resolves a table and its attribution counters.
+func (s *Server) lookupCounters(name string) (backend, *tableCounters, bool) {
+	s.mu.Lock()
+	b, ok := s.tables[name]
+	tc := s.tstats[name]
+	s.mu.Unlock()
+	return b, tc, ok
 }
 
 // SnapshotTable captures the named table's full merged snapshot — the
@@ -403,9 +449,16 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 		}
 
 		s.frames.Add(1)
-		respType, respPayload, reqErr := s.handle(cs, seq, typ, payload)
+		respType, respPayload, tc, reqErr := s.handle(cs, seq, typ, payload)
+		if tc != nil {
+			tc.frames.Add(1)
+			tc.bytes.Add(int64(len(payload)))
+		}
 		if reqErr != nil {
 			s.errs.Add(1)
+			if tc != nil {
+				tc.errs.Add(1)
+			}
 			var re *reqError
 			code := wire.ErrCodeInternal
 			if errors.As(reqErr, &re) {
@@ -434,113 +487,119 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 	}
 }
 
-// handle dispatches one request frame and returns the response frame.
-// The response payload may alias cs.wbuf (written out before the next
-// read reuses it).
-func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (byte, []byte, error) {
+// handle dispatches one request frame and returns the response frame
+// plus the resolved table's attribution counters (nil for table-less
+// frames and unknown tables). The response payload may alias cs.wbuf
+// (written out before the next read reuses it).
+func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (byte, []byte, *tableCounters, error) {
 	r := wire.Reader{Buf: payload}
 	switch typ {
 	case wire.FrameHello:
 		// Renegotiation mid-stream is a protocol violation: answered
 		// with an ERR frame, though the connection stays usable.
-		return wire.FrameErr, nil, errBadPayload("duplicate HELLO")
+		return wire.FrameErr, nil, nil, errBadPayload("duplicate HELLO")
 
 	case wire.FrameKeyedBatch, wire.FrameKeyedStringBatch:
-		b, err := s.namedBackend(&r)
+		b, tc, _, err := s.namedBackend(&r)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		n, err := b.ingest(seq, &r, typ == wire.FrameKeyedStringBatch)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		s.items.Add(int64(n))
-		return wire.FrameOK, nil, nil
+		tc.items.Add(int64(n))
+		return wire.FrameOK, nil, tc, nil
 
 	case wire.FrameSnapshotPush:
-		b, err := s.namedBackend(&r)
+		b, tc, name, err := s.namedBackend(&r)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		// The source id is copied (r.String), not viewed: named sources
 		// key the backend's per-source snapshot map, which outlives the
 		// connection's read buffer.
 		source := r.String()
 		if r.Err != nil {
-			return 0, nil, errBadPayload("truncated snapshot source")
+			return 0, nil, tc, errBadPayload("truncated snapshot source")
 		}
 		if err := b.mergeSnapshot(source, r.Rest()); err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		s.snapshots.Add(1)
-		return wire.FrameOK, nil, nil
+		if source != "" {
+			s.notePush(name, source)
+		}
+		return wire.FrameOK, nil, tc, nil
 
 	case wire.FrameWindowSnapshot:
-		b, err := s.namedBackend(&r)
+		b, tc, name, err := s.namedBackend(&r)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		source := r.String()
 		epoch := r.Uvarint()
 		if r.Err != nil {
-			return 0, nil, errBadPayload("truncated window snapshot header")
+			return 0, nil, tc, errBadPayload("truncated window snapshot header")
 		}
 		if source == "" {
-			return 0, nil, errBadPayload("window snapshot requires a source id")
+			return 0, nil, tc, errBadPayload("window snapshot requires a source id")
 		}
 		applied, err := b.mergeWindowSnapshot(source, epoch, r.Rest())
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		// A stale epoch answers OK without counting: the ship is a
 		// retry or reorder the receiver already covers — telling the
 		// pusher "failed" would only make it retry the same bytes.
 		if applied {
 			s.snapshots.Add(1)
+			s.notePush(name, source)
 		}
-		return wire.FrameOK, nil, nil
+		return wire.FrameOK, nil, tc, nil
 
 	case wire.FrameSnapshotPull:
-		b, err := s.namedBackend(&r)
+		b, tc, _, err := s.namedBackend(&r)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		if r.Remaining() != 0 {
-			return 0, nil, errBadPayload("trailing bytes after table name")
+			return 0, nil, tc, errBadPayload("trailing bytes after table name")
 		}
 		out, err := b.snapshotAppend(cs.wbuf[:0])
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		cs.wbuf = out
-		return wire.FrameValue, out, nil
+		return wire.FrameValue, out, tc, nil
 
 	case wire.FrameQuery:
-		b, err := s.namedBackend(&r)
+		b, tc, _, err := s.namedBackend(&r)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		out, err := b.queryCompact(&r, cs.wbuf[:0])
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		cs.wbuf = out
-		return wire.FrameValue, out, nil
+		return wire.FrameValue, out, tc, nil
 
 	case wire.FrameRollup:
-		b, err := s.namedBackend(&r)
+		b, tc, _, err := s.namedBackend(&r)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		if r.Remaining() != 0 {
-			return 0, nil, errBadPayload("trailing bytes after table name")
+			return 0, nil, tc, errBadPayload("trailing bytes after table name")
 		}
 		out, err := b.rollupAppend(cs.wbuf[:0])
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, tc, err
 		}
 		cs.wbuf = out
-		return wire.FrameValue, out, nil
+		return wire.FrameValue, out, tc, nil
 
 	case wire.FrameHealth:
 		st := s.Stats()
@@ -558,27 +617,68 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		// from "never checkpointed" (0). Appended last: older clients
 		// that stop after Errors still parse the payload.
 		ageMS := uint64(0)
+		hasCkpt := byte(0)
 		if age, ok := s.CheckpointAge(); ok {
 			ageMS = max(uint64(age/time.Millisecond), 1)
+			hasCkpt = 1
 		}
 		out = wire.AppendUvarint(out, ageMS)
+		// Explicit has-checkpoint flag, appended after ageMS under the
+		// same append-only contract: the age alone cannot express
+		// "never" once a client rounds it through its own clamping, and
+		// older clients that stop after ageMS still parse.
+		out = append(out, hasCkpt)
 		cs.wbuf = out
-		return wire.FrameValue, out, nil
+		return wire.FrameValue, out, nil, nil
 
 	default:
-		return 0, nil, errBadPayload("unknown frame type 0x%02x", typ)
+		return 0, nil, nil, errBadPayload("unknown frame type 0x%02x", typ)
 	}
 }
 
-// namedBackend reads the leading table name and resolves it.
-func (s *Server) namedBackend(r *wire.Reader) (backend, error) {
+// namedBackend reads the leading table name and resolves it together
+// with the table's attribution counters. The returned name aliases the
+// reader's buffer — copy it before retaining.
+func (s *Server) namedBackend(r *wire.Reader) (backend, *tableCounters, string, error) {
 	name := viewString(r.StringView())
 	if r.Err != nil {
-		return nil, errBadPayload("truncated table name")
+		return nil, nil, "", errBadPayload("truncated table name")
 	}
-	b, ok := s.lookup(name)
+	b, tc, ok := s.lookupCounters(name)
 	if !ok {
-		return nil, &reqError{code: wire.ErrCodeUnknownTable, msg: fmt.Sprintf("unknown table %q", name)}
+		return nil, nil, "", &reqError{code: wire.ErrCodeUnknownTable, msg: fmt.Sprintf("unknown table %q", name)}
 	}
-	return b, nil
+	return b, tc, name, nil
+}
+
+// maxPushSources bounds the per-(table, source) push-lag map — a client
+// cycling fresh source ids must not grow a gauge per push forever. Past
+// the bound, new sources simply go untracked; the backends' own
+// maxSnapshotSources keeps real deployments far below it.
+const maxPushSources = 4096
+
+// notePush records a successful named snapshot push so the per-source
+// lag gauge can report time since the source last shipped. Runs once
+// per accepted push (not per frame), so the map work and the one-time
+// gauge registration are off the ingest hot path.
+func (s *Server) notePush(table, source string) {
+	now := time.Now().UnixNano()
+	s.metricsMu.Lock()
+	defer s.metricsMu.Unlock()
+	k := pushKey{table, source}
+	cell, ok := s.pushTimes[k]
+	if !ok {
+		if len(s.pushTimes) >= maxPushSources {
+			return
+		}
+		// The map retains the key: copy the table name off the read
+		// buffer it aliases (the source is already an owned copy).
+		k.table = strings.Clone(table)
+		cell = &atomic.Int64{}
+		s.pushTimes[k] = cell
+		if s.metricsReg != nil {
+			registerPushLag(s.metricsReg, k, cell)
+		}
+	}
+	cell.Store(now)
 }

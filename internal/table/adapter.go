@@ -58,6 +58,19 @@ func (st *SketchTable[K, V, S, C]) Evictions() int64 { return st.t.Evictions() }
 // unless a HotKeyPolicy is configured).
 func (st *SketchTable[K, V, S, C]) Promotions() int64 { return st.t.Promotions() }
 
+// Demotions returns the number of hot-key demotions performed (0
+// unless HotKeyPolicy.CoolAfter is configured).
+func (st *SketchTable[K, V, S, C]) Demotions() int64 { return st.t.Demotions() }
+
+// DemoteCooled rebuilds promoted keys idle for at least
+// HotKeyPolicy.CoolAfter one ladder step down, shedding their enlarged
+// buffers; returns the number demoted. Call periodically, like
+// EvictExpired.
+func (st *SketchTable[K, V, S, C]) DemoteCooled() int { return st.t.DemoteCooled() }
+
+// Stats returns a snapshot of the table's operational counters.
+func (st *SketchTable[K, V, S, C]) Stats() Stats { return st.t.Stats() }
+
 // Pool returns the table's propagation executor.
 func (st *SketchTable[K, V, S, C]) Pool() *core.PropagatorPool { return st.t.Pool() }
 

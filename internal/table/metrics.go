@@ -1,0 +1,38 @@
+package table
+
+import (
+	"github.com/fcds/fcds/internal/metrics"
+)
+
+// RegisterMetrics exports the table's operational counters into reg,
+// labeled with the given table name. Every series is func-backed and
+// read from the table's existing atomics at scrape time, so the keyed
+// ingestion hot paths keep their zero-allocation budgets.
+//
+// Families: fcds_table_keys, fcds_table_evictions_total{cause},
+// fcds_table_promotions_total, fcds_table_demotions_total,
+// fcds_table_writer_cache_hits_total, fcds_table_shard_lookups_total.
+func (st *SketchTable[K, V, S, C]) RegisterMetrics(reg *metrics.Registry, name string) {
+	t := st.t
+	reg.GaugeFunc("fcds_table_keys",
+		"Live keys per table.",
+		func() float64 { return float64(t.Keys()) }, "table", name)
+	reg.CounterFunc("fcds_table_evictions_total",
+		"Keys evicted, by cause (cap = size-cap LRU, ttl = idle expiry).",
+		func() float64 { return float64(t.evictCap.Load()) }, "table", name, "cause", "cap")
+	reg.CounterFunc("fcds_table_evictions_total",
+		"Keys evicted, by cause (cap = size-cap LRU, ttl = idle expiry).",
+		func() float64 { return float64(t.evictTTL.Load()) }, "table", name, "cause", "ttl")
+	reg.CounterFunc("fcds_table_promotions_total",
+		"Hot-key promotions (seeded rebuilds up the ScaleUp ladder).",
+		func() float64 { return float64(t.Promotions()) }, "table", name)
+	reg.CounterFunc("fcds_table_demotions_total",
+		"Hot-key demotions (seeded rebuilds back down the ladder).",
+		func() float64 { return float64(t.Demotions()) }, "table", name)
+	reg.CounterFunc("fcds_table_writer_cache_hits_total",
+		"Key resolutions served by writer entry caches.",
+		func() float64 { return float64(t.Stats().CacheHits) }, "table", name)
+	reg.CounterFunc("fcds_table_shard_lookups_total",
+		"Key resolutions that missed the writer cache and went through a shard map.",
+		func() float64 { return float64(t.Stats().ShardLookups) }, "table", name)
+}

@@ -86,6 +86,14 @@ type HotKeyPolicy struct {
 	// (ladder depth). 0 means 3. The ladder also ends where the
 	// engine's ScaleUp reports its cap.
 	MaxPromotions int
+	// CoolAfter, when > 0, enables demotion: DemoteCooled rebuilds
+	// every promoted key that has been idle for at least CoolAfter one
+	// ladder step down (seeded from its own compact, same pool worker
+	// — the exact reverse of the promotion rebuild), so cooled keys
+	// shed their enlarged buffers and their doubled relaxation bound
+	// instead of keeping them until eviction. A key that cooled
+	// through several levels sheds one per DemoteCooled pass.
+	CoolAfter time.Duration
 }
 
 // Config carries the sketch-independent table configuration. The zero
@@ -195,14 +203,26 @@ type Table[K Key, V, S, C any] struct {
 
 	// hot is the active hot-key policy (nil when disabled or the
 	// engine is not scalable); ladder[i] is the engine for promotion
-	// level i+1, built once at construction.
+	// level i+1, built once at construction, and scal is the base
+	// engine as a ScalableEngine — the demotion target for level 1.
 	hot    *HotKeyPolicy
 	ladder []core.ScalableEngine[V, S, C]
+	scal   core.ScalableEngine[V, S, C]
 
 	keys       atomic.Int64
 	evictions  atomic.Int64
+	evictCap   atomic.Int64
+	evictTTL   atomic.Int64
 	promotions atomic.Int64
+	demotions  atomic.Int64
 	closed     atomic.Bool
+
+	// wstats holds one padded cell pair per writer handle: each writer
+	// folds its entry-cache hit/miss deltas into its own cell (one
+	// uncontended atomic add per op or batch), and Stats sums them —
+	// scrape-safe aggregation without sharing a contended cell across
+	// writers.
+	wstats []writerCells
 
 	// now is the eviction clock (UnixNano); tests override it.
 	now func() int64
@@ -228,8 +248,10 @@ func newTable[K Key, V, S, C any](cfg Config[K], eng core.Engine[V, S, C]) *Tabl
 	for i := range t.shards {
 		t.shards[i].m = make(map[K]*entry[V, S, C])
 	}
+	t.wstats = make([]writerCells, cfg.Writers)
 	if cfg.HotKeys != nil && cfg.HotKeys.HotThreshold > 0 {
 		if se, ok := any(eng).(core.ScalableEngine[V, S, C]); ok {
+			t.scal = se
 			depth := cfg.HotKeys.MaxPromotions
 			if depth <= 0 {
 				depth = 3
@@ -282,6 +304,33 @@ func affinityKeyOf(h uint64) uint64 {
 	return h
 }
 
+// writerCells is one writer's table-side stat cells, padded to 128
+// bytes so adjacent writers' cells never share a cache line.
+type writerCells struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+	_      [112]byte
+}
+
+// Stats is a point-in-time snapshot of the table's operational
+// counters, the per-subsystem attribution exported through
+// SketchTable.RegisterMetrics.
+type Stats struct {
+	// Keys is the number of live keys.
+	Keys int
+	// Evictions counts evicted keys, total and by cause.
+	Evictions    int64
+	EvictionsCap int64 // size-cap (LRU) evictions
+	EvictionsTTL int64 // idle-TTL evictions
+	// Promotions and Demotions count hot-key ladder moves.
+	Promotions int64
+	Demotions  int64
+	// CacheHits counts key resolutions served by writer entry caches;
+	// ShardLookups counts the misses resolved through shard maps.
+	CacheHits    int64
+	ShardLookups int64
+}
+
 // Pool returns the table's propagation executor.
 func (t *Table[K, V, S, C]) Pool() *core.PropagatorPool { return t.pool }
 
@@ -293,6 +342,26 @@ func (t *Table[K, V, S, C]) Evictions() int64 { return t.evictions.Load() }
 
 // Promotions returns the number of hot-key promotions performed.
 func (t *Table[K, V, S, C]) Promotions() int64 { return t.promotions.Load() }
+
+// Demotions returns the number of hot-key demotions performed.
+func (t *Table[K, V, S, C]) Demotions() int64 { return t.demotions.Load() }
+
+// Stats returns a snapshot of the table's operational counters.
+func (t *Table[K, V, S, C]) Stats() Stats {
+	s := Stats{
+		Keys:         t.Keys(),
+		Evictions:    t.evictions.Load(),
+		EvictionsCap: t.evictCap.Load(),
+		EvictionsTTL: t.evictTTL.Load(),
+		Promotions:   t.promotions.Load(),
+		Demotions:    t.demotions.Load(),
+	}
+	for i := range t.wstats {
+		s.CacheHits += t.wstats[i].hits.Load()
+		s.ShardLookups += t.wstats[i].misses.Load()
+	}
+	return s
+}
 
 // NumWriters returns the configured writer-handle count N.
 func (t *Table[K, V, S, C]) NumWriters() int { return t.cfg.Writers }
@@ -503,6 +572,7 @@ func (t *Table[K, V, S, C]) maybeEvictCap(si uint64) {
 	for _, v := range victims {
 		t.finalize(v.k, v.e, true)
 	}
+	t.evictCap.Add(int64(len(victims)))
 }
 
 // EvictExpired evicts every key idle for longer than Config.TTL and
@@ -538,6 +608,7 @@ func (t *Table[K, V, S, C]) EvictExpired() int {
 	for _, v := range victims {
 		t.finalize(v.k, v.e, true)
 	}
+	t.evictTTL.Add(int64(len(victims)))
 	return len(victims)
 }
 
@@ -590,6 +661,77 @@ func (t *Table[K, V, S, C]) promote(e *entry[V, S, C], h uint64) {
 	e.level.Store(int32(lvl + 1))
 	e.hits.Store(0)
 	t.promotions.Add(1)
+}
+
+// demote rebuilds a promoted entry one ladder step down, seeded from
+// its own compact (normalized to the target engine's parameter) on the
+// same pool worker — the exact inverse of promote. The entry must
+// still be idle past cutoff once the exclusive lock is held: an update
+// that raced the scan wins and the demotion is skipped. Callers must
+// hold no table or entry locks.
+func (t *Table[K, V, S, C]) demote(e *entry[V, S, C], h uint64, cutoff int64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lvl := int(e.level.Load())
+	if e.dead || lvl == 0 || e.touched.Load() >= cutoff {
+		return false
+	}
+	for i := 0; i < t.cfg.Writers; i++ {
+		e.sk.Flush(i)
+	}
+	target := t.scal
+	if lvl > 1 {
+		target = t.ladder[lvl-2]
+	}
+	c := e.sk.Compact()
+	if e.eng.Param() != target.Param() {
+		norm := target.NewAggregator()
+		_ = norm.Add(c)
+		c = norm.Result()
+	}
+	e.sk.Close()
+	e.sk = target.NewSketchSeeded(t.pool, affinityKeyOf(h), c)
+	e.eng = target
+	e.level.Store(int32(lvl - 1))
+	e.hits.Store(0)
+	t.demotions.Add(1)
+	return true
+}
+
+// DemoteCooled rebuilds every promoted key that has been idle for at
+// least HotKeyPolicy.CoolAfter one ladder step down, shedding the
+// enlarged local buffers (and the doubled relaxation bound r) that a
+// past hot phase earned. Returns the number of keys demoted. A no-op
+// when no hot-key policy is active or CoolAfter is zero. Like
+// EvictExpired, call it periodically; each pass sheds at most one
+// level per key.
+func (t *Table[K, V, S, C]) DemoteCooled() int {
+	if t.hot == nil || t.hot.CoolAfter <= 0 {
+		return 0
+	}
+	cutoff := t.now() - t.hot.CoolAfter.Nanoseconds()
+	type cand struct {
+		e *entry[V, S, C]
+		h uint64
+	}
+	var cands []cand
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.m {
+			if e.level.Load() > 0 && e.touched.Load() < cutoff {
+				cands = append(cands, cand{e, keyHash(k)})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	n := 0
+	for _, c := range cands {
+		if t.demote(c.e, c.h, cutoff) {
+			n++
+		}
+	}
+	return n
 }
 
 // noteHot credits n ingested updates to the entry and reports whether
@@ -777,6 +919,9 @@ func (w *Writer[K, V, S, C]) UpdateKeyed(k K, v V) {
 		var ep uint64
 		e, ep = t.getOrCreate(sh, k, h)
 		w.cacheStore(k, h, e, ep)
+		t.wstats[w.id].misses.Add(1)
+	} else {
+		t.wstats[w.id].hits.Add(1)
 	}
 	e.sk.Update(w.id, v)
 	e.touched.Store(t.now())
@@ -884,6 +1029,10 @@ func (w *Writer[K, V, S, C]) group(k K) int {
 func (w *Writer[K, V, S, C]) apply(hashed bool) {
 	t := w.t
 	now := t.now()
+	// Fold this batch's entry-cache hit/miss deltas into the writer's
+	// table-side cell on the way out: two uncontended atomic adds per
+	// batch, nothing per key.
+	h0, m0 := w.chits, w.cmisses
 	for _, si := range w.shardOrder {
 		sh := &t.shards[si]
 		groups := w.shardGroups[si]
@@ -980,6 +1129,8 @@ func (w *Writer[K, V, S, C]) apply(hashed bool) {
 		t.promote(p.e, p.h)
 	}
 	w.hotPending = w.hotPending[:0]
+	t.wstats[w.id].hits.Add(w.chits - h0)
+	t.wstats[w.id].misses.Add(w.cmisses - m0)
 }
 
 // FlushKey hands off this writer's buffered updates for one key and

@@ -1,0 +1,28 @@
+package window
+
+import (
+	"github.com/fcds/fcds/internal/metrics"
+)
+
+// RegisterMetrics exports the epoch ring's counters into reg, labeled
+// with the given window name. Promoted onto Windowed and Table through
+// the embedded ring; every series is func-backed and read at scrape
+// time, so ingestion and rotation hot paths are untouched beyond their
+// own atomic bumps.
+//
+// Families: fcds_window_epoch, fcds_window_rotations_total,
+// fcds_window_sealed_rebuilds_total, fcds_window_expired_epochs_total.
+func (r *ring) RegisterMetrics(reg *metrics.Registry, name string) {
+	reg.GaugeFunc("fcds_window_epoch",
+		"Current epoch number of the ring (incremented per rotation).",
+		func() float64 { return float64(r.Epoch()) }, "window", name)
+	reg.CounterFunc("fcds_window_rotations_total",
+		"Epoch rotations performed.",
+		func() float64 { return float64(r.Rotations()) }, "window", name)
+	reg.CounterFunc("fcds_window_sealed_rebuilds_total",
+		"Sealed-aggregate recomputations (eager per rotation/drain for Windowed, lazy per view for Table).",
+		func() float64 { return float64(r.SealedRebuilds()) }, "window", name)
+	reg.CounterFunc("fcds_window_expired_epochs_total",
+		"Epochs dropped off the ring, their data leaving the window.",
+		func() float64 { return float64(r.ExpiredEpochs()) }, "window", name)
+}

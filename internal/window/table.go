@@ -74,7 +74,10 @@ type tableView[K table.Key, V, S, C any] struct {
 
 // aggregate returns the (lazily built) merge of the sealed snapshots.
 func (v *tableView[K, V, S, C]) aggregate(w *Table[K, V, S, C]) *table.TableSnapshot[K, C] {
-	v.aggOnce.Do(func() { v.agg = w.mergeSealed(v.sealed) })
+	v.aggOnce.Do(func() {
+		v.agg = w.mergeSealed(v.sealed)
+		w.sealedRebuilds.Add(1)
+	})
 	return v.agg
 }
 
@@ -205,6 +208,7 @@ func (w *Table[K, V, S, C]) Rotate() {
 		return
 	}
 	w.epoch.Add(1)
+	w.rotations.Add(1)
 	old := w.view.Load()
 	nv := &tableView[K, V, S, C]{
 		active:   table.NewEngineTable(w.tcfg, w.eng),
@@ -221,10 +225,15 @@ func (w *Table[K, V, S, C]) Rotate() {
 	if old.draining != nil && w.cfg.Slots > 2 {
 		old.draining.Drain()
 		nv.sealed = append(nv.sealed, old.draining.Snapshot())
+	} else if old.draining != nil {
+		// Slots == 2: the epoch expires straight out of grace, its data
+		// leaving the window without ever entering the sealed ring.
+		w.expired.Add(1)
 	}
 	// Expire epochs beyond the ring: active + draining + Slots-2 sealed.
 	for len(nv.sealed) > w.cfg.Slots-2 {
 		nv.sealed = nv.sealed[1:]
+		w.expired.Add(1)
 	}
 	w.view.Store(nv)
 	// The table sealed by the PREVIOUS rotation retires only now: no

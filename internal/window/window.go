@@ -134,6 +134,15 @@ type ring struct {
 	epoch  atomic.Int64
 	// rotate is the owner's Rotate method, driven by AutoRotate.
 	rotate func()
+
+	// Observability counters, read by RegisterMetrics at scrape time:
+	// rotations counts Rotate calls that advanced the epoch,
+	// sealedRebuilds counts sealed-aggregate recomputations (eager on
+	// rotation/drain for Windowed, lazy per-view for Table), expired
+	// counts epochs dropped off the ring with their data.
+	rotations      atomic.Int64
+	sealedRebuilds atomic.Int64
+	expired        atomic.Int64
 }
 
 // init wires the ring: cfg must already carry defaults. fallback, when
@@ -155,6 +164,15 @@ func (r *ring) init(cfg Config, fallback *core.PropagatorPool, rotate func()) {
 // Epoch returns the current epoch number (0-based; incremented by each
 // rotation).
 func (r *ring) Epoch() int64 { return r.epoch.Load() }
+
+// Rotations returns the number of epoch rotations performed.
+func (r *ring) Rotations() int64 { return r.rotations.Load() }
+
+// SealedRebuilds returns the number of sealed-aggregate recomputations.
+func (r *ring) SealedRebuilds() int64 { return r.sealedRebuilds.Load() }
+
+// ExpiredEpochs returns the number of epochs dropped off the ring.
+func (r *ring) ExpiredEpochs() int64 { return r.expired.Load() }
 
 // Slots returns R, the ring size.
 func (r *ring) Slots() int { return r.cfg.Slots }
@@ -301,6 +319,7 @@ func (w *Windowed[V, S, C]) Rotate() {
 		epoch: w.epoch.Add(1),
 		sk:    w.eng.NewSketchAffine(w.pool, w.affKey),
 	}
+	w.rotations.Add(1)
 	w.gens = append(w.gens, g)
 	// Expire: generations older than the ring leave the window. The
 	// exclusive lock waits out in-flight writers and late flushes.
@@ -314,6 +333,7 @@ func (w *Windowed[V, S, C]) Rotate() {
 		old.closed = true
 		old.sk.Close()
 		old.mu.Unlock()
+		w.expired.Add(1)
 	}
 	// Recompute the sealed aggregate from fresh compacts of the
 	// surviving non-active generations: updates that straggled into a
@@ -328,6 +348,7 @@ func (w *Windowed[V, S, C]) Rotate() {
 // window snapshot in one store each. Caller holds w.mu; gens is
 // non-empty.
 func (w *Windowed[V, S, C]) republishLocked() {
+	w.sealedRebuilds.Add(1)
 	agg := w.eng.NewAggregator()
 	for _, sg := range w.gens[:len(w.gens)-1] {
 		_ = agg.Add(sg.sk.Compact())
