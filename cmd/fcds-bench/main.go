@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -54,8 +55,29 @@ func main() {
 	jsonPath := fs.String("json", "", "also write results as JSON to this file (BENCH_*.json trajectory)")
 	checkPath := fs.String("check", "", "compare this run's JSON report against a committed BENCH_*.json and fail on schema drift")
 	timeout := fs.Duration("timeout", 20*time.Minute, "abort the run (exit 1) if the experiment exceeds this; 0 disables")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole experiment to this file (go tool pprof)")
 	_ = fs.Parse(os.Args[2:])
 	sc := scale{full: *full && !*smoke, smoke: *smoke}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fcds-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fcds-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		// Stopped explicitly on every exit path below: os.Exit skips
+		// defers, and a profile cut off mid-write is unreadable.
+		defer pprof.StopCPUProfile()
+	}
+	stopProfile := func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -117,12 +139,14 @@ func main() {
 	case <-ctx.Done():
 		fmt.Fprintf(os.Stderr, "fcds-bench: experiment %q did not finish within %s: %v\n",
 			cmd, *timeout, ctx.Err())
+		stopProfile()
 		os.Exit(1)
 	}
 	if err := ctx.Err(); err != nil {
 		// A cooperative cancellation mid-run returned a partial report;
 		// never emit or gate on partial numbers.
 		fmt.Fprintf(os.Stderr, "fcds-bench: experiment %q aborted: %v\n", cmd, err)
+		stopProfile()
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
@@ -132,6 +156,7 @@ func main() {
 			fmt.Fprintf(os.Stderr,
 				"fcds-bench: experiment %q produced no JSON report; -json %s not written\n",
 				cmd, *jsonPath)
+			stopProfile()
 			os.Exit(1)
 		}
 		writeBenchJSON(*jsonPath, *rep)
@@ -141,10 +166,12 @@ func main() {
 			fmt.Fprintf(os.Stderr,
 				"fcds-bench: experiment %q produced no JSON report to check against %s\n",
 				cmd, *checkPath)
+			stopProfile()
 			os.Exit(1)
 		}
 		if err := checkReport(*rep, *checkPath); err != nil {
 			fmt.Fprintf(os.Stderr, "fcds-bench: check against %s FAILED:\n%v\n", *checkPath, err)
+			stopProfile()
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "fcds-bench: check ok: %s matches this run's %d points\n",
@@ -153,7 +180,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fcds-bench <experiment> [-full|-smoke] [-k N] [-json FILE] [-check FILE] [-timeout D]
+	fmt.Fprintln(os.Stderr, `usage: fcds-bench <experiment> [-full|-smoke] [-k N] [-json FILE] [-check FILE] [-timeout D] [-cpuprofile FILE]
 experiments:
   batch            batched vs per-item ingestion throughput (the batch pipeline)
   table            keyed multi-tenant tables: zipfian keys, shared propagator pool

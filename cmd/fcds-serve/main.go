@@ -30,6 +30,7 @@
 //	           [-push a:9700,b:9700 -push-every 5s -push-source id]
 //	           [-checkpoint-dir DIR -checkpoint-every 30s]
 //	           [-idle-timeout 5m] [-dial-timeout 10s]
+//	           [-compression=false] [-read-burst N] [-write-burst N]
 //	           [-metrics-addr :9701] [-stats-every D] [-v]
 //
 // Table specs are name=family/keytype with family one of theta,
@@ -37,6 +38,14 @@
 // node down gracefully: in-flight frames drain, one final push runs
 // and drains per upstream (when configured), a final checkpoint is
 // written (when configured), and the tables close.
+//
+// Datapath tuning: ingest frames check writer handles out of a
+// per-table pool, so any number of connections share -writers handles
+// — raise -writers when fcds_server_writer_pool_waits_total climbs.
+// -read-burst and -write-burst size the per-connection socket buffers
+// (defaults 128KiB/64KiB); -compression=false refuses the per-frame
+// batch compression clients may offer at HELLO (they fall back to
+// uncompressed frames automatically).
 //
 // Observability: every subsystem (pool, tables, server, checkpoints,
 // per-upstream shippers) registers into one metrics registry.
@@ -126,6 +135,9 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for durable table checkpoints (restored on boot before the port opens; empty = no checkpointing)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval (with -checkpoint-dir)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 = never)")
+	compression := flag.Bool("compression", true, "accept client-offered per-frame batch compression (false refuses the feature at HELLO; clients fall back to uncompressed frames)")
+	readBurst := flag.Int("read-burst", 0, "per-connection read buffer in bytes: pipelined frames decode out of one burst (0 = default 128KiB)")
+	writeBurst := flag.Int("write-burst", 0, "per-connection response buffer in bytes (0 = default 64KiB)")
 	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "bound on upstream connect + HELLO (0 = none)")
 	metricsAddr := flag.String("metrics-addr", "", "ops HTTP listen address serving /metrics (Prometheus text) and /healthz (JSON); empty = disabled")
 	statsEvery := flag.Duration("stats-every", 0, "log a metrics-registry dump at this interval (0 = never)")
@@ -138,7 +150,12 @@ func main() {
 		lg.Fatal(err)
 	}
 
-	cfg := fcds.IngestServerConfig{IdleTimeout: *idleTimeout}
+	cfg := fcds.IngestServerConfig{
+		IdleTimeout:   *idleTimeout,
+		NoCompression: !*compression,
+		ReadBurst:     *readBurst,
+		WriteBurst:    *writeBurst,
+	}
 	if *verbose {
 		cfg.Logf = lg.Printf
 	}

@@ -176,6 +176,25 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 			t.Errorf("%s = %v, want > 0", name, samples[name])
 		}
 	}
+	// Writer-pool families: the successor counter and idle gauge exist,
+	// and the deprecated slot-waits family is still emitted — pinned at
+	// 0 now that connection-pinned slots are gone.
+	for _, fam := range []string{
+		"fcds_server_writer_pool_waits_total",
+		"fcds_server_writer_pool_idle",
+		"fcds_server_writer_slot_waits_total",
+	} {
+		if !families[fam] {
+			t.Errorf("family %s missing from /metrics", fam)
+		}
+	}
+	if v, ok := samples[`fcds_server_writer_slot_waits_total{table="lat"}`]; !ok || v != 0 {
+		t.Errorf(`fcds_server_writer_slot_waits_total{table="lat"} = %v (present=%v), want constant 0`, v, ok)
+	}
+	if v, ok := samples[`fcds_server_writer_pool_idle{table="lat"}`]; !ok || v <= 0 {
+		t.Errorf(`fcds_server_writer_pool_idle{table="lat"} = %v (present=%v), want > 0 at rest`, v, ok)
+	}
+
 	// The per-source push-lag gauge appears once the first named push
 	// is accepted, keyed by table and source.
 	if _, ok := samples[`fcds_server_snapshot_push_age_seconds{source="metrics-smoke",table="lat"}`]; !ok {

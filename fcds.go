@@ -165,8 +165,8 @@
 //	c.Flush()                            // wait + collect errors
 //
 // The protocol is binary frames, each a fixed 8-byte header — payload
-// length (uint32 LE), protocol version, frame type, two reserved
-// zero bytes — followed by the payload:
+// length (uint32 LE), protocol version, frame type, a frame-flags
+// byte and one reserved zero byte — followed by the payload:
 //
 //	frame               payload
 //	HELLO               max/negotiated protocol version (1 byte)
@@ -182,12 +182,20 @@
 //
 // The first frame of a connection must be HELLO: the client offers its
 // highest version, the server answers with the minimum of the two, and
-// every later frame carries the negotiated version. Each request frame
-// receives exactly one response frame in request order (which is what
-// makes client pipelining a FIFO, with no request ids on the wire).
-// Failed requests are answered with an ERR frame carrying a numeric
-// code and message; framing and version violations close the
-// connection. See internal/server/wire for the full layout.
+// every later frame carries the negotiated version. The HELLO payload
+// may append an optional feature byte (older peers simply omit it):
+// a client that wants per-frame deflate compression of batch payloads
+// offers it there (WithIngestCompression), the server echoes the
+// accepted subset, and only then may request frames carry the
+// compressed flag in the header's flags byte — a flag outside the
+// negotiated set is a framing error. Each request frame receives
+// exactly one response frame in request order (which is what makes
+// client pipelining a FIFO, with no request ids on the wire). Failed
+// requests are answered with an ERR frame carrying a numeric code and
+// message — a compressed payload that fails to inflate is such a
+// request error, leaving the connection live — while framing and
+// version violations close the connection. See internal/server/wire
+// for the full layout.
 //
 // Snapshot shipping composes with the table snapshots above into the
 // distributed-aggregation path: an edge node serves its tables,
@@ -255,8 +263,9 @@
 // (queue depth, runs, steals, wake tokens), tables (keys, evictions by
 // cause, hot-key promotions/demotions, writer-cache hit ratio),
 // windows (rotations, sealed rebuilds, expired epochs), the ingest
-// server (per-table frames/items/bytes/errors, writer-slot waits,
-// per-source snapshot-push lag, checkpoint age and write duration) and
+// server (per-table frames/items/bytes/errors, writer-pool waits and
+// idle handles, per-source snapshot-push lag, checkpoint age and
+// write duration) and
 // the reliable shipper (outbox depth, coalesced ships, reconnect
 // backoff). Registration is collector-style: series are func-backed
 // reads of the subsystems' existing atomics, evaluated only at scrape
@@ -283,10 +292,26 @@
 // (crash-loss window widening), fcds_server_snapshot_push_age_seconds
 // per source (an edge stopped shipping), fcds_client_outbox_depth
 // sustained above zero (this node cannot reach its upstream), and
-// fcds_server_writer_slot_waits_total climbing (more connections than
-// writer slots — raise -writers). -stats-every logs the same registry
-// through WriteValues, so the log dump and the scrape endpoint can
-// never disagree.
+// fcds_server_writer_pool_waits_total climbing (ingest frames found
+// every writer handle busy and had to wait — raise -writers).
+// -stats-every logs the same registry through WriteValues, so the log
+// dump and the scrape endpoint can never disagree.
+//
+// Connections and writers are decoupled: ingest frames check a writer
+// handle out of a per-table pool for exactly one batch, so any number
+// of connections share -writers handles and a burst of conns greater
+// than -writers queues briefly instead of serialising whole
+// connections. Size -writers to the peak number of batches you want
+// decoded concurrently per table (pool waits tell you when it is too
+// low; fcds_server_writer_pool_idle sitting at -writers means it is
+// more than enough). The deprecated fcds_server_writer_slot_waits_total
+// family — from the old connection-pinned slot scheme — is still
+// emitted, always 0, so dashboards keep scraping. Two more fcds-serve
+// knobs tune the datapath: -read-burst / -write-burst size the
+// per-connection socket buffers (bigger bursts = fewer syscalls per
+// pipelined batch), and -compression=false refuses the client-offered
+// per-frame compression feature (HELLO then downshifts, clients fall
+// back to uncompressed frames automatically).
 //
 // Sequential sketches (theta KMV/QuickSelect with set operations,
 // quantiles, HLL) and the lock-based baseline used in the paper's
@@ -624,16 +649,31 @@ func Serve(addr string, cfg IngestServerConfig) (*IngestServer, error) {
 	return s, nil
 }
 
+// IngestDialOption configures a dialed IngestClient (Dial,
+// DialTimeout).
+type IngestDialOption = client.Option
+
+// WithIngestCompression offers the server per-frame deflate
+// compression of keyed-batch payloads during HELLO. Compression is off
+// by default; when the server accepts (Compressed reports the
+// outcome), batch frames ship compressed — a win on slow links with
+// repetitive keys, a pure CPU cost on fast local ones. Servers that
+// predate the feature ignore the offer; the client falls back to
+// uncompressed frames either way.
+func WithIngestCompression() IngestDialOption { return client.WithCompression() }
+
 // Dial connects to an ingest server and negotiates the protocol
-// version; Close the client when done.
-func Dial(addr string) (*IngestClient, error) { return client.Dial(addr) }
+// version (and any offered features); Close the client when done.
+func Dial(addr string, opts ...IngestDialOption) (*IngestClient, error) {
+	return client.Dial(addr, opts...)
+}
 
 // DialTimeout is Dial with an establishment bound: the TCP connect and
 // the HELLO exchange each must complete within d, so a black-holed
 // upstream fails fast instead of hanging the caller. The bound lifts
 // once the connection is established.
-func DialTimeout(addr string, d time.Duration) (*IngestClient, error) {
-	return client.Dial(addr, client.WithDialTimeout(d))
+func DialTimeout(addr string, d time.Duration, opts ...IngestDialOption) (*IngestClient, error) {
+	return client.Dial(addr, append(opts, client.WithDialTimeout(d))...)
 }
 
 // DialReliable returns a reconnecting snapshot shipper bound to addr:

@@ -35,14 +35,16 @@ type backend interface {
 	kind() byte
 	keyType() byte
 	liveKeys() int
-	// slotWaits counts ingest frames that found their connection-pinned
-	// writer slot held and had to block — the signal that more
-	// connections share a slot than the table has writers.
-	slotWaits() int64
+	// poolWaits counts ingest frames that found every writer handle
+	// checked out and had to block — the signal that more connections
+	// are ingesting concurrently than the table has writers.
+	poolWaits() int64
+	// poolIdle reports writer handles currently checked in (idle).
+	poolIdle() int
 	// ingest parses a keyed batch payload (after the table name) and
-	// feeds it to the table through writer slot `slot % writers`. It
+	// streams it into a writer handle checked out of the pool. It
 	// returns the number of items ingested.
-	ingest(slot uint64, r *wire.Reader, stringItems bool) (int, error)
+	ingest(r *wire.Reader, stringItems bool) (int, error)
 	// queryCompact parses a key and appends the response value payload
 	// (found byte, kind byte, compact blob) to dst.
 	queryCompact(r *wire.Reader, dst []byte) ([]byte, error)
@@ -70,22 +72,24 @@ type backend interface {
 	restoreBody(body []byte) error
 }
 
-// batchScratch is the reusable decode target for one ingest frame —
-// pooled per backend so concurrent connections never share slices and
-// the steady state allocates nothing (string keys excepted: the table
-// retains them, so they must be copied off the read buffer).
-type batchScratch[K table.Key, V any] struct {
-	keys []K
-	vals []V
+// ingestScratch is the per-frame group-index run for the one batch
+// shape with no fixed stride on either side (string keys + string
+// items), where the key and item runs must be walked in two passes —
+// pooled per backend so concurrent connections never share slices.
+type ingestScratch struct {
+	gis []int32
 }
 
 // tableBackend adapts one generic SketchTable to the backend surface.
-// The server owns the table's writer handles: each connection is
-// pinned to writer slot connSeq % NumWriters, and a mutex per slot
-// serialises the connections that share one (the table's writer
-// contract is single-goroutine per handle). Registered tables must not
-// be written by anyone but the server (queries and snapshots from the
-// embedding process stay safe).
+// The server owns the table's writer handles and lends them out
+// through a checkout pool: an ingest frame takes any idle handle,
+// streams its batch in, and returns it — so conns > Writers queue only
+// when every writer is genuinely busy, instead of serialising on a
+// connection-pinned slot while other writers sit idle (the table's
+// writer contract is single-goroutine per handle, which the channel
+// handoff preserves). Registered tables must not be written by anyone
+// but the server (queries and snapshots from the embedding process
+// stay safe).
 type tableBackend[K table.Key, V, S, C any] struct {
 	st  *table.SketchTable[K, V, S, C]
 	kt  byte
@@ -103,10 +107,14 @@ type tableBackend[K table.Key, V, S, C any] struct {
 	// every later query, rollup and pull.
 	validateCompact func(C) error
 
-	writers []*table.Writer[K, V, S, C]
-	wmu     []sync.Mutex
-	// waits counts ingest frames that contended for their writer slot.
+	// pool holds the idle writer handles; checkout/checkin move them.
+	pool chan *table.Writer[K, V, S, C]
+	// waits counts ingest frames that found the pool empty.
 	waits atomic.Int64
+	// qmu serialises whole-pool drains (snapshot, checkpoint): two
+	// concurrent quiescers each holding part of the pool would
+	// deadlock waiting for each other's handles.
+	qmu sync.Mutex
 
 	// Remote state received via SNAPSHOT_PUSH; rollups, queries and
 	// pulls fold it in. Anonymous pushes merge into remote; pushes
@@ -144,17 +152,52 @@ func newTableBackend[K table.Key, V, S, C any](
 		decodeVal:       decodeVal,
 		unmarshal:       unmarshal,
 		validateCompact: validateCompact,
-		writers:         make([]*table.Writer[K, V, S, C], st.NumWriters()),
-		wmu:             make([]sync.Mutex, st.NumWriters()),
+		pool:            make(chan *table.Writer[K, V, S, C], st.NumWriters()),
 		remote:          table.NewTableSnapshot[K](st.Engine()),
 		remotes:         make(map[string]*table.TableSnapshot[K, C]),
 		remoteEpochs:    make(map[string]uint64),
 	}
-	for i := range b.writers {
-		b.writers[i] = st.Writer(i)
+	for i := 0; i < st.NumWriters(); i++ {
+		b.pool <- st.Writer(i)
 	}
-	b.scratch.New = func() any { return &batchScratch[K, V]{} }
+	b.scratch.New = func() any { return &ingestScratch{} }
 	return b
+}
+
+// checkout takes an idle writer handle, counting the frames that had
+// to wait for one; checkin returns it. The channel handoff is the
+// single-goroutine-per-handle happens-before.
+func (b *tableBackend[K, V, S, C]) checkout() *table.Writer[K, V, S, C] {
+	select {
+	case w := <-b.pool:
+		return w
+	default:
+		// Pool empty: every writer is mid-batch. This is the capacity
+		// signal fcds_server_writer_pool_waits_total exposes — sustained
+		// growth means raise the table's Writers.
+		b.waits.Add(1)
+		return <-b.pool
+	}
+}
+
+func (b *tableBackend[K, V, S, C]) checkin(w *table.Writer[K, V, S, C]) { b.pool <- w }
+
+// quiesce checks out every writer handle so the table can be drained
+// with no server-side ingest in flight; the returned release puts them
+// back. qmu keeps concurrent quiescers from splitting the pool between
+// them and deadlocking.
+func (b *tableBackend[K, V, S, C]) quiesce() (release func()) {
+	b.qmu.Lock()
+	ws := make([]*table.Writer[K, V, S, C], cap(b.pool))
+	for i := range ws {
+		ws[i] = <-b.pool
+	}
+	return func() {
+		for _, w := range ws {
+			b.pool <- w
+		}
+		b.qmu.Unlock()
+	}
 }
 
 func keyTypeOf[K table.Key]() byte {
@@ -166,7 +209,10 @@ func keyTypeOf[K table.Key]() byte {
 }
 
 // readKey decodes one wire key of type K. String keys are copied out of
-// the read buffer (the table retains them in its shard maps).
+// the read buffer (the table retains them in its shard maps). The
+// `any(v).(K)` conversion boxes the value — fine for single-key
+// requests (queries); the batch ingest loops use u64Key/strKey, which
+// convert through a pointer and stay allocation-free.
 func readKey[K table.Key](r *wire.Reader) K {
 	var zero K
 	if _, ok := any(zero).(string); ok {
@@ -175,10 +221,30 @@ func readKey[K table.Key](r *wire.Reader) K {
 	return any(r.Uint64()).(K)
 }
 
+// u64Key converts a decoded uint64 wire key to K. Callers have already
+// checked the table's key type, so the assertion cannot fail; routing
+// the conversion through a pointer keeps it off the heap where
+// `any(v).(K)` would box every key.
+func u64Key[K table.Key](v uint64) K {
+	var k K
+	*(any(&k).(*uint64)) = v
+	return k
+}
+
+// strKey is u64Key for string wire keys. s may be a transient view of
+// the read buffer ONLY where the key is not retained (BatchLookup
+// probes); keys that reach BatchGroup must be owned copies.
+func strKey[K table.Key](s string) K {
+	var k K
+	*(any(&k).(*string)) = s
+	return k
+}
+
 func (b *tableBackend[K, V, S, C]) kind() byte       { return b.eng.Kind() }
 func (b *tableBackend[K, V, S, C]) keyType() byte    { return b.kt }
 func (b *tableBackend[K, V, S, C]) liveKeys() int    { return b.st.Keys() }
-func (b *tableBackend[K, V, S, C]) slotWaits() int64 { return b.waits.Load() }
+func (b *tableBackend[K, V, S, C]) poolWaits() int64 { return b.waits.Load() }
+func (b *tableBackend[K, V, S, C]) poolIdle() int    { return len(b.pool) }
 
 // viewString aliases a transient byte slice as a string for hashing —
 // never retained (the table's string *items* are hashed, not stored).
@@ -189,7 +255,7 @@ func viewString(bs []byte) string {
 	return unsafe.String(&bs[0], len(bs))
 }
 
-func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringItems bool) (int, error) {
+func (b *tableBackend[K, V, S, C]) ingest(r *wire.Reader, stringItems bool) (int, error) {
 	if kt := r.Byte(); r.Err == nil && kt != b.kt {
 		return 0, errBadPayload("key type %d, table wants %d", kt, b.kt)
 	}
@@ -199,13 +265,10 @@ func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringIte
 	}
 	// Bound count by the smallest possible wire encoding of one entry
 	// (uint64 keys/values are 8 fixed bytes, strings at least a 1-byte
-	// length prefix), so a corrupt count cannot size the scratch far
-	// beyond the bytes actually present — without this, one 16 MiB
-	// frame claiming millions of entries would allocate hundreds of MB
-	// before the decode loop ever noticed the truncation. The bound is
-	// checked before the uint64 narrows to int: a count >= 2^63 would
-	// convert negative and sail past an int comparison straight into a
-	// slice-bounds panic.
+	// length prefix), so a corrupt count cannot size scratch far beyond
+	// the bytes actually present. The bound is checked before the
+	// uint64 narrows to int: a count >= 2^63 would convert negative and
+	// sail past an int comparison straight into a slice-bounds panic.
 	minEntry := 2 // string key + string item lower bound
 	if b.kt == wire.KeyTypeUint64 {
 		minEntry += 7
@@ -221,53 +284,127 @@ func (b *tableBackend[K, V, S, C]) ingest(slot uint64, r *wire.Reader, stringIte
 		return 0, &reqError{code: wire.ErrCodeUnsupported, msg: "table family has no string-item ingestion"}
 	}
 
-	sc := b.scratch.Get().(*batchScratch[K, V])
-	defer b.scratch.Put(sc)
-	if cap(sc.keys) < count {
-		sc.keys = make([]K, count)
-		sc.vals = make([]V, count)
-	}
-	keys, vals := sc.keys[:count], sc.vals[:count]
-	for i := range keys {
-		keys[i] = readKey[K](r)
+	w := b.checkout()
+	// Deferred checkin: a panic inside the table's update path unwinds
+	// through serveConn's recover, and a lost handle would shrink the
+	// pool for every future frame (and wedge quiesce).
+	defer b.checkin(w)
+	if err := b.decodeInto(w, r, count, stringItems); err != nil {
+		// A failed decode left a partial batch staged in the handle's
+		// grouping scratch; discard it or it would leak into whatever
+		// frame borrows this handle next.
+		w.BatchReset()
+		return 0, err
 	}
 	if stringItems {
-		for i := range vals {
-			vals[i] = b.hashItem(viewString(r.StringView()))
-		}
-	} else {
-		for i := range vals {
-			vals[i] = b.decodeVal(r.Uint64())
-		}
-	}
-	if r.Err != nil {
-		return 0, errBadPayload("truncated batch body")
-	}
-	if r.Remaining() != 0 {
-		return 0, errBadPayload("%d trailing bytes after batch", r.Remaining())
-	}
-
-	// Deferred unlock: a panic inside the table's update path unwinds
-	// through serveConn's recover, and a bare Unlock would leave the
-	// slot wedged for every future connection pinned to it (and for
-	// snapshotAppend, which locks all slots).
-	wi := int(slot % uint64(len(b.writers)))
-	// TryLock first purely for the wait counter: contention here means
-	// more connections share this slot than the table has writers, the
-	// capacity signal fcds_server_writer_slot_waits_total exposes.
-	if !b.wmu[wi].TryLock() {
-		b.waits.Add(1)
-		b.wmu[wi].Lock()
-	}
-	defer b.wmu[wi].Unlock()
-	if stringItems {
-		// Items were hashed into the family's space in the decode pass,
+		// Items were hashed into the family's space during the decode,
 		// exactly like the table's own keyed string-batch path.
-		b.writers[wi].UpdateKeyedHashedBatch(keys, vals)
+		w.BatchCommitHashed()
 	} else {
-		b.writers[wi].UpdateKeyedBatch(keys, vals)
+		w.BatchCommit()
 	}
 	return count, nil
+}
+
+// decodeInto streams one keyed-batch payload straight into w's grouping
+// scratch — no intermediate key/value slices, no second grouping pass
+// (the old path decoded into pooled scratch that UpdateKeyedBatch then
+// regrouped, touching every key twice). The wire layout is one run of
+// keys then one run of values; whenever at least one run has a fixed
+// stride, the two runs are walked in lockstep with two cursors over the
+// same payload.
+func (b *tableBackend[K, V, S, C]) decodeInto(w *table.Writer[K, V, S, C], r *wire.Reader, count int, stringItems bool) error {
+	switch {
+	case b.kt == wire.KeyTypeUint64:
+		// Fixed 8-byte keys: the value run starts at a computable
+		// offset, so keys and values stream pairwise in one pass.
+		kr := wire.Reader{Buf: r.Bytes(count * 8)}
+		if r.Err != nil {
+			return errBadPayload("truncated batch body")
+		}
+		vr := wire.Reader{Buf: r.Rest()}
+		if stringItems {
+			for i := 0; i < count; i++ {
+				w.BatchAdd(u64Key[K](kr.Uint64()), b.hashItem(viewString(vr.StringView())))
+			}
+		} else {
+			if vr.Remaining() != count*8 {
+				return errBadPayload("batch body length mismatch")
+			}
+			for i := 0; i < count; i++ {
+				w.BatchAdd(u64Key[K](kr.Uint64()), b.decodeVal(vr.Uint64()))
+			}
+		}
+		if vr.Err != nil {
+			return errBadPayload("truncated batch body")
+		}
+		if vr.Remaining() != 0 {
+			return errBadPayload("%d trailing bytes after batch", vr.Remaining())
+		}
+
+	case !stringItems:
+		// String keys, fixed 8-byte values: the value run is exactly the
+		// payload tail, so the split point is computable from the end.
+		rem := r.Remaining()
+		vlen := count * 8
+		if rem < vlen {
+			return errBadPayload("truncated batch body")
+		}
+		all := r.Rest()
+		kr := wire.Reader{Buf: all[:rem-vlen]}
+		vr := wire.Reader{Buf: all[rem-vlen:]}
+		for i := 0; i < count; i++ {
+			// Probe with a view of the key bytes; copy off the read
+			// buffer only on first sight (the grouping scratch retains
+			// registered keys).
+			view := kr.StringView()
+			gi, ok := w.BatchLookup(strKey[K](viewString(view)))
+			if !ok {
+				gi = w.BatchGroup(strKey[K](string(view)))
+			}
+			w.BatchAppend(gi, b.decodeVal(vr.Uint64()))
+		}
+		if kr.Err != nil {
+			return errBadPayload("truncated batch body")
+		}
+		if kr.Remaining() != 0 {
+			return errBadPayload("%d trailing bytes after batch", kr.Remaining())
+		}
+
+	default:
+		// String keys and string items: neither run has a fixed stride,
+		// so pass 1 walks the key run recording each position's group
+		// index and pass 2 walks the item run appending hashed items to
+		// those groups. Group indices fit int32: count is bounded by
+		// maxFrame/minEntry, far under 2^31.
+		sc := b.scratch.Get().(*ingestScratch)
+		defer b.scratch.Put(sc)
+		if cap(sc.gis) < count {
+			sc.gis = make([]int32, count)
+		}
+		gis := sc.gis[:count]
+		for i := range gis {
+			view := r.StringView()
+			gi, ok := w.BatchLookup(strKey[K](viewString(view)))
+			if !ok {
+				gi = w.BatchGroup(strKey[K](string(view)))
+			}
+			gis[i] = int32(gi)
+		}
+		if r.Err != nil {
+			return errBadPayload("truncated batch body")
+		}
+		for i := range gis {
+			w.BatchAppend(int(gis[i]), b.hashItem(viewString(r.StringView())))
+		}
+		if r.Err != nil {
+			return errBadPayload("truncated batch body")
+		}
+		if r.Remaining() != 0 {
+			return errBadPayload("%d trailing bytes after batch", r.Remaining())
+		}
+	}
+	return nil
 }
 
 func (b *tableBackend[K, V, S, C]) queryCompact(r *wire.Reader, dst []byte) ([]byte, error) {
@@ -463,19 +600,13 @@ func (b *tableBackend[K, V, S, C]) mergeWindowSnapshot(source string, epoch uint
 	return true, nil
 }
 
-// snapshotAppend quiesces every server writer slot, drains the table so
-// all buffered updates are visible, and serializes the live table
-// merged with the remote aggregate.
+// snapshotAppend quiesces the writer pool, drains the table so all
+// buffered updates are visible, and serializes the live table merged
+// with the remote aggregate.
 func (b *tableBackend[K, V, S, C]) snapshotAppend(dst []byte) ([]byte, error) {
 	snap := func() *table.TableSnapshot[K, C] {
-		for i := range b.wmu {
-			b.wmu[i].Lock()
-		}
-		defer func() {
-			for i := len(b.wmu) - 1; i >= 0; i-- {
-				b.wmu[i].Unlock()
-			}
-		}()
+		release := b.quiesce()
+		defer release()
 		b.st.Drain()
 		return b.st.Snapshot()
 	}()
@@ -512,14 +643,8 @@ func (b *tableBackend[K, V, S, C]) snapshotAppend(dst []byte) ([]byte, error) {
 // snapshot exactly as it would have replaced the live one.
 func (b *tableBackend[K, V, S, C]) checkpointBody(dst []byte) ([]byte, error) {
 	live := func() *table.TableSnapshot[K, C] {
-		for i := range b.wmu {
-			b.wmu[i].Lock()
-		}
-		defer func() {
-			for i := len(b.wmu) - 1; i >= 0; i-- {
-				b.wmu[i].Unlock()
-			}
-		}()
+		release := b.quiesce()
+		defer release()
 		b.st.Drain()
 		return b.st.Snapshot()
 	}()

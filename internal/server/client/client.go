@@ -14,10 +14,15 @@
 //
 // A Client is safe for concurrent use; ingest frames from concurrent
 // goroutines are serialized at the write buffer.
+//
+// Frames accumulate in one write buffer — payloads are built in place
+// behind a reserved header that is patched once the length is known —
+// and large snapshot blobs are queued as their own writev segments, so
+// a flush hands the kernel the whole burst in a single vectored write
+// instead of copying blobs through the buffer.
 package client
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -81,13 +86,21 @@ type Client struct {
 	version     byte
 	maxFrame    int
 	dialTimeout time.Duration
+	wantComp    bool // WithCompression requested
+	compress    bool // server accepted the compression feature
 
-	// wmu guards the write path: the buffered writer, the frame
-	// assembly scratch, and enqueueing onto the pending queue (the
-	// enqueue must be ordered identically to the writes).
-	wmu sync.Mutex
-	bw  *bufio.Writer
-	enc []byte
+	// wmu guards the write path: the frame-accumulation buffer, its
+	// segment list, the compression scratch, and enqueueing onto the
+	// pending queue (the enqueue must be ordered identically to the
+	// writes).
+	wmu   sync.Mutex
+	wbuf  []byte      // accumulated frame bytes; headers patched in place
+	segs  net.Buffers // closed segments: wbuf ranges interleaved with caller blobs
+	wmark int         // start of the open wbuf segment
+	wpend int         // bytes pending across segs plus the open segment
+	iov   net.Buffers // flush scratch (Buffers.WriteTo consumes its slice)
+	enc   []byte      // raw-payload scratch for compressed frames
+	comp  wire.Compressor
 
 	// pmu guards the pending-response FIFO and the latched errors.
 	pmu      sync.Mutex
@@ -117,6 +130,19 @@ func WithMaxFrame(n int) Option {
 // operations are unaffected.
 func WithDialTimeout(d time.Duration) Option {
 	return func(c *Client) { c.dialTimeout = d }
+}
+
+// WithCompression offers the server deflate compression for keyed-batch
+// payloads (HELLO feature negotiation); when the server accepts, every
+// Ingest* frame ships compressed. Off by default: compression trades
+// client and server CPU for wire bytes, which wins on repetitive keyed
+// batches crossing constrained links and loses on loopback. Requires a
+// server new enough to understand the HELLO feature byte — older
+// servers reject the extended HELLO, so only enable it against
+// upgraded deployments (a server that understands the byte but has
+// compression disabled simply negotiates it off).
+func WithCompression() Option {
+	return func(c *Client) { c.wantComp = true }
 }
 
 // Dial connects to an fcds ingest server and negotiates the protocol
@@ -151,7 +177,6 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 func New(nc net.Conn, opts ...Option) (*Client, error) {
 	c := &Client{
 		nc:       nc,
-		bw:       bufio.NewWriterSize(nc, 64<<10),
 		maxFrame: wire.DefaultMaxFrame,
 	}
 	c.drained = sync.NewCond(&c.pmu)
@@ -165,20 +190,31 @@ func New(nc net.Conn, opts ...Option) (*Client, error) {
 	}
 	go c.readLoop()
 	resp, err := c.roundTrip(wire.Version, wire.FrameHello, func(dst []byte) []byte {
-		return append(dst, wire.Version)
+		dst = append(dst, wire.Version)
+		if c.wantComp {
+			// Feature byte (append-only HELLO extension): the server
+			// echoes the same shape with the bits it accepted.
+			dst = append(dst, wire.FeatureCompression)
+		}
+		return dst
 	})
 	if err != nil {
 		return nil, fmt.Errorf("client: version negotiation: %w", err)
 	}
-	if resp.typ != wire.FrameHello || len(resp.payload) != 1 || resp.payload[0] == 0 {
+	if resp.typ != wire.FrameHello || len(resp.payload) < 1 || len(resp.payload) > 2 || resp.payload[0] == 0 {
 		return nil, fmt.Errorf("client: bad HELLO response (type 0x%02x)", resp.typ)
 	}
 	if c.dialTimeout > 0 {
 		nc.SetDeadline(time.Time{})
 	}
 	c.version = resp.payload[0]
+	c.compress = c.wantComp && len(resp.payload) == 2 && resp.payload[1]&wire.FeatureCompression != 0
 	return c, nil
 }
+
+// Compressed reports whether HELLO negotiation enabled keyed-batch
+// compression on this connection.
+func (c *Client) Compressed() bool { return c.compress }
 
 // Version returns the negotiated protocol version.
 func (c *Client) Version() byte { return c.version }
@@ -245,10 +281,26 @@ func parseServerError(payload []byte) error {
 	return &ServerError{Code: code, Msg: msg}
 }
 
+// writeBurst is the accumulation threshold: once at least this many
+// bytes are pending, send flushes inline, so a long async ingest run
+// still reaches the kernel in large vectored writes rather than
+// growing the buffer without bound.
+const writeBurst = 64 << 10
+
+// vectoredMin is the blob size past which a snapshot payload tail is
+// queued as its own writev segment instead of copied through the
+// accumulation buffer.
+const vectoredMin = 4 << 10
+
 // send assembles one frame under the write lock and enqueues its
-// pending slot (nil ch = asynchronous). build writes the payload into
-// the reusable scratch.
-func (c *Client) send(version, typ byte, ch chan response, build func(dst []byte) []byte) error {
+// pending slot (nil ch = asynchronous). build appends the payload
+// directly into the accumulation buffer behind a reserved header that
+// is patched once the length is known. compressible marks keyed-batch
+// payloads the negotiated compression applies to. blob, when non-nil,
+// is a payload tail the caller keeps alive until its response arrives
+// (snapshot pushes are synchronous), queued as its own writev segment
+// when large enough.
+func (c *Client) send(version, typ byte, ch chan response, compressible bool, blob []byte, build func(dst []byte) []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.pmu.Lock()
@@ -263,8 +315,45 @@ func (c *Client) send(version, typ byte, ch chan response, build func(dst []byte
 	}
 	c.pmu.Unlock()
 
-	c.enc = build(c.enc[:0])
-	// Enqueue before writing: the response cannot arrive before the
+	if blob != nil && len(blob) < vectoredMin {
+		// Small blob: copying through the buffer beats an extra iovec.
+		inner, tail := build, blob
+		build = func(dst []byte) []byte { return append(inner(dst), tail...) }
+		blob = nil
+	}
+
+	start, mark0, nsegs0 := len(c.wbuf), c.wmark, len(c.segs)
+	c.wbuf = append(c.wbuf, make([]byte, wire.HeaderSize)...)
+	var flags byte
+	if compressible && c.compress {
+		// Assemble the raw payload in the side scratch, then deflate it
+		// into the accumulation buffer after the reserved header.
+		c.enc = build(c.enc[:0])
+		var err error
+		if c.wbuf, err = c.comp.AppendCompressed(c.wbuf, c.enc); err != nil {
+			c.wbuf = c.wbuf[:start]
+			return fmt.Errorf("client: compress: %w", err)
+		}
+		flags = wire.FlagCompressed
+	} else {
+		c.wbuf = build(c.wbuf)
+	}
+	n := len(c.wbuf) - start - wire.HeaderSize + len(blob)
+	wire.PutHeader(c.wbuf[start:], version, typ, flags, n)
+	c.wpend += len(c.wbuf) - start
+	if blob != nil {
+		// Close the open wbuf segment and queue the caller's bytes as
+		// their own segment: they reach the kernel without a copy.
+		// Closed segments stay valid when wbuf later grows — they alias
+		// the array wbuf had when they were closed, whose bytes are
+		// final (append may move wbuf to a new array, never mutate the
+		// old one's prefix).
+		c.segs = append(c.segs, c.wbuf[c.wmark:len(c.wbuf):len(c.wbuf)], blob)
+		c.wmark = len(c.wbuf)
+		c.wpend += len(blob)
+	}
+
+	// Enqueue before flushing: the response cannot arrive before the
 	// frame bytes leave, and the reader must find the slot when it
 	// does. fatal is re-checked under the same lock — if the read loop
 	// died while the frame was being built, an enqueued slot would
@@ -273,18 +362,27 @@ func (c *Client) send(version, typ byte, ch chan response, build func(dst []byte
 	if c.fatal != nil {
 		err := c.fatal
 		c.pmu.Unlock()
+		// Roll the frame back out of the accumulation state: it was
+		// never enqueued, so it must never reach the wire.
+		c.wpend -= len(c.wbuf) - start + len(blob)
+		c.wbuf = c.wbuf[:start]
+		c.wmark = mark0
+		c.segs = c.segs[:nsegs0]
 		return err
 	}
 	c.pending = append(c.pending, ch)
 	c.npending++
 	c.pmu.Unlock()
-	if err := wire.WriteFrame(c.bw, version, typ, c.enc); err != nil {
-		// The buffered write failed, so the server may have seen a
-		// partial frame and will never answer this slot. Remove it
-		// (still the tail — wmu is held, so nothing enqueued after us)
-		// and latch the failure: leaving the slot would desync the
-		// in-order response FIFO and deliver later responses to the
-		// wrong operations.
+
+	if c.wpend < writeBurst {
+		return nil
+	}
+	if err := c.flushLocked(); err != nil {
+		// The write failed, so the server may have seen a partial burst
+		// and will never answer this slot. Remove it (still the tail —
+		// wmu is held, so nothing enqueued after us) and latch the
+		// failure: leaving the slot would desync the in-order response
+		// FIFO and deliver later responses to the wrong operations.
 		err = fmt.Errorf("client: write: %w", err)
 		c.pmu.Lock()
 		if n := len(c.pending); n > 0 {
@@ -302,14 +400,41 @@ func (c *Client) send(version, typ byte, ch chan response, build func(dst []byte
 	return nil
 }
 
-// flushWrites flushes the buffered writer; a failure is
+// flushLocked writes every pending segment with one vectored write
+// (writev) and resets the accumulation state. Callers hold wmu.
+func (c *Client) flushLocked() error {
+	if c.wpend == 0 {
+		return nil
+	}
+	c.iov = c.iov[:0]
+	c.iov = append(c.iov, c.segs...)
+	if tail := c.wbuf[c.wmark:]; len(tail) > 0 {
+		c.iov = append(c.iov, tail)
+	}
+	var err error
+	if len(c.iov) == 1 {
+		_, err = c.nc.Write(c.iov[0])
+	} else {
+		// WriteTo consumes and mutates the slice it is called on; give
+		// it a throwaway header over iov's array (reset next flush).
+		bufs := c.iov
+		_, err = bufs.WriteTo(c.nc)
+	}
+	c.segs = c.segs[:0]
+	c.wbuf = c.wbuf[:0]
+	c.wmark = 0
+	c.wpend = 0
+	return err
+}
+
+// flushWrites flushes the accumulated frames; a failure is
 // connection-fatal (the server may have seen a partial frame), so it
 // latches c.fatal and closes the connection — the read loop then fails
 // every pending slot out, instead of leaving waiters blocked on
 // responses that can never arrive.
 func (c *Client) flushWrites() error {
 	c.wmu.Lock()
-	err := c.bw.Flush()
+	err := c.flushLocked()
 	c.wmu.Unlock()
 	if err == nil {
 		return nil
@@ -327,8 +452,15 @@ func (c *Client) flushWrites() error {
 
 // roundTrip sends one frame and waits for its in-order response.
 func (c *Client) roundTrip(version, typ byte, build func(dst []byte) []byte) (response, error) {
+	return c.roundTripBlob(version, typ, nil, build)
+}
+
+// roundTripBlob is roundTrip with a payload tail that may ship as its
+// own writev segment; blob stays alive until the response arrives,
+// which is exactly the zero-copy retention contract send requires.
+func (c *Client) roundTripBlob(version, typ byte, blob []byte, build func(dst []byte) []byte) (response, error) {
 	ch := make(chan response, 1)
-	if err := c.send(version, typ, ch, build); err != nil {
+	if err := c.send(version, typ, ch, false, blob, build); err != nil {
 		return response{}, err
 	}
 	if err := c.flushWrites(); err != nil {
@@ -392,7 +524,7 @@ func (c *Client) IngestU64(tbl string, keys, vals []uint64) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("client: keys/vals length mismatch %d != %d", len(keys), len(vals))
 	}
-	return c.send(c.version, wire.FrameKeyedBatch, nil, func(dst []byte) []byte {
+	return c.send(c.version, wire.FrameKeyedBatch, nil, true, nil, func(dst []byte) []byte {
 		dst = appendBatchHeader(dst, tbl, wire.KeyTypeUint64, len(keys))
 		for _, k := range keys {
 			dst = wire.AppendUint64(dst, k)
@@ -410,7 +542,7 @@ func (c *Client) Ingest(tbl string, keys []string, vals []uint64) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("client: keys/vals length mismatch %d != %d", len(keys), len(vals))
 	}
-	return c.send(c.version, wire.FrameKeyedBatch, nil, func(dst []byte) []byte {
+	return c.send(c.version, wire.FrameKeyedBatch, nil, true, nil, func(dst []byte) []byte {
 		dst = appendBatchHeader(dst, tbl, wire.KeyTypeString, len(keys))
 		for _, k := range keys {
 			dst = wire.AppendString(dst, k)
@@ -429,7 +561,7 @@ func (c *Client) IngestFloat(tbl string, keys []string, vals []float64) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("client: keys/vals length mismatch %d != %d", len(keys), len(vals))
 	}
-	return c.send(c.version, wire.FrameKeyedBatch, nil, func(dst []byte) []byte {
+	return c.send(c.version, wire.FrameKeyedBatch, nil, true, nil, func(dst []byte) []byte {
 		dst = appendBatchHeader(dst, tbl, wire.KeyTypeString, len(keys))
 		for _, k := range keys {
 			dst = wire.AppendString(dst, k)
@@ -446,7 +578,7 @@ func (c *Client) IngestFloatU64(tbl string, keys []uint64, vals []float64) error
 	if len(keys) != len(vals) {
 		return fmt.Errorf("client: keys/vals length mismatch %d != %d", len(keys), len(vals))
 	}
-	return c.send(c.version, wire.FrameKeyedBatch, nil, func(dst []byte) []byte {
+	return c.send(c.version, wire.FrameKeyedBatch, nil, true, nil, func(dst []byte) []byte {
 		dst = appendBatchHeader(dst, tbl, wire.KeyTypeUint64, len(keys))
 		for _, k := range keys {
 			dst = wire.AppendUint64(dst, k)
@@ -465,7 +597,7 @@ func (c *Client) IngestStrings(tbl string, keys []string, items []string) error 
 	if len(keys) != len(items) {
 		return fmt.Errorf("client: keys/items length mismatch %d != %d", len(keys), len(items))
 	}
-	return c.send(c.version, wire.FrameKeyedStringBatch, nil, func(dst []byte) []byte {
+	return c.send(c.version, wire.FrameKeyedStringBatch, nil, true, nil, func(dst []byte) []byte {
 		dst = appendBatchHeader(dst, tbl, wire.KeyTypeString, len(keys))
 		for _, k := range keys {
 			dst = wire.AppendString(dst, k)
@@ -482,7 +614,7 @@ func (c *Client) IngestStringsU64(tbl string, keys []uint64, items []string) err
 	if len(keys) != len(items) {
 		return fmt.Errorf("client: keys/items length mismatch %d != %d", len(keys), len(items))
 	}
-	return c.send(c.version, wire.FrameKeyedStringBatch, nil, func(dst []byte) []byte {
+	return c.send(c.version, wire.FrameKeyedStringBatch, nil, true, nil, func(dst []byte) []byte {
 		dst = appendBatchHeader(dst, tbl, wire.KeyTypeUint64, len(keys))
 		for _, k := range keys {
 			dst = wire.AppendUint64(dst, k)
@@ -513,10 +645,9 @@ func (c *Client) PushSnapshot(tbl string, blob []byte) error {
 // samples each tick). Distinct sources still aggregate. An empty
 // source is PushSnapshot's merge semantics.
 func (c *Client) PushSnapshotFrom(tbl, source string, blob []byte) error {
-	_, err := c.roundTrip(c.version, wire.FrameSnapshotPush, func(dst []byte) []byte {
+	_, err := c.roundTripBlob(c.version, wire.FrameSnapshotPush, blob, func(dst []byte) []byte {
 		dst = wire.AppendString(dst, tbl)
-		dst = wire.AppendString(dst, source)
-		return append(dst, blob...)
+		return wire.AppendString(dst, source)
 	})
 	return err
 }
@@ -534,11 +665,10 @@ func (c *Client) PushWindowSnapshot(tbl, source string, epoch uint64, blob []byt
 	if source == "" {
 		return errors.New("client: window snapshot requires a source id")
 	}
-	_, err := c.roundTrip(c.version, wire.FrameWindowSnapshot, func(dst []byte) []byte {
+	_, err := c.roundTripBlob(c.version, wire.FrameWindowSnapshot, blob, func(dst []byte) []byte {
 		dst = wire.AppendString(dst, tbl)
 		dst = wire.AppendString(dst, source)
-		dst = wire.AppendUvarint(dst, epoch)
-		return append(dst, blob...)
+		return wire.AppendUvarint(dst, epoch)
 	})
 	return err
 }

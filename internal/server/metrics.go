@@ -23,7 +23,9 @@ import (
 // fcds_server_checkpoint_write_seconds). Per table (label "table"):
 // fcds_server_table_keys, fcds_server_table_frames_total,
 // fcds_server_table_items_total, fcds_server_table_bytes_total,
-// fcds_server_table_errors_total, fcds_server_writer_slot_waits_total.
+// fcds_server_table_errors_total, fcds_server_writer_pool_waits_total,
+// fcds_server_writer_pool_idle, and the deprecated always-zero
+// fcds_server_writer_slot_waits_total (kept for scrape compatibility).
 // Per accepted named push (labels "table", "source"):
 // fcds_server_snapshot_push_age_seconds.
 func (s *Server) RegisterMetrics(reg *metrics.Registry) {
@@ -126,9 +128,18 @@ func (s *Server) registerTableMetrics(reg *metrics.Registry, name string, b back
 	reg.CounterFunc("fcds_server_table_errors_total",
 		"Error frames returned for requests resolved to this table.",
 		func() float64 { return float64(tc.errs.Load()) }, "table", name)
+	reg.CounterFunc("fcds_server_writer_pool_waits_total",
+		"Ingest frames that found every writer handle checked out and had to wait (more concurrent ingest than the table has writers — raise Writers).",
+		func() float64 { return float64(b.poolWaits()) }, "table", name)
+	reg.GaugeFunc("fcds_server_writer_pool_idle",
+		"Writer handles currently checked in (idle) in the table's ingest pool.",
+		func() float64 { return float64(b.poolIdle()) }, "table", name)
+	// Predecessor of the pool-waits counter, kept emitted for scrape
+	// compatibility: connection-pinned writer slots no longer exist
+	// (any idle handle serves any frame), so the series is constant 0.
 	reg.CounterFunc("fcds_server_writer_slot_waits_total",
-		"Ingest frames that blocked on a contended writer slot (more connections share a slot than the table has writers).",
-		func() float64 { return float64(b.slotWaits()) }, "table", name)
+		"Deprecated: connection-pinned writer slots were replaced by the writer-handle pool (see fcds_server_writer_pool_waits_total); always 0.",
+		func() float64 { return 0 }, "table", name)
 }
 
 // registerPushLag exports one (table, source) pair's push-lag gauge:

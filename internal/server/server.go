@@ -5,10 +5,12 @@
 // snapshots between nodes (push and pull) — the distributed-
 // aggregation fabric the mergeable-sketch design exists for.
 //
-// One goroutine serves each connection: frames are read into a
-// per-connection reusable buffer, decoded with an allocation-free
-// cursor into pooled batch scratch, and fed to the table through a
-// connection-pinned writer slot, so the steady-state ingest path
+// One goroutine serves each connection: frames are read through a
+// burst window sized from the length prefix (a pipelined burst of
+// batches costs one read syscall and frames decode in place, zero
+// copies off the socket buffer), streamed with an allocation-free
+// cursor straight into the grouping scratch of a table writer handle
+// checked out of the table's pool, so the steady-state ingest path
 // allocates nothing (string keys excepted — the table retains those).
 // Responses are written through a buffered writer that flushes only
 // when the connection's pipelined input is exhausted, so a client
@@ -53,6 +55,18 @@ type Config struct {
 	// Logf, when non-nil, receives connection-level diagnostics
 	// (accept errors, protocol violations). Nil means silent.
 	Logf func(format string, args ...any)
+	// ReadBurst sizes each connection's buffered read window in bytes
+	// (<= 0 means wire.DefaultReadBurst). Frames that fit the window
+	// decode in place — zero copies off the socket buffer; larger
+	// frames (snapshot blobs) spill to an owned per-connection buffer.
+	ReadBurst int
+	// WriteBurst sizes each connection's buffered response writer in
+	// bytes (<= 0 means 64 KiB).
+	WriteBurst int
+	// NoCompression refuses the HELLO compression feature: clients
+	// that offer it fall back to uncompressed payloads (the negotiation
+	// result simply omits the bit; nothing fails).
+	NoCompression bool
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -82,10 +96,9 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	ln     net.Listener
 
-	done    chan struct{}
-	wg      sync.WaitGroup
-	closed  atomic.Bool
-	connSeq atomic.Uint64
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
 
 	frames    atomic.Int64
 	items     atomic.Int64
@@ -297,8 +310,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		s.connsOpen.Add(1)
 		s.connsSeen.Add(1)
-		seq := s.connSeq.Add(1) - 1
-		go s.serveConn(nc, seq)
+		go s.serveConn(nc)
 	}
 }
 
@@ -350,13 +362,12 @@ const closeWriteGrace = 5 * time.Second
 
 // connState is one connection's reusable I/O state.
 type connState struct {
-	rbuf []byte // frame read buffer (payloads alias it)
-	wbuf []byte // response payload assembly buffer
+	wbuf []byte      // response payload assembly buffer
+	req  wire.Reader // request payload cursor, reused so the pointer handed through the backend interface never escapes per frame
 }
 
-// serveConn runs one connection's frame loop. seq pins the connection
-// to writer slot seq%N of every table it touches.
-func (s *Server) serveConn(nc net.Conn, seq uint64) {
+// serveConn runs one connection's frame loop.
+func (s *Server) serveConn(nc net.Conn) {
 	defer func() {
 		// Last-resort guard: a decode or handler bug costs this
 		// connection, not the process (defense in depth behind the
@@ -374,9 +385,15 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 	}()
 
 	cs := &connState{}
-	br := bufio.NewReaderSize(nc, 64<<10)
-	bw := bufio.NewWriterSize(nc, 64<<10)
+	fr := wire.NewFrameReader(nc, s.cfg.ReadBurst, s.cfg.MaxFrame)
+	wburst := s.cfg.WriteBurst
+	if wburst <= 0 {
+		wburst = 64 << 10
+	}
+	bw := bufio.NewWriterSize(nc, wburst)
 	negotiated := byte(0) // no HELLO yet
+	compression := false  // HELLO-negotiated per-frame compression
+	var dec wire.Decompressor
 
 	fail := func(code uint64, msg string) {
 		// Fatal protocol error: best-effort error frame, then close.
@@ -404,7 +421,7 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 				nc.SetReadDeadline(time.Now())
 			}
 		}
-		ver, typ, payload, err := wire.ReadFrame(br, &cs.rbuf, s.cfg.MaxFrame)
+		ver, typ, flags, payload, err := fr.Next()
 		if err != nil {
 			if idle > 0 && errors.Is(err, os.ErrDeadlineExceeded) && !s.closed.Load() {
 				s.logf("server: %s: closing idle connection (no frame in %v)", nc.RemoteAddr(), idle)
@@ -422,8 +439,11 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 		}
 
 		if negotiated == 0 {
-			// The first frame must negotiate a version.
-			if typ != wire.FrameHello || len(payload) != 1 {
+			// The first frame must negotiate a version: a 1-byte payload
+			// is the historical HELLO, a second byte carries feature bits
+			// (append-only extension). Flags are never valid before
+			// negotiation.
+			if typ != wire.FrameHello || flags != 0 || len(payload) < 1 || len(payload) > 2 {
 				fail(wire.ErrCodeBadFrame, "expected HELLO as first frame")
 				return
 			}
@@ -432,11 +452,21 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 				fail(wire.ErrCodeVersion, "no common protocol version")
 				return
 			}
+			// Echo the payload shape received: clients predating the
+			// feature byte reject any reply that is not exactly 1 byte.
 			cs.wbuf = append(cs.wbuf[:0], negotiated)
+			if len(payload) == 2 {
+				accepted := payload[1] & wire.FeatureCompression
+				if s.cfg.NoCompression {
+					accepted = 0
+				}
+				compression = accepted&wire.FeatureCompression != 0
+				cs.wbuf = append(cs.wbuf, accepted)
+			}
 			if err := wire.WriteFrame(bw, negotiated, wire.FrameHello, cs.wbuf); err != nil {
 				return
 			}
-			if br.Buffered() == 0 {
+			if fr.Buffered() == 0 {
 				if bw.Flush() != nil {
 					return
 				}
@@ -447,9 +477,32 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 			fail(wire.ErrCodeVersion, fmt.Sprintf("frame version %d, negotiated %d", ver, negotiated))
 			return
 		}
+		if flags != 0 && (flags != wire.FlagCompressed || !compression) {
+			// An un-negotiated or unknown flag bit is a framing error —
+			// the reserved-must-be-zero contract, minus exactly the bit
+			// this connection's HELLO agreed on.
+			fail(wire.ErrCodeBadFrame, fmt.Sprintf("unexpected frame flags %#x", flags))
+			return
+		}
 
 		s.frames.Add(1)
-		respType, respPayload, tc, reqErr := s.handle(cs, seq, typ, payload)
+		var tc *tableCounters
+		var reqErr error
+		var respType byte
+		var respPayload []byte
+		if flags&wire.FlagCompressed != 0 {
+			// Decompression failures are request-scoped, not fatal: the
+			// outer frame length was intact, so framing stays in sync and
+			// the connection keeps serving after the ERR.
+			if p, derr := dec.Decompress(payload, s.cfg.MaxFrame); derr == nil {
+				payload = p
+			} else {
+				reqErr = errBadPayload("%v", derr)
+			}
+		}
+		if reqErr == nil {
+			respType, respPayload, tc, reqErr = s.handle(cs, typ, payload)
+		}
 		if tc != nil {
 			tc.frames.Add(1)
 			tc.bytes.Add(int64(len(payload)))
@@ -473,7 +526,7 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 		// Flush only when the pipelined input is exhausted: bursts of
 		// batches cost one write syscall, and the final response is
 		// never stuck behind an empty read.
-		if br.Buffered() == 0 {
+		if fr.Buffered() == 0 {
 			if bw.Flush() != nil {
 				return
 			}
@@ -491,8 +544,9 @@ func (s *Server) serveConn(nc net.Conn, seq uint64) {
 // plus the resolved table's attribution counters (nil for table-less
 // frames and unknown tables). The response payload may alias cs.wbuf
 // (written out before the next read reuses it).
-func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (byte, []byte, *tableCounters, error) {
-	r := wire.Reader{Buf: payload}
+func (s *Server) handle(cs *connState, typ byte, payload []byte) (byte, []byte, *tableCounters, error) {
+	r := &cs.req
+	*r = wire.Reader{Buf: payload}
 	switch typ {
 	case wire.FrameHello:
 		// Renegotiation mid-stream is a protocol violation: answered
@@ -500,11 +554,11 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		return wire.FrameErr, nil, nil, errBadPayload("duplicate HELLO")
 
 	case wire.FrameKeyedBatch, wire.FrameKeyedStringBatch:
-		b, tc, _, err := s.namedBackend(&r)
+		b, tc, _, err := s.namedBackend(r)
 		if err != nil {
 			return 0, nil, tc, err
 		}
-		n, err := b.ingest(seq, &r, typ == wire.FrameKeyedStringBatch)
+		n, err := b.ingest(r, typ == wire.FrameKeyedStringBatch)
 		if err != nil {
 			return 0, nil, tc, err
 		}
@@ -513,7 +567,7 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		return wire.FrameOK, nil, tc, nil
 
 	case wire.FrameSnapshotPush:
-		b, tc, name, err := s.namedBackend(&r)
+		b, tc, name, err := s.namedBackend(r)
 		if err != nil {
 			return 0, nil, tc, err
 		}
@@ -534,7 +588,7 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		return wire.FrameOK, nil, tc, nil
 
 	case wire.FrameWindowSnapshot:
-		b, tc, name, err := s.namedBackend(&r)
+		b, tc, name, err := s.namedBackend(r)
 		if err != nil {
 			return 0, nil, tc, err
 		}
@@ -560,7 +614,7 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		return wire.FrameOK, nil, tc, nil
 
 	case wire.FrameSnapshotPull:
-		b, tc, _, err := s.namedBackend(&r)
+		b, tc, _, err := s.namedBackend(r)
 		if err != nil {
 			return 0, nil, tc, err
 		}
@@ -575,11 +629,11 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		return wire.FrameValue, out, tc, nil
 
 	case wire.FrameQuery:
-		b, tc, _, err := s.namedBackend(&r)
+		b, tc, _, err := s.namedBackend(r)
 		if err != nil {
 			return 0, nil, tc, err
 		}
-		out, err := b.queryCompact(&r, cs.wbuf[:0])
+		out, err := b.queryCompact(r, cs.wbuf[:0])
 		if err != nil {
 			return 0, nil, tc, err
 		}
@@ -587,7 +641,7 @@ func (s *Server) handle(cs *connState, seq uint64, typ byte, payload []byte) (by
 		return wire.FrameValue, out, tc, nil
 
 	case wire.FrameRollup:
-		b, tc, _, err := s.namedBackend(&r)
+		b, tc, _, err := s.namedBackend(r)
 		if err != nil {
 			return 0, nil, tc, err
 		}

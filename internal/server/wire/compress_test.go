@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"testing"
+)
+
+// TestCompressRoundTripProperty drives random payloads — varying
+// lengths, varying entropy from all-zero to incompressible — through
+// AppendCompressed and Decompress and requires exact reconstruction,
+// with encoder and decoder state reused across iterations the way a
+// connection reuses them.
+func TestCompressRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	var comp Compressor
+	var dec Decompressor
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(1 << 14)
+		payload := make([]byte, n)
+		switch i % 4 {
+		case 0: // all zero — maximally compressible
+		case 1: // random — incompressible
+			rng.Read(payload)
+		case 2: // repetitive keyed-batch shape: few distinct 8-byte runs
+			for j := 0; j+8 <= n; j += 8 {
+				copy(payload[j:], []byte{byte(j % 5), 0, 0, 0, 0, 0, 0, 0})
+			}
+		default: // low-entropy text
+			for j := range payload {
+				payload[j] = 'a' + byte(rng.Intn(4))
+			}
+		}
+		enc, err := comp.AppendCompressed(nil, payload)
+		if err != nil {
+			t.Fatalf("iter %d: compress: %v", i, err)
+		}
+		got, err := dec.Decompress(enc, 0)
+		if err != nil {
+			t.Fatalf("iter %d: decompress: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("iter %d: round trip mismatch (%d bytes in, %d out)", i, n, len(got))
+		}
+	}
+}
+
+// TestDecompressHostile pins every decoder failure mode: each must
+// return an error (never panic, never silently truncate), leaving the
+// decoder usable for the next frame.
+func TestDecompressHostile(t *testing.T) {
+	var comp Compressor
+	var dec Decompressor
+	payload := bytes.Repeat([]byte("keyrun_A"), 512)
+	enc, err := comp.AppendCompressed(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func() []byte
+	}{
+		{"empty", func() []byte { return nil }},
+		{"prefix only", func() []byte { return enc[:1] }},
+		{"truncated stream", func() []byte { return enc[:len(enc)/2] }},
+		{"corrupt byte", func() []byte {
+			c := bytes.Clone(enc)
+			c[len(c)/2] ^= 0xff
+			return c
+		}},
+		{"trailing garbage", func() []byte { return append(bytes.Clone(enc), 0xde, 0xad) }},
+		{"oversized declaration", func() []byte {
+			c := AppendUvarint(nil, uint64(DefaultMaxFrame)+1)
+			return append(c, enc[1:]...)
+		}},
+		{"length shorter than stream", func() []byte {
+			c := AppendUvarint(nil, uint64(len(payload)-1))
+			return append(c, enc[uvarintLen(uint64(len(payload))):]...)
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := dec.Decompress(tc.mut(), 0); err == nil {
+			t.Errorf("%s: decompress succeeded, want error", tc.name)
+		}
+	}
+	// The decoder survived every hostile input and still works.
+	got, err := dec.Decompress(enc, 0)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("post-hostile decompress: err=%v", err)
+	}
+}
+
+func uvarintLen(v uint64) int { return len(AppendUvarint(nil, v)) }
+
+// TestFrameReaderBurst exercises the peek-based read path: pipelined
+// frames decoded in place out of one window, a frame larger than the
+// window spilling to the owned buffer, and Buffered reporting only the
+// bytes beyond the current frame.
+func TestFrameReaderBurst(t *testing.T) {
+	cconn, sconn := net.Pipe()
+	defer cconn.Close()
+	defer sconn.Close()
+
+	small := bytes.Repeat([]byte{0xab}, 100)
+	big := bytes.Repeat([]byte{0xcd}, 10<<10) // exceeds the 4 KiB window below
+	go func() {
+		var out []byte
+		out = AppendHeader(out, Version, FrameHello, len(small))
+		out = append(out, small...)
+		out = AppendHeader(out, Version, FrameKeyedBatch, len(small))
+		out = append(out, small...)
+		out = AppendHeader(out, Version, FrameSnapshotPush, len(big))
+		out = append(out, big...)
+		cconn.Write(out)
+	}()
+
+	fr := NewFrameReader(sconn, 4<<10, 0)
+	ver, typ, flags, p, err := fr.Next()
+	if err != nil || ver != Version || typ != FrameHello || flags != 0 || !bytes.Equal(p, small) {
+		t.Fatalf("frame 1: typ=%#x flags=%#x err=%v", typ, flags, err)
+	}
+	first := p
+	if _, typ, _, p, err = fr.Next(); err != nil || typ != FrameKeyedBatch || !bytes.Equal(p, small) {
+		t.Fatalf("frame 2: typ=%#x err=%v", typ, err)
+	}
+	_ = first // frame 1's view is dead here by contract; only its former content mattered
+	if _, typ, _, p, err = fr.Next(); err != nil || typ != FrameSnapshotPush || !bytes.Equal(p, big) {
+		t.Fatalf("spill frame: typ=%#x err=%v", typ, err)
+	}
+	if got := fr.Buffered(); got != 0 {
+		t.Fatalf("Buffered after drain = %d, want 0", got)
+	}
+}
+
+// TestFrameReaderRejectsReservedByte pins the strictness FrameReader
+// inherits from ReadFrame: a nonzero reserved byte 7 is a framing
+// error. Byte 6 (flags) is returned raw for the caller to police.
+func TestFrameReaderRejectsReservedByte(t *testing.T) {
+	var raw []byte
+	raw = AppendHeader(raw, Version, FrameHello, 1)
+	raw = append(raw, 0x7f)
+	raw[7] = 1 // reserved byte
+	fr := NewFrameReader(bytes.NewReader(raw), 0, 0)
+	if _, _, _, _, err := fr.Next(); err == nil {
+		t.Fatal("nonzero reserved byte accepted")
+	}
+
+	raw = raw[:0]
+	raw = AppendHeader(raw, Version, FrameHello, 1)
+	raw = append(raw, 0x7f)
+	raw[6] = FlagCompressed
+	fr = NewFrameReader(bytes.NewReader(raw), 0, 0)
+	_, _, flags, _, err := fr.Next()
+	if err != nil || flags != FlagCompressed {
+		t.Fatalf("flags byte: flags=%#x err=%v (want raw passthrough)", flags, err)
+	}
+}

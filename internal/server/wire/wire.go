@@ -12,7 +12,8 @@
 //	0       4     payload length N (bytes after the 8-byte header)
 //	4       1     protocol version (currently 1)
 //	5       1     frame type
-//	6       2     reserved (0)
+//	6       1     frame flags (0 unless HELLO negotiated the feature)
+//	7       1     reserved (0)
 //	8       N     payload
 //
 // Every request frame receives exactly one response frame, in request
@@ -29,6 +30,18 @@
 // the server cannot serve at all is answered with an ERR frame
 // (ErrCodeVersion) and the connection is closed.
 //
+// A client MAY append a second HELLO payload byte of feature bits it
+// wants (FeatureCompression); the server echoes a HELLO of the same
+// payload shape with the bits it accepted. Servers predating the
+// feature byte reject the two-byte HELLO, and one-byte HELLOs never
+// see a feature reply — the extension is append-only in both
+// directions, so old and new endpoints interoperate whenever the
+// client does not opt in. Header byte 6 carries per-frame flags
+// (FlagCompressed) and MUST stay zero unless the matching feature was
+// negotiated; receivers treat an un-negotiated or unknown flag bit as
+// a fatal framing error, preserving the historical reserved-must-be-
+// zero strictness.
+//
 // # Payload encodings
 //
 // Integers are uvarints unless noted; keys follow the FCTB snapshot
@@ -41,6 +54,9 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -132,6 +148,24 @@ const (
 	KeyTypeUint64 byte = 2
 )
 
+// Per-frame flag bits (header byte 6). A flag is only valid after both
+// endpoints negotiated the matching HELLO feature; any other nonzero
+// bit is a fatal framing error.
+const (
+	// FlagCompressed marks a deflate-compressed payload: uvarint
+	// uncompressed length, then the deflate stream (see Compressor /
+	// Decompressor). The header's length field still counts the bytes
+	// on the wire, so framing never depends on decompression.
+	FlagCompressed byte = 1 << 0
+)
+
+// HELLO feature bits (optional second HELLO payload byte).
+const (
+	// FeatureCompression offers/accepts FlagCompressed keyed-batch
+	// payloads on this connection.
+	FeatureCompression byte = 1 << 0
+)
+
 // Framing errors.
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
@@ -142,10 +176,19 @@ var (
 // AppendHeader appends an 8-byte frame header for a payload of n bytes.
 func AppendHeader(dst []byte, version, typ byte, n int) []byte {
 	var h [HeaderSize]byte
-	binary.LittleEndian.PutUint32(h[0:4], uint32(n))
-	h[4] = version
-	h[5] = typ
+	PutHeader(h[:], version, typ, 0, n)
 	return append(dst, h[:]...)
+}
+
+// PutHeader writes an 8-byte frame header into hdr (len >= HeaderSize).
+// Writers that reserve header space up front and patch it once the
+// payload length is known use this instead of AppendHeader.
+func PutHeader(hdr []byte, version, typ, flags byte, n int) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	hdr[4] = version
+	hdr[5] = typ
+	hdr[6] = flags
+	hdr[7] = 0
 }
 
 // ReadFrame reads one frame from r into *buf (grown and reused across
@@ -329,4 +372,185 @@ func AppendUint64(dst []byte, v uint64) []byte {
 // AppendFloat64 appends a float64 as 8 IEEE-754 bytes LE.
 func AppendFloat64(dst []byte, v float64) []byte {
 	return AppendUint64(dst, math.Float64bits(v))
+}
+
+// DefaultReadBurst is the default FrameReader window (128 KiB): big
+// enough that a burst of pipelined keyed batches is pulled off the
+// socket in one read syscall and decoded in place, small enough to be
+// cheap per connection.
+const DefaultReadBurst = 128 << 10
+
+// FrameReader reads frames through a buffered burst window sized from
+// the length prefix: Next peeks the header, then peeks the whole
+// payload out of the window — the returned payload aliases the
+// window's buffer, zero copies off the socket — and defers the discard
+// to the following Next call, so the payload stays valid while the
+// caller decodes it. Frames larger than the window (snapshot blobs)
+// spill into an owned buffer reused across calls. Not safe for
+// concurrent use.
+type FrameReader struct {
+	br       *bufio.Reader
+	spill    []byte // owned payload buffer for frames larger than the window
+	pend     int    // bytes of the current peeked frame, discarded on the next call
+	maxFrame int
+}
+
+// NewFrameReader wraps r in a burst window of size bytes (<= 0 means
+// DefaultReadBurst) bounding payloads at maxFrame (<= 0 means
+// DefaultMaxFrame).
+func NewFrameReader(r io.Reader, size, maxFrame int) *FrameReader {
+	if size <= 0 {
+		size = DefaultReadBurst
+	}
+	if size < 4<<10 {
+		size = 4 << 10
+	}
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &FrameReader{br: bufio.NewReaderSize(r, size), maxFrame: maxFrame}
+}
+
+// Next returns the next frame. The payload is only valid until the
+// following Next call. Flags are returned raw — validating them
+// against the negotiated features is the caller's job; the reserved
+// byte 7 must still be zero.
+func (f *FrameReader) Next() (version, typ, flags byte, payload []byte, err error) {
+	if f.pend > 0 {
+		if _, err := f.br.Discard(f.pend); err != nil {
+			return 0, 0, 0, nil, err
+		}
+		f.pend = 0
+	}
+	hdr, err := f.br.Peek(HeaderSize)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, 0, nil, err
+	}
+	n32 := binary.LittleEndian.Uint32(hdr[0:4])
+	version, typ, flags = hdr[4], hdr[5], hdr[6]
+	if hdr[7] != 0 {
+		return version, typ, flags, nil, ErrBadHeader
+	}
+	if uint64(n32) > uint64(f.maxFrame) {
+		return version, typ, flags, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n32, f.maxFrame)
+	}
+	n := int(n32)
+	if total := HeaderSize + n; total <= f.br.Size() {
+		full, err := f.br.Peek(total)
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("%w: %v", ErrShortPayload, io.ErrUnexpectedEOF)
+			}
+			return version, typ, flags, nil, err
+		}
+		f.pend = total
+		return version, typ, flags, full[HeaderSize:], nil
+	}
+	// Frame exceeds the window: consume the header and read the payload
+	// into the owned spill buffer.
+	if _, err := f.br.Discard(HeaderSize); err != nil {
+		return version, typ, flags, nil, err
+	}
+	if cap(f.spill) < n {
+		f.spill = make([]byte, n, n+n/2)
+	}
+	payload = f.spill[:n]
+	if _, err := io.ReadFull(f.br, payload); err != nil {
+		return version, typ, flags, nil, fmt.Errorf("%w: %v", ErrShortPayload, err)
+	}
+	return version, typ, flags, payload, nil
+}
+
+// Buffered reports the bytes available beyond the current frame — the
+// pipelining signal: while it is nonzero another request is already in
+// the window, so a server can hold its response flush.
+func (f *FrameReader) Buffered() int { return f.br.Buffered() - f.pend }
+
+// appendWriter adapts an append sink to io.Writer for flate.
+type appendWriter struct{ buf *[]byte }
+
+func (a appendWriter) Write(p []byte) (int, error) {
+	*a.buf = append(*a.buf, p...)
+	return len(p), nil
+}
+
+// Compressor deflate-compresses payloads for FlagCompressed frames,
+// reusing its encoder state across calls. Not safe for concurrent use.
+type Compressor struct {
+	zw *flate.Writer
+}
+
+// AppendCompressed appends the compressed encoding of payload — uvarint
+// uncompressed length, then the deflate stream — and returns the
+// extended slice. BestSpeed: the flag exists to trade a little CPU for
+// wire bytes on highly repetitive keyed batches, not to chase ratio.
+func (c *Compressor) AppendCompressed(dst, payload []byte) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	aw := appendWriter{&dst}
+	if c.zw == nil {
+		c.zw, _ = flate.NewWriter(aw, flate.BestSpeed)
+	} else {
+		c.zw.Reset(aw)
+	}
+	if _, err := c.zw.Write(payload); err != nil {
+		return dst, err
+	}
+	if err := c.zw.Close(); err != nil {
+		return dst, err
+	}
+	return dst, nil
+}
+
+// Decompressor inflates FlagCompressed payloads, reusing its decoder
+// state and output buffer across calls (the returned slice is only
+// valid until the next call). Not safe for concurrent use.
+type Decompressor struct {
+	src bytes.Reader
+	zr  io.ReadCloser
+	buf []byte
+}
+
+// Decompress decodes a compressed payload, bounding the declared
+// uncompressed length at maxOut (<= 0 means DefaultMaxFrame). Every
+// failure mode — truncated prefix, oversized declaration, corrupt
+// stream, length mismatch, trailing bytes — returns an error without
+// touching connection framing (the outer frame length was intact).
+func (d *Decompressor) Decompress(payload []byte, maxOut int) ([]byte, error) {
+	if maxOut <= 0 {
+		maxOut = DefaultMaxFrame
+	}
+	n64, un := binary.Uvarint(payload)
+	if un <= 0 {
+		return nil, fmt.Errorf("%w: bad uncompressed-length prefix", ErrShortPayload)
+	}
+	if n64 > uint64(maxOut) {
+		return nil, fmt.Errorf("%w: declared uncompressed length %d > %d", ErrFrameTooLarge, n64, maxOut)
+	}
+	n := int(n64)
+	d.src.Reset(payload[un:])
+	if d.zr == nil {
+		d.zr = flate.NewReader(&d.src)
+	} else if err := d.zr.(flate.Resetter).Reset(&d.src, nil); err != nil {
+		return nil, err
+	}
+	if cap(d.buf) < n {
+		d.buf = make([]byte, n, n+n/2)
+	}
+	out := d.buf[:n]
+	if _, err := io.ReadFull(d.zr, out); err != nil {
+		return nil, fmt.Errorf("wire: corrupt compressed payload: %v", err)
+	}
+	// The stream must end exactly at the declared length with no bytes
+	// left over after the deflate terminator.
+	var one [1]byte
+	if m, _ := d.zr.Read(one[:]); m != 0 {
+		return nil, errors.New("wire: compressed payload longer than declared")
+	}
+	if d.src.Len() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after compressed stream", d.src.Len())
+	}
+	return out, nil
 }

@@ -990,6 +990,74 @@ func (w *Writer[K, V, S, C]) updateKeyedStringBatch(keys []K, items []string, ha
 	w.apply(true)
 }
 
+// BatchAdd stages one (key, value) update in the writer's grouping
+// scratch without applying it. It is pass 1 of the grouped ingestion
+// exposed as a streaming entry point: a decoder walking a wire frame
+// can feed pairs one at a time — no intermediate key/value slices —
+// and commit the whole batch with BatchCommit (or BatchCommitHashed
+// when the values are already item hashes). Staged state is invisible
+// to queries until committed.
+func (w *Writer[K, V, S, C]) BatchAdd(k K, v V) {
+	gi := w.group(k)
+	w.gvals[gi] = append(w.gvals[gi], v)
+}
+
+// BatchLookup reports the group index k is already staged under,
+// without registering it. It lets a streaming decoder probe with a
+// transient view of a key (bytes aliasing a network buffer) and only
+// materialize an owned copy — via BatchGroup — when the key is new to
+// the batch; the grouping scratch retains registered keys, so a view
+// must never reach BatchGroup.
+func (w *Writer[K, V, S, C]) BatchLookup(k K) (int, bool) {
+	gi, ok := w.gidx[k]
+	return gi, ok
+}
+
+// BatchGroup registers k in the staged batch (first sight allowed) and
+// returns its group index for BatchAppend.
+func (w *Writer[K, V, S, C]) BatchGroup(k K) int { return w.group(k) }
+
+// BatchAppend stages one value onto a group obtained from BatchLookup
+// or BatchGroup.
+func (w *Writer[K, V, S, C]) BatchAppend(gi int, v V) {
+	w.gvals[gi] = append(w.gvals[gi], v)
+}
+
+// BatchCommit applies every staged update and leaves the scratch
+// empty, exactly as UpdateKeyedBatch's pass 2 would.
+func (w *Writer[K, V, S, C]) BatchCommit() {
+	if len(w.gkeys) == 0 {
+		return
+	}
+	w.apply(false)
+}
+
+// BatchCommitHashed is BatchCommit for staged values that are already
+// item hashes in the sketch family's hash space.
+func (w *Writer[K, V, S, C]) BatchCommitHashed() {
+	if len(w.gkeys) == 0 {
+		return
+	}
+	w.apply(true)
+}
+
+// BatchReset discards every staged update, restoring the scratch to
+// the state a committed batch leaves behind. A decoder that fails
+// mid-stream must reset, or its partial batch would leak into the
+// handle's next commit.
+func (w *Writer[K, V, S, C]) BatchReset() {
+	for _, si := range w.shardOrder {
+		for _, gi := range w.shardGroups[si] {
+			w.gvals[gi] = w.gvals[gi][:0]
+		}
+		w.shardGroups[si] = w.shardGroups[si][:0]
+	}
+	clear(w.gidx)
+	w.gkeys = w.gkeys[:0]
+	w.ghash = w.ghash[:0]
+	w.shardOrder = w.shardOrder[:0]
+}
+
 // group resolves the batch group index for a key, registering the key
 // with its shard on first sight (pass 1 of the grouped ingestion).
 func (w *Writer[K, V, S, C]) group(k K) int {
