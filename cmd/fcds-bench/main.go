@@ -105,6 +105,8 @@ func main() {
 			rep = windowExp(ctx, sc)
 		case "serve":
 			rep = serveExp(ctx, sc)
+		case "rollup":
+			rep = rollupExp(ctx, sc)
 		case "figure1":
 			figure1(sc.full)
 		case "figure5a":
@@ -187,6 +189,7 @@ experiments:
   pool             propagator pool: throughput and steal counts vs worker count
   window           sliding-window keyed tables: zipfian keys, rotating epochs vs plain tables
   serve            network ingest server: loopback throughput vs connection count
+  rollup           parallel read path: whole-table rollup + snapshot-append vs fan-out degree
   figure1          scalability: concurrent vs lock-based, update-only
   figure5a         accuracy pitchfork, no eager propagation (e=1.0)
   figure5b         accuracy pitchfork, eager propagation (e=0.04)
@@ -208,6 +211,7 @@ func all(ctx context.Context, sc scale, k int) {
 		func() { poolExp(ctx, sc) },
 		func() { windowExp(ctx, sc) },
 		func() { serveExp(ctx, sc) },
+		func() { rollupExp(ctx, sc) },
 		func() { figure1(sc.full) },
 		func() { figure5(sc.full, 1.0, k) },
 		func() { figure5(sc.full, 0.04, k) },
@@ -808,6 +812,120 @@ func runServeTrial(n uint64, conns, keys, chunk int, seed uint64) (float64, map[
 	default:
 	}
 	return float64(n) / 1e6 / elapsed.Seconds(), reg.Values(), nil
+}
+
+// rollupExp: the parallel read path — whole-table rollup and
+// streaming snapshot-append throughput across read fan-out degrees
+// and key counts. The table is populated once per configuration and
+// quiesced; the timed section is pure read-path work (collect,
+// per-key compaction, merge/serialize), so degree scaling here is the
+// direct measure of the shard-fanned rollup pipeline. Throughput is
+// per-key compaction ops (keys × passes / second), which is
+// comparable across key counts.
+func rollupExp(ctx context.Context, sc scale) *benchReport {
+	trials := 3
+	keySpaces := []int{1_000, 100_000}
+	degrees := []int{1, 2, 4}
+	itemsPerKey := 8
+	opsTarget := 2_000_000
+	if sc.full {
+		trials = 5
+		opsTarget = 8_000_000
+	}
+	if sc.smoke {
+		trials = 1
+		opsTarget = 100_000
+		itemsPerKey = 2
+	}
+	fmt.Println("# Rollup: parallel read path — whole-table rollup and snapshot-append vs read fan-out degree, keyed Θ (K=256)")
+	fmt.Println("curve\tdegree\tkeys\tMops_sec")
+	rep := benchReport{
+		Experiment: "rollup", Unix: time.Now().Unix(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), N: uint64(opsTarget), Trials: trials, K: 256,
+	}
+	for _, keys := range keySpaces {
+		iters := opsTarget / keys
+		if iters < 1 {
+			iters = 1
+		}
+		for _, degree := range degrees {
+			if ctx.Err() != nil {
+				return nil
+			}
+			rollMops, snapMops, ctrs := runRollupTrials(keys, degree, itemsPerKey, iters, trials)
+			fmt.Printf("rollup-keys%d\t%d\t%d\t%.2f\n", keys, degree, keys, rollMops)
+			fmt.Printf("snapshot-keys%d\t%d\t%d\t%.2f\n", keys, degree, keys, snapMops)
+			rep.Results = append(rep.Results,
+				benchRecord{
+					Curve: fmt.Sprintf("rollup-keys%d", keys), Threads: degree,
+					MopsSec: rollMops, Keys: keys, Counters: ctrs,
+				},
+				benchRecord{
+					Curve: fmt.Sprintf("snapshot-keys%d", keys), Threads: degree,
+					MopsSec: snapMops, Keys: keys,
+				})
+		}
+	}
+	return &rep
+}
+
+// runRollupTrials builds one quiesced keyed Θ table with the given
+// read fan-out degree, then times `trials` rounds of `iters`
+// whole-table rollups and snapshot-appends (best round wins, the
+// snapshot buffer is reused across passes so the steady state is
+// allocation-free on the caller side). Returns per-key compaction
+// Mops for each path plus the table-subsystem registry snapshot.
+func runRollupTrials(keys, degree, itemsPerKey, iters, trials int) (rollMops, snapMops float64, counters map[string]float64) {
+	tab := fcds.NewThetaTableU64(fcds.ThetaTableU64Config{
+		Table: fcds.TableU64Config{Writers: 1, Shards: 1024, ReadParallelism: degree},
+	})
+	defer tab.Close()
+	reg := fcds.NewMetricsRegistry()
+	tab.RegisterMetrics(reg, "bench")
+	const chunk = 2048
+	w := tab.Writer(0)
+	ks := make([]uint64, 0, chunk)
+	vs := make([]uint64, 0, chunk)
+	vals := stream.NewScrambled(uint64(keys))
+	for k := 0; k < keys; k++ {
+		for i := 0; i < itemsPerKey; i++ {
+			ks = append(ks, uint64(k))
+			vs = append(vs, vals.Next())
+			if len(ks) == chunk {
+				w.UpdateKeyedBatch(ks, vs)
+				ks, vs = ks[:0], vs[:0]
+			}
+		}
+	}
+	if len(ks) > 0 {
+		w.UpdateKeyedBatch(ks, vs)
+	}
+	tab.Drain()
+
+	ops := float64(keys) * float64(iters) / 1e6
+	var buf []byte
+	for trial := 0; trial < trials; trial++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			tab.Rollup()
+		}
+		if mops := ops / time.Since(start).Seconds(); mops > rollMops {
+			rollMops = mops
+		}
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			out, err := tab.SnapshotAppend(buf[:0])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fcds-bench: rollup: snapshot-append:", err)
+				os.Exit(1)
+			}
+			buf = out
+		}
+		if mops := ops / time.Since(start).Seconds(); mops > snapMops {
+			snapMops = mops
+		}
+	}
+	return rollMops, snapMops, reg.Values()
 }
 
 // checkReport is the bench-JSON regression gate: it compares this

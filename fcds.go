@@ -113,6 +113,44 @@
 // the Pool field of their configs; Compact() on any concurrent sketch
 // returns a serializable point-in-time snapshot.
 //
+// # Read-path cost model
+//
+// Whole-table reads — Rollup, Snapshot, SnapshotAppend, and the
+// checkpoint/snapshot-push paths built on them — cost O(keys), not
+// O(updates): each live key contributes one per-key compaction
+// (acquire the entry's read lock, capture the sketch's current
+// compact) plus, for rollups, one merge into the accumulator and, for
+// snapshots, one serialization. Per-key compaction dominates; with
+// K=4096 Θ sketches a compaction is a few microseconds, so a million
+// keys is seconds of work per pass if done serially. Reads never
+// block ingestion (writers only take shard read locks briefly per
+// key), but a long pass holds down cache and memory bandwidth.
+//
+// The read path therefore fans out: entry pointers are collected
+// under each shard's read lock, then per-key compaction runs on a
+// bounded worker set with per-worker partial aggregators merged
+// pairwise at the end (rollup) or per-worker serialization regions
+// stitched in order (snapshot). The degree is TableConfig's
+// ReadParallelism — 0 (the default) means GOMAXPROCS at call time, 1
+// forces the serial path, and any other value caps the workers per
+// pass. The caller's goroutine is always worker zero, so degree 1
+// spawns nothing. Scaling is near-linear while keys/degree stays
+// large (≥ a few thousand keys per worker); below ~1k keys the
+// fan-out constant (goroutine wake + pairwise merge) eats the win and
+// serial is just as fast, which is why the rollup experiment in
+// cmd/fcds-bench measures both a 1e3- and a 1e5-key curve.
+//
+// Operationally: size ReadParallelism so a full pass (the
+// fcds_table_rollup_duration_seconds /
+// fcds_table_snapshot_duration_seconds histograms below) completes
+// comfortably inside the shortest period that triggers one — the
+// -push-every snapshot interval, the -checkpoint-every durability
+// interval, or a dashboard's scrape period. If p99 pass duration
+// approaches that period, passes overlap: raise the degree, shard
+// the table across processes, or lengthen the interval. Windowed
+// tables add one sealed-aggregate rebuild per rotation (same fan-out,
+// same histograms), so Width must also exceed the pass duration.
+//
 // # Sliding windows
 //
 // Point-in-time sketches answer "uniques ever"; dashboards ask
@@ -294,6 +332,21 @@
 // sustained above zero (this node cannot reach its upstream), and
 // fcds_server_writer_pool_waits_total climbing (ingest frames found
 // every writer handle busy and had to wait — raise -writers).
+//
+// The read path exports duration histograms, one per table
+// (fcds_table_rollup_duration_seconds,
+// fcds_table_snapshot_duration_seconds) and one for the whole
+// checkpoint pass (fcds_server_checkpoint_duration_seconds, which
+// replaces the old fcds_server_checkpoint_write_seconds gauge).
+// Alerting thresholds follow the cost model above: alert when a
+// table's p99 snapshot duration exceeds half of -push-every (pushes
+// are starting to overlap their interval), when p99 checkpoint
+// duration exceeds half of -checkpoint-every (the durability window
+// has stopped shrinking — raise ReadParallelism or the interval), and
+// on any rollup p99 above the slowest dashboard's timeout. A sudden
+// shift of an otherwise-stable histogram toward higher buckets with a
+// flat key count means per-key compaction got more expensive (hot-key
+// promotions, estimation-mode transitions), not more keys.
 // -stats-every logs the same registry through WriteValues, so the log
 // dump and the scrape endpoint can never disagree.
 //

@@ -147,3 +147,28 @@ type ScalableEngine[V, S, C any] interface {
 	// propagator, so it needs no synchronisation.
 	NewSketchSeeded(pool *PropagatorPool, affinityKey uint64, from C) EngineSketch[V, S, C]
 }
+
+// HintedEngine is an optional Engine capability: deriving a compact
+// that carries a family's earned pre-filtering strength but none of
+// its data. The epoch ring uses it at rotation — a freshly rotated
+// epoch seeded with the previous epoch's (loosened) Θ hint starts
+// discarding most of the stream immediately instead of re-paying the
+// eager phase from scratch, and because the hint carries no sample
+// set, the new epoch still counts only its own items.
+//
+// ok=false means the source compact has no filter strength worth
+// carrying (e.g. a Θ sketch still in exact mode) or the family has no
+// data-free filter at all; callers fall back to an unseeded sketch.
+type HintedEngine[C any] interface {
+	// HintCompact derives the data-free filter-hint compact.
+	HintCompact(from C) (hint C, ok bool)
+}
+
+// ReseedableSketch is an optional EngineSketch capability: Reset
+// seeded from a compact (typically a HintCompact result) instead of
+// to the fully empty state, reusing the sketch's propagation
+// attachment and writer slots. Same exclusivity contract as Reset.
+type ReseedableSketch[C any] interface {
+	// ResetSeeded restores the state NewSketchSeeded would create.
+	ResetSeeded(from C)
+}

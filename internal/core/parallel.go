@@ -1,0 +1,75 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides the bounded fan-out primitive shared by every
+// parallel read path (table rollups/snapshots, window sealed-aggregate
+// rebuilds, server checkpoint passes). It is deliberately tiny: the
+// read side parallelizes as "N independent work items, claimed from a
+// shared counter, folded by at most `degree` workers" — no futures, no
+// error plumbing (callers record errors per worker slot), no pooling
+// (the goroutines live for one call; read-path calls are milliseconds,
+// not microseconds).
+
+// ReadDegree resolves a configured read-parallelism value following
+// the CommonConfig.ReadParallelism convention: values > 0 are taken
+// literally, anything else means GOMAXPROCS at call time.
+func ReadDegree(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// FanOut invokes fn(worker, index) exactly once for every index in
+// [0, n), using at most `degree` concurrent workers. The calling
+// goroutine participates as worker 0, so degree <= 1 (or n <= 1) runs
+// everything inline with no goroutines and no allocation — the serial
+// path and the parallel path are the same code.
+//
+// Indices are claimed from a shared atomic counter, so uneven per-index
+// cost balances automatically. Worker identifiers are dense in
+// [0, min(degree, n)): fn may index per-worker accumulators by them,
+// and no two invocations share a worker id concurrently. fn must not
+// panic: a panic in a spawned worker crashes the process.
+func FanOut(degree, n int, fn func(worker, index int)) {
+	if n <= 0 {
+		return
+	}
+	if degree > n {
+		degree = n
+	}
+	if degree <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(degree - 1)
+	for w := 1; w < degree; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(0, i)
+	}
+	wg.Wait()
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/fcds/fcds/internal/core"
 	"github.com/fcds/fcds/internal/server/wire"
 )
 
@@ -65,6 +66,13 @@ type CheckpointStats struct {
 // shutdown path checkpoints last so nothing ingested during the drain
 // is lost). The checkpoint timestamp HEALTH reports advances only
 // when every table was written.
+//
+// Tables checkpoint concurrently on a bounded worker set (and each
+// table's own capture fans out per key), so the pass's total
+// ingest-stall is the longest single table's quiesce window, not the
+// sum over tables. On error the pass still attempts every table —
+// files are independently atomic — and reports the first failure in
+// table-name order.
 func (s *Server) WriteCheckpoints(dir string) (CheckpointStats, error) {
 	var st CheckpointStats
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -78,10 +86,13 @@ func (s *Server) WriteCheckpoints(dir string) (CheckpointStats, error) {
 	s.mu.Unlock()
 	sort.Strings(names)
 	now := time.Now()
-	for _, name := range names {
+	bytes := make([]int64, len(names))
+	errs := make([]error, len(names))
+	core.FanOut(core.ReadDegree(0), len(names), func(_, i int) {
+		name := names[i]
 		b, ok := s.lookup(name)
 		if !ok {
-			continue
+			return
 		}
 		data := make([]byte, 0, 4<<10)
 		data = append(data, ckptMagic...)
@@ -90,20 +101,32 @@ func (s *Server) WriteCheckpoints(dir string) (CheckpointStats, error) {
 		data = wire.AppendString(data, name)
 		body, err := b.checkpointBody(data)
 		if err != nil {
-			return st, fmt.Errorf("server: checkpoint table %q: %w", name, err)
+			errs[i] = fmt.Errorf("server: checkpoint table %q: %w", name, err)
+			return
 		}
 		data = body
 		data = binary.LittleEndian.AppendUint32(data, crc32.ChecksumIEEE(data))
 		path := filepath.Join(dir, checkpointFileName(name))
 		if err := atomicWriteFile(path, data); err != nil {
-			return st, fmt.Errorf("server: checkpoint table %q: %w", name, err)
+			errs[i] = fmt.Errorf("server: checkpoint table %q: %w", name, err)
+			return
 		}
-		st.Tables++
-		st.Bytes += int64(len(data))
+		bytes[i] = int64(len(data))
+	})
+	for i := range names {
+		if errs[i] != nil {
+			return st, errs[i]
+		}
+		if bytes[i] > 0 {
+			st.Tables++
+			st.Bytes += bytes[i]
+		}
 	}
 	s.lastCheckpoint.Store(now.UnixNano())
 	s.checkpoints.Add(1)
-	s.checkpointDur.Store(int64(time.Since(now)))
+	if h := s.ckptHist.Load(); h != nil {
+		h.Observe(time.Since(now).Seconds())
+	}
 	return st, nil
 }
 

@@ -7,6 +7,13 @@ import (
 	"github.com/fcds/fcds/internal/metrics"
 )
 
+// checkpointDurationBounds bucket a full checkpoint pass — disk fsyncs
+// included, so the scale runs coarser than the in-memory read-path
+// bounds in internal/table.
+var checkpointDurationBounds = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
 // RegisterMetrics exports the server's operational counters into reg
 // and attaches the registry so tables registered (and snapshot sources
 // first seen) afterwards export their series too. Every series is
@@ -20,7 +27,9 @@ import (
 // fcds_server_snapshots_total, fcds_server_errors_total, plus the
 // checkpoint group (fcds_server_has_checkpoint,
 // fcds_server_checkpoint_age_seconds, fcds_server_checkpoints_total,
-// fcds_server_checkpoint_write_seconds). Per table (label "table"):
+// fcds_server_checkpoint_duration_seconds — a histogram replacing the
+// old fcds_server_checkpoint_write_seconds last-pass gauge). Per table
+// (label "table"):
 // fcds_server_table_keys, fcds_server_table_frames_total,
 // fcds_server_table_items_total, fcds_server_table_bytes_total,
 // fcds_server_table_errors_total, fcds_server_writer_pool_waits_total,
@@ -86,9 +95,9 @@ func (s *Server) RegisterMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("fcds_server_checkpoints_total",
 		"Completed checkpoint write passes.",
 		func() float64 { return float64(s.checkpoints.Load()) })
-	reg.GaugeFunc("fcds_server_checkpoint_write_seconds",
-		"Wall time of the last checkpoint write pass.",
-		func() float64 { return time.Duration(s.checkpointDur.Load()).Seconds() })
+	s.ckptHist.Store(reg.Histogram("fcds_server_checkpoint_duration_seconds",
+		"Wall time of checkpoint write passes (all tables, concurrent). Alert when p99 approaches the checkpoint interval: passes start overlapping and the durability window stops shrinking.",
+		checkpointDurationBounds))
 
 	s.mu.Lock()
 	type reginfo struct {

@@ -111,10 +111,10 @@ type Server struct {
 	// checkpoint this server wrote or recovered (0 = never); HEALTH
 	// reports its age so monitors can bound crash data loss.
 	lastCheckpoint atomic.Int64
-	// checkpoints counts completed WriteCheckpoints passes;
-	// checkpointDur is the last pass's wall time in nanoseconds.
-	checkpoints   atomic.Int64
-	checkpointDur atomic.Int64
+	// checkpoints counts completed WriteCheckpoints passes; ckptHist,
+	// when metrics are registered, receives each pass's wall time.
+	checkpoints atomic.Int64
+	ckptHist    atomic.Pointer[metrics.Histogram]
 
 	// metricsMu guards the attached registry and the per-(table,source)
 	// push timestamps behind the snapshot-push lag gauges.

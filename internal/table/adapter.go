@@ -1,6 +1,8 @@
 package table
 
 import (
+	"time"
+
 	"github.com/fcds/fcds/internal/core"
 )
 
@@ -35,13 +37,16 @@ func (st *SketchTable[K, V, S, C]) Query(k K) (S, bool) { return st.t.query(k) }
 func (st *SketchTable[K, V, S, C]) CompactKey(k K) (C, bool) { return st.t.compactKey(k) }
 
 // Rollup merges every live key's sketch into one compact — the
-// all-keys aggregate, by the family's mergeability.
+// all-keys aggregate, by the family's mergeability. Per-key compaction
+// fans out across Config.ReadParallelism workers (GOMAXPROCS by
+// default) with per-worker aggregators merged pairwise; every fold
+// order of the same per-key compacts is a valid aggregate, so the
+// parallel and serial results agree.
 func (st *SketchTable[K, V, S, C]) Rollup() C {
-	agg := st.eng.NewAggregator()
-	st.t.forEachCompact(func(_ K, c C) {
-		_ = agg.Add(c) // engine-made compacts are compatible by construction
-	})
-	return agg.Result()
+	start := time.Now()
+	c := st.t.rollup(st.t.readDegree())
+	st.t.observeDur(&st.t.rollupHist, start)
+	return c
 }
 
 // Relaxation returns the per-key bound r = 2·N·b on updates a per-key
@@ -85,24 +90,33 @@ func (st *SketchTable[K, V, S, C]) EvictExpired() int { return st.t.EvictExpired
 func (st *SketchTable[K, V, S, C]) Drain() { st.t.Drain() }
 
 // Snapshot captures every live key's compact sketch into a mergeable,
-// serializable table snapshot.
+// serializable table snapshot. Per-key compaction fans out across
+// Config.ReadParallelism workers (GOMAXPROCS by default).
 func (st *SketchTable[K, V, S, C]) Snapshot() *TableSnapshot[K, C] {
+	start := time.Now()
 	s := NewTableSnapshot[K](st.eng)
-	st.t.forEachCompact(func(k K, c C) { s.entries[k] = c })
+	st.t.snapshotInto(s, st.t.readDegree())
+	st.t.observeDur(&st.t.snapHist, start)
 	return s
 }
 
-// SnapshotBinary serializes the whole table (Snapshot + MarshalBinary).
+// SnapshotBinary serializes the whole table (SnapshotAppend into a
+// fresh buffer).
 func (st *SketchTable[K, V, S, C]) SnapshotBinary() ([]byte, error) {
-	return st.Snapshot().MarshalBinary()
+	return st.SnapshotAppend(nil)
 }
 
 // SnapshotAppend captures the table and serializes it into dst,
 // returning the extended slice — the streaming variant of
 // SnapshotBinary for callers shipping periodic snapshots through a
-// reusable buffer (the network server's snapshot-pull path).
+// reusable buffer (the network server's snapshot-pull path). The
+// capture serializes directly into dst — no intermediate snapshot map
+// — with per-key marshalling fanned out like Snapshot's.
 func (st *SketchTable[K, V, S, C]) SnapshotAppend(dst []byte) ([]byte, error) {
-	return st.Snapshot().AppendBinary(dst)
+	start := time.Now()
+	out, err := st.t.appendSnapshot(dst, st.t.readDegree())
+	st.t.observeDur(&st.t.snapHist, start)
+	return out, err
 }
 
 // Close drains and closes every per-key sketch and the owned pool.

@@ -1,17 +1,40 @@
 package table
 
 import (
+	"sync/atomic"
+	"time"
+
 	"github.com/fcds/fcds/internal/metrics"
 )
+
+// readDurationBounds bucket the rollup/snapshot duration histograms:
+// sub-millisecond captures up through the multi-second scans a
+// millions-of-keys table produces.
+var readDurationBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// observeDur records a read-path duration into the histogram slot, if
+// metrics were registered; reads on unregistered tables observe
+// nothing.
+func (t *Table[K, V, S, C]) observeDur(p *atomic.Pointer[metrics.Histogram], start time.Time) {
+	if h := p.Load(); h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
 
 // RegisterMetrics exports the table's operational counters into reg,
 // labeled with the given table name. Every series is func-backed and
 // read from the table's existing atomics at scrape time, so the keyed
-// ingestion hot paths keep their zero-allocation budgets.
+// ingestion hot paths keep their zero-allocation budgets; the two
+// duration histograms are fed from the read paths (rollup/snapshot),
+// never from ingestion.
 //
 // Families: fcds_table_keys, fcds_table_evictions_total{cause},
 // fcds_table_promotions_total, fcds_table_demotions_total,
-// fcds_table_writer_cache_hits_total, fcds_table_shard_lookups_total.
+// fcds_table_writer_cache_hits_total, fcds_table_shard_lookups_total,
+// fcds_table_rollup_duration_seconds,
+// fcds_table_snapshot_duration_seconds.
 func (st *SketchTable[K, V, S, C]) RegisterMetrics(reg *metrics.Registry, name string) {
 	t := st.t
 	reg.GaugeFunc("fcds_table_keys",
@@ -35,4 +58,10 @@ func (st *SketchTable[K, V, S, C]) RegisterMetrics(reg *metrics.Registry, name s
 	reg.CounterFunc("fcds_table_shard_lookups_total",
 		"Key resolutions that missed the writer cache and went through a shard map.",
 		func() float64 { return float64(t.Stats().ShardLookups) }, "table", name)
+	t.rollupHist.Store(reg.Histogram("fcds_table_rollup_duration_seconds",
+		"Wall time of whole-table rollups (collect, fan-out compaction, pairwise merge).",
+		readDurationBounds, "table", name))
+	t.snapHist.Store(reg.Histogram("fcds_table_snapshot_duration_seconds",
+		"Wall time of whole-table snapshot captures, including streaming serialization (SnapshotAppend).",
+		readDurationBounds, "table", name))
 }

@@ -47,6 +47,7 @@ import (
 
 	"github.com/fcds/fcds/internal/core"
 	"github.com/fcds/fcds/internal/hash"
+	"github.com/fcds/fcds/internal/metrics"
 )
 
 // Key is the set of supported table key types.
@@ -133,6 +134,11 @@ type Config[K Key] struct {
 	// to scaled-up per-key sketches. Ignored when the table's engine
 	// does not implement core.ScalableEngine.
 	HotKeys *HotKeyPolicy
+	// ReadParallelism bounds the worker fan-out of the parallel read
+	// paths (Rollup, Snapshot, SnapshotAppend): 0 means GOMAXPROCS at
+	// call time, 1 forces the serial walk, higher values are clamped
+	// to the live key count per call. Ingestion is never affected.
+	ReadParallelism int
 }
 
 func (c Config[K]) withDefaults() Config[K] {
@@ -223,6 +229,12 @@ type Table[K Key, V, S, C any] struct {
 	// scrape-safe aggregation without sharing a contended cell across
 	// writers.
 	wstats []writerCells
+
+	// rollupHist/snapHist, when set by RegisterMetrics, receive the
+	// wall duration of every rollup / snapshot capture (nil until
+	// metrics are registered — reads stay observation-free).
+	rollupHist atomic.Pointer[metrics.Histogram]
+	snapHist   atomic.Pointer[metrics.Histogram]
 
 	// now is the eviction clock (UnixNano); tests override it.
 	now func() int64
@@ -456,25 +468,20 @@ func (t *Table[K, V, S, C]) compactKey(k K) (C, bool) {
 	return c, true
 }
 
-// forEachCompact visits a compact snapshot of every live key. Snapshots
-// are taken shard by shard under the shard read-lock, so a concurrent
-// snapshot is consistent per key but not across keys — the usual
-// r-relaxed guarantee, per key.
+// forEachCompact visits a compact snapshot of every live key. Entry
+// pointers are collected shard by shard under the shard read-lock and
+// compacted outside it under each entry's own liveness lock, so
+// eviction, lazy creation and writer-cache validation on a shard never
+// stall behind a whole-shard compaction scan; a key evicted between
+// collection and compaction is skipped, exactly as a slightly earlier
+// walk would have missed it. Consistency is per key, not across keys —
+// the usual r-relaxed guarantee.
 func (t *Table[K, V, S, C]) forEachCompact(fn func(k K, c C)) {
-	for i := range t.shards {
-		sh := &t.shards[i]
-		sh.mu.RLock()
-		for k, e := range sh.m {
-			if t.hot == nil {
-				fn(k, e.sk.Compact())
-				continue
-			}
-			e.mu.RLock()
-			c := t.compactOf(e)
-			e.mu.RUnlock()
-			fn(k, c)
+	keys, ents := t.collectEntries()
+	for i, e := range ents {
+		if c, ok := t.compactEntry(e); ok {
+			fn(keys[i], c)
 		}
-		sh.mu.RUnlock()
 	}
 }
 

@@ -1,0 +1,165 @@
+package theta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fcds/fcds/internal/core"
+)
+
+// Tests for the epoch carry-over capabilities: HintCompact (a
+// data-free compact carrying a loosened Θ pre-filter) and ResetSeeded
+// (recycling a sketch into a fresh one that starts behind that
+// filter). The error-bound test pins the property the window's Θ
+// carry-over relies on: a sketch seeded with a fixed threshold θ₀ is
+// still an unbiased estimator of its own stream.
+
+// compactOfStream ingests n seeded distinct items into a fresh engine
+// sketch and returns its compact.
+func compactOfStream(eng *Engine, pool *core.PropagatorPool, rng *rand.Rand, n int) *Compact {
+	sk := eng.NewSketch(pool)
+	defer sk.Close()
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = rng.Uint64()
+	}
+	sk.UpdateBatch(0, vs)
+	sk.Flush(0)
+	return sk.Compact()
+}
+
+// TestHintCompactExactMode: a sketch still in (or near) exact mode has
+// no filter strength worth carrying — HintCompact must decline rather
+// than hand back a hint that rounds to θ = 1.
+func TestHintCompactExactMode(t *testing.T) {
+	pool := core.NewPropagatorPool(1)
+	defer pool.Close()
+	eng := NewEngine(ConcurrentConfig{K: 2048, Writers: 1, MaxError: 1})
+	rng := rand.New(rand.NewSource(0x41a7))
+
+	c := compactOfStream(eng, pool, rng, 100) // far below K: θ = 1
+	if hint, ok := eng.HintCompact(c); ok {
+		t.Fatalf("exact-mode compact produced a hint (θ=%d)", hint.Theta())
+	}
+}
+
+// TestHintCompactLoosens: an estimation-mode compact yields a
+// data-free hint at exactly carryHintHeadroom times its Θ, same seed.
+func TestHintCompactLoosens(t *testing.T) {
+	pool := core.NewPropagatorPool(1)
+	defer pool.Close()
+	eng := NewEngine(ConcurrentConfig{K: 256, Writers: 1, MaxError: 1})
+	rng := rand.New(rand.NewSource(0x10af))
+
+	c := compactOfStream(eng, pool, rng, 50000)
+	if !c.IsEstimationMode() {
+		t.Fatalf("50000 items into K=256 should be estimation mode")
+	}
+	hint, ok := eng.HintCompact(c)
+	if !ok {
+		t.Fatalf("estimation-mode compact declined a hint (θ=%d)", c.Theta())
+	}
+	if hint.Retained() != 0 {
+		t.Fatalf("hint carries %d samples, want 0 (data-free)", hint.Retained())
+	}
+	if got, want := hint.Theta(), c.Theta()*carryHintHeadroom; got != want {
+		t.Fatalf("hint θ = %d, want source θ × %d = %d", got, carryHintHeadroom, want)
+	}
+	if hint.Seed() != c.Seed() {
+		t.Fatalf("hint seed %#x differs from source %#x", hint.Seed(), c.Seed())
+	}
+	if est := hint.Estimate(); est != 0 {
+		t.Fatalf("data-free hint estimates %v, want 0", est)
+	}
+}
+
+// TestSeededEstimateErrorBound pins the unbiasedness the carry-over
+// rests on: a sketch that starts behind a fixed carried threshold θ₀
+// (no samples) estimates its own stream within normal KMV error, both
+// when the new stream matches the old one's size and when it shrinks
+// by the full headroom factor.
+func TestSeededEstimateErrorBound(t *testing.T) {
+	pool := core.NewPropagatorPool(1)
+	defer pool.Close()
+	const k = 2048
+	eng := NewEngine(ConcurrentConfig{K: k, Writers: 1, MaxError: 1})
+	rng := rand.New(rand.NewSource(0x5eed))
+
+	prev := compactOfStream(eng, pool, rng, 100000)
+	hint, ok := eng.HintCompact(prev)
+	if !ok {
+		t.Fatalf("no hint from a 100k-item stream (θ=%d)", prev.Theta())
+	}
+
+	// ~4.5 standard errors of the plain KMV RSE 1/sqrt(k-2): far past
+	// any flakiness for a fixed seed, tight enough to catch a biased
+	// seeded estimator (a wrong θ accounting shows up as ≥ headroom-
+	// factor bias, not percent-level noise).
+	tol := 4.5 / math.Sqrt(k-2)
+	for _, n := range []int{100000, 100000 / carryHintHeadroom} {
+		sk := eng.NewSketchSeeded(pool, 0, hint)
+		vs := make([]uint64, n)
+		for i := range vs {
+			vs[i] = rng.Uint64()
+		}
+		sk.UpdateBatch(0, vs)
+		sk.Flush(0)
+		got := sk.Query()
+		if relErr := math.Abs(got-float64(n)) / float64(n); relErr > tol {
+			t.Fatalf("seeded sketch over %d items estimates %.0f (rel err %.3f > %.3f)", n, got, relErr, tol)
+		}
+		sk.Close()
+	}
+}
+
+// TestResetSeeded: recycling a sketch with ResetSeeded forgets its
+// entire previous stream and installs the carried filter — it answers
+// like a freshly seeded sketch, within KMV error.
+func TestResetSeeded(t *testing.T) {
+	pool := core.NewPropagatorPool(1)
+	defer pool.Close()
+	const k = 2048
+	eng := NewEngine(ConcurrentConfig{K: k, Writers: 2, MaxError: 1})
+	rng := rand.New(rand.NewSource(0xd0e))
+
+	prev := compactOfStream(eng, pool, rng, 80000)
+	hint, ok := eng.HintCompact(prev)
+	if !ok {
+		t.Fatalf("no hint from an 80k-item stream (θ=%d)", prev.Theta())
+	}
+
+	sk := eng.NewSketch(pool)
+	defer sk.Close()
+	rs, ok := any(sk).(core.ReseedableSketch[*Compact])
+	if !ok {
+		t.Fatalf("theta engine sketch does not implement core.ReseedableSketch")
+	}
+	junk := make([]uint64, 30000)
+	for i := range junk {
+		junk[i] = rng.Uint64()
+	}
+	sk.UpdateBatch(0, junk)
+	sk.UpdateBatch(1, junk[:500])
+	sk.Flush(0)
+	rs.ResetSeeded(hint)
+
+	const n = 60000
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = rng.Uint64()
+	}
+	sk.UpdateBatch(0, vs)
+	sk.Flush(0)
+	got := sk.Query()
+	tol := 4.5 / math.Sqrt(k-2)
+	if relErr := math.Abs(got-n) / n; relErr > tol {
+		t.Fatalf("reseeded sketch estimates %.0f of %d (rel err %.3f > %.3f — junk remembered or filter wrong)",
+			got, n, relErr, tol)
+	}
+	// The carried filter must actually be installed: the sketch's Θ can
+	// only have tightened from θ₀, never loosened back toward 1.
+	if ct := sk.Compact().Theta(); ct > hint.Theta() {
+		t.Fatalf("post-reseed θ = %d looser than carried θ₀ = %d", ct, hint.Theta())
+	}
+}

@@ -1,0 +1,133 @@
+package window
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/fcds/fcds/internal/theta"
+)
+
+// Tests for the rotation cost-recovery levers: recycling expired
+// epoch sketches into the new active epoch and seeding the new epoch
+// with the outgoing epoch's carried Θ filter. The error-bound test is
+// the pinned accuracy contract for the carry-over: window estimates
+// stay within KMV error across many hinted rotations, including an
+// epoch-over-epoch cardinality drop of the full headroom factor.
+
+// TestRotateRecyclesExpiredSketch: once the ring is full every
+// rotation drops one epoch and must reuse its sketch; with small
+// exact-mode epochs no hint is carried, and recycled epochs must not
+// leak their previous epoch's items.
+func TestRotateRecyclesExpiredSketch(t *testing.T) {
+	const slots = 3
+	w := New(exactTheta(1), Config{Slots: slots, Width: time.Hour})
+	defer w.Close()
+	wr := w.Writer(0)
+
+	const perEpoch = 100
+	next := uint64(0)
+	for rot := 0; rot < 10; rot++ {
+		for i := 0; i < perEpoch; i++ {
+			wr.Update(next) // globally distinct: leakage would inflate counts
+			next++
+		}
+		w.Drain()
+		inWindow := perEpoch * min(rot+1, slots)
+		if got := w.QueryWindow(); got != float64(inWindow) {
+			t.Fatalf("rotation %d: window = %v, want %v", rot, got, inWindow)
+		}
+		w.Rotate()
+	}
+	// Rotations 0..9 performed; the ring held slots generations from
+	// rotation slots-1 on, so every later rotation recycled one sketch.
+	if got, want := w.Recycles(), int64(10-(slots-1)); got != want {
+		t.Fatalf("recycles = %d, want %d", got, want)
+	}
+	if got := w.HintCarries(); got != 0 {
+		t.Fatalf("hint carries = %d, want 0 (exact-mode epochs carry nothing)", got)
+	}
+	if got, want := w.ExpiredEpochs(), int64(10-(slots-1)); got != want {
+		t.Fatalf("expired = %d, want %d", got, want)
+	}
+}
+
+// TestCarryOverErrorBound: estimation-mode epochs carry a loosened Θ
+// hint into each new epoch (recycled or fresh). Window estimates over
+// globally distinct streams must stay within plain KMV error at every
+// rotation — a wrong θ₀ accounting in the carried filter would show
+// up as a headroom-factor bias, not noise — including when the stream
+// shrinks by the full headroom factor mid-run.
+func TestCarryOverErrorBound(t *testing.T) {
+	const (
+		slots = 3
+		k     = 2048
+	)
+	eng := theta.NewEngine(theta.ConcurrentConfig{K: k, Writers: 1, MaxError: 1})
+	w := New(eng, Config{Slots: slots, Width: time.Hour})
+	defer w.Close()
+	wr := w.Writer(0)
+	rng := rand.New(rand.NewSource(0xca44))
+
+	// Epoch cardinalities: steady estimation-mode epochs, then a drop
+	// by the full hint headroom (8×), then recovery.
+	epochN := []int{60000, 60000, 60000, 60000, 7500, 7500, 60000, 60000}
+	tol := 4.5 / math.Sqrt(k-2)
+
+	window := make([]int, 0, slots)
+	for rot, n := range epochN {
+		vs := make([]uint64, n)
+		for i := range vs {
+			vs[i] = rng.Uint64() // distinct across all epochs w.h.p.
+		}
+		wr.UpdateBatch(vs)
+		w.Drain()
+		window = append(window, n)
+		if len(window) > slots {
+			window = window[1:]
+		}
+		want := 0
+		for _, m := range window {
+			want += m
+		}
+		got := w.QueryWindow()
+		if relErr := math.Abs(got-float64(want)) / float64(want); relErr > tol {
+			t.Fatalf("rotation %d: window = %.0f, want %d (rel err %.3f > %.3f)",
+				rot, got, want, relErr, tol)
+		}
+		w.Rotate()
+	}
+	if w.HintCarries() == 0 {
+		t.Fatalf("no rotation carried a hint despite estimation-mode epochs")
+	}
+	if w.Recycles() == 0 {
+		t.Fatalf("no rotation recycled an expired sketch")
+	}
+}
+
+// TestCarryOverSkipsExactEpochs: an exact-mode outgoing epoch must not
+// seed the next epoch (there is no filter strength to carry), and the
+// hintless recycled epoch still answers exactly.
+func TestCarryOverSkipsExactEpochs(t *testing.T) {
+	const slots = 2
+	eng := theta.NewEngine(theta.ConcurrentConfig{K: 4096, Writers: 1, MaxError: 1})
+	w := New(eng, Config{Slots: slots, Width: time.Hour})
+	defer w.Close()
+	wr := w.Writer(0)
+
+	for rot := 0; rot < 5; rot++ {
+		for i := 0; i < 200; i++ {
+			wr.Update(uint64(10000*rot + i))
+		}
+		w.Drain()
+		w.Rotate()
+	}
+	if got := w.HintCarries(); got != 0 {
+		t.Fatalf("hint carries = %d, want 0", got)
+	}
+	w.Drain()
+	if got := w.QueryWindow(); got != 200 {
+		t.Fatalf("window after exact-mode rotations = %v, want 200", got)
+	}
+}

@@ -11,7 +11,8 @@ import (
 // own atomic bumps.
 //
 // Families: fcds_window_epoch, fcds_window_rotations_total,
-// fcds_window_sealed_rebuilds_total, fcds_window_expired_epochs_total.
+// fcds_window_sealed_rebuilds_total, fcds_window_expired_epochs_total,
+// fcds_window_recycles_total, fcds_window_hint_carries_total.
 func (r *ring) RegisterMetrics(reg *metrics.Registry, name string) {
 	reg.GaugeFunc("fcds_window_epoch",
 		"Current epoch number of the ring (incremented per rotation).",
@@ -25,4 +26,10 @@ func (r *ring) RegisterMetrics(reg *metrics.Registry, name string) {
 	reg.CounterFunc("fcds_window_expired_epochs_total",
 		"Epochs dropped off the ring, their data leaving the window.",
 		func() float64 { return float64(r.ExpiredEpochs()) }, "window", name)
+	reg.CounterFunc("fcds_window_recycles_total",
+		"Expired epoch sketches reused for the new active epoch via Reset.",
+		func() float64 { return float64(r.Recycles()) }, "window", name)
+	reg.CounterFunc("fcds_window_hint_carries_total",
+		"Rotations that seeded the new epoch with the previous epoch's carried filter hint.",
+		func() float64 { return float64(r.HintCarries()) }, "window", name)
 }

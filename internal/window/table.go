@@ -250,6 +250,13 @@ func (w *Table[K, V, S, C]) Rotate() {
 // epoch's compact outright — with churning key populations most keys
 // take the zero-merge path, keeping rotation cost near one compact
 // walk per sealed epoch.
+//
+// With ReadParallelism > 1 the fold fans out: keys are partitioned by
+// their table-placement hash (every epoch's copy of a key lands in the
+// same partition, so partitions fold independently) and the partition
+// results combine into one snapshot. Per-key fold order is epoch order
+// either way, so the parallel and serial aggregates agree family by
+// family.
 func (w *Table[K, V, S, C]) mergeSealed(sealed []*table.TableSnapshot[K, C]) *table.TableSnapshot[K, C] {
 	switch len(sealed) {
 	case 0:
@@ -257,31 +264,70 @@ func (w *Table[K, V, S, C]) mergeSealed(sealed []*table.TableSnapshot[K, C]) *ta
 	case 1:
 		return sealed[0] // snapshots are immutable once sealed
 	}
-	type fold struct {
-		c   C
-		agg core.Aggregator[C]
+	type pair struct {
+		k K
+		c C
 	}
-	folds := make(map[K]*fold, sealed[len(sealed)-1].Len())
-	for _, s := range sealed {
-		s.ForEach(func(k K, c C) {
-			f := folds[k]
+	foldPairs := func(pairs []pair, sizeHint int) map[K]C {
+		type fold struct {
+			c   C
+			agg core.Aggregator[C]
+		}
+		folds := make(map[K]*fold, sizeHint)
+		for _, p := range pairs {
+			f := folds[p.k]
 			if f == nil {
-				folds[k] = &fold{c: c}
-				return
+				folds[p.k] = &fold{c: p.c}
+				continue
 			}
 			if f.agg == nil {
 				f.agg = w.eng.NewAggregator()
 				_ = f.agg.Add(f.c)
 			}
-			_ = f.agg.Add(c)
-		})
+			_ = f.agg.Add(p.c)
+		}
+		out := make(map[K]C, len(folds))
+		for k, f := range folds {
+			if f.agg != nil {
+				out[k] = f.agg.Result()
+			} else {
+				out[k] = f.c
+			}
+		}
+		return out
+	}
+	degree := core.ReadDegree(w.cfg.ReadParallelism)
+	total := 0
+	for _, s := range sealed {
+		total += s.Len()
 	}
 	agg := table.NewTableSnapshot[K](w.eng)
-	for k, f := range folds {
-		if f.agg != nil {
-			agg.Set(k, f.agg.Result())
-		} else {
-			agg.Set(k, f.c)
+	if degree <= 1 || total == 0 {
+		pairs := make([]pair, 0, total)
+		for _, s := range sealed {
+			s.ForEach(func(k K, c C) { pairs = append(pairs, pair{k, c}) })
+		}
+		for k, c := range foldPairs(pairs, sealed[len(sealed)-1].Len()) {
+			agg.Set(k, c)
+		}
+		return agg
+	}
+	// Partition pass (serial, one hash per pair — cheap next to the
+	// per-key merges), then one worker folds each partition.
+	parts := make([][]pair, degree)
+	for _, s := range sealed {
+		s.ForEach(func(k K, c C) {
+			p := table.HashKey(k) % uint64(degree)
+			parts[p] = append(parts[p], pair{k, c})
+		})
+	}
+	results := make([]map[K]C, degree)
+	core.FanOut(degree, degree, func(_, p int) {
+		results[p] = foldPairs(parts[p], len(parts[p]))
+	})
+	for _, m := range results {
+		for k, c := range m {
+			agg.Set(k, c)
 		}
 	}
 	return agg

@@ -55,6 +55,12 @@ type Config struct {
 	// with other sketches, tables or windows; the caller closes it
 	// after the window. Nil gives the window its own pool.
 	Pool *core.PropagatorPool
+	// ReadParallelism bounds the worker fan-out of the ring's parallel
+	// read paths (the sealed-aggregate rebuild at rotation, the
+	// windowed table's sealed-epoch merge): 0 means GOMAXPROCS at call
+	// time, 1 forces the serial path. Ingestion is never affected. See
+	// core.CommonConfig.ReadParallelism.
+	ReadParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +149,12 @@ type ring struct {
 	rotations      atomic.Int64
 	sealedRebuilds atomic.Int64
 	expired        atomic.Int64
+	// recycles counts expired epoch sketches reused (Reset) for the
+	// new active epoch instead of being torn down; hintCarries counts
+	// rotations that seeded the new epoch with the previous epoch's
+	// carried filter hint (Θ families only).
+	recycles    atomic.Int64
+	hintCarries atomic.Int64
 }
 
 // init wires the ring: cfg must already carry defaults. fallback, when
@@ -173,6 +185,14 @@ func (r *ring) SealedRebuilds() int64 { return r.sealedRebuilds.Load() }
 
 // ExpiredEpochs returns the number of epochs dropped off the ring.
 func (r *ring) ExpiredEpochs() int64 { return r.expired.Load() }
+
+// Recycles returns the number of expired epoch sketches reused for a
+// fresh epoch via the engine's Reset path.
+func (r *ring) Recycles() int64 { return r.recycles.Load() }
+
+// HintCarries returns the number of rotations that seeded the new
+// epoch with the previous epoch's carried filter hint.
+func (r *ring) HintCarries() int64 { return r.hintCarries.Load() }
 
 // Slots returns R, the ring size.
 func (r *ring) Slots() int { return r.cfg.Slots }
@@ -309,32 +329,83 @@ func (w *Windowed[V, S, C]) windowCompact() C {
 // leave the window), and the sealed aggregate and published snapshot
 // are recomputed. Safe to call concurrently with ingestion and
 // queries.
+//
+// Two per-rotation costs are recovered here. The expired epoch's
+// sketch is recycled for the new epoch via the engine's Reset path
+// instead of being torn down and rebuilt — same pool attachment, same
+// affinity worker. And for families exposing core.HintedEngine (Θ),
+// the new epoch is seeded with the outgoing epoch's filter hint, so it
+// starts discarding most of the stream immediately instead of
+// re-paying the eager phase from scratch each epoch.
 func (w *Windowed[V, S, C]) Rotate() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return
 	}
-	g := &generation[V, S, C]{
-		epoch: w.epoch.Add(1),
-		sk:    w.eng.NewSketchAffine(w.pool, w.affKey),
+	// Derive the carry-over hint from the outgoing active epoch before
+	// the ring changes. Safe without the generation lock: w.mu excludes
+	// the only closers (Rotate's expiry, Close), and Compact serialises
+	// with the propagator, never with writers.
+	var hint C
+	hinted := false
+	if he, ok := any(w.eng).(core.HintedEngine[C]); ok {
+		hint, hinted = he.HintCompact(w.gens[len(w.gens)-1].sk.Compact())
 	}
-	w.rotations.Add(1)
-	w.gens = append(w.gens, g)
-	// Expire: generations older than the ring leave the window. The
-	// exclusive lock waits out in-flight writers and late flushes.
-	// (Writers keep targeting the outgoing active generation until the
-	// new view is published below; it is never the expiring one, since
-	// Slots >= 2.)
-	for len(w.gens) > w.cfg.Slots {
+	// Expire first, so a dropped generation's sketch is available for
+	// recycling: generations older than the ring leave the window. The
+	// exclusive lock waits out in-flight writers and late flushes —
+	// the straggler-safe handoff: any writer that raced in either
+	// completed its flush before the lock was granted (Reset's Close
+	// drains every handed-off buffer) or observes closed afterwards
+	// and skips. (Writers keep targeting the outgoing active
+	// generation until the new view is published below; it is never
+	// the expiring one, since Slots >= 2.)
+	var recycled core.EngineSketch[V, S, C]
+	for len(w.gens) >= w.cfg.Slots {
 		old := w.gens[0]
 		w.gens = w.gens[1:]
 		old.mu.Lock()
 		old.closed = true
-		old.sk.Close()
+		if recycled == nil {
+			recycled = old.sk
+		} else {
+			old.sk.Close()
+		}
+		// Every access to a generation's sketch is guarded by closed;
+		// nil out the reference so the recycled sketch cannot be
+		// reached through the retired generation.
+		old.sk = nil
 		old.mu.Unlock()
 		w.expired.Add(1)
 	}
+	// Build the new active sketch: recycled and reseeded when both
+	// levers apply, falling back gracefully when the engine offers
+	// neither capability.
+	var sk core.EngineSketch[V, S, C]
+	switch {
+	case recycled != nil:
+		if rs, ok := any(recycled).(core.ReseedableSketch[C]); ok && hinted {
+			rs.ResetSeeded(hint)
+			w.hintCarries.Add(1)
+		} else {
+			recycled.Reset()
+		}
+		sk = recycled
+		w.recycles.Add(1)
+	case hinted:
+		if se, ok := any(w.eng).(core.ScalableEngine[V, S, C]); ok {
+			sk = se.NewSketchSeeded(w.pool, w.affKey, hint)
+			w.hintCarries.Add(1)
+		} else {
+			sk = w.eng.NewSketchAffine(w.pool, w.affKey)
+		}
+	default:
+		sk = w.eng.NewSketchAffine(w.pool, w.affKey)
+	}
+	g := &generation[V, S, C]{epoch: w.epoch.Add(1), sk: sk}
+	w.rotations.Add(1)
+	w.gens = append(w.gens, g)
 	// Recompute the sealed aggregate from fresh compacts of the
 	// surviving non-active generations: updates that straggled into a
 	// sealed epoch since the last rotation (late flushes, in-flight
@@ -345,13 +416,24 @@ func (w *Windowed[V, S, C]) Rotate() {
 
 // republishLocked rebuilds the sealed aggregate from fresh compacts of
 // the non-active generations and publishes the new view and cached
-// window snapshot in one store each. Caller holds w.mu; gens is
-// non-empty.
+// window snapshot in one store each. The per-epoch Compact calls (each
+// a brief serialisation with that epoch's propagator) fan out across
+// Config.ReadParallelism workers; the fold stays in generation order.
+// Caller holds w.mu; gens is non-empty.
 func (w *Windowed[V, S, C]) republishLocked() {
 	w.sealedRebuilds.Add(1)
+	sealed := w.gens[:len(w.gens)-1]
 	agg := w.eng.NewAggregator()
-	for _, sg := range w.gens[:len(w.gens)-1] {
-		_ = agg.Add(sg.sk.Compact())
+	if len(sealed) > 1 {
+		compacts := make([]C, len(sealed))
+		core.FanOut(core.ReadDegree(w.cfg.ReadParallelism), len(sealed), func(_, i int) {
+			compacts[i] = sealed[i].sk.Compact()
+		})
+		for _, c := range compacts {
+			_ = agg.Add(c) // same engine: compatible by construction
+		}
+	} else if len(sealed) == 1 {
+		_ = agg.Add(sealed[0].sk.Compact())
 	}
 	c := agg.Result()
 	w.view.Store(&winView[V, S, C]{active: w.gens[len(w.gens)-1], sealedAgg: &c})
