@@ -1,17 +1,16 @@
 //go:build smoke
 
-// The smoke tag keeps this out of the ordinary test run: it builds the
-// real binary and drives two fcds-serve processes over loopback TCP,
-// SIGKILLs the aggregator mid-run and asserts the restart recovers —
-// the one failure mode the in-process synctest suite cannot produce
-// (an actual dead process, an actual checkpoint directory handoff).
+// Two-process journal recovery smoke: an aggregator running with
+// -journal and NO checkpointing is SIGKILLed while an edge's push loop
+// is live, then restarted on the same journal directory. Everything the
+// dead process had ACKed — the edge's periodic ships and a one-shot
+// direct push nothing will redeliver — must come back from journal
+// replay alone.
 //
-//	go test -tags smoke -run CrashRestart ./cmd/fcds-serve/
+//	go test -tags smoke -run JournalCrashRestart ./cmd/fcds-serve/
 package main
 
 import (
-	"net"
-	"os"
 	"os/exec"
 	"path/filepath"
 	"syscall"
@@ -22,45 +21,21 @@ import (
 	"github.com/fcds/fcds/internal/server/client"
 )
 
-// reservePort grabs a free loopback port. Racy by nature (the port is
-// released before the server binds it), which is fine for a smoke
-// test.
-func reservePort(t *testing.T) string {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := ln.Addr().String()
-	ln.Close()
-	return addr
-}
-
-type procLog struct {
-	t    *testing.T
-	name string
-}
-
-func (w procLog) Write(p []byte) (int, error) {
-	w.t.Logf("[%s] %s", w.name, p)
-	return len(p), nil
-}
-
-func TestCrashRestartSmoke(t *testing.T) {
+func TestJournalCrashRestartSmoke(t *testing.T) {
 	bin := filepath.Join(t.TempDir(), "fcds-serve")
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("build: %v\n%s", err, out)
 	}
 	aggAddr := reservePort(t)
 	edgeAddr := reservePort(t)
-	ckpt := t.TempDir()
+	wal := t.TempDir()
 
 	startAgg := func() *exec.Cmd {
 		cmd := exec.Command(bin,
 			"-addr", aggAddr,
 			"-tables", "lat=quantiles/str",
-			"-checkpoint-dir", ckpt,
-			"-checkpoint-every", "200ms",
+			"-journal", wal,
+			"-journal-fsync-every", "1",
 			"-v")
 		cmd.Stderr = procLog{t, "agg"}
 		if err := cmd.Start(); err != nil {
@@ -75,7 +50,7 @@ func TestCrashRestartSmoke(t *testing.T) {
 		"-addr", edgeAddr,
 		"-tables", "lat=quantiles/str",
 		"-push", aggAddr,
-		"-push-every", "150ms",
+		"-push-every", "100ms",
 		"-push-source", "edge-smoke",
 		"-dial-timeout", "2s",
 		"-v")
@@ -119,7 +94,6 @@ func TestCrashRestartSmoke(t *testing.T) {
 		deadline := time.Now().Add(timeout)
 		var last uint64
 		for {
-			// Redial each probe: the aggregator restarts mid-test.
 			if c, err := client.Dial(aggAddr, client.WithDialTimeout(time.Second)); err == nil {
 				if _, blob, err := c.Rollup("lat"); err == nil {
 					if sk, err := quantiles.Unmarshal(blob); err == nil {
@@ -138,38 +112,53 @@ func TestCrashRestartSmoke(t *testing.T) {
 		}
 	}
 
-	// 1000 samples through the edge; the push loop ships them upstream.
+	// 1000 samples through the edge; the push loop ships the cumulative
+	// snapshot upstream and every accepted ship is journaled.
 	ec := dialRetry(edgeAddr)
 	defer ec.Close()
 	ingestFloats(ec, 0, 1000)
 	waitN(1000, 20*time.Second)
 
-	// 200 samples straight into the aggregator: these live only in its
-	// memory and its checkpoints — the edge knows nothing about them,
-	// so only checkpoint recovery can bring them back after the kill.
+	// A one-shot push under its own source id: after the kill, no
+	// process on earth re-sends this — only the journal has it.
+	blob, err := ec.PullSnapshot("lat")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ac := dialRetry(aggAddr)
-	ingestFloats(ac, 100_000, 100_200)
+	if err := ac.PushSnapshotFrom("lat", "oneshot-smoke", blob); err != nil {
+		t.Fatal(err)
+	}
 	ac.Close()
-	waitN(1200, 10*time.Second)
-	time.Sleep(600 * time.Millisecond) // > 2 checkpoint intervals: the 1200 are on disk
+	waitN(2000, 10*time.Second)
 
-	// SIGKILL: no drain, no final checkpoint, no goodbye.
+	// SIGKILL with the push loop mid-flight: no drain, no checkpoint
+	// directory exists at all. The journal is the only durable state.
 	if err := agg.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
 	_ = agg.Wait()
 
-	// The edge keeps aggregating while its upstream is gone; the
-	// reconnecting shipper queues the cumulative snapshot.
-	ingestFloats(ec, 2000, 2500)
+	// The edge keeps aggregating into its queued cumulative snapshot.
+	ingestFloats(ec, 5000, 5500)
 
-	// Restart the aggregator on the same checkpoint directory: it must
-	// recover the 200 direct samples from disk, and the edge's
-	// re-shipped cumulative snapshot (1500 samples) must REPLACE the
-	// restored edge state, not merge with it.
+	// Restart on the same journal directory: replay must restore the
+	// one-shot 1000 plus the edge's last journaled ship, and the edge's
+	// re-shipped cumulative 1500 then REPLACES its restored state.
 	agg = startAgg()
 	defer func() { _ = agg.Process.Kill() }()
-	waitN(1700, 30*time.Second)
+	waitN(2500, 30*time.Second)
+
+	// The restarted process knows it recovered through the journal.
+	ac = dialRetry(aggAddr)
+	h, err := ac.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac.Close()
+	if !h.HasJournal || h.JournalReplayed == 0 {
+		t.Fatalf("health after restart = %+v, want journal attached with replayed records", h)
+	}
 
 	// Graceful shutdown still works after all that.
 	if err := edge.Process.Signal(syscall.SIGTERM); err != nil {
@@ -183,18 +172,5 @@ func TestCrashRestartSmoke(t *testing.T) {
 	}
 	if err := waitExit(agg, 15*time.Second); err != nil {
 		t.Fatalf("aggregator shutdown: %v", err)
-	}
-}
-
-// waitExit waits for a process to exit cleanly, with a deadline.
-func waitExit(cmd *exec.Cmd, timeout time.Duration) error {
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
-	select {
-	case err := <-done:
-		return err
-	case <-time.After(timeout):
-		_ = cmd.Process.Signal(os.Kill)
-		return <-done
 	}
 }

@@ -17,18 +17,24 @@
 // backoff + jitter, bounded latest-per-table outbox), and a dead
 // upstream never stalls a healthy one. With -checkpoint-dir the node
 // also checkpoints every table's aggregated state to disk on a timer
-// (atomic, fsync'd, CRC-checked files) and recovers it on boot before
-// the port opens, so an aggregator restart loses at most one
+// (atomic, fsync'd, CRC-checked, generational files; -checkpoint-retain
+// bounds how many generations stay on disk) and recovers it on boot
+// before the port opens, so an aggregator restart loses at most one
 // checkpoint interval of direct ingest — pushed per-source snapshots
-// heal entirely when their pushers reconnect. See the fcds package
-// documentation's "Failure semantics" section.
+// heal entirely when their pushers reconnect. With -journal the node
+// additionally write-ahead-logs every snapshot push, window ship and
+// eviction spill between checkpoints and replays that tail on boot,
+// shrinking the recovery gap to at most -journal-fsync-every minus one
+// acknowledged records. See the fcds package documentation's "Failure
+// semantics" section.
 //
 // Usage:
 //
 //	fcds-serve [-addr :9700] [-tables events=theta/str,lat=quantiles/str]
 //	           [-writers N] [-param K] [-max-keys N] [-ttl D]
 //	           [-push a:9700,b:9700 -push-every 5s -push-source id]
-//	           [-checkpoint-dir DIR -checkpoint-every 30s]
+//	           [-checkpoint-dir DIR -checkpoint-every 30s -checkpoint-retain N]
+//	           [-journal DIR -journal-fsync-every N -journal-max-bytes N]
 //	           [-idle-timeout 5m] [-dial-timeout 10s]
 //	           [-compression=false] [-read-burst N] [-write-burst N]
 //	           [-metrics-addr :9701] [-stats-every D] [-v]
@@ -134,6 +140,10 @@ func main() {
 	pushSource := flag.String("push-source", "", "source id for pushed snapshots (default host/pid); upstreams replace this source's previous snapshot on every push")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for durable table checkpoints (restored on boot before the port opens; empty = no checkpointing)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint interval (with -checkpoint-dir)")
+	ckptRetain := flag.Int("checkpoint-retain", 2, "checkpoint generations kept per table (and journal files kept past a checkpoint); older ones are pruned after each successful pass")
+	journalDir := flag.String("journal", "", "directory for the append-only durability journal: pushes and eviction spills are logged before they are applied and replayed on boot, shrinking crash loss from one checkpoint interval to at most -journal-fsync-every records (empty = disabled)")
+	journalFsyncEvery := flag.Int("journal-fsync-every", 1, "fsync the journal after every Nth record; 1 = every record (strongest durability), higher amortizes the fsync at the cost of losing up to N-1 acknowledged records in a crash")
+	journalMaxBytes := flag.Int64("journal-max-bytes", 64<<20, "journal size that triggers self-compaction (latest record per pushing source is kept, eviction spills are carried verbatim)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 = never)")
 	compression := flag.Bool("compression", true, "accept client-offered per-frame batch compression (false refuses the feature at HELLO; clients fall back to uncompressed frames)")
 	readBurst := flag.Int("read-burst", 0, "per-connection read buffer in bytes: pipelined frames decode out of one burst (0 = default 128KiB)")
@@ -151,10 +161,11 @@ func main() {
 	}
 
 	cfg := fcds.IngestServerConfig{
-		IdleTimeout:   *idleTimeout,
-		NoCompression: !*compression,
-		ReadBurst:     *readBurst,
-		WriteBurst:    *writeBurst,
+		IdleTimeout:      *idleTimeout,
+		NoCompression:    !*compression,
+		ReadBurst:        *readBurst,
+		WriteBurst:       *writeBurst,
+		CheckpointRetain: *ckptRetain,
 	}
 	if *verbose {
 		cfg.Logf = lg.Printf
@@ -172,7 +183,7 @@ func main() {
 	srv.RegisterMetrics(reg)
 	nodes := make([]*node, 0, len(specs))
 	for _, spec := range specs {
-		n, err := register(srv, spec, *writers, *param, *maxKeys, *ttl, pool)
+		n, err := register(srv, spec, *writers, *param, *maxKeys, *ttl, pool, *journalDir != "", lg)
 		if err != nil {
 			lg.Fatal(err)
 		}
@@ -189,9 +200,36 @@ func main() {
 			lg.Fatalf("checkpoint restore: %v", err)
 		}
 		if st.Tables > 0 || st.Skipped > 0 {
-			lg.Printf("restored %d table checkpoint(s) (%d bytes, %d skipped) from %s",
-				st.Tables, st.Bytes, st.Skipped, *ckptDir)
+			lg.Printf("restored %d table checkpoint(s) (%d bytes, %d skipped, %d fallbacks) from %s",
+				st.Tables, st.Bytes, st.Skipped, st.Fallbacks, *ckptDir)
 		}
+	}
+	// Then replay the journal tail on top of the restored state (records
+	// the checkpoints already cover are LSN-skipped), open a fresh
+	// journal file, and arm write-ahead journaling — all before the port
+	// opens, so the first frame after a restart is journaled and the
+	// first query answers over everything the crashed process ACKed.
+	var jnl *fcds.IngestJournal
+	if *journalDir != "" {
+		rst, err := srv.ReplayJournal(*journalDir)
+		if err != nil {
+			lg.Fatalf("journal replay: %v", err)
+		}
+		if rst.Files > 0 {
+			lg.Printf("journal replay: %d records applied (%d already checkpointed, %d stale, %d unknown-table, %d errors, %d torn bytes) from %s",
+				rst.Records, rst.Skipped, rst.Stale, rst.UnknownTable, rst.Errors, rst.TornBytes, *journalDir)
+		}
+		jnl, err = fcds.OpenIngestJournal(*journalDir, fcds.IngestJournalConfig{
+			FsyncEvery: *journalFsyncEvery,
+			MaxBytes:   *journalMaxBytes,
+			Retain:     *ckptRetain,
+			Logf:       lg.Printf,
+		})
+		if err != nil {
+			lg.Fatalf("journal open: %v", err)
+		}
+		srv.AttachJournal(jnl)
+		lg.Printf("journaling to %s (fsync every %d record(s))", *journalDir, *journalFsyncEvery)
 	}
 	if err := srv.Start(*addr); err != nil {
 		lg.Fatal(err)
@@ -257,19 +295,30 @@ func main() {
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			st := srv.Stats()
 			age, hasCkpt := srv.CheckpointAge()
+			replayed, replayAge, _ := srv.JournalReplay()
+			body := map[string]any{
+				"tables":               st.Tables,
+				"keys":                 st.Keys,
+				"conns":                st.Conns,
+				"conns_total":          st.ConnsTotal,
+				"frames":               st.Frames,
+				"items":                st.Items,
+				"snapshots":            st.Snapshots,
+				"errors":               st.Errors,
+				"has_checkpoint":       hasCkpt,
+				"checkpoint_age_sec":   age.Seconds(),
+				"has_journal":          srv.Journal() != nil,
+				"journal_replayed":     replayed,
+				"journal_replay_age_s": replayAge.Seconds(),
+			}
+			if j := srv.Journal(); j != nil {
+				js := j.Stats()
+				body["journal_size_bytes"] = js.TotalBytes
+				body["journal_records"] = js.Records
+				body["journal_unsynced"] = js.Unsynced
+			}
 			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(map[string]any{
-				"tables":             st.Tables,
-				"keys":               st.Keys,
-				"conns":              st.Conns,
-				"conns_total":        st.ConnsTotal,
-				"frames":             st.Frames,
-				"items":              st.Items,
-				"snapshots":          st.Snapshots,
-				"errors":             st.Errors,
-				"has_checkpoint":     hasCkpt,
-				"checkpoint_age_sec": age.Seconds(),
-			})
+			json.NewEncoder(w).Encode(body)
 		})
 		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
@@ -380,7 +429,9 @@ func main() {
 		close(ckptStop)
 		<-ckptDone
 		// Final checkpoint after the drain: everything in-flight frames
-		// ingested during shutdown makes it to disk.
+		// ingested during shutdown makes it to disk (and the journal
+		// rotates + prunes, so a clean shutdown leaves a near-empty tail
+		// for the next boot to replay).
 		if _, err := srv.WriteCheckpoints(*ckptDir); err != nil {
 			lg.Printf("checkpoint: %v", err)
 		}
@@ -388,15 +439,38 @@ func main() {
 	for _, n := range nodes {
 		n.close()
 	}
+	if jnl != nil {
+		// Closed after the tables: their final evictions may still spill
+		// records, and every acknowledged record must hit disk.
+		if err := jnl.Close(); err != nil {
+			lg.Printf("journal close: %v", err)
+		}
+	}
 	st := srv.Stats()
 	lg.Printf("done: served %d conns, %d frames, %d items", st.ConnsTotal, st.Frames, st.Items)
 }
 
 // register builds the table a spec describes, registers it, and
-// returns its lifecycle hooks.
-func register(srv *fcds.IngestServer, spec tableSpec, writers, param, maxKeys int, ttl time.Duration, pool *fcds.PropagatorPool) (*node, error) {
+// returns its lifecycle hooks. With journaling on, evicted keys spill
+// their final compact back into the server's remote aggregate (made
+// durable through the journal first), so a TTL or max-keys eviction
+// stops meaning silent deletion from rollups — without the journal the
+// historical drop-on-evict behavior is preserved.
+func register(srv *fcds.IngestServer, spec tableSpec, writers, param, maxKeys int, ttl time.Duration, pool *fcds.PropagatorPool, journaled bool, lg *log.Logger) (*node, error) {
 	strCfg := fcds.TableConfig{Writers: writers, MaxKeys: maxKeys, TTL: ttl, Pool: pool}
 	u64Cfg := fcds.TableU64Config{Writers: writers, MaxKeys: maxKeys, TTL: ttl, Pool: pool}
+	if journaled {
+		strCfg.OnEvict = func(key string, snapshot []byte) {
+			if err := srv.SpillEvictString(spec.name, key, snapshot); err != nil {
+				lg.Printf("evict spill %s: %v", spec.name, err)
+			}
+		}
+		u64Cfg.OnEvict = func(key uint64, snapshot []byte) {
+			if err := srv.SpillEvictU64(spec.name, key, snapshot); err != nil {
+				lg.Printf("evict spill %s: %v", spec.name, err)
+			}
+		}
+	}
 	n := &node{spec: spec}
 	var err error
 	switch spec.family + "/" + spec.keyType {

@@ -292,7 +292,37 @@
 // per-source pushed state heals entirely on the pushers' next ships.
 // The HEALTH frame reports the checkpoint's age so monitors can bound
 // this staleness window; fcds-serve enables checkpointing with
-// -checkpoint-dir.
+// -checkpoint-dir. Checkpoints are generational: each pass writes a
+// new per-table file rather than renaming over the last one, restore
+// picks the newest valid generation per table and falls back to an
+// older one when the newest is corrupt at rest, and retention
+// (-checkpoint-retain) prunes generations past the configured count —
+// never touching files it did not write.
+//
+// Journaled aggregator crash. With a journal attached (AttachJournal;
+// fcds-serve's -journal), the aggregator write-ahead-logs every
+// named-source snapshot push, window ship and eviction spill to
+// CRC-framed records in append-only FCJL files BEFORE applying it, and
+// fsyncs per -journal-fsync-every. Boot becomes restore-checkpoint-
+// then-replay-journal-tail: every record above the restored
+// checkpoint's LSN watermark re-applies exactly as the original frame
+// did, records the checkpoint already covers are skipped by that
+// watermark (merge-semantics records — eviction spills, anonymous
+// pushes — would double-count without it), and a torn final record
+// (the crash happened mid-write) fails its CRC and truncates cleanly —
+// that push was never ACKed, so its Reliable shipper redelivers it.
+// Each successful checkpoint pass rotates the journal and prunes files
+// its watermarks cover, and an oversized journal self-compacts to the
+// latest record per pushing source (replace semantics make older
+// records dead weight). Journaling also upgrades eviction: a TTL or
+// max-keys evicted key's final compact is journaled and folded back
+// into the remote aggregate instead of dropped, so eviction stops
+// costing rollup data. Lost in a crash: only un-fsynced journal
+// records — at most -journal-fsync-every minus one acknowledged
+// pushes, plus any KEYED_BATCH wire ingest since the last checkpoint
+// (direct keyed ingest is deliberately not journaled: per-item WAL
+// writes would serialize the zero-allocation batch path; its loss
+// stays bounded by the checkpoint interval).
 //
 // # Observability and operating fcds-serve
 //
@@ -325,13 +355,32 @@
 // starts an ops HTTP listener serving /metrics (Prometheus text) and
 // /healthz (the HEALTH counters as JSON, with an explicit
 // has_checkpoint field so "never checkpointed" is distinguishable
-// from "just checkpointed"). The metrics worth alerting on:
+// from "just checkpointed", plus the journal's size, record and
+// replay counters when -journal is on). The metrics worth alerting on:
 // fcds_server_checkpoint_age_seconds growing past -checkpoint-every
 // (crash-loss window widening), fcds_server_snapshot_push_age_seconds
 // per source (an edge stopped shipping), fcds_client_outbox_depth
 // sustained above zero (this node cannot reach its upstream), and
 // fcds_server_writer_pool_waits_total climbing (ingest frames found
 // every writer handle busy and had to wait — raise -writers).
+//
+// Journal alerting is about the lag the fsync cadence buys:
+// fcds_server_journal_unsynced_records sitting at the configured
+// -journal-fsync-every minus one under steady traffic means every
+// crash loses the maximum that setting allows — either accept that
+// window or lower the setting; 1 (the default) makes it zero.
+// fcds_server_journal_size_bytes growing without the sawtooth drops
+// of rotation pruning means checkpoints are failing (each successful
+// pass rotates and prunes), so the replay tail — and recovery time —
+// grows unboundedly; pair it with
+// fcds_server_journal_replay_age_seconds after restarts, which
+// reports how far behind the restored checkpoint the journal had to
+// carry the node (persistently large values mean the checkpoint
+// cadence, not the journal, is the durability bottleneck).
+// fcds_server_journal_replayed_records after any unplanned restart is
+// the recovery actually exercised: zero after a known-dirty crash
+// means the journal was not doing its job (wrong -journal directory,
+// or records were never fsynced).
 //
 // The read path exports duration histograms, one per table
 // (fcds_table_rollup_duration_seconds,
@@ -673,6 +722,20 @@ type (
 	IngestConnState = client.ConnState
 	// IngestCheckpointStats reports one checkpoint write/restore pass.
 	IngestCheckpointStats = server.CheckpointStats
+	// IngestJournal is the append-only durability journal an
+	// IngestServer can write between checkpoints: named-source pushes,
+	// window ships and eviction spills are logged before they mutate
+	// in-memory state, and boot replays the tail on top of restored
+	// checkpoints. See the package documentation's "Failure semantics"
+	// section for the recovery model.
+	IngestJournal = server.Journal
+	// IngestJournalConfig configures an IngestJournal (fsync cadence,
+	// self-compaction threshold, retention).
+	IngestJournalConfig = server.JournalConfig
+	// IngestJournalStats is an IngestJournal counter snapshot.
+	IngestJournalStats = server.JournalStats
+	// IngestJournalReplayStats reports one boot replay pass.
+	IngestJournalReplayStats = server.JournalReplayStats
 )
 
 // Reliable connection lifecycle states (IngestConnState).
@@ -688,6 +751,15 @@ const (
 // listener opens means the first connections can never race
 // registration and see unknown-table errors.
 func NewIngestServer(cfg IngestServerConfig) *IngestServer { return server.New(cfg) }
+
+// OpenIngestJournal opens (creating if needed) the durability journal
+// in dir and starts a fresh journal file. Boot order matters: call
+// RestoreCheckpoints, then ReplayJournal, then OpenIngestJournal +
+// AttachJournal, then Start — replay must read the previous process's
+// files before this call starts a new one.
+func OpenIngestJournal(dir string, cfg IngestJournalConfig) (*IngestJournal, error) {
+	return server.OpenJournal(dir, cfg)
+}
 
 // Serve starts an ingest server listening on addr, accepting in the
 // background, and returns it; register tables before clients connect

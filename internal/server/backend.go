@@ -67,9 +67,26 @@ type backend interface {
 	// checkpointBody appends the backend's durable state to dst: the
 	// live table merged with the anonymous remote aggregate as one FCTB
 	// blob, then every named source's snapshot with its window epoch.
-	// restoreBody parses it back (into a freshly registered backend).
-	checkpointBody(dst []byte) ([]byte, error)
-	restoreBody(body []byte) error
+	// It also returns the journal LSN watermark the captured state
+	// covers (0 without a journal). restoreBody parses it back (into a
+	// freshly registered backend), seeding the watermark so replay can
+	// skip records the checkpoint already contains.
+	checkpointBody(dst []byte) ([]byte, uint64, error)
+	restoreBody(body []byte, lsn uint64) error
+	// bind attaches the backend to its registered name and the server's
+	// journal slot; called once by register.
+	bind(name string, jnl *atomic.Pointer[Journal])
+	// spillEvict folds one evicted key's serialized compact into the
+	// remote aggregate (journaling it first when a journal is attached)
+	// so TTL evictions stay in rollups and survive a crash. The key is
+	// raw bytes: string keys verbatim, uint64 keys 8 bytes LE.
+	spillEvict(keyType byte, key, compact []byte) error
+	// replayPush / replayWindow / replayEvict re-apply one journal
+	// record during boot recovery, skipping records at or below the
+	// restored checkpoint's LSN watermark (applied = false).
+	replayPush(lsn uint64, source string, blob []byte) (applied bool, err error)
+	replayWindow(lsn uint64, source string, epoch uint64, blob []byte) (applied, stale bool, err error)
+	replayEvict(lsn uint64, keyType byte, key, compact []byte) (applied bool, err error)
 }
 
 // ingestScratch is the per-frame group-index run for the one batch
@@ -133,8 +150,33 @@ type tableBackend[K table.Key, V, S, C any] struct {
 	// retry or a reordered stale ship and is ignored. Sources that only
 	// ever push cumulative snapshots have no entry.
 	remoteEpochs map[string]uint64
+	// appliedLSN is the journal LSN of the newest record folded into
+	// the remote state (0 = none). Guarded by rmu; checkpoints persist
+	// it so boot replay can skip records the checkpoint already covers
+	// — merge-semantics records (evictions, anonymous pushes) would
+	// double-count without the gate.
+	appliedLSN uint64
+
+	// name is the table's registered name (journal records carry it);
+	// jnl aliases the owning server's journal slot, nil until one is
+	// attached.
+	name string
+	jnl  *atomic.Pointer[Journal]
 
 	scratch sync.Pool
+}
+
+func (b *tableBackend[K, V, S, C]) bind(name string, jnl *atomic.Pointer[Journal]) {
+	b.name = name
+	b.jnl = jnl
+}
+
+// journal returns the attached journal, nil when journaling is off.
+func (b *tableBackend[K, V, S, C]) journal() *Journal {
+	if b.jnl == nil {
+		return nil
+	}
+	return b.jnl.Load()
 }
 
 func newTableBackend[K table.Key, V, S, C any](
@@ -563,6 +605,29 @@ func (b *tableBackend[K, V, S, C]) mergeSnapshot(source string, blob []byte) err
 	}
 	b.rmu.Lock()
 	defer b.rmu.Unlock()
+	// Write-ahead order: the record hits the journal (LSN assigned
+	// under rmu, so LSN order is apply order) before the in-memory
+	// state changes, and a journal failure aborts the merge — a push
+	// must never be ACKed durable without being durable.
+	lsn := uint64(0)
+	if j := b.journal(); j != nil {
+		if lsn, err = j.AppendPush(b.name, source, blob); err != nil {
+			return &reqError{code: wire.ErrCodeInternal, msg: fmt.Sprintf("journal: %v", err)}
+		}
+	}
+	if err := b.applyPushLocked(source, snap); err != nil {
+		return err
+	}
+	if lsn > b.appliedLSN {
+		b.appliedLSN = lsn
+	}
+	return nil
+}
+
+// applyPushLocked folds one admitted push into the remote state: a
+// named source replaces its slot, an anonymous push merges into the
+// shared aggregate. Callers hold b.rmu.
+func (b *tableBackend[K, V, S, C]) applyPushLocked(source string, snap *table.TableSnapshot[K, C]) error {
 	if source == "" {
 		if err := b.remote.Merge(snap); err != nil {
 			return &reqError{code: wire.ErrCodeBadPayload, msg: err.Error()}
@@ -593,10 +658,163 @@ func (b *tableBackend[K, V, S, C]) mergeWindowSnapshot(source string, epoch uint
 	if last, ok := b.remoteEpochs[source]; ok && epoch < last {
 		return false, nil
 	}
+	// Stale ships are rejected above without a journal record — they
+	// change no state, so there is nothing to make durable.
+	lsn := uint64(0)
+	if j := b.journal(); j != nil {
+		if lsn, err = j.AppendWindow(b.name, source, epoch, blob); err != nil {
+			return false, &reqError{code: wire.ErrCodeInternal, msg: fmt.Sprintf("journal: %v", err)}
+		}
+	}
 	if err := b.storeSourceLocked(source, snap); err != nil {
 		return false, err
 	}
 	b.remoteEpochs[source] = epoch
+	if lsn > b.appliedLSN {
+		b.appliedLSN = lsn
+	}
+	return true, nil
+}
+
+// decodeKey converts a journal/evict raw key (string bytes or 8-byte
+// LE uint64) into K, rejecting a key-type mismatch.
+func (b *tableBackend[K, V, S, C]) decodeKey(keyType byte, key []byte) (K, error) {
+	var zero K
+	if keyType != b.kt {
+		return zero, fmt.Errorf("key type %d, table wants %d", keyType, b.kt)
+	}
+	if b.kt == wire.KeyTypeUint64 {
+		if len(key) != 8 {
+			return zero, fmt.Errorf("uint64 key is %d bytes", len(key))
+		}
+		r := wire.Reader{Buf: key}
+		return u64Key[K](r.Uint64()), nil
+	}
+	return strKey[K](string(key)), nil
+}
+
+// spillEvict folds one TTL-evicted key's compact into the remote
+// aggregate so eviction stops meaning deletion-from-rollups: the data
+// leaves the live table's shard maps but stays in every rollup, query
+// and checkpoint. With a journal attached the spill is made durable
+// first (write-ahead), so a crash between eviction and the next
+// checkpoint cannot lose it.
+func (b *tableBackend[K, V, S, C]) spillEvict(keyType byte, key, compact []byte) error {
+	k, err := b.decodeKey(keyType, key)
+	if err != nil {
+		return fmt.Errorf("server: evict spill: %w", err)
+	}
+	c, err := b.eng.UnmarshalCompact(compact)
+	if err != nil {
+		return fmt.Errorf("server: evict spill: %w", err)
+	}
+	if b.validateCompact != nil {
+		if err := b.validateCompact(c); err != nil {
+			return fmt.Errorf("server: evict spill: %w", err)
+		}
+	}
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	lsn := uint64(0)
+	if j := b.journal(); j != nil {
+		if lsn, err = j.AppendEvict(b.name, keyType, key, compact); err != nil {
+			return fmt.Errorf("server: evict spill: journal: %w", err)
+		}
+	}
+	if err := b.foldCompactLocked(k, c); err != nil {
+		return fmt.Errorf("server: evict spill: %w", err)
+	}
+	if lsn > b.appliedLSN {
+		b.appliedLSN = lsn
+	}
+	return nil
+}
+
+// foldCompactLocked merges one compact into the anonymous aggregate's
+// slot for k. Callers hold b.rmu.
+func (b *tableBackend[K, V, S, C]) foldCompactLocked(k K, c C) error {
+	if prev, ok := b.remote.Get(k); ok {
+		merged, err := b.eng.MergeCompact(prev, c)
+		if err != nil {
+			return err
+		}
+		c = merged
+	}
+	b.remote.Set(k, c)
+	return nil
+}
+
+// replayPush re-applies one journaled push during boot recovery; a
+// record at or below the restored checkpoint's watermark is already in
+// the restored state and is skipped.
+func (b *tableBackend[K, V, S, C]) replayPush(lsn uint64, source string, blob []byte) (bool, error) {
+	snap, err := b.admitSnapshot(blob)
+	if err != nil {
+		return false, err
+	}
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	if lsn <= b.appliedLSN {
+		return false, nil
+	}
+	if err := b.applyPushLocked(source, snap); err != nil {
+		return false, err
+	}
+	b.appliedLSN = lsn
+	return true, nil
+}
+
+// replayWindow is replayPush for epoch-guarded window records; stale
+// reports an epoch the restored state had already passed (possible
+// only with hand-edited journals — live appends are epoch-checked
+// before journaling).
+func (b *tableBackend[K, V, S, C]) replayWindow(lsn uint64, source string, epoch uint64, blob []byte) (applied, stale bool, err error) {
+	snap, err := b.admitSnapshot(blob)
+	if err != nil {
+		return false, false, err
+	}
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	if lsn <= b.appliedLSN {
+		return false, false, nil
+	}
+	if last, ok := b.remoteEpochs[source]; ok && epoch < last {
+		b.appliedLSN = lsn
+		return false, true, nil
+	}
+	if err := b.storeSourceLocked(source, snap); err != nil {
+		return false, false, err
+	}
+	b.remoteEpochs[source] = epoch
+	b.appliedLSN = lsn
+	return true, false, nil
+}
+
+// replayEvict re-folds one journaled eviction spill during boot
+// recovery, LSN-gated like every merge-semantics record.
+func (b *tableBackend[K, V, S, C]) replayEvict(lsn uint64, keyType byte, key, compact []byte) (bool, error) {
+	k, err := b.decodeKey(keyType, key)
+	if err != nil {
+		return false, err
+	}
+	c, err := b.eng.UnmarshalCompact(compact)
+	if err != nil {
+		return false, err
+	}
+	if b.validateCompact != nil {
+		if err := b.validateCompact(c); err != nil {
+			return false, err
+		}
+	}
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	if lsn <= b.appliedLSN {
+		return false, nil
+	}
+	if err := b.foldCompactLocked(k, c); err != nil {
+		return false, err
+	}
+	b.appliedLSN = lsn
 	return true, nil
 }
 
@@ -641,7 +859,7 @@ func (b *tableBackend[K, V, S, C]) snapshotAppend(dst []byte) ([]byte, error) {
 // sources stay separate so their replace semantics survive the restart
 // — a pusher that reconnects after the restore replaces its restored
 // snapshot exactly as it would have replaced the live one.
-func (b *tableBackend[K, V, S, C]) checkpointBody(dst []byte) ([]byte, error) {
+func (b *tableBackend[K, V, S, C]) checkpointBody(dst []byte) ([]byte, uint64, error) {
 	live := func() *table.TableSnapshot[K, C] {
 		release := b.quiesce()
 		defer release()
@@ -650,12 +868,16 @@ func (b *tableBackend[K, V, S, C]) checkpointBody(dst []byte) ([]byte, error) {
 	}()
 	b.rmu.Lock()
 	defer b.rmu.Unlock()
+	// The watermark is read under the same rmu hold that serializes the
+	// remote state, so it covers exactly the journaled records folded
+	// into the bytes below — no more, no fewer.
+	lsn := b.appliedLSN
 	if err := live.Merge(b.remote); err != nil {
-		return dst, err
+		return dst, 0, err
 	}
 	blob, err := live.MarshalBinary()
 	if err != nil {
-		return dst, err
+		return dst, 0, err
 	}
 	dst = wire.AppendUvarint(dst, uint64(len(blob)))
 	dst = append(dst, blob...)
@@ -674,19 +896,21 @@ func (b *tableBackend[K, V, S, C]) checkpointBody(dst []byte) ([]byte, error) {
 		}
 		sblob, err := snap.MarshalBinary()
 		if err != nil {
-			return dst, err
+			return dst, 0, err
 		}
 		dst = wire.AppendUvarint(dst, uint64(len(sblob)))
 		dst = append(dst, sblob...)
 	}
-	return dst, nil
+	return dst, lsn, nil
 }
 
 // restoreBody parses a checkpointBody back into the backend's remote
-// state. Every blob passes the same admission validation a network
-// push would — a corrupt or foreign checkpoint is rejected whole
-// before any state changes, leaving the backend exactly as it was.
-func (b *tableBackend[K, V, S, C]) restoreBody(body []byte) error {
+// state, seeding the LSN watermark journal replay gates on. Every blob
+// passes the same admission validation a network push would — a
+// corrupt or foreign checkpoint is rejected whole before any state
+// changes, leaving the backend exactly as it was (which is what lets
+// RestoreCheckpoints fall back to an older generation).
+func (b *tableBackend[K, V, S, C]) restoreBody(body []byte, lsn uint64) error {
 	r := wire.Reader{Buf: body}
 	agg, err := b.admitSnapshot(r.Bytes(int(r.Uvarint())))
 	if err != nil {
@@ -734,6 +958,9 @@ func (b *tableBackend[K, V, S, C]) restoreBody(body []byte) error {
 		if rs.hasEpoch {
 			b.remoteEpochs[rs.source] = rs.epoch
 		}
+	}
+	if lsn > b.appliedLSN {
+		b.appliedLSN = lsn
 	}
 	return nil
 }

@@ -24,27 +24,42 @@ import (
 // to the last checkpoint: pushers that outlived the crash simply
 // replace their restored snapshots on their next ship, and pushers
 // that died keep their last checkpointed contribution in rollups.
+// With a journal attached (AttachJournal), ReplayJournal then closes
+// the tail gap: records appended since the checkpoint's LSN watermark
+// replay on top of the restored state.
 //
-// File format (FCCK, little endian), version 1:
+// File format (FCCK, little endian), version 2:
 //
 //	offset  size  field
 //	0       4     magic "FCCK"
-//	4       1     format version (1)
+//	4       1     format version (2)
 //	5       3     reserved (0)
 //	8       8     written-at wall clock, unix nanoseconds (int64)
-//	16      ...   uvarint table-name length + name bytes
+//	16      8     applied journal LSN watermark (0 = no journal)
+//	24      ...   uvarint table-name length + name bytes
 //	...     ...   table body (see tableBackend.checkpointBody)
 //	end-4   4     CRC32 (IEEE) of every preceding byte
 //
-// Each file is written atomically — temp file in the same directory,
-// fsync, rename over the final name, fsync the directory — so a crash
-// mid-checkpoint leaves the previous complete checkpoint in place,
-// never a torn one. The CRC rejects files corrupted at rest.
+// Version 1 files (no LSN field, name at offset 16) still restore,
+// with a zero watermark — exactly right, since no journal existed when
+// they were written.
+//
+// Checkpoints are generational: each pass writes
+// <table>-<namecrc>-<generation>.fcck rather than renaming over the
+// previous pass's file, and retention keeps the newest
+// Config.CheckpointRetain generations per table. Restore picks the
+// newest VALID generation per table — a generation corrupted at rest
+// falls back to the one before it (logged), and only a table with no
+// valid generation at all is a hard error. Each file is written
+// atomically — temp file in the same directory, fsync, rename, fsync
+// the directory — so a crash mid-checkpoint leaves complete older
+// generations in place, never a torn newest one.
 const (
-	ckptMagic      = "FCCK"
-	ckptVersion    = 1
-	ckptHeaderSize = 16
-	ckptSuffix     = ".fcck"
+	ckptMagic        = "FCCK"
+	ckptVersion      = 2
+	ckptV1HeaderSize = 16
+	ckptHeaderSize   = 24
+	ckptSuffix       = ".fcck"
 )
 
 // CheckpointStats reports what one WriteCheckpoints or
@@ -57,26 +72,44 @@ type CheckpointStats struct {
 	// Skipped counts files RestoreCheckpoints ignored because no
 	// matching table is registered (always 0 for writes).
 	Skipped int
+	// Pruned counts old-generation checkpoint files retention deleted
+	// after a successful write pass (always 0 for restores).
+	Pruned int
+	// Fallbacks counts tables RestoreCheckpoints recovered from an
+	// older generation because a newer one was corrupt.
+	Fallbacks int
 }
 
 // WriteCheckpoints writes one checkpoint file per registered table
-// into dir (created if missing), atomically replacing the previous
-// ones. Safe to call while the server is serving — each table is
-// quiesced exactly as a SNAPSHOT_PULL would — and after Close (the
-// shutdown path checkpoints last so nothing ingested during the drain
-// is lost). The checkpoint timestamp HEALTH reports advances only
-// when every table was written.
+// into dir (created if missing) as a new generation, then prunes
+// generations past Config.CheckpointRetain. Safe to call while the
+// server is serving — each table is quiesced exactly as a
+// SNAPSHOT_PULL would — and after Close (the shutdown path checkpoints
+// last so nothing ingested during the drain is lost). The checkpoint
+// timestamp HEALTH reports advances only when every table was written.
+//
+// When a journal is attached, the pass rotates it FIRST: every record
+// appended while tables are being captured lands in the post-rotation
+// file, and every record in older files is — by the journal's
+// append-before-apply order — covered by the LSN watermarks this pass
+// captures, so a fully successful pass may prune them.
 //
 // Tables checkpoint concurrently on a bounded worker set (and each
 // table's own capture fans out per key), so the pass's total
 // ingest-stall is the longest single table's quiesce window, not the
 // sum over tables. On error the pass still attempts every table —
 // files are independently atomic — and reports the first failure in
-// table-name order.
+// table-name order; nothing is pruned.
 func (s *Server) WriteCheckpoints(dir string) (CheckpointStats, error) {
 	var st CheckpointStats
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return st, err
+	}
+	j := s.journal.Load()
+	if j != nil {
+		if err := j.Rotate(); err != nil {
+			return st, fmt.Errorf("server: checkpoint: rotate journal: %w", err)
+		}
 	}
 	s.mu.Lock()
 	names := make([]string, 0, len(s.tables))
@@ -86,6 +119,7 @@ func (s *Server) WriteCheckpoints(dir string) (CheckpointStats, error) {
 	s.mu.Unlock()
 	sort.Strings(names)
 	now := time.Now()
+	gen := s.nextCheckpointGen(now)
 	bytes := make([]int64, len(names))
 	errs := make([]error, len(names))
 	core.FanOut(core.ReadDegree(0), len(names), func(_, i int) {
@@ -98,15 +132,17 @@ func (s *Server) WriteCheckpoints(dir string) (CheckpointStats, error) {
 		data = append(data, ckptMagic...)
 		data = append(data, ckptVersion, 0, 0, 0)
 		data = binary.LittleEndian.AppendUint64(data, uint64(now.UnixNano()))
+		data = binary.LittleEndian.AppendUint64(data, 0) // LSN, patched below
 		data = wire.AppendString(data, name)
-		body, err := b.checkpointBody(data)
+		body, lsn, err := b.checkpointBody(data)
 		if err != nil {
 			errs[i] = fmt.Errorf("server: checkpoint table %q: %w", name, err)
 			return
 		}
 		data = body
+		binary.LittleEndian.PutUint64(data[16:24], lsn)
 		data = binary.LittleEndian.AppendUint32(data, crc32.ChecksumIEEE(data))
-		path := filepath.Join(dir, checkpointFileName(name))
+		path := filepath.Join(dir, checkpointFileName(name, gen))
 		if err := atomicWriteFile(path, data); err != nil {
 			errs[i] = fmt.Errorf("server: checkpoint table %q: %w", name, err)
 			return
@@ -127,17 +163,98 @@ func (s *Server) WriteCheckpoints(dir string) (CheckpointStats, error) {
 	if h := s.ckptHist.Load(); h != nil {
 		h.Observe(time.Since(now).Seconds())
 	}
+	// The pass fully succeeded: older generations (and, with a journal,
+	// the pre-rotation files its watermarks cover) may go.
+	pruned, err := s.pruneCheckpoints(dir, s.checkpointRetain())
+	if err != nil {
+		return st, err
+	}
+	st.Pruned = pruned
+	if j != nil {
+		if err := j.PruneKeep(); err != nil {
+			return st, fmt.Errorf("server: checkpoint: prune journal: %w", err)
+		}
+	}
 	return st, nil
 }
 
-// RestoreCheckpoints loads every checkpoint file in dir into the
-// matching registered tables' remote state. Call it after registering
-// tables and before Start/Serve, so the first connection after a
-// restart already sees the recovered state. A missing or empty
-// directory restores nothing and is not an error (first boot); a file
-// whose table is not registered is skipped with a log line (a config
-// that dropped a table must not brick the node); a corrupt file is an
-// error — restoring half a checkpoint silently would defeat the point.
+// checkpointRetain resolves the configured per-table generation count.
+func (s *Server) checkpointRetain() int {
+	if s.cfg.CheckpointRetain > 0 {
+		return s.cfg.CheckpointRetain
+	}
+	return DefaultRetain
+}
+
+// nextCheckpointGen issues a strictly increasing generation number:
+// the pass timestamp, bumped past any generation already seen (written
+// this process or restored from disk), so clock retreat or sub-tick
+// passes can never reuse or reorder a generation.
+func (s *Server) nextCheckpointGen(now time.Time) uint64 {
+	gen := uint64(now.UnixNano())
+	for {
+		prev := s.ckptGen.Load()
+		if gen <= prev {
+			gen = prev + 1
+		}
+		if s.ckptGen.CompareAndSwap(prev, gen) {
+			return gen
+		}
+	}
+}
+
+// pruneCheckpoints deletes old checkpoint generations, keeping the
+// newest `keep` per table. Only files whose names this code wrote
+// (generational or legacy v1 names) are candidates; a file with the
+// checkpoint suffix but an unrecognized name is logged and left alone
+// — retention must never eat a file it cannot account for.
+func (s *Server) pruneCheckpoints(dir string, keep int) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	type genFile struct {
+		name string
+		gen  uint64
+	}
+	byTable := make(map[string][]genFile)
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ckptSuffix) {
+			continue // temp files and strangers: not ours to judge
+		}
+		prefix, gen, ok := parseCheckpointFileName(ent.Name())
+		if !ok {
+			s.logf("server: checkpoint retention: unrecognized file %s, leaving in place", ent.Name())
+			continue
+		}
+		byTable[prefix] = append(byTable[prefix], genFile{ent.Name(), gen})
+	}
+	pruned := 0
+	for _, files := range byTable {
+		if len(files) <= keep {
+			continue
+		}
+		sort.Slice(files, func(a, b int) bool { return files[a].gen > files[b].gen })
+		for _, gf := range files[keep:] {
+			if err := os.Remove(filepath.Join(dir, gf.name)); err != nil {
+				return pruned, err
+			}
+			pruned++
+		}
+	}
+	return pruned, nil
+}
+
+// RestoreCheckpoints loads the newest valid checkpoint generation per
+// table into the matching registered tables' remote state. Call it
+// after registering tables and before Start/Serve, so the first
+// connection after a restart already sees the recovered state. A
+// missing or empty directory restores nothing and is not an error
+// (first boot); a file whose table is not registered is skipped with a
+// log line (a config that dropped a table must not brick the node); a
+// corrupt generation falls back to the next older valid one (logged) —
+// only a table with NO valid generation is a hard error, because
+// restoring nothing silently would defeat the point.
 func (s *Server) RestoreCheckpoints(dir string) (CheckpointStats, error) {
 	var st CheckpointStats
 	entries, err := os.ReadDir(dir)
@@ -147,40 +264,116 @@ func (s *Server) RestoreCheckpoints(dir string) (CheckpointStats, error) {
 	if err != nil {
 		return st, err
 	}
-	var newest int64
+	type candidate struct {
+		file string
+		ts   int64
+		lsn  uint64
+		body []byte
+		size int64
+	}
+	// Valid images grouped by their embedded table name; corrupt files
+	// grouped by filename prefix so they can be matched to a table that
+	// still has an older valid generation.
+	valid := make(map[string][]candidate)
+	var corrupt []struct {
+		file, prefix string
+		err          error
+	}
+	var maxGen uint64
 	for _, ent := range entries {
 		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ckptSuffix) {
 			continue // temp files and strangers
+		}
+		if _, gen, ok := parseCheckpointFileName(ent.Name()); ok && gen > maxGen {
+			maxGen = gen
 		}
 		path := filepath.Join(dir, ent.Name())
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return st, err
 		}
-		name, ts, body, err := parseCheckpoint(data)
+		name, ts, lsn, body, err := parseCheckpoint(data)
 		if err != nil {
-			return st, fmt.Errorf("server: checkpoint %s: %w", ent.Name(), err)
-		}
-		b, ok := s.lookup(name)
-		if !ok {
-			s.logf("server: checkpoint %s: table %q not registered, skipping", ent.Name(), name)
-			st.Skipped++
+			prefix, _, _ := parseCheckpointFileName(ent.Name())
+			corrupt = append(corrupt, struct {
+				file, prefix string
+				err          error
+			}{ent.Name(), prefix, err})
 			continue
 		}
-		if err := b.restoreBody(body); err != nil {
-			return st, fmt.Errorf("server: checkpoint %s: %w", ent.Name(), err)
+		valid[name] = append(valid[name], candidate{ent.Name(), ts, lsn, body, int64(len(data))})
+	}
+	var newest int64
+	coveredPrefix := make(map[string]bool)
+	names := make([]string, 0, len(valid))
+	for name := range valid {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cands := valid[name]
+		b, ok := s.lookup(name)
+		if !ok {
+			for _, c := range cands {
+				s.logf("server: checkpoint %s: table %q not registered, skipping", c.file, name)
+				st.Skipped++
+				if p, _, ok := parseCheckpointFileName(c.file); ok {
+					coveredPrefix[p] = true
+				}
+			}
+			continue
 		}
-		st.Tables++
-		st.Bytes += int64(len(data))
-		if ts > newest {
-			newest = ts
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].ts != cands[b].ts {
+				return cands[a].ts > cands[b].ts
+			}
+			return cands[a].file > cands[b].file
+		})
+		for i, c := range cands {
+			if err := b.restoreBody(c.body, c.lsn); err != nil {
+				if i+1 < len(cands) {
+					s.logf("server: checkpoint %s: %v, falling back to older generation %s", c.file, err, cands[i+1].file)
+					continue
+				}
+				return st, fmt.Errorf("server: checkpoint %s: %w", c.file, err)
+			}
+			if i > 0 {
+				st.Fallbacks++
+				s.logf("server: checkpoint: table %q restored from older generation %s", name, c.file)
+			}
+			st.Tables++
+			st.Bytes += c.size
+			if c.ts > newest {
+				newest = c.ts
+			}
+			if p, _, ok := parseCheckpointFileName(c.file); ok {
+				coveredPrefix[p] = true
+			}
+			break
 		}
+	}
+	for _, c := range corrupt {
+		if c.prefix != "" && coveredPrefix[c.prefix] {
+			// A newer generation of a table we did restore is damaged:
+			// the fallback already covered it, keep booting.
+			s.logf("server: checkpoint %s: %v (older generation restored instead)", c.file, c.err)
+			continue
+		}
+		return st, fmt.Errorf("server: checkpoint %s: %w", c.file, c.err)
 	}
 	if st.Tables > 0 {
 		// The restored state is as stale as the checkpoint that wrote
 		// it — report that age, not zero, so monitors see the true
 		// staleness window until the first post-restart checkpoint.
 		s.lastCheckpoint.Store(newest)
+	}
+	// Future generations must sort after everything already on disk,
+	// even across a restart with a retreating clock.
+	for {
+		prev := s.ckptGen.Load()
+		if maxGen <= prev || s.ckptGen.CompareAndSwap(prev, maxGen) {
+			break
+		}
 	}
 	return st, nil
 }
@@ -196,35 +389,47 @@ func (s *Server) CheckpointAge() (time.Duration, bool) {
 }
 
 // parseCheckpoint validates an FCCK image and returns the embedded
-// table name, write timestamp and body.
-func parseCheckpoint(data []byte) (name string, ts int64, body []byte, err error) {
-	if len(data) < ckptHeaderSize+4 {
-		return "", 0, nil, fmt.Errorf("truncated (%d bytes)", len(data))
+// table name, write timestamp, applied-LSN watermark and body. Both
+// the current version-2 layout and version-1 files (pre-journal, no
+// LSN field) parse; v1 yields a zero watermark.
+func parseCheckpoint(data []byte) (name string, ts int64, lsn uint64, body []byte, err error) {
+	if len(data) < ckptV1HeaderSize+4 {
+		return "", 0, 0, nil, fmt.Errorf("truncated (%d bytes)", len(data))
 	}
 	payload, trailer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(payload); got != want {
-		return "", 0, nil, fmt.Errorf("checksum mismatch (file %#x, computed %#x)", got, want)
+		return "", 0, 0, nil, fmt.Errorf("checksum mismatch (file %#x, computed %#x)", got, want)
 	}
 	if string(payload[0:4]) != ckptMagic {
-		return "", 0, nil, errors.New("bad magic")
+		return "", 0, 0, nil, errors.New("bad magic")
 	}
-	if payload[4] != ckptVersion {
-		return "", 0, nil, fmt.Errorf("unsupported version %d", payload[4])
+	rest := payload
+	switch payload[4] {
+	case 1:
+		rest = payload[ckptV1HeaderSize:]
+	case ckptVersion:
+		if len(payload) < ckptHeaderSize {
+			return "", 0, 0, nil, fmt.Errorf("truncated header (%d bytes)", len(payload))
+		}
+		lsn = binary.LittleEndian.Uint64(payload[16:24])
+		rest = payload[ckptHeaderSize:]
+	default:
+		return "", 0, 0, nil, fmt.Errorf("unsupported version %d", payload[4])
 	}
 	ts = int64(binary.LittleEndian.Uint64(payload[8:16]))
-	r := wire.Reader{Buf: payload[ckptHeaderSize:]}
+	r := wire.Reader{Buf: rest}
 	name = r.String()
 	if r.Err != nil || name == "" {
-		return "", 0, nil, errors.New("malformed table name")
+		return "", 0, 0, nil, errors.New("malformed table name")
 	}
-	return name, ts, r.Rest(), nil
+	return name, ts, lsn, r.Rest(), nil
 }
 
-// checkpointFileName maps a table name to a stable file name: a
-// sanitized prefix for humans plus the name's CRC for uniqueness (two
-// tables whose names sanitize identically must not overwrite each
-// other's files). The authoritative name lives inside the file.
-func checkpointFileName(table string) string {
+// checkpointPrefix maps a table name to the stable filename prefix its
+// generations share: a sanitized form for humans plus the name's CRC
+// for uniqueness (two tables whose names sanitize identically must not
+// collide). The authoritative name lives inside the file.
+func checkpointPrefix(table string) string {
 	safe := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
@@ -237,7 +442,48 @@ func checkpointFileName(table string) string {
 	if len(safe) > maxSafe {
 		safe = safe[:maxSafe]
 	}
-	return fmt.Sprintf("%s-%08x%s", safe, crc32.ChecksumIEEE([]byte(table)), ckptSuffix)
+	return fmt.Sprintf("%s-%08x", safe, crc32.ChecksumIEEE([]byte(table)))
+}
+
+// checkpointFileName maps a table name and generation to its file
+// name; generations are zero-padded hex so lexical order is write
+// order.
+func checkpointFileName(table string, gen uint64) string {
+	return fmt.Sprintf("%s-%016x%s", checkpointPrefix(table), gen, ckptSuffix)
+}
+
+// parseCheckpointFileName splits a checkpoint file name into its table
+// prefix and generation. Legacy single-generation names (no generation
+// field) parse as generation 0, so one new-format pass supersedes
+// them. ok is false for names this code never wrote.
+func parseCheckpointFileName(name string) (prefix string, gen uint64, ok bool) {
+	if !strings.HasSuffix(name, ckptSuffix) {
+		return "", 0, false
+	}
+	stem := name[:len(name)-len(ckptSuffix)]
+	// Generational: <safe>-<8 hex>-<16 hex>. Legacy: <safe>-<8 hex>.
+	if i := len(stem) - 17; i > 0 && stem[i] == '-' && isHex(stem[i+1:]) {
+		head := stem[:i]
+		if j := len(head) - 9; j >= 0 && head[j] == '-' && isHex(head[j+1:]) {
+			if _, err := fmt.Sscanf(stem[i+1:], "%016x", &gen); err == nil {
+				return head, gen, true
+			}
+		}
+	}
+	if j := len(stem) - 9; j >= 0 && stem[j] == '-' && isHex(stem[j+1:]) {
+		return stem, 0, true
+	}
+	return "", 0, false
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
 }
 
 // atomicWriteFile writes data to path so that a crash at any point

@@ -44,7 +44,7 @@ func newTrioServer(t *testing.T) (*server.Server, string) {
 		t.Fatal(err)
 	}
 	ht := table.NewHLL(table.HLLConfig[uint64]{
-		Table: table.Config[uint64]{Writers: 2, Shards: 16},
+		Table:     table.Config[uint64]{Writers: 2, Shards: 16},
 		Precision: 11,
 	})
 	t.Cleanup(ht.Close)

@@ -71,6 +71,15 @@ type Health struct {
 	// omit it; it is then inferred from CheckpointAge != 0 (those
 	// servers clamp a real age to at least 1ms on the wire).
 	HasCheckpoint bool
+	// JournalReplayed is the number of journal records the server's
+	// last boot replayed on top of restored checkpoints (0 after a
+	// clean start); JournalReplayAge is the age of the newest replayed
+	// record (0 when none — check JournalReplayed). HasJournal reports
+	// whether a durability journal is attached at all. Servers that
+	// predate the journal omit all three (zero values).
+	JournalReplayed  uint64
+	JournalReplayAge time.Duration
+	HasJournal       bool
 }
 
 // response is one server frame delivered to a waiting operation.
@@ -788,6 +797,16 @@ func (c *Client) Health() (Health, error) {
 	}
 	if r.Remaining() > 0 {
 		h.HasCheckpoint = r.Byte() == 1
+		if r.Err != nil {
+			return Health{}, errors.New("client: malformed health response")
+		}
+	}
+	// Journal recovery fields trail the checkpoint flag under the same
+	// append-only contract.
+	if r.Remaining() > 0 {
+		h.JournalReplayed = r.Uvarint()
+		h.JournalReplayAge = time.Duration(r.Uvarint()) * time.Millisecond
+		h.HasJournal = r.Byte() == 1
 		if r.Err != nil {
 			return Health{}, errors.New("client: malformed health response")
 		}

@@ -159,8 +159,8 @@ func TestCompressedHostileFrames(t *testing.T) {
 	}
 
 	hostile := [][]byte{
-		{0xff, 0xee, 0xdd, 0xcc},    // garbage, not even a valid prefix
-		enc[:len(enc) - len(enc)/3], // truncated deflate stream
+		{0xff, 0xee, 0xdd, 0xcc},  // garbage, not even a valid prefix
+		enc[:len(enc)-len(enc)/3], // truncated deflate stream
 		append(wire.AppendUvarint(nil, uint64(len(body))+5), enc[1:]...), // length lies
 		{}, // empty compressed payload
 	}

@@ -47,7 +47,7 @@ func newFaultTrio(t *testing.T, s *server.Server) *faultTrio {
 			K:     128,
 		}),
 		dev: table.NewHLL(table.HLLConfig[uint64]{
-			Table: table.Config[uint64]{Writers: 1, Shards: 8},
+			Table:     table.Config[uint64]{Writers: 1, Shards: 8},
 			Precision: 11,
 		}),
 	}

@@ -1,0 +1,284 @@
+//go:build goexperiment.synctest
+
+package server_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync/atomic"
+	"testing"
+	"testing/synctest"
+	"time"
+
+	"github.com/fcds/fcds/internal/server"
+	"github.com/fcds/fcds/internal/server/client"
+)
+
+// TestSynctestFaultJournalKillRecoversTwin is the journal's acceptance
+// test: the aggregator is killed at arbitrary points BETWEEN
+// checkpoints (one checkpoint pass runs early, then never again), and
+// the journal-recovered rollup must exactly equal a never-killed twin's
+// for all three families. The traffic deliberately includes durable
+// events nothing will ever re-deliver — a one-shot named push and a
+// one-shot window ship accepted after the last checkpoint — so recovery
+// can only come from the journal, not from the Reliable's cumulative
+// re-ships. The second kill also leaves a torn final record on the
+// active journal file, the artifact of dying mid-append.
+func TestSynctestFaultJournalKillRecoversTwin(t *testing.T) {
+	synctest.Run(func() {
+		base := t.TempDir()
+		ckptDir := base + "/ckpt"
+		walDir := base + "/wal"
+		twinWal := base + "/twin-wal"
+
+		type incarnation struct {
+			srv  *server.Server
+			ln   *chanListener
+			trio *faultTrio
+			jnl  *server.Journal
+		}
+		start := func() *incarnation {
+			srv := server.New(server.Config{})
+			trio := newFaultTrio(t, srv)
+			if _, err := srv.RestoreCheckpoints(ckptDir); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if _, err := srv.ReplayJournal(walDir); err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			jnl, err := server.OpenJournal(walDir, server.JournalConfig{Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("open journal: %v", err)
+			}
+			srv.AttachJournal(jnl)
+			ln := newChanListener()
+			go func() { _ = srv.Serve(ln) }()
+			return &incarnation{srv: srv, ln: ln, trio: trio, jnl: jnl}
+		}
+		var cur atomic.Pointer[chanListener]
+		inc := start()
+		cur.Store(inc.ln)
+		kill := func() {
+			cur.Store(nil)
+			if err := inc.srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			inc.ln.Close()
+			inc.trio.close()
+			// A SIGKILL would not run Close, but the journal fsyncs on
+			// every record here, so closing the fd loses nothing; the
+			// torn-record append below recreates the mid-write artifact.
+			_ = inc.jnl.Close()
+		}
+
+		// The failure-free twin, journaled the same way (journaling
+		// must not itself perturb rollups).
+		expSrv := server.New(server.Config{})
+		expTrio := newFaultTrio(t, expSrv)
+		defer expTrio.close()
+		if _, err := expSrv.ReplayJournal(twinWal); err != nil {
+			t.Fatal(err)
+		}
+		expJnl, err := server.OpenJournal(twinWal, server.JournalConfig{Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer expJnl.Close()
+		expSrv.AttachJournal(expJnl)
+		expLn := newChanListener()
+		go func() { _ = expSrv.Serve(expLn) }()
+		defer expSrv.Close()
+		expC := dialPipe(t, expLn)
+		defer expC.Close()
+
+		dial := func() (*client.Client, error) {
+			ln := cur.Load()
+			if ln == nil {
+				return nil, errors.New("aggregator down")
+			}
+			cEnd, sEnd := net.Pipe()
+			select {
+			case ln.ch <- sEnd:
+			case <-ln.done:
+				cEnd.Close()
+				return nil, errors.New("aggregator down")
+			}
+			return client.New(cEnd)
+		}
+		rel, err := client.NewReliable(client.ReliableConfig{
+			Dial:       dial,
+			MinBackoff: 10 * time.Millisecond,
+			MaxBackoff: 200 * time.Millisecond,
+			Seed:       17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rel.Close()
+
+		// Edge tables behind a snapshot-capture server, plus a second
+		// mini-edge whose state is pushed exactly once and never again.
+		edgeSrv := server.New(server.Config{})
+		edgeTrio := newFaultTrio(t, edgeSrv)
+		defer edgeTrio.close()
+		evW, latW, devW := edgeTrio.ev.Writer(0), edgeTrio.lat.Writer(0), edgeTrio.dev.Writer(0)
+
+		onceSrv := server.New(server.Config{})
+		onceTrio := newFaultTrio(t, onceSrv)
+		defer onceTrio.close()
+
+		rng := rand.New(rand.NewSource(0x1a6))
+		const phases, edgeQ, onceQ = 4, 400, 250
+		perm := rng.Perm(phases*edgeQ + onceQ)
+		next := 0
+		take := func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(perm[next])
+				next++
+			}
+			return out
+		}
+
+		for phase := 0; phase < phases; phase++ {
+			// Edge ingest, then a cumulative ship of all three tables to
+			// the aggregator (via the Reliable) and the twin (directly).
+			n := 40 + rng.Intn(120)
+			keys := make([]string, n)
+			ukeys := make([]uint64, n)
+			vals := make([]uint64, n)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%d", rng.Intn(8))
+				ukeys[i] = rng.Uint64() % 8
+				vals[i] = rng.Uint64() % 2000
+			}
+			evW.UpdateKeyedBatch(keys, vals)
+			devW.UpdateKeyedBatch(ukeys, vals)
+			qk := make([]string, edgeQ)
+			for i := range qk {
+				qk[i] = "api"
+			}
+			latW.UpdateKeyedBatch(qk, take(edgeQ))
+			for _, tbl := range trioTables {
+				blob, err := edgeSrv.SnapshotTable(tbl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rel.ShipSnapshot(tbl, "edge-1", blob); err != nil {
+					t.Fatal(err)
+				}
+				if err := expC.PushSnapshotFrom(tbl, "edge-1", blob); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := rel.Drain(time.Hour); err != nil {
+				t.Fatalf("phase %d drain: %v", phase, err)
+			}
+
+			switch phase {
+			case 0:
+				// The only checkpoint pass of the run. Every kill below
+				// lands between checkpoints: recovery is restore (this
+				// pass) + journal replay (everything after it).
+				if _, err := inc.srv.WriteCheckpoints(ckptDir); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				// One-shot durable events, after the last checkpoint:
+				// a named push and an epoch-5 window ship that no
+				// reconnect loop will ever send again. Both are ACKed
+				// (journaled) and then the process dies — only journal
+				// replay can bring them back.
+				oq := onceTrio.lat.Writer(0)
+				ok := make([]string, onceQ)
+				for i := range ok {
+					ok[i] = "api"
+				}
+				oq.UpdateKeyedBatch(ok, take(onceQ))
+				onceLat, err := onceSrv.SnapshotTable("lat")
+				if err != nil {
+					t.Fatal(err)
+				}
+				onceEv, err := onceSrv.SnapshotTable("ev")
+				if err != nil {
+					t.Fatal(err)
+				}
+				dc := dialPipe(t, cur.Load())
+				for _, c := range []*client.Client{dc, expC} {
+					if err := c.PushSnapshotFrom("lat", "oneshot", onceLat); err != nil {
+						t.Fatal(err)
+					}
+					if err := c.PushWindowSnapshot("ev", "win-1", 5, onceEv); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := dc.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				kill()
+				time.Sleep(300 * time.Millisecond) // outage window
+				inc = start()
+				cur.Store(inc.ln)
+			case 2:
+				// A stale window re-ship (epoch 3 < 5) must be a no-op
+				// on both sides — including across the next recovery.
+				staleEv, err := onceSrv.SnapshotTable("ev")
+				if err != nil {
+					t.Fatal(err)
+				}
+				dc := dialPipe(t, cur.Load())
+				for _, c := range []*client.Client{dc, expC} {
+					if err := c.PushWindowSnapshot("ev", "win-1", 3, staleEv); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := dc.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Kill #2 dies mid-append: a torn half-record on the
+				// active journal file. Replay must truncate it and keep
+				// everything before it.
+				kill()
+				torn := binary.LittleEndian.AppendUint32(nil, 80)
+				torn = append(torn, []byte("half-written-record")...)
+				f, err := os.OpenFile(newestJournalFile(t, walDir), os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write(torn); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+				time.Sleep(300 * time.Millisecond)
+				inc = start()
+				cur.Store(inc.ln)
+			}
+		}
+
+		// The last incarnation recovered through the journal at least
+		// once — the one-shot push can only have arrived that way.
+		if records, _, ok := inc.srv.JournalReplay(); !ok || records == 0 {
+			t.Fatalf("final incarnation replayed %d records (ok=%v), want journal recovery", records, ok)
+		}
+
+		// Recovered state == failure-free state, all three families.
+		// The quantiles stream is the full shuffled permutation: edge
+		// cumulative ships plus the one-shot push.
+		aggC := dialPipe(t, inc.ln)
+		defer aggC.Close()
+		defer inc.srv.Close()
+		defer inc.trio.close()
+		defer inc.jnl.Close()
+		compareRollups(t, aggC, expC, uint64(phases*edgeQ+onceQ))
+
+		if st := rel.Stats(); st.Dropped != 0 || st.Delivered == 0 {
+			t.Fatalf("reliable stats = %+v, want deliveries and zero drops", st)
+		}
+	})
+}

@@ -99,6 +99,60 @@ func (s *Server) RegisterMetrics(reg *metrics.Registry) {
 		"Wall time of checkpoint write passes (all tables, concurrent). Alert when p99 approaches the checkpoint interval: passes start overlapping and the durability window stops shrinking.",
 		checkpointDurationBounds))
 
+	// Journal families: all read through s.Journal() at scrape time, so
+	// they report 0 until AttachJournal and pick the journal up without
+	// re-registration. jstats flattens the nil check.
+	jstats := func() JournalStats {
+		if j := s.Journal(); j != nil {
+			return j.Stats()
+		}
+		return JournalStats{}
+	}
+	reg.GaugeFunc("fcds_server_has_journal",
+		"1 when a durability journal is attached, else 0.",
+		func() float64 {
+			if s.Journal() != nil {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("fcds_server_journal_records_total",
+		"Records appended to the durability journal (pushes, window ships, eviction spills).",
+		func() float64 { return float64(jstats().Records) })
+	reg.CounterFunc("fcds_server_journal_bytes_total",
+		"Framed bytes appended to the durability journal.",
+		func() float64 { return float64(jstats().Bytes) })
+	reg.GaugeFunc("fcds_server_journal_size_bytes",
+		"Bytes currently on disk across all journal files. Grows between checkpoints, shrinks on rotation pruning and self-compaction; unbounded growth means checkpoints are failing.",
+		func() float64 { return float64(jstats().TotalBytes) })
+	reg.CounterFunc("fcds_server_journal_rotations_total",
+		"Journal file rotations (one per checkpoint pass).",
+		func() float64 { return float64(jstats().Rotations) })
+	reg.CounterFunc("fcds_server_journal_compactions_total",
+		"Size-triggered journal self-compactions (latest record per source kept, merge records carried).",
+		func() float64 { return float64(jstats().Compactions) })
+	reg.CounterFunc("fcds_server_journal_fsyncs_total",
+		"Journal fsync calls (every -journal-fsync-every records).",
+		func() float64 { return float64(jstats().Fsyncs) })
+	reg.CounterFunc("fcds_server_journal_pruned_files_total",
+		"Journal files deleted by post-checkpoint retention.",
+		func() float64 { return float64(jstats().Pruned) })
+	reg.GaugeFunc("fcds_server_journal_unsynced_records",
+		"Acknowledged journal records not yet fsynced — the crash-loss window. Alert when this sits at -journal-fsync-every minus 1 under steady traffic: every crash then loses the maximum the setting allows.",
+		func() float64 { return float64(jstats().Unsynced) })
+	reg.GaugeFunc("fcds_server_journal_replayed_records",
+		"Records the last boot replayed from the journal on top of restored checkpoints (0 after a clean start).",
+		func() float64 { return float64(s.replayRecords.Load()) })
+	reg.GaugeFunc("fcds_server_journal_replay_age_seconds",
+		"Age of the newest record the last boot replayed; 0 when nothing replayed. Persistently large values mean the journal carried old un-checkpointed state — check that checkpoints run.",
+		func() float64 {
+			_, age, ok := s.JournalReplay()
+			if !ok {
+				return 0
+			}
+			return age.Seconds()
+		})
+
 	s.mu.Lock()
 	type reginfo struct {
 		name string

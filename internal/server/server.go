@@ -67,6 +67,11 @@ type Config struct {
 	// that offer it fall back to uncompressed payloads (the negotiation
 	// result simply omits the bit; nothing fails).
 	NoCompression bool
+	// CheckpointRetain is how many checkpoint generations WriteCheckpoints
+	// keeps per table (and how many journal files survive the matching
+	// prune). <= 0 means DefaultRetain. Raising it trades disk for the
+	// ability to fall back further when generations corrupt at rest.
+	CheckpointRetain int
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -115,6 +120,19 @@ type Server struct {
 	// when metrics are registered, receives each pass's wall time.
 	checkpoints atomic.Int64
 	ckptHist    atomic.Pointer[metrics.Histogram]
+	// ckptGen issues strictly increasing checkpoint generation numbers
+	// (seeded from disk on restore, bumped past itself every pass).
+	ckptGen atomic.Uint64
+
+	// journal is the attached durability journal (nil = disabled); the
+	// backends append to it under their own rmu, WriteCheckpoints
+	// rotates and prunes it. replayRecords/replayTS describe the last
+	// boot's ReplayJournal pass for HEALTH, /healthz and metrics:
+	// records applied, and the newest applied record's append
+	// timestamp (unix nanos, 0 = nothing replayed).
+	journal       atomic.Pointer[Journal]
+	replayRecords atomic.Int64
+	replayTS      atomic.Int64
 
 	// metricsMu guards the attached registry and the per-(table,source)
 	// push timestamps behind the snapshot-push lag gauges.
@@ -166,6 +184,7 @@ func (s *Server) register(name string, b backend) error {
 	s.tables[name] = b
 	s.tstats[name] = tc
 	s.mu.Unlock()
+	b.bind(name, &s.journal)
 	// Export the table's series immediately when a registry is already
 	// attached (tables registered before RegisterMetrics are picked up
 	// there instead). Outside s.mu: the registry takes its own lock.
@@ -192,6 +211,116 @@ func (s *Server) lookupCounters(name string) (backend, *tableCounters, bool) {
 	tc := s.tstats[name]
 	s.mu.Unlock()
 	return b, tc, ok
+}
+
+// AttachJournal arms write-ahead journaling: from this call on, every
+// named-source push, window ship and eviction spill is appended to j
+// (and fsynced per its config) BEFORE it mutates in-memory state, and
+// WriteCheckpoints rotates and prunes j as part of each pass. Call the
+// boot sequence in order — RestoreCheckpoints, ReplayJournal,
+// OpenJournal, AttachJournal — before Start, so recovery replays the
+// previous process's files and new records land in a fresh one.
+func (s *Server) AttachJournal(j *Journal) {
+	s.journal.Store(j)
+}
+
+// Journal returns the attached journal, nil when journaling is off.
+func (s *Server) Journal() *Journal {
+	return s.journal.Load()
+}
+
+// ReplayJournal re-applies the journal tail in dir on top of restored
+// checkpoints: every record above its table's restored LSN watermark
+// is applied exactly as the original frame was, records at or below it
+// are skipped (the checkpoint already contains them), torn tails are
+// truncated, and records for tables this configuration no longer
+// registers are logged and counted but do not fail the boot. Call it
+// after RestoreCheckpoints and before AttachJournal/Start.
+func (s *Server) ReplayJournal(dir string) (JournalReplayStats, error) {
+	st, err := replayJournalDir(dir, func(rec *JournalRecord, st *JournalReplayStats) error {
+		b, ok := s.lookup(rec.Table)
+		if !ok {
+			st.UnknownTable++
+			s.logf("server: journal replay: table %q not registered, skipping record lsn=%d", rec.Table, rec.LSN)
+			return nil
+		}
+		var applied, stale bool
+		var aerr error
+		switch rec.Type {
+		case jrecPush:
+			applied, aerr = b.replayPush(rec.LSN, rec.Source, rec.Blob)
+		case jrecWindow:
+			applied, stale, aerr = b.replayWindow(rec.LSN, rec.Source, rec.Epoch, rec.Blob)
+		case jrecEvict:
+			applied, aerr = b.replayEvict(rec.LSN, rec.KeyType, rec.Key, rec.Blob)
+		}
+		switch {
+		case aerr != nil:
+			// The record was intact (CRC passed) but no longer applies —
+			// typically a table re-registered with different parameters.
+			// Recovery keeps going: one stale record must not brick the
+			// node, and the skip is logged and counted for operators.
+			st.Errors++
+			s.logf("server: journal replay: table %q lsn=%d: %v (record skipped)", rec.Table, rec.LSN, aerr)
+		case stale:
+			st.Stale++
+		case applied:
+			st.Records++
+			if rec.TS > st.NewestTS {
+				st.NewestTS = rec.TS
+			}
+		default:
+			st.Skipped++
+		}
+		return nil
+	}, s.cfg.Logf)
+	if err != nil {
+		return st, err
+	}
+	s.replayRecords.Store(int64(st.Records))
+	s.replayTS.Store(st.NewestTS)
+	if st.Files > 0 {
+		s.logf("server: journal replay: %d files, %d records applied, %d already checkpointed, %d unknown-table, %d stale, %d errors, %d torn bytes truncated",
+			st.Files, st.Records, st.Skipped, st.UnknownTable, st.Stale, st.Errors, st.TornBytes)
+	}
+	return st, nil
+}
+
+// JournalReplay reports the last boot's replay pass: how many records
+// recovered state beyond the restored checkpoints, and the age of the
+// newest one (ok is false when nothing was replayed). The age bounds
+// how far behind the checkpoint the journal carried this process.
+func (s *Server) JournalReplay() (records int64, age time.Duration, ok bool) {
+	records = s.replayRecords.Load()
+	ts := s.replayTS.Load()
+	if ts == 0 {
+		return records, 0, false
+	}
+	return records, time.Since(time.Unix(0, ts)), true
+}
+
+// SpillEvictString folds one evicted string key's serialized compact
+// back into the named table's remote aggregate — the OnEvict hook for
+// string-keyed registered tables (fcds-serve wires it when journaling
+// is on). With a journal attached the spill is journaled first, so
+// TTL-evicted data survives both the eviction and a crash.
+func (s *Server) SpillEvictString(tableName, key string, compact []byte) error {
+	b, ok := s.lookup(tableName)
+	if !ok {
+		return fmt.Errorf("server: unknown table %q", tableName)
+	}
+	return b.spillEvict(wire.KeyTypeString, []byte(key), compact)
+}
+
+// SpillEvictU64 is SpillEvictString for uint64-keyed tables.
+func (s *Server) SpillEvictU64(tableName string, key uint64, compact []byte) error {
+	b, ok := s.lookup(tableName)
+	if !ok {
+		return fmt.Errorf("server: unknown table %q", tableName)
+	}
+	var kb [8]byte
+	k := wire.AppendUint64(kb[:0], key)
+	return b.spillEvict(wire.KeyTypeUint64, k, compact)
 }
 
 // SnapshotTable captures the named table's full merged snapshot — the
@@ -682,6 +811,23 @@ func (s *Server) handle(cs *connState, typ byte, payload []byte) (byte, []byte, 
 		// "never" once a client rounds it through its own clamping, and
 		// older clients that stop after ageMS still parse.
 		out = append(out, hasCkpt)
+		// Journal recovery fields, appended after hasCkpt under the same
+		// append-only contract: records replayed at the last boot, the
+		// newest replayed record's age in milliseconds (clamped >= 1
+		// when anything replayed, 0 otherwise), and whether a journal is
+		// attached at all.
+		replayed, replayAge, replayedOK := s.JournalReplay()
+		replayAgeMS := uint64(0)
+		if replayedOK {
+			replayAgeMS = max(uint64(replayAge/time.Millisecond), 1)
+		}
+		out = wire.AppendUvarint(out, uint64(replayed))
+		out = wire.AppendUvarint(out, replayAgeMS)
+		hasJournal := byte(0)
+		if s.journal.Load() != nil {
+			hasJournal = 1
+		}
+		out = append(out, hasJournal)
 		cs.wbuf = out
 		return wire.FrameValue, out, nil, nil
 

@@ -142,7 +142,7 @@ func TestWindowSnapshotStaleEpochIgnored(t *testing.T) {
 	oldBlob, oldEpoch := capture(), uint64(wt.Epoch())
 	wt.Rotate()
 	wt.Rotate() // epoch 0 expired (Slots=2)
-	ingest(40) // epoch 2: 40 samples, the whole window
+	ingest(40)  // epoch 2: 40 samples, the whole window
 	if err := c.PushWindowSnapshot("latw", "edge-w", uint64(wt.Epoch()), capture()); err != nil {
 		t.Fatal(err)
 	}
